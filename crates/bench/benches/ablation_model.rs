@@ -1,0 +1,32 @@
+//! A3 ablation: fidelity of the guidance session thermal model — the paper's
+//! modification 2 (drop active–active resistances) and the lateral-only
+//! restriction, each toggled.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use thermsched::{experiments, report};
+use thermsched_bench::alpha_fixture;
+
+fn bench_model_ablation(c: &mut Criterion) {
+    let (sut, simulator) = alpha_fixture();
+
+    let points = experiments::model_options_sweep(&sut, &simulator, 155.0, 60.0)
+        .expect("model ablation runs");
+    println!(
+        "\n{}",
+        report::render_ablation("A3 — session-model fidelity (TL=155, STCL=60)", &points)
+    );
+
+    c.bench_function("ablation/model_options_sweep", |b| {
+        b.iter(|| {
+            experiments::model_options_sweep(&sut, &simulator, 155.0, 60.0)
+                .expect("model ablation runs")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_model_ablation
+}
+criterion_main!(benches);

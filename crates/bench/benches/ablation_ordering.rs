@@ -1,0 +1,31 @@
+//! A2 ablation: candidate-core ordering strategies for the session-filling
+//! loop (the paper's pseudocode leaves the iteration order unspecified).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use thermsched::{experiments, report};
+use thermsched_bench::alpha_fixture;
+
+fn bench_ordering_ablation(c: &mut Criterion) {
+    let (sut, simulator) = alpha_fixture();
+
+    let points = experiments::ordering_sweep(&sut, &simulator, 155.0, 60.0)
+        .expect("ordering ablation runs");
+    println!(
+        "\n{}",
+        report::render_ablation("A2 — candidate-core ordering (TL=155, STCL=60)", &points)
+    );
+
+    c.bench_function("ablation/ordering_sweep", |b| {
+        b.iter(|| {
+            experiments::ordering_sweep(&sut, &simulator, 155.0, 60.0)
+                .expect("ordering ablation runs")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ordering_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Regenerates Figure 1 of the paper (the motivational hot-spot example) and
+//! benchmarks the thermal evaluation of the two equal-power sessions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use thermsched::{experiments, report};
+use thermsched_bench::figure1_fixture;
+
+fn bench_figure1(c: &mut Criterion) {
+    // Print the reproduced figure once so `cargo bench` output documents it.
+    let report_data = experiments::figure1().expect("figure1 experiment runs");
+    println!("\n{}", report::render_figure1(&report_data));
+
+    let (sut, simulator) = figure1_fixture();
+    c.bench_function("figure1/equal_power_sessions", |b| {
+        b.iter(|| {
+            let r = experiments::figure1_with(&sut, &simulator, 45.0)
+                .expect("figure1 experiment runs");
+            assert!(r.temperature_gap > 0.0);
+            r
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_figure1
+}
+criterion_main!(benches);

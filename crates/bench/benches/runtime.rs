@@ -1,0 +1,73 @@
+//! P1: raw runtime of the building blocks — steady-state solves, transient
+//! session simulation and schedule generation — versus SoC size. The paper's
+//! "rapid generation" claim rests on the guidance model keeping the number of
+//! expensive simulations small; this bench quantifies both sides.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use thermsched::{SchedulerConfig, ThermalAwareScheduler};
+use thermsched_bench::alpha_fixture;
+use thermsched_floorplan::library as fp_library;
+use thermsched_soc::{GeneratorConfig, SocGenerator};
+use thermsched_thermal::{PowerMap, RcThermalSimulator, ThermalSimulator};
+
+fn bench_thermal_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime/steady_state_solve");
+    for n in [4usize, 8, 12, 16] {
+        let fp = fp_library::uniform_grid(n, n, 1.5);
+        let sim = RcThermalSimulator::from_floorplan(&fp).expect("grid model builds");
+        let power = PowerMap::from_vec(vec![1.0; fp.block_count()]).expect("valid power");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n * n),
+            &(sim, power),
+            |b, (sim, power)| b.iter(|| sim.steady_state(power).expect("solve succeeds")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_session_simulation(c: &mut Criterion) {
+    let (sut, sim) = alpha_fixture();
+    let mut power = PowerMap::zeros(sut.core_count());
+    for core in 0..5 {
+        power.set(core, sut.test_power(core)).expect("valid power");
+    }
+    c.bench_function("runtime/transient_session_1s", |b| {
+        b.iter(|| sim.simulate_session(&power, 1.0).expect("simulation succeeds"))
+    });
+}
+
+fn bench_schedule_generation_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime/schedule_generation");
+    group.sample_size(10);
+    for grid in [3usize, 4, 5] {
+        let config = GeneratorConfig {
+            grid_columns: grid,
+            grid_rows: grid,
+            ..GeneratorConfig::default()
+        };
+        let mut generator = SocGenerator::new(7, config).expect("valid generator");
+        let sut = generator.generate().expect("generation succeeds");
+        let sim = RcThermalSimulator::from_floorplan(sut.floorplan()).expect("model builds");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(grid * grid),
+            &(sut, sim),
+            |b, (sut, sim)| {
+                b.iter(|| {
+                    let config = SchedulerConfig::new(170.0, 60.0).expect("valid config");
+                    ThermalAwareScheduler::new(sut, sim, config)
+                        .expect("scheduler builds")
+                        .schedule()
+                        .expect("schedule generation succeeds")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_thermal_solver, bench_session_simulation, bench_schedule_generation_scaling
+}
+criterion_main!(benches);

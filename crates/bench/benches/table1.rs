@@ -1,0 +1,42 @@
+//! Regenerates Table 1 of the paper: schedule length, simulation effort and
+//! maximum temperature over the full TL × STCL grid, and benchmarks the
+//! complete sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use thermsched::{experiments, report};
+use thermsched_bench::alpha_fixture;
+
+fn bench_table1(c: &mut Criterion) {
+    let (sut, simulator) = alpha_fixture();
+
+    // Print the full reproduced table once so the bench log documents it.
+    let points = experiments::table1_sweep(
+        &sut,
+        &simulator,
+        &experiments::default_temperature_limits(),
+        &experiments::default_stc_limits(),
+    )
+    .expect("table1 sweep runs");
+    println!("\n{}", report::render_table1(&points));
+
+    // Benchmark a single representative row group (one TL, all STCL values),
+    // which is the unit of work a user exploring the trade-off would repeat.
+    c.bench_function("table1/row_group_tl165", |b| {
+        b.iter(|| {
+            experiments::table1_sweep(
+                &sut,
+                &simulator,
+                &[165.0],
+                &experiments::default_stc_limits(),
+            )
+            .expect("sweep runs")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1
+}
+criterion_main!(benches);

@@ -1,0 +1,244 @@
+//! Baseline schedulers the paper compares against (implicitly or explicitly):
+//! chip-level power-constrained scheduling and purely sequential testing.
+
+use thermsched_soc::SystemUnderTest;
+
+use crate::{Result, ScheduleError, TestSchedule, TestSession};
+
+/// How the power-constrained scheduler orders candidate cores before packing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PackingOrder {
+    /// The order the cores appear in the system under test.
+    #[default]
+    AsGiven,
+    /// Largest test power first (first-fit decreasing, the classic
+    /// bin-packing heuristic used in power-constrained test scheduling).
+    DescendingPower,
+}
+
+/// Greedy chip-level power-constrained test scheduler.
+///
+/// This reproduces the behaviour the paper argues against: sessions are
+/// packed subject only to `Σ P(i) ≤ P_max`, with no awareness of where on the
+/// die the power is dissipated. Its schedules are short, but — as Figure 1 of
+/// the paper and the `motivational_hotspots` example show — they can contain
+/// sessions that overheat locally.
+///
+/// # Example
+///
+/// ```
+/// use thermsched::PowerConstrainedScheduler;
+/// use thermsched_soc::library;
+///
+/// # fn main() -> Result<(), thermsched::ScheduleError> {
+/// let sut = library::figure1_sut();
+/// let scheduler = PowerConstrainedScheduler::new(45.0)?;
+/// let schedule = scheduler.schedule(&sut)?;
+/// assert!(schedule.covers_exactly_once(sut.core_count()));
+/// for session in schedule.iter() {
+///     assert!(session.total_power() <= 45.0 + 1e-9);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerConstrainedScheduler {
+    power_limit: f64,
+    order: PackingOrder,
+}
+
+impl PowerConstrainedScheduler {
+    /// Creates a scheduler with the given chip-level power budget in watts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::InvalidConfig`] if the budget is non-positive
+    /// or non-finite.
+    pub fn new(power_limit: f64) -> Result<Self> {
+        if !(power_limit > 0.0 && power_limit.is_finite()) {
+            return Err(ScheduleError::InvalidConfig {
+                name: "power_limit",
+                value: power_limit,
+            });
+        }
+        Ok(PowerConstrainedScheduler {
+            power_limit,
+            order: PackingOrder::default(),
+        })
+    }
+
+    /// Selects the packing order.
+    #[must_use]
+    pub fn with_order(mut self, order: PackingOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// The configured power budget in watts.
+    pub fn power_limit(&self) -> f64 {
+        self.power_limit
+    }
+
+    /// Packs the cores of `sut` into sessions whose total power stays within
+    /// the budget.
+    ///
+    /// Cores whose individual test power exceeds the budget are scheduled
+    /// alone (there is no other way to test them).
+    ///
+    /// # Errors
+    ///
+    /// This function currently cannot fail for a valid [`SystemUnderTest`];
+    /// the `Result` is kept for interface symmetry with the thermal-aware
+    /// scheduler.
+    pub fn schedule(&self, sut: &SystemUnderTest) -> Result<TestSchedule> {
+        let mut order: Vec<usize> = (0..sut.core_count()).collect();
+        if self.order == PackingOrder::DescendingPower {
+            order.sort_by(|&a, &b| {
+                sut.test_power(b)
+                    .partial_cmp(&sut.test_power(a))
+                    .expect("finite powers")
+            });
+        }
+
+        let mut schedule = TestSchedule::new();
+        let mut remaining = order;
+        while !remaining.is_empty() {
+            let mut session_cores: Vec<usize> = Vec::new();
+            let mut session_power = 0.0;
+            let mut leftover = Vec::new();
+            for core in remaining {
+                let p = sut.test_power(core);
+                if session_cores.is_empty() || session_power + p <= self.power_limit {
+                    session_cores.push(core);
+                    session_power += p;
+                } else {
+                    leftover.push(core);
+                }
+            }
+            schedule.push(TestSession::new(session_cores, sut));
+            remaining = leftover;
+        }
+        Ok(schedule)
+    }
+}
+
+/// The trivial baseline: one core per session, no concurrency at all.
+///
+/// Sequential testing is thermally the safest schedule a session-based tester
+/// can run (every session's temperature equals the core's best-case maximum
+/// temperature) and also the longest; it brackets the schedule-length axis of
+/// every experiment.
+///
+/// # Example
+///
+/// ```
+/// use thermsched::SequentialScheduler;
+/// use thermsched_soc::library;
+///
+/// let sut = library::alpha21364_sut();
+/// let schedule = SequentialScheduler::new().schedule(&sut);
+/// assert_eq!(schedule.session_count(), sut.core_count());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SequentialScheduler;
+
+impl SequentialScheduler {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        SequentialScheduler
+    }
+
+    /// Produces the one-core-per-session schedule in core-id order.
+    pub fn schedule(&self, sut: &SystemUnderTest) -> TestSchedule {
+        (0..sut.core_count())
+            .map(|c| TestSession::new([c], sut))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thermsched_soc::library;
+
+    #[test]
+    fn power_constrained_respects_budget() {
+        let sut = library::alpha21364_sut();
+        let scheduler = PowerConstrainedScheduler::new(40.0).unwrap();
+        let schedule = scheduler.schedule(&sut).unwrap();
+        assert!(schedule.covers_exactly_once(sut.core_count()));
+        for session in schedule.iter() {
+            // Sessions with more than one core must respect the budget.
+            if session.core_count() > 1 {
+                assert!(session.total_power() <= 40.0 + 1e-9);
+            }
+        }
+        assert_eq!(scheduler.power_limit(), 40.0);
+    }
+
+    #[test]
+    fn oversized_core_is_scheduled_alone() {
+        let sut = library::alpha21364_sut();
+        // L2_bottom tests at 33.6 W, above a 20 W budget.
+        let scheduler = PowerConstrainedScheduler::new(20.0).unwrap();
+        let schedule = scheduler.schedule(&sut).unwrap();
+        assert!(schedule.covers_exactly_once(sut.core_count()));
+        let l2 = sut.floorplan().index_of("L2_bottom").unwrap();
+        let containing: Vec<_> = schedule
+            .iter()
+            .filter(|s| s.contains(l2))
+            .collect();
+        assert_eq!(containing.len(), 1);
+        assert_eq!(containing[0].core_count(), 1);
+    }
+
+    #[test]
+    fn descending_power_order_gives_no_longer_schedule() {
+        let sut = library::alpha21364_sut();
+        let as_given = PowerConstrainedScheduler::new(45.0)
+            .unwrap()
+            .schedule(&sut)
+            .unwrap();
+        let ffd = PowerConstrainedScheduler::new(45.0)
+            .unwrap()
+            .with_order(PackingOrder::DescendingPower)
+            .schedule(&sut)
+            .unwrap();
+        assert!(ffd.covers_exactly_once(sut.core_count()));
+        assert!(ffd.session_count() <= as_given.session_count() + 1);
+    }
+
+    #[test]
+    fn figure1_power_budget_admits_both_sessions() {
+        // The paper's motivational setup: a 45 W budget accepts both the
+        // small-core and the large-core session (3 x 15 W each).
+        let sut = library::figure1_sut();
+        let schedule = PowerConstrainedScheduler::new(45.0)
+            .unwrap()
+            .schedule(&sut)
+            .unwrap();
+        for session in schedule.iter() {
+            assert!(session.core_count() <= 3);
+            assert!(session.total_power() <= 45.0 + 1e-9);
+        }
+        assert!(schedule.covers_exactly_once(sut.core_count()));
+    }
+
+    #[test]
+    fn invalid_budget_is_rejected() {
+        assert!(PowerConstrainedScheduler::new(0.0).is_err());
+        assert!(PowerConstrainedScheduler::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn sequential_schedule_has_one_core_per_session() {
+        let sut = library::alpha21364_sut();
+        let schedule = SequentialScheduler::new().schedule(&sut);
+        assert_eq!(schedule.session_count(), 15);
+        assert!(schedule.covers_exactly_once(15));
+        assert_eq!(schedule.total_length(), sut.sequential_test_time());
+        for session in schedule.iter() {
+            assert_eq!(session.core_count(), 1);
+        }
+    }
+}

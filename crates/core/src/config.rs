@@ -1,0 +1,248 @@
+//! Scheduler configuration.
+
+use crate::{Result, ScheduleError, SessionModelOptions};
+
+/// The order in which the scheduler considers candidate cores when filling a
+/// test session (line 10 of the paper's Algorithm 1 iterates over the
+/// available set without specifying an order, so the choice is an explicit
+/// knob here and an ablation in the bench crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CoreOrdering {
+    /// The order the cores appear in the system under test (the literal
+    /// reading of the pseudocode).
+    #[default]
+    AsGiven,
+    /// Highest test power first.
+    DescendingPower,
+    /// Highest single-core thermal characteristic first (hottest-first):
+    /// hot cores get placed while sessions are still empty and cool.
+    DescendingCharacteristic,
+    /// Lowest single-core thermal characteristic first (coolest-first).
+    AscendingCharacteristic,
+}
+
+impl CoreOrdering {
+    /// All orderings, for sweeps and ablation benches.
+    pub const ALL: [CoreOrdering; 4] = [
+        CoreOrdering::AsGiven,
+        CoreOrdering::DescendingPower,
+        CoreOrdering::DescendingCharacteristic,
+        CoreOrdering::AscendingCharacteristic,
+    ];
+}
+
+/// What to do when a core violates the temperature limit even when tested
+/// alone (lines 4–6 of Algorithm 1: "fix core-level thermal violation OR
+/// increase TL").
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum CoreViolationPolicy {
+    /// Fail with [`ScheduleError::CoreLevelViolation`]; the test
+    /// infrastructure of the core has to be redesigned.
+    #[default]
+    Fail,
+    /// Raise the temperature limit to the hottest single-core temperature
+    /// plus the given margin (°C), mirroring the paper's "increase TL"
+    /// alternative.
+    RaiseLimit {
+        /// Margin added above the hottest best-case maximum temperature.
+        margin: f64,
+    },
+}
+
+/// Configuration of the thermal-aware scheduler (Algorithm 1).
+///
+/// # Example
+///
+/// ```
+/// use thermsched::SchedulerConfig;
+///
+/// # fn main() -> Result<(), thermsched::ScheduleError> {
+/// let config = SchedulerConfig::new(155.0, 40.0)?;
+/// assert_eq!(config.temperature_limit, 155.0);
+/// assert_eq!(config.stc_limit, 40.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedulerConfig {
+    /// Maximum allowable temperature `TL` in °C.
+    pub temperature_limit: f64,
+    /// Session thermal characteristic limit `STCL` (same scaled units as
+    /// [`crate::SessionThermalModel::session_characteristic`]).
+    pub stc_limit: f64,
+    /// Weight multiplier applied to violating cores (1.1 in the paper).
+    pub weight_factor: f64,
+    /// Candidate-core ordering used when filling sessions.
+    pub ordering: CoreOrdering,
+    /// Policy for cores that violate `TL` even when tested alone.
+    pub core_violation_policy: CoreViolationPolicy,
+    /// Options of the guidance session thermal model.
+    pub session_model: SessionModelOptions,
+    /// Safety budget on session-generation iterations (committed plus
+    /// discarded sessions) before the scheduler gives up.
+    pub max_iterations: usize,
+}
+
+impl SchedulerConfig {
+    /// Creates a configuration with the paper's defaults for everything
+    /// except the two sweep parameters `TL` and `STCL`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::InvalidConfig`] if either limit is
+    /// non-positive or non-finite.
+    pub fn new(temperature_limit: f64, stc_limit: f64) -> Result<Self> {
+        let config = SchedulerConfig {
+            temperature_limit,
+            stc_limit,
+            weight_factor: 1.1,
+            ordering: CoreOrdering::default(),
+            core_violation_policy: CoreViolationPolicy::default(),
+            session_model: SessionModelOptions::default(),
+            max_iterations: 10_000,
+        };
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Sets the weight factor applied to violating cores.
+    #[must_use]
+    pub fn with_weight_factor(mut self, factor: f64) -> Self {
+        self.weight_factor = factor;
+        self
+    }
+
+    /// Sets the candidate-core ordering.
+    #[must_use]
+    pub fn with_ordering(mut self, ordering: CoreOrdering) -> Self {
+        self.ordering = ordering;
+        self
+    }
+
+    /// Sets the policy for core-level violations.
+    #[must_use]
+    pub fn with_core_violation_policy(mut self, policy: CoreViolationPolicy) -> Self {
+        self.core_violation_policy = policy;
+        self
+    }
+
+    /// Sets the session-model options.
+    #[must_use]
+    pub fn with_session_model(mut self, options: SessionModelOptions) -> Self {
+        self.session_model = options;
+        self
+    }
+
+    /// Sets the iteration budget.
+    #[must_use]
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::InvalidConfig`] naming the first offending
+    /// field.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.temperature_limit.is_finite() && self.temperature_limit > 0.0) {
+            return Err(ScheduleError::InvalidConfig {
+                name: "temperature_limit",
+                value: self.temperature_limit,
+            });
+        }
+        if !(self.stc_limit.is_finite() && self.stc_limit > 0.0) {
+            return Err(ScheduleError::InvalidConfig {
+                name: "stc_limit",
+                value: self.stc_limit,
+            });
+        }
+        if !(self.weight_factor.is_finite() && self.weight_factor >= 1.0) {
+            return Err(ScheduleError::InvalidConfig {
+                name: "weight_factor",
+                value: self.weight_factor,
+            });
+        }
+        if !(self.session_model.stc_scale.is_finite() && self.session_model.stc_scale > 0.0) {
+            return Err(ScheduleError::InvalidConfig {
+                name: "session_model.stc_scale",
+                value: self.session_model.stc_scale,
+            });
+        }
+        if self.max_iterations == 0 {
+            return Err(ScheduleError::InvalidConfig {
+                name: "max_iterations",
+                value: 0.0,
+            });
+        }
+        if let CoreViolationPolicy::RaiseLimit { margin } = self.core_violation_policy {
+            if !(margin.is_finite() && margin >= 0.0) {
+                return Err(ScheduleError::InvalidConfig {
+                    name: "core_violation_policy.margin",
+                    value: margin,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = SchedulerConfig::new(145.0, 30.0).unwrap();
+        assert_eq!(c.weight_factor, 1.1);
+        assert_eq!(c.ordering, CoreOrdering::AsGiven);
+        assert_eq!(c.core_violation_policy, CoreViolationPolicy::Fail);
+        assert!(!c.session_model.include_vertical_path);
+        assert!(!c.session_model.keep_active_active_paths);
+    }
+
+    #[test]
+    fn builder_setters() {
+        let c = SchedulerConfig::new(165.0, 70.0)
+            .unwrap()
+            .with_weight_factor(1.25)
+            .with_ordering(CoreOrdering::DescendingPower)
+            .with_core_violation_policy(CoreViolationPolicy::RaiseLimit { margin: 5.0 })
+            .with_max_iterations(500);
+        assert_eq!(c.weight_factor, 1.25);
+        assert_eq!(c.ordering, CoreOrdering::DescendingPower);
+        assert_eq!(c.max_iterations, 500);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        assert!(SchedulerConfig::new(0.0, 30.0).is_err());
+        assert!(SchedulerConfig::new(145.0, -1.0).is_err());
+        assert!(SchedulerConfig::new(f64::NAN, 30.0).is_err());
+        let c = SchedulerConfig::new(145.0, 30.0)
+            .unwrap()
+            .with_weight_factor(0.5);
+        assert!(c.validate().is_err());
+        let c = SchedulerConfig::new(145.0, 30.0)
+            .unwrap()
+            .with_max_iterations(0);
+        assert!(c.validate().is_err());
+        let c = SchedulerConfig::new(145.0, 30.0)
+            .unwrap()
+            .with_core_violation_policy(CoreViolationPolicy::RaiseLimit { margin: -2.0 });
+        assert!(c.validate().is_err());
+        let mut opts = crate::SessionModelOptions::default();
+        opts.stc_scale = 0.0;
+        let c = SchedulerConfig::new(145.0, 30.0).unwrap().with_session_model(opts);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn ordering_all_contains_every_variant() {
+        assert_eq!(CoreOrdering::ALL.len(), 4);
+        assert_eq!(CoreOrdering::default(), CoreOrdering::AsGiven);
+    }
+}

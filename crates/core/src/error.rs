@@ -1,0 +1,140 @@
+//! Error type for schedule generation.
+
+use std::error::Error;
+use std::fmt;
+
+use thermsched_soc::SocError;
+use thermsched_thermal::ThermalError;
+
+/// Errors produced while generating or validating test schedules.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// A configuration value is out of range.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The value that was supplied.
+        value: f64,
+    },
+    /// The thermal simulator and the system under test disagree on the number
+    /// of cores.
+    CoreCountMismatch {
+        /// Cores in the system under test.
+        sut: usize,
+        /// Blocks known to the simulator.
+        simulator: usize,
+    },
+    /// A core violates the temperature limit even when tested alone, and the
+    /// configured policy is to fail (the paper's alternative is to fix the
+    /// core's test infrastructure or raise the limit).
+    CoreLevelViolation {
+        /// Id of the violating core.
+        core: usize,
+        /// The core's best-case maximum temperature (tested alone), in °C.
+        bcmt: f64,
+        /// The temperature limit that was violated, in °C.
+        limit: f64,
+    },
+    /// The scheduler exceeded its iteration budget without scheduling every
+    /// core (indicates an unreachable STC limit or a pathological weight
+    /// configuration).
+    IterationBudgetExhausted {
+        /// Iterations performed.
+        iterations: usize,
+        /// Cores still unscheduled.
+        remaining: usize,
+    },
+    /// A session index was out of range.
+    SessionIndexOutOfRange {
+        /// The index that was supplied.
+        index: usize,
+        /// Number of sessions in the schedule.
+        count: usize,
+    },
+    /// An underlying thermal simulation failed.
+    Thermal(ThermalError),
+    /// The system-under-test description is malformed.
+    Soc(SocError),
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::InvalidConfig { name, value } => {
+                write!(f, "invalid scheduler configuration: {name} = {value}")
+            }
+            ScheduleError::CoreCountMismatch { sut, simulator } => write!(
+                f,
+                "system under test has {sut} cores but the simulator models {simulator} blocks"
+            ),
+            ScheduleError::CoreLevelViolation { core, bcmt, limit } => write!(
+                f,
+                "core {core} reaches {bcmt:.1} C when tested alone, above the limit {limit:.1} C"
+            ),
+            ScheduleError::IterationBudgetExhausted {
+                iterations,
+                remaining,
+            } => write!(
+                f,
+                "scheduler stopped after {iterations} iterations with {remaining} cores unscheduled"
+            ),
+            ScheduleError::SessionIndexOutOfRange { index, count } => write!(
+                f,
+                "session index {index} out of range for schedule with {count} sessions"
+            ),
+            ScheduleError::Thermal(e) => write!(f, "thermal simulation failed: {e}"),
+            ScheduleError::Soc(e) => write!(f, "system description error: {e}"),
+        }
+    }
+}
+
+impl Error for ScheduleError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ScheduleError::Thermal(e) => Some(e),
+            ScheduleError::Soc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ThermalError> for ScheduleError {
+    fn from(e: ThermalError) -> Self {
+        ScheduleError::Thermal(e)
+    }
+}
+
+impl From<SocError> for ScheduleError {
+    fn from(e: SocError) -> Self {
+        ScheduleError::Soc(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e = ScheduleError::CoreLevelViolation {
+            core: 3,
+            bcmt: 150.2,
+            limit: 145.0,
+        };
+        assert!(e.to_string().contains("150.2"));
+
+        let e: ScheduleError = ThermalError::InvalidDuration { value: -1.0 }.into();
+        assert!(matches!(e, ScheduleError::Thermal(_)));
+        assert!(Error::source(&e).is_some());
+
+        let e: ScheduleError = SocError::UnknownCore { name: "x".into() }.into();
+        assert!(matches!(e, ScheduleError::Soc(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ScheduleError>();
+    }
+}

@@ -1,0 +1,461 @@
+//! Experiment drivers that regenerate the paper's figures and tables.
+//!
+//! Every public function here corresponds to an entry of the per-experiment
+//! index in `DESIGN.md`:
+//!
+//! * [`figure1`] — the motivational hot-spot example (Figure 1),
+//! * [`figure5_sweep`] / [`table1_sweep`] — schedule length, simulation
+//!   effort and maximum temperature as functions of `TL` and `STCL`
+//!   (Figure 5 and Table 1),
+//! * [`weight_factor_sweep`], [`ordering_sweep`], [`model_options_sweep`] —
+//!   the A1–A3 ablations of design choices the paper fixes implicitly.
+
+use thermsched_soc::{library, SystemUnderTest};
+use thermsched_thermal::{PackageConfig, RcThermalSimulator, ThermalSimulator};
+
+use crate::{
+    CoreOrdering, PowerConstrainedScheduler, Result, ScheduleValidator, SchedulerConfig,
+    SessionModelOptions, SessionThermalModel, TestSchedule, TestSession, ThermalAwareScheduler,
+};
+
+/// Default `TL` sweep of Table 1: 145 °C to 185 °C in 5 °C steps.
+pub fn default_temperature_limits() -> Vec<f64> {
+    (0..=8).map(|i| 145.0 + 5.0 * i as f64).collect()
+}
+
+/// Default `STCL` sweep of Table 1 and Figure 5: 20 to 100 in steps of 10.
+pub fn default_stc_limits() -> Vec<f64> {
+    (2..=10).map(|i| 10.0 * i as f64).collect()
+}
+
+/// The `TL` values used in Figure 5.
+pub fn figure5_temperature_limits() -> Vec<f64> {
+    vec![145.0, 155.0, 165.0]
+}
+
+/// One evaluated session of the Figure 1 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure1Session {
+    /// Label used by the paper ("TS1" or "TS2").
+    pub label: String,
+    /// Core names tested concurrently.
+    pub cores: Vec<String>,
+    /// Total session power in watts.
+    pub total_power: f64,
+    /// Maximum temperature reached during the session (°C).
+    pub max_temperature: f64,
+}
+
+/// Outcome of the motivational experiment of Figure 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure1Report {
+    /// Chip-level power budget both sessions satisfy (45 W in the paper).
+    pub power_limit: f64,
+    /// The two equal-power sessions (small cores vs large cores).
+    pub sessions: Vec<Figure1Session>,
+    /// Temperature gap between the two sessions (°C); the paper reports
+    /// 125.5 °C vs 67.5 °C, a 58 °C gap.
+    pub temperature_gap: f64,
+    /// Whether a chip-level power-constrained scheduler would admit both
+    /// sessions (it does, which is the paper's point).
+    pub both_satisfy_power_limit: bool,
+}
+
+/// Reproduces the Figure 1 motivational example on the hypothetical 7-core
+/// system: two sessions with identical total power but very different power
+/// densities are simulated and compared against a 45 W chip-level budget.
+///
+/// # Errors
+///
+/// Propagates simulator construction and simulation failures.
+pub fn figure1() -> Result<Figure1Report> {
+    let sut = library::figure1_sut();
+    let simulator = RcThermalSimulator::from_floorplan(sut.floorplan())?;
+    figure1_with(&sut, &simulator, 45.0)
+}
+
+/// [`figure1`] with caller-provided system, simulator and power budget.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn figure1_with<S: ThermalSimulator>(
+    sut: &SystemUnderTest,
+    simulator: &S,
+    power_limit: f64,
+) -> Result<Figure1Report> {
+    let validator = ScheduleValidator::new(sut, simulator)?;
+    let fp = sut.floorplan();
+    let session_defs: [(&str, [&str; 3]); 2] = [
+        ("TS1", ["C2", "C3", "C4"]),
+        ("TS2", ["C5", "C6", "C7"]),
+    ];
+    let mut schedule = TestSchedule::new();
+    let mut labels = Vec::new();
+    for (label, names) in session_defs {
+        let ids = names
+            .iter()
+            .map(|n| fp.index_of(n).expect("figure1 core names exist"));
+        schedule.push(TestSession::new(ids, sut));
+        labels.push((label.to_owned(), names.iter().map(|s| s.to_string()).collect()));
+    }
+    let evaluation = validator.evaluate(&schedule)?;
+    let mut sessions = Vec::new();
+    for (eval, (label, cores)) in evaluation.sessions.iter().zip(labels) {
+        sessions.push(Figure1Session {
+            label,
+            cores,
+            total_power: eval.total_power,
+            max_temperature: eval.max_temperature,
+        });
+    }
+    let both_satisfy_power_limit = sessions
+        .iter()
+        .all(|s| s.total_power <= power_limit + 1e-9);
+    let temperature_gap = (sessions[0].max_temperature - sessions[1].max_temperature).abs();
+    Ok(Figure1Report {
+        power_limit,
+        sessions,
+        temperature_gap,
+        both_satisfy_power_limit,
+    })
+}
+
+/// One row of the Table 1 / Figure 5 sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Temperature limit `TL` in °C.
+    pub temperature_limit: f64,
+    /// Session thermal characteristic limit `STCL`.
+    pub stc_limit: f64,
+    /// Generated schedule length in seconds.
+    pub schedule_length: f64,
+    /// Number of test sessions in the schedule.
+    pub session_count: usize,
+    /// Simulation effort in seconds of simulated test-session time.
+    pub simulation_effort: f64,
+    /// Number of discarded (thermally violating) candidate sessions.
+    pub discarded_sessions: usize,
+    /// Hottest simulated temperature over the committed schedule (°C).
+    pub max_temperature: f64,
+}
+
+/// Runs the thermal-aware scheduler over a grid of `TL × STCL` values on the
+/// given system, producing one [`SweepPoint`] per combination. With the
+/// default arguments this regenerates Table 1 of the paper; restricted to
+/// `TL ∈ {145, 155, 165}` it regenerates Figure 5.
+///
+/// # Errors
+///
+/// Propagates scheduler failures (which, for the library system and default
+/// limits, do not occur).
+pub fn table1_sweep<S: ThermalSimulator>(
+    sut: &SystemUnderTest,
+    simulator: &S,
+    temperature_limits: &[f64],
+    stc_limits: &[f64],
+) -> Result<Vec<SweepPoint>> {
+    let mut points = Vec::with_capacity(temperature_limits.len() * stc_limits.len());
+    for &tl in temperature_limits {
+        for &stcl in stc_limits {
+            let config = SchedulerConfig::new(tl, stcl)?;
+            let scheduler = ThermalAwareScheduler::new(sut, simulator, config)?;
+            let outcome = scheduler.schedule()?;
+            points.push(SweepPoint {
+                temperature_limit: tl,
+                stc_limit: stcl,
+                schedule_length: outcome.schedule_length(),
+                session_count: outcome.session_count(),
+                simulation_effort: outcome.simulation_effort,
+                discarded_sessions: outcome.discarded_sessions,
+                max_temperature: outcome.max_temperature,
+            });
+        }
+    }
+    Ok(points)
+}
+
+/// Convenience wrapper for the Figure 5 subset of the sweep
+/// (`TL ∈ {145, 155, 165}`, `STCL ∈ {20..100}`).
+///
+/// # Errors
+///
+/// See [`table1_sweep`].
+pub fn figure5_sweep<S: ThermalSimulator>(
+    sut: &SystemUnderTest,
+    simulator: &S,
+) -> Result<Vec<SweepPoint>> {
+    table1_sweep(
+        sut,
+        simulator,
+        &figure5_temperature_limits(),
+        &default_stc_limits(),
+    )
+}
+
+/// Runs the full Table 1 sweep on the library Alpha-21364-like system with
+/// the default package.
+///
+/// # Errors
+///
+/// See [`table1_sweep`].
+pub fn table1_default() -> Result<Vec<SweepPoint>> {
+    let sut = library::alpha21364_sut();
+    let simulator = RcThermalSimulator::from_floorplan(sut.floorplan())?;
+    table1_sweep(
+        &sut,
+        &simulator,
+        &default_temperature_limits(),
+        &default_stc_limits(),
+    )
+}
+
+/// One row of an ablation sweep: a label plus the usual cost metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationPoint {
+    /// Human-readable description of the configuration variant.
+    pub label: String,
+    /// Generated schedule length in seconds.
+    pub schedule_length: f64,
+    /// Simulation effort in seconds.
+    pub simulation_effort: f64,
+    /// Discarded candidate sessions.
+    pub discarded_sessions: usize,
+    /// Hottest committed-session temperature (°C).
+    pub max_temperature: f64,
+}
+
+/// A1 ablation: sensitivity of the algorithm to the violation weight factor
+/// (the paper uses 1.1).
+///
+/// # Errors
+///
+/// Propagates scheduler failures.
+pub fn weight_factor_sweep<S: ThermalSimulator>(
+    sut: &SystemUnderTest,
+    simulator: &S,
+    temperature_limit: f64,
+    stc_limit: f64,
+    factors: &[f64],
+) -> Result<Vec<AblationPoint>> {
+    let mut out = Vec::with_capacity(factors.len());
+    for &factor in factors {
+        let config = SchedulerConfig::new(temperature_limit, stc_limit)?
+            .with_weight_factor(factor);
+        let outcome = ThermalAwareScheduler::new(sut, simulator, config)?.schedule()?;
+        out.push(AblationPoint {
+            label: format!("weight_factor={factor}"),
+            schedule_length: outcome.schedule_length(),
+            simulation_effort: outcome.simulation_effort,
+            discarded_sessions: outcome.discarded_sessions,
+            max_temperature: outcome.max_temperature,
+        });
+    }
+    Ok(out)
+}
+
+/// A2 ablation: candidate-core ordering strategies.
+///
+/// # Errors
+///
+/// Propagates scheduler failures.
+pub fn ordering_sweep<S: ThermalSimulator>(
+    sut: &SystemUnderTest,
+    simulator: &S,
+    temperature_limit: f64,
+    stc_limit: f64,
+) -> Result<Vec<AblationPoint>> {
+    let mut out = Vec::with_capacity(CoreOrdering::ALL.len());
+    for ordering in CoreOrdering::ALL {
+        let config =
+            SchedulerConfig::new(temperature_limit, stc_limit)?.with_ordering(ordering);
+        let outcome = ThermalAwareScheduler::new(sut, simulator, config)?.schedule()?;
+        out.push(AblationPoint {
+            label: format!("{ordering:?}"),
+            schedule_length: outcome.schedule_length(),
+            simulation_effort: outcome.simulation_effort,
+            discarded_sessions: outcome.discarded_sessions,
+            max_temperature: outcome.max_temperature,
+        });
+    }
+    Ok(out)
+}
+
+/// A3 ablation: fidelity of the guidance session thermal model (the paper's
+/// modifications 2 and 3 toggled individually).
+///
+/// # Errors
+///
+/// Propagates scheduler failures.
+pub fn model_options_sweep<S: ThermalSimulator>(
+    sut: &SystemUnderTest,
+    simulator: &S,
+    temperature_limit: f64,
+    stc_limit: f64,
+) -> Result<Vec<AblationPoint>> {
+    let variants: [(&str, SessionModelOptions); 3] = [
+        ("paper (lateral-only, drop active-active)", SessionModelOptions::paper()),
+        (
+            "keep active-active paths",
+            SessionModelOptions {
+                keep_active_active_paths: true,
+                ..SessionModelOptions::paper()
+            },
+        ),
+        (
+            "include vertical path",
+            SessionModelOptions {
+                include_vertical_path: true,
+                ..SessionModelOptions::paper()
+            },
+        ),
+    ];
+    let mut out = Vec::with_capacity(variants.len());
+    for (label, options) in variants {
+        let config = SchedulerConfig::new(temperature_limit, stc_limit)?
+            .with_session_model(options);
+        let model = SessionThermalModel::new(sut, &PackageConfig::default(), options)?;
+        let outcome =
+            ThermalAwareScheduler::with_model(sut, simulator, config, model)?.schedule()?;
+        out.push(AblationPoint {
+            label: label.to_owned(),
+            schedule_length: outcome.schedule_length(),
+            simulation_effort: outcome.simulation_effort,
+            discarded_sessions: outcome.discarded_sessions,
+            max_temperature: outcome.max_temperature,
+        });
+    }
+    Ok(out)
+}
+
+/// Compares the thermal-aware scheduler against the chip-level
+/// power-constrained baseline at a matched concurrency level: the baseline's
+/// power budget is set to the largest committed session power of the
+/// thermal-aware schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineComparison {
+    /// Thermal-aware schedule length (seconds).
+    pub thermal_aware_length: f64,
+    /// Thermal-aware maximum temperature (°C).
+    pub thermal_aware_max_temperature: f64,
+    /// Power-constrained schedule length (seconds).
+    pub power_constrained_length: f64,
+    /// Power-constrained maximum temperature (°C).
+    pub power_constrained_max_temperature: f64,
+    /// The power budget the baseline was given (watts).
+    pub power_budget: f64,
+    /// Number of baseline sessions exceeding the temperature limit.
+    pub power_constrained_violations: usize,
+}
+
+/// Runs both schedulers on the same system and reports the comparison.
+///
+/// # Errors
+///
+/// Propagates scheduler and validation failures.
+pub fn baseline_comparison<S: ThermalSimulator>(
+    sut: &SystemUnderTest,
+    simulator: &S,
+    temperature_limit: f64,
+    stc_limit: f64,
+) -> Result<BaselineComparison> {
+    let config = SchedulerConfig::new(temperature_limit, stc_limit)?;
+    let thermal_outcome = ThermalAwareScheduler::new(sut, simulator, config)?.schedule()?;
+    let power_budget = thermal_outcome
+        .schedule
+        .iter()
+        .map(TestSession::total_power)
+        .fold(0.0_f64, f64::max)
+        .max(1.0);
+    let baseline = PowerConstrainedScheduler::new(power_budget)?.schedule(sut)?;
+    let evaluation = ScheduleValidator::new(sut, simulator)?.evaluate(&baseline)?;
+    Ok(BaselineComparison {
+        thermal_aware_length: thermal_outcome.schedule_length(),
+        thermal_aware_max_temperature: thermal_outcome.max_temperature,
+        power_constrained_length: baseline.total_length(),
+        power_constrained_max_temperature: evaluation.max_temperature(),
+        power_budget,
+        power_constrained_violations: evaluation.violating_sessions(temperature_limit).len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_reproduces_the_motivational_gap() {
+        let report = figure1().unwrap();
+        assert_eq!(report.sessions.len(), 2);
+        assert!(report.both_satisfy_power_limit);
+        // Both sessions dissipate the same power...
+        assert!(
+            (report.sessions[0].total_power - report.sessions[1].total_power).abs() < 1e-9
+        );
+        // ...but the small-core session is much hotter.
+        assert!(report.sessions[0].max_temperature > report.sessions[1].max_temperature + 10.0);
+        assert!(report.temperature_gap > 10.0);
+    }
+
+    #[test]
+    fn sweep_defaults_match_the_paper_grid() {
+        assert_eq!(default_temperature_limits().len(), 9);
+        assert_eq!(default_stc_limits().len(), 9);
+        assert_eq!(figure5_temperature_limits(), vec![145.0, 155.0, 165.0]);
+        assert_eq!(default_temperature_limits()[0], 145.0);
+        assert_eq!(*default_temperature_limits().last().unwrap(), 185.0);
+        assert_eq!(default_stc_limits()[0], 20.0);
+        assert_eq!(*default_stc_limits().last().unwrap(), 100.0);
+    }
+
+    #[test]
+    fn small_sweep_produces_consistent_points() {
+        let sut = library::alpha21364_sut();
+        let simulator = RcThermalSimulator::from_floorplan(sut.floorplan()).unwrap();
+        let points = table1_sweep(&sut, &simulator, &[165.0], &[20.0, 100.0]).unwrap();
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(p.schedule_length >= 1.0);
+            assert!(p.simulation_effort >= p.schedule_length);
+            assert!(p.max_temperature < p.temperature_limit);
+            assert_eq!(p.session_count as f64, p.schedule_length);
+        }
+        // Tight STCL gives the longer (or equal) schedule.
+        assert!(points[0].schedule_length >= points[1].schedule_length);
+    }
+
+    #[test]
+    fn ablation_sweeps_cover_their_variants() {
+        let sut = library::alpha21364_sut();
+        let simulator = RcThermalSimulator::from_floorplan(sut.floorplan()).unwrap();
+        let weights =
+            weight_factor_sweep(&sut, &simulator, 165.0, 60.0, &[1.05, 1.1, 1.5]).unwrap();
+        assert_eq!(weights.len(), 3);
+        let orderings = ordering_sweep(&sut, &simulator, 165.0, 60.0).unwrap();
+        assert_eq!(orderings.len(), 4);
+        let models = model_options_sweep(&sut, &simulator, 165.0, 60.0).unwrap();
+        assert_eq!(models.len(), 3);
+        for p in weights.iter().chain(&orderings).chain(&models) {
+            assert!(p.schedule_length >= 1.0);
+            assert!(p.max_temperature < 165.0);
+            assert!(!p.label.is_empty());
+        }
+    }
+
+    #[test]
+    fn baseline_comparison_shows_the_thermal_risk_of_power_only_scheduling() {
+        let sut = library::alpha21364_sut();
+        let simulator = RcThermalSimulator::from_floorplan(sut.floorplan()).unwrap();
+        let cmp = baseline_comparison(&sut, &simulator, 150.0, 70.0).unwrap();
+        assert!(cmp.thermal_aware_max_temperature < 150.0);
+        assert!(cmp.power_budget > 0.0);
+        assert!(cmp.power_constrained_length >= 1.0);
+        // The baseline is allowed the same session power but is blind to
+        // power density, so it runs at least as hot as the thermal-aware
+        // schedule (and usually violates the limit outright).
+        assert!(
+            cmp.power_constrained_max_temperature + 1e-9
+                >= cmp.thermal_aware_max_temperature
+        );
+    }
+}

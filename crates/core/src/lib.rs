@@ -1,0 +1,80 @@
+//! Thermal-safe system-on-chip test scheduling guided by a test-session
+//! thermal model — a from-scratch reproduction of *"Rapid Generation of
+//! Thermal-Safe Test Schedules"* (Rosinger, Al-Hashimi, Chakrabarty,
+//! DATE 2005).
+//!
+//! # What this crate does
+//!
+//! Testing an SoC core dissipates far more power than normal operation, and
+//! classic power-constrained test scheduling only bounds the *total* power of
+//! each test session. Because power density varies wildly across the die, two
+//! sessions with identical total power can differ by tens of degrees in peak
+//! temperature. This crate implements the paper's alternative:
+//!
+//! 1. a cheap, resistive **session thermal model** ([`SessionThermalModel`])
+//!    derived from the floorplan, which scores a candidate session by how
+//!    poorly its *active* cores can shed heat to their *passive* neighbours,
+//! 2. the **thermal-aware scheduling algorithm**
+//!    ([`ThermalAwareScheduler`], Algorithm 1 of the paper) that greedily
+//!    fills sessions under a session-thermal-characteristic limit (`STCL`)
+//!    and validates each candidate against a full thermal simulation before
+//!    committing it, penalising violators through adaptive weights, and
+//! 3. the **baselines and experiment drivers** needed to reproduce the
+//!    paper's evaluation ([`PowerConstrainedScheduler`],
+//!    [`SequentialScheduler`], [`experiments`], [`report`]).
+//!
+//! The thermal simulation itself lives in [`thermsched_thermal`], the
+//! floorplan geometry in [`thermsched_floorplan`] and the system-under-test
+//! description in [`thermsched_soc`]; this crate ties them together behind a
+//! scheduler-facing API.
+//!
+//! # Quick start
+//!
+//! ```
+//! use thermsched::{SchedulerConfig, ThermalAwareScheduler};
+//! use thermsched_soc::library;
+//! use thermsched_thermal::RcThermalSimulator;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The 15-core Alpha-21364-like system the paper evaluates on.
+//! let sut = library::alpha21364_sut();
+//! let simulator = RcThermalSimulator::from_floorplan(sut.floorplan())?;
+//!
+//! // TL = 165 C, STCL = 50 (the paper's mid-range operating point).
+//! let config = SchedulerConfig::new(165.0, 50.0)?;
+//! let scheduler = ThermalAwareScheduler::new(&sut, &simulator, config)?;
+//! let outcome = scheduler.schedule()?;
+//!
+//! println!("schedule length: {} s", outcome.schedule_length());
+//! println!("simulation effort: {} s", outcome.simulation_effort);
+//! println!("hottest committed session: {:.1} C", outcome.max_temperature);
+//! assert!(outcome.max_temperature < 165.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod baseline;
+mod config;
+mod error;
+pub mod experiments;
+pub mod report;
+mod schedule;
+mod scheduler;
+mod session_model;
+mod validator;
+mod weights;
+
+pub use baseline::{PackingOrder, PowerConstrainedScheduler, SequentialScheduler};
+pub use config::{CoreOrdering, CoreViolationPolicy, SchedulerConfig};
+pub use error::ScheduleError;
+pub use schedule::{TestSchedule, TestSession};
+pub use scheduler::{ScheduleOutcome, SessionRecord, ThermalAwareScheduler};
+pub use session_model::{SessionModelOptions, SessionThermalModel, DEFAULT_STC_SCALE};
+pub use validator::{ScheduleEvaluation, ScheduleValidator, SessionEvaluation};
+pub use weights::CoreWeights;
+
+/// Convenience result alias used throughout this crate.
+pub type Result<T, E = ScheduleError> = std::result::Result<T, E>;

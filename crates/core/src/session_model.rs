@@ -1,0 +1,414 @@
+//! The test-session thermal model (Section 2 of the paper).
+//!
+//! For a candidate test session the model assigns each *active* core an
+//! equivalent thermal resistance `Rth` — the parallel combination of its
+//! lateral paths to *passive* neighbours and to the die boundary — and from
+//! it the core thermal characteristic `TC = P · Rth` and the session thermal
+//! characteristic `STC = max(TC · P · W)` that drives the scheduler. The
+//! three modifications the paper applies to the generic RC model are all
+//! represented and individually controllable through
+//! [`SessionModelOptions`]:
+//!
+//! 1. only steady-state resistances are used (no capacitances),
+//! 2. resistances between two active cores are dropped,
+//! 3. passive cores are treated as thermally grounded.
+
+use thermsched_floorplan::Side;
+use thermsched_soc::SystemUnderTest;
+use thermsched_thermal::{PackageConfig, ThermalNetwork};
+
+use crate::{CoreWeights, Result};
+
+/// Scale factor applied to the raw session thermal characteristic
+/// (`W²·K/W`) so that the library Alpha-21364-like system lands in the
+/// 20–100 `STCL` range the paper sweeps. The paper leaves the STC unit
+/// unspecified; only the sweep shape matters.
+pub const DEFAULT_STC_SCALE: f64 = 0.01;
+
+/// Options controlling how the session thermal model is evaluated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionModelOptions {
+    /// Keep the thermal resistances between two *active* cores instead of
+    /// dropping them (paper modification 2 drops them). Keeping them makes
+    /// the model more optimistic because it pretends concurrently-heated
+    /// neighbours still act as heat sinks.
+    pub keep_active_active_paths: bool,
+    /// Also include each core's vertical resistance (die + interface to the
+    /// heat spreader) as an escape path. The paper's model is lateral-only;
+    /// including the vertical path is the A3 ablation in DESIGN.md.
+    pub include_vertical_path: bool,
+    /// Scale factor applied to the raw `max(TC·P·W)` value.
+    pub stc_scale: f64,
+}
+
+impl Default for SessionModelOptions {
+    fn default() -> Self {
+        SessionModelOptions {
+            keep_active_active_paths: false,
+            include_vertical_path: false,
+            stc_scale: DEFAULT_STC_SCALE,
+        }
+    }
+}
+
+impl SessionModelOptions {
+    /// The paper's model: lateral paths only, active–active paths dropped.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+}
+
+/// The low-complexity test-session thermal model used to guide schedule
+/// generation.
+///
+/// # Example
+///
+/// ```
+/// use thermsched::{CoreWeights, SessionThermalModel};
+/// use thermsched_soc::library;
+///
+/// # fn main() -> Result<(), thermsched::ScheduleError> {
+/// let sut = library::alpha21364_sut();
+/// let model = SessionThermalModel::new(&sut, &Default::default(), Default::default())?;
+/// let weights = CoreWeights::ones(sut.core_count());
+/// let stc_single = model.session_characteristic(&[0], &weights);
+/// let stc_pair = model.session_characteristic(&[0, 1], &weights);
+/// assert!(stc_pair >= stc_single);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SessionThermalModel {
+    /// Lateral resistance between blocks (K/W), `INFINITY` when not adjacent.
+    lateral: Vec<Vec<f64>>,
+    /// Total conductance from each block to the die boundary (W/K).
+    edge_conductance: Vec<f64>,
+    /// Vertical resistance of each block to the spreader (K/W).
+    vertical: Vec<f64>,
+    /// Test power of each core (W).
+    power: Vec<f64>,
+    options: SessionModelOptions,
+}
+
+impl SessionThermalModel {
+    /// Builds the model from a system under test and package description.
+    ///
+    /// # Errors
+    ///
+    /// Propagates thermal-network construction errors (invalid package).
+    pub fn new(
+        sut: &SystemUnderTest,
+        package: &PackageConfig,
+        options: SessionModelOptions,
+    ) -> Result<Self> {
+        let network = ThermalNetwork::build(sut.floorplan(), package)?;
+        Ok(Self::from_network(sut, &network, options))
+    }
+
+    /// Builds the model from an already-assembled thermal network (avoids
+    /// recomputing the adjacency geometry when the caller also owns a
+    /// simulator).
+    pub fn from_network(
+        sut: &SystemUnderTest,
+        network: &ThermalNetwork,
+        options: SessionModelOptions,
+    ) -> Self {
+        let n = sut.core_count();
+        let mut lateral = vec![vec![f64::INFINITY; n]; n];
+        for (i, row) in lateral.iter_mut().enumerate() {
+            for (j, value) in row.iter_mut().enumerate() {
+                if i != j {
+                    *value = network.lateral_resistance(i, j);
+                }
+            }
+        }
+        let mut edge_conductance = vec![0.0; n];
+        for (i, g) in edge_conductance.iter_mut().enumerate() {
+            for side in Side::ALL {
+                let r = network.edge_resistance(i, side);
+                if r.is_finite() && r > 0.0 {
+                    *g += 1.0 / r;
+                }
+            }
+        }
+        let vertical = (0..n).map(|i| network.vertical_resistance(i)).collect();
+        let power = (0..n).map(|i| sut.test_power(i)).collect();
+        SessionThermalModel {
+            lateral,
+            edge_conductance,
+            vertical,
+            power,
+            options,
+        }
+    }
+
+    /// Number of cores covered by the model.
+    pub fn core_count(&self) -> usize {
+        self.power.len()
+    }
+
+    /// The options the model was built with.
+    pub fn options(&self) -> SessionModelOptions {
+        self.options
+    }
+
+    /// Equivalent thermal resistance (K/W) of `core` with respect to the test
+    /// session whose active cores are `active`.
+    ///
+    /// Returns `f64::INFINITY` if the core has no escape path under the
+    /// configured options (every neighbour active, no boundary exposure and
+    /// the vertical path disabled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` or any id in `active` is out of range.
+    pub fn equivalent_resistance(&self, active: &[usize], core: usize) -> f64 {
+        assert!(core < self.core_count(), "core id out of range");
+        let mut conductance = self.edge_conductance[core];
+        for (j, &r) in self.lateral[core].iter().enumerate() {
+            if j == core || !r.is_finite() {
+                continue;
+            }
+            let j_active = active.contains(&j);
+            if j_active && !self.options.keep_active_active_paths {
+                // Modification 2: active neighbours exchange negligible heat.
+                continue;
+            }
+            conductance += 1.0 / r;
+        }
+        if self.options.include_vertical_path {
+            conductance += 1.0 / self.vertical[core];
+        }
+        if conductance > 0.0 {
+            1.0 / conductance
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Core thermal characteristic `TC_TS(core) = P(core) · Rth(core)` with
+    /// respect to the session `active`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` or any id in `active` is out of range.
+    pub fn thermal_characteristic(&self, active: &[usize], core: usize) -> f64 {
+        self.power[core] * self.equivalent_resistance(active, core)
+    }
+
+    /// Session thermal characteristic
+    /// `STC(TS) = max_{Ci ∈ TS} TC_TS(Ci) · P(Ci) · W(Ci)`, scaled by the
+    /// configured `stc_scale`.
+    ///
+    /// Returns `0.0` for an empty session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id in `active` is out of range or the weights cover a
+    /// different number of cores.
+    pub fn session_characteristic(&self, active: &[usize], weights: &CoreWeights) -> f64 {
+        assert_eq!(
+            weights.core_count(),
+            self.core_count(),
+            "weight vector does not match core count"
+        );
+        active
+            .iter()
+            .map(|&c| {
+                self.thermal_characteristic(active, c) * self.power[c] * weights.weight(c)
+            })
+            .fold(0.0_f64, f64::max)
+            * self.options.stc_scale
+    }
+
+    /// Convenience: the session characteristic of a single core tested alone
+    /// with unit weight. Useful for diagnostics and for picking a sensible
+    /// `STCL` range for a new system.
+    pub fn singleton_characteristic(&self, core: usize) -> f64 {
+        let weights = CoreWeights::ones(self.core_count());
+        self.session_characteristic(&[core], &weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thermsched_soc::library;
+
+    fn model() -> (SessionThermalModel, thermsched_soc::SystemUnderTest) {
+        let sut = library::alpha21364_sut();
+        let model =
+            SessionThermalModel::new(&sut, &PackageConfig::default(), SessionModelOptions::paper())
+                .unwrap();
+        (model, sut)
+    }
+
+    #[test]
+    fn equivalent_resistance_increases_when_neighbours_become_active() {
+        let (model, sut) = model();
+        let fp = sut.floorplan();
+        let icache = fp.index_of("Icache").unwrap();
+        let dcache = fp.index_of("Dcache").unwrap();
+        let alone = model.equivalent_resistance(&[icache], icache);
+        let with_neighbor = model.equivalent_resistance(&[icache, dcache], icache);
+        assert!(alone.is_finite());
+        assert!(
+            with_neighbor > alone,
+            "losing a passive neighbour must raise Rth: {alone} -> {with_neighbor}"
+        );
+    }
+
+    #[test]
+    fn non_adjacent_active_core_does_not_change_resistance() {
+        let (model, sut) = model();
+        let fp = sut.floorplan();
+        let icache = fp.index_of("Icache").unwrap();
+        let fpreg = fp.index_of("FPReg").unwrap();
+        let alone = model.equivalent_resistance(&[icache], icache);
+        let with_far = model.equivalent_resistance(&[icache, fpreg], icache);
+        assert!((alone - with_far).abs() < 1e-12);
+    }
+
+    #[test]
+    fn keep_active_active_option_restores_paths() {
+        let sut = library::alpha21364_sut();
+        let mut opts = SessionModelOptions::paper();
+        opts.keep_active_active_paths = true;
+        let keep = SessionThermalModel::new(&sut, &PackageConfig::default(), opts).unwrap();
+        let drop = SessionThermalModel::new(
+            &sut,
+            &PackageConfig::default(),
+            SessionModelOptions::paper(),
+        )
+        .unwrap();
+        let fp = sut.floorplan();
+        let icache = fp.index_of("Icache").unwrap();
+        let dcache = fp.index_of("Dcache").unwrap();
+        let active = [icache, dcache];
+        assert!(
+            keep.equivalent_resistance(&active, icache)
+                < drop.equivalent_resistance(&active, icache)
+        );
+    }
+
+    #[test]
+    fn vertical_path_option_lowers_resistance() {
+        let sut = library::alpha21364_sut();
+        let mut opts = SessionModelOptions::paper();
+        opts.include_vertical_path = true;
+        let with_v = SessionThermalModel::new(&sut, &PackageConfig::default(), opts).unwrap();
+        let without =
+            SessionThermalModel::new(&sut, &PackageConfig::default(), SessionModelOptions::paper())
+                .unwrap();
+        for core in 0..sut.core_count() {
+            assert!(
+                with_v.equivalent_resistance(&[core], core)
+                    < without.equivalent_resistance(&[core], core)
+            );
+        }
+    }
+
+    #[test]
+    fn thermal_characteristic_scales_with_power_and_resistance() {
+        let (model, sut) = model();
+        for core in 0..sut.core_count() {
+            let tc = model.thermal_characteristic(&[core], core);
+            let expected = sut.test_power(core) * model.equivalent_resistance(&[core], core);
+            assert!((tc - expected).abs() < 1e-9);
+            assert!(tc > 0.0);
+        }
+    }
+
+    #[test]
+    fn session_characteristic_is_monotone_in_session_growth() {
+        // Adding a core can only keep or raise the STC: existing cores lose
+        // passive neighbours (Rth grows) and the max gains a candidate.
+        let (model, sut) = model();
+        let weights = CoreWeights::ones(sut.core_count());
+        let mut active: Vec<usize> = Vec::new();
+        let mut last = 0.0;
+        for core in 0..8 {
+            active.push(core);
+            let stc = model.session_characteristic(&active, &weights);
+            assert!(
+                stc >= last - 1e-12,
+                "STC must not decrease when adding cores: {last} -> {stc}"
+            );
+            last = stc;
+        }
+    }
+
+    #[test]
+    fn session_characteristic_respects_weights() {
+        let (model, sut) = model();
+        let ones = CoreWeights::ones(sut.core_count());
+        let mut bumped = CoreWeights::ones(sut.core_count());
+        // Find which core attains the max for session {0, 1} and bump it.
+        let base = model.session_characteristic(&[0, 1], &ones);
+        let tc0 = model.thermal_characteristic(&[0, 1], 0) * sut.test_power(0);
+        let tc1 = model.thermal_characteristic(&[0, 1], 1) * sut.test_power(1);
+        let argmax = if tc0 >= tc1 { 0 } else { 1 };
+        bumped.multiply(argmax, 2.0);
+        let boosted = model.session_characteristic(&[0, 1], &bumped);
+        assert!((boosted - 2.0 * base).abs() / base < 1e-9);
+    }
+
+    #[test]
+    fn empty_session_has_zero_characteristic() {
+        let (model, sut) = model();
+        let weights = CoreWeights::ones(sut.core_count());
+        assert_eq!(model.session_characteristic(&[], &weights), 0.0);
+    }
+
+    #[test]
+    fn singleton_characteristics_are_in_the_sweepable_range() {
+        // The default scale must put the library system in the paper's
+        // STCL in [20, 100] sweep range: the smallest singleton well below 100
+        // and typical values around or below the tight end.
+        let (model, sut) = model();
+        let singles: Vec<f64> = (0..sut.core_count())
+            .map(|c| model.singleton_characteristic(c))
+            .collect();
+        let min = singles.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = singles.iter().cloned().fold(0.0, f64::max);
+        assert!(min > 0.5, "singleton STC too small: {min}");
+        assert!(min < 30.0, "singleton STC too large for the sweep: {min}");
+        assert!(max < 200.0, "largest singleton STC out of range: {max}");
+    }
+
+    #[test]
+    fn figure1_small_cores_have_higher_density_driven_characteristics() {
+        let sut = library::figure1_sut();
+        let model =
+            SessionThermalModel::new(&sut, &PackageConfig::default(), SessionModelOptions::paper())
+                .unwrap();
+        let fp = sut.floorplan();
+        let c2 = fp.index_of("C2").unwrap();
+        let c5 = fp.index_of("C5").unwrap();
+        // Same power; the small core has the weaker heat-escape configuration
+        // once its small-core neighbours are active too.
+        let weights = CoreWeights::ones(sut.core_count());
+        let small_session: Vec<usize> = ["C2", "C3", "C4"]
+            .iter()
+            .map(|n| fp.index_of(n).unwrap())
+            .collect();
+        let large_session: Vec<usize> = ["C5", "C6", "C7"]
+            .iter()
+            .map(|n| fp.index_of(n).unwrap())
+            .collect();
+        let stc_small = model.session_characteristic(&small_session, &weights);
+        let stc_large = model.session_characteristic(&large_session, &weights);
+        assert!(
+            stc_small > stc_large,
+            "the guidance metric must rank the hot session higher: {stc_small} vs {stc_large}"
+        );
+        let _ = (c2, c5);
+    }
+
+    #[test]
+    #[should_panic(expected = "core id out of range")]
+    fn out_of_range_core_panics() {
+        let (model, _) = model();
+        let _ = model.equivalent_resistance(&[0], 99);
+    }
+}

@@ -1,0 +1,206 @@
+//! Thermal validation of arbitrary test schedules.
+//!
+//! The thermal-aware scheduler validates its own sessions as it builds them;
+//! this module provides the same check for schedules produced by the
+//! baselines (or by hand), which is how the paper demonstrates that a
+//! power-constrained schedule can hide severe local overheating.
+
+use thermsched_soc::SystemUnderTest;
+use thermsched_thermal::ThermalSimulator;
+
+use crate::{Result, ScheduleError, TestSchedule};
+
+/// Thermal evaluation of one session of a schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionEvaluation {
+    /// Index of the session within the schedule.
+    pub session_index: usize,
+    /// Cores tested in the session.
+    pub cores: Vec<usize>,
+    /// Total session power in watts.
+    pub total_power: f64,
+    /// Hottest block temperature during the session (°C).
+    pub max_temperature: f64,
+    /// Per-block maximum temperatures (°C).
+    pub block_max_temperatures: Vec<f64>,
+}
+
+/// Thermal evaluation of a whole schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleEvaluation {
+    /// Per-session evaluations, in schedule order.
+    pub sessions: Vec<SessionEvaluation>,
+    /// Total simulated time in seconds (equals the schedule length).
+    pub simulated_time: f64,
+}
+
+impl ScheduleEvaluation {
+    /// Hottest temperature over the whole schedule (°C).
+    pub fn max_temperature(&self) -> f64 {
+        self.sessions
+            .iter()
+            .map(|s| s.max_temperature)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Indices of sessions whose maximum temperature reaches `limit` (°C).
+    pub fn violating_sessions(&self, limit: f64) -> Vec<usize> {
+        self.sessions
+            .iter()
+            .filter(|s| s.max_temperature >= limit)
+            .map(|s| s.session_index)
+            .collect()
+    }
+
+    /// Returns `true` if no session reaches `limit`.
+    pub fn is_thermally_safe(&self, limit: f64) -> bool {
+        self.violating_sessions(limit).is_empty()
+    }
+}
+
+/// Validates schedules against a thermal simulator.
+///
+/// # Example
+///
+/// ```
+/// use thermsched::{ScheduleValidator, SequentialScheduler};
+/// use thermsched_soc::library;
+/// use thermsched_thermal::RcThermalSimulator;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let sut = library::alpha21364_sut();
+/// let simulator = RcThermalSimulator::from_floorplan(sut.floorplan())?;
+/// let schedule = SequentialScheduler::new().schedule(&sut);
+/// let evaluation = ScheduleValidator::new(&sut, &simulator)?.evaluate(&schedule)?;
+/// assert!(evaluation.is_thermally_safe(145.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ScheduleValidator<'a, S: ThermalSimulator> {
+    sut: &'a SystemUnderTest,
+    simulator: &'a S,
+}
+
+impl<'a, S: ThermalSimulator> ScheduleValidator<'a, S> {
+    /// Creates a validator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::CoreCountMismatch`] if the simulator models a
+    /// different number of blocks than the system under test has cores.
+    pub fn new(sut: &'a SystemUnderTest, simulator: &'a S) -> Result<Self> {
+        if simulator.block_count() != sut.core_count() {
+            return Err(ScheduleError::CoreCountMismatch {
+                sut: sut.core_count(),
+                simulator: simulator.block_count(),
+            });
+        }
+        Ok(ScheduleValidator { sut, simulator })
+    }
+
+    /// Simulates every session of `schedule` and collects the temperatures.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn evaluate(&self, schedule: &TestSchedule) -> Result<ScheduleEvaluation> {
+        let mut sessions = Vec::with_capacity(schedule.session_count());
+        let mut simulated_time = 0.0;
+        for (index, session) in schedule.iter().enumerate() {
+            let power = session.power_map(self.sut)?;
+            let result = self
+                .simulator
+                .simulate_session(&power, session.duration())?;
+            simulated_time += session.duration();
+            let cores: Vec<usize> = session.cores().collect();
+            let max_temperature = cores
+                .iter()
+                .map(|&c| result.block_max_temperature(c))
+                .fold(f64::NEG_INFINITY, f64::max);
+            sessions.push(SessionEvaluation {
+                session_index: index,
+                cores,
+                total_power: session.total_power(),
+                max_temperature,
+                block_max_temperatures: result.max_block_temperatures,
+            });
+        }
+        Ok(ScheduleEvaluation {
+            sessions,
+            simulated_time,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PowerConstrainedScheduler, SequentialScheduler};
+    use thermsched_soc::library;
+    use thermsched_thermal::RcThermalSimulator;
+
+    #[test]
+    fn sequential_schedule_is_safe_at_paper_limits() {
+        let sut = library::alpha21364_sut();
+        let sim = RcThermalSimulator::from_floorplan(sut.floorplan()).unwrap();
+        let validator = ScheduleValidator::new(&sut, &sim).unwrap();
+        let schedule = SequentialScheduler::new().schedule(&sut);
+        let eval = validator.evaluate(&schedule).unwrap();
+        assert_eq!(eval.sessions.len(), 15);
+        assert_eq!(eval.simulated_time, 15.0);
+        assert!(eval.is_thermally_safe(145.0));
+        assert!(eval.violating_sessions(145.0).is_empty());
+    }
+
+    #[test]
+    fn power_constrained_schedule_can_overheat() {
+        // The core claim of the paper: a schedule that satisfies a chip-level
+        // power constraint can still exceed the temperature limit locally.
+        let sut = library::alpha21364_sut();
+        let sim = RcThermalSimulator::from_floorplan(sut.floorplan()).unwrap();
+        let validator = ScheduleValidator::new(&sut, &sim).unwrap();
+        // A generous power budget packs many hot cores together.
+        let schedule = PowerConstrainedScheduler::new(160.0)
+            .unwrap()
+            .schedule(&sut)
+            .unwrap();
+        let eval = validator.evaluate(&schedule).unwrap();
+        assert!(
+            eval.max_temperature() > 145.0,
+            "expected local overheating, got {:.1} C",
+            eval.max_temperature()
+        );
+        assert!(!eval.is_thermally_safe(145.0));
+    }
+
+    #[test]
+    fn evaluation_reports_per_session_detail() {
+        let sut = library::figure1_sut();
+        let sim = RcThermalSimulator::from_floorplan(sut.floorplan()).unwrap();
+        let validator = ScheduleValidator::new(&sut, &sim).unwrap();
+        let schedule = PowerConstrainedScheduler::new(45.0)
+            .unwrap()
+            .schedule(&sut)
+            .unwrap();
+        let eval = validator.evaluate(&schedule).unwrap();
+        for (i, s) in eval.sessions.iter().enumerate() {
+            assert_eq!(s.session_index, i);
+            assert!(!s.cores.is_empty());
+            assert!(s.total_power > 0.0);
+            assert!(s.max_temperature > sim.ambient());
+            assert_eq!(s.block_max_temperatures.len(), sut.core_count());
+        }
+    }
+
+    #[test]
+    fn mismatched_simulator_is_rejected() {
+        let sut = library::alpha21364_sut();
+        let other = library::figure1_sut();
+        let sim = RcThermalSimulator::from_floorplan(other.floorplan()).unwrap();
+        assert!(matches!(
+            ScheduleValidator::new(&sut, &sim),
+            Err(ScheduleError::CoreCountMismatch { .. })
+        ));
+    }
+}

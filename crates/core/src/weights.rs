@@ -1,0 +1,107 @@
+//! Adaptive per-core weights (the `W(i)` of the paper's STC definition).
+
+/// Per-core weights used in the session thermal characteristic.
+///
+/// All weights start at 1. Whenever a thermally-validated session reveals a
+/// violating core, the scheduler multiplies that core's weight by the
+/// configured factor (1.1 in the paper), making it look "hotter" to the
+/// guidance model and therefore less likely to be packed into a busy session
+/// again.
+///
+/// # Example
+///
+/// ```
+/// use thermsched::CoreWeights;
+///
+/// let mut w = CoreWeights::ones(3);
+/// w.multiply(1, 1.1);
+/// assert_eq!(w.weight(0), 1.0);
+/// assert!((w.weight(1) - 1.1).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CoreWeights {
+    weights: Vec<f64>,
+}
+
+impl CoreWeights {
+    /// Creates unit weights for `core_count` cores.
+    pub fn ones(core_count: usize) -> Self {
+        CoreWeights {
+            weights: vec![1.0; core_count],
+        }
+    }
+
+    /// Number of cores covered.
+    pub fn core_count(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Weight of core `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn weight(&self, id: usize) -> f64 {
+        self.weights[id]
+    }
+
+    /// Multiplies the weight of core `id` by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or `factor` is not positive and finite.
+    pub fn multiply(&mut self, id: usize, factor: f64) {
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "weight factor must be positive and finite"
+        );
+        self.weights[id] *= factor;
+    }
+
+    /// Borrows the raw weight slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Largest weight (1.0 for a fresh instance).
+    pub fn max_weight(&self) -> f64 {
+        self.weights.iter().copied().fold(1.0_f64, f64::max)
+    }
+
+    /// Number of cores whose weight has been raised above 1.
+    pub fn bumped_core_count(&self) -> usize {
+        self.weights.iter().filter(|&&w| w > 1.0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_one_and_accumulates_multiplicatively() {
+        let mut w = CoreWeights::ones(4);
+        assert_eq!(w.core_count(), 4);
+        assert_eq!(w.as_slice(), &[1.0; 4]);
+        w.multiply(2, 1.1);
+        w.multiply(2, 1.1);
+        assert!((w.weight(2) - 1.21).abs() < 1e-12);
+        assert_eq!(w.bumped_core_count(), 1);
+        assert!((w.max_weight() - 1.21).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight factor must be positive")]
+    fn rejects_non_positive_factor() {
+        let mut w = CoreWeights::ones(1);
+        w.multiply(0, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_out_of_range_core() {
+        let mut w = CoreWeights::ones(1);
+        w.multiply(3, 1.1);
+    }
+}

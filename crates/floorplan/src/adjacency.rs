@@ -1,0 +1,320 @@
+//! Adjacency extraction: shared edges between blocks and exposure of blocks
+//! on the die boundary.
+//!
+//! The test-session thermal model of the DATE 2005 paper needs, for every
+//! core, the set of *lateral heat-escape paths*: edges shared with other
+//! blocks and edges lying on the die boundary (the paper's `R_{2,N}`,
+//! `R_{4,W}`, `R_{5,S}` resistances in Figures 3–4). This module computes the
+//! underlying geometry once so that both the compact thermal simulator and
+//! the scheduler's session model can derive resistances from it.
+
+use crate::{BlockId, Floorplan, GEOMETRY_TOLERANCE};
+
+/// One side of the die boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Side {
+    /// Top of the die (maximum y).
+    North,
+    /// Bottom of the die (minimum y).
+    South,
+    /// Right of the die (maximum x).
+    East,
+    /// Left of the die (minimum x).
+    West,
+}
+
+impl Side {
+    /// All four sides, in a fixed order.
+    pub const ALL: [Side; 4] = [Side::North, Side::South, Side::East, Side::West];
+}
+
+/// A shared edge between two blocks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SharedEdge {
+    /// First block (always the smaller id).
+    pub a: BlockId,
+    /// Second block (always the larger id).
+    pub b: BlockId,
+    /// Length of the shared edge in metres.
+    pub length: f64,
+    /// Distance between the two block centres in metres.
+    pub center_distance: f64,
+}
+
+/// Exposure of a single block on the die boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BoundaryExposure {
+    /// Length of the block's edge lying on the north die boundary (metres).
+    pub north: f64,
+    /// Length on the south boundary (metres).
+    pub south: f64,
+    /// Length on the east boundary (metres).
+    pub east: f64,
+    /// Length on the west boundary (metres).
+    pub west: f64,
+}
+
+impl BoundaryExposure {
+    /// Total boundary length over all four sides (metres).
+    pub fn total(&self) -> f64 {
+        self.north + self.south + self.east + self.west
+    }
+
+    /// Exposure on one side.
+    pub fn on_side(&self, side: Side) -> f64 {
+        match side {
+            Side::North => self.north,
+            Side::South => self.south,
+            Side::East => self.east,
+            Side::West => self.west,
+        }
+    }
+}
+
+/// Adjacency information for a whole floorplan: all shared edges plus the
+/// per-block boundary exposure.
+///
+/// # Example
+///
+/// ```
+/// use thermsched_floorplan::{Block, Floorplan};
+///
+/// # fn main() -> Result<(), thermsched_floorplan::FloorplanError> {
+/// let fp = Floorplan::new(vec![
+///     Block::from_mm("a", 2.0, 2.0, 0.0, 0.0),
+///     Block::from_mm("b", 2.0, 2.0, 2.0, 0.0),
+/// ])?;
+/// let adj = fp.adjacency();
+/// assert_eq!(adj.neighbors(0), vec![1]);
+/// assert!(adj.boundary_exposure(0).west > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AdjacencyGraph {
+    block_count: usize,
+    edges: Vec<SharedEdge>,
+    boundary: Vec<BoundaryExposure>,
+}
+
+impl AdjacencyGraph {
+    /// Computes the adjacency graph of a floorplan.
+    pub fn from_floorplan(fp: &Floorplan) -> Self {
+        let n = fp.block_count();
+        let bounds = fp.bounds();
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let ri = fp.blocks()[i].rect();
+                let rj = fp.blocks()[j].rect();
+                let length = ri.abutment_length(rj);
+                if length > GEOMETRY_TOLERANCE {
+                    edges.push(SharedEdge {
+                        a: i,
+                        b: j,
+                        length,
+                        center_distance: ri.center_distance(rj),
+                    });
+                }
+            }
+        }
+        let mut boundary = Vec::with_capacity(n);
+        for b in fp.blocks() {
+            let r = b.rect();
+            let mut e = BoundaryExposure::default();
+            if (r.top() - bounds.top()).abs() < GEOMETRY_TOLERANCE {
+                e.north = r.width;
+            }
+            if (r.y - bounds.y).abs() < GEOMETRY_TOLERANCE {
+                e.south = r.width;
+            }
+            if (r.right() - bounds.right()).abs() < GEOMETRY_TOLERANCE {
+                e.east = r.height;
+            }
+            if (r.x - bounds.x).abs() < GEOMETRY_TOLERANCE {
+                e.west = r.height;
+            }
+            boundary.push(e);
+        }
+        AdjacencyGraph {
+            block_count: n,
+            edges,
+            boundary,
+        }
+    }
+
+    /// Number of blocks the graph was built over.
+    pub fn block_count(&self) -> usize {
+        self.block_count
+    }
+
+    /// All shared edges.
+    pub fn edges(&self) -> &[SharedEdge] {
+        &self.edges
+    }
+
+    /// Ids of the blocks adjacent to `id`, in ascending order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn neighbors(&self, id: BlockId) -> Vec<BlockId> {
+        assert!(id < self.block_count, "block id out of range");
+        let mut out: Vec<BlockId> = self
+            .edges
+            .iter()
+            .filter_map(|e| {
+                if e.a == id {
+                    Some(e.b)
+                } else if e.b == id {
+                    Some(e.a)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Length of the edge shared by blocks `a` and `b` (zero if not adjacent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn shared_edge_length(&self, a: BlockId, b: BlockId) -> f64 {
+        assert!(
+            a < self.block_count && b < self.block_count,
+            "block id out of range"
+        );
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        self.edges
+            .iter()
+            .find(|e| e.a == lo && e.b == hi)
+            .map(|e| e.length)
+            .unwrap_or(0.0)
+    }
+
+    /// The shared edge record between `a` and `b`, if they abut.
+    pub fn edge_between(&self, a: BlockId, b: BlockId) -> Option<&SharedEdge> {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        self.edges.iter().find(|e| e.a == lo && e.b == hi)
+    }
+
+    /// Boundary exposure of block `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn boundary_exposure(&self, id: BlockId) -> BoundaryExposure {
+        assert!(id < self.block_count, "block id out of range");
+        self.boundary[id]
+    }
+
+    /// Returns `true` if every block has at least one lateral heat path
+    /// (a neighbour or some boundary exposure). Isolated blocks would have an
+    /// infinite equivalent lateral resistance in the session model.
+    pub fn all_blocks_have_lateral_paths(&self) -> bool {
+        (0..self.block_count).all(|i| {
+            !self.neighbors(i).is_empty() || self.boundary[i].total() > GEOMETRY_TOLERANCE
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Block, Floorplan};
+
+    /// 2 x 2 grid of 1 mm blocks.
+    fn grid2x2() -> Floorplan {
+        Floorplan::new(vec![
+            Block::from_mm("b00", 1.0, 1.0, 0.0, 0.0),
+            Block::from_mm("b10", 1.0, 1.0, 1.0, 0.0),
+            Block::from_mm("b01", 1.0, 1.0, 0.0, 1.0),
+            Block::from_mm("b11", 1.0, 1.0, 1.0, 1.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn grid_adjacency_edges() {
+        let adj = grid2x2().adjacency();
+        // 4 internal edges in a 2x2 grid (no diagonals).
+        assert_eq!(adj.edges().len(), 4);
+        assert_eq!(adj.neighbors(0), vec![1, 2]);
+        assert_eq!(adj.neighbors(3), vec![1, 2]);
+        assert!((adj.shared_edge_length(0, 1) - 1e-3).abs() < 1e-12);
+        assert_eq!(adj.shared_edge_length(0, 3), 0.0);
+        assert!(adj.edge_between(0, 3).is_none());
+        assert!(adj.edge_between(1, 0).is_some());
+    }
+
+    #[test]
+    fn boundary_exposure_on_grid() {
+        let adj = grid2x2().adjacency();
+        let b00 = adj.boundary_exposure(0);
+        assert!((b00.south - 1e-3).abs() < 1e-12);
+        assert!((b00.west - 1e-3).abs() < 1e-12);
+        assert_eq!(b00.north, 0.0);
+        assert_eq!(b00.east, 0.0);
+        assert!((b00.total() - 2e-3).abs() < 1e-12);
+        let b11 = adj.boundary_exposure(3);
+        assert!((b11.on_side(Side::North) - 1e-3).abs() < 1e-12);
+        assert!((b11.on_side(Side::East) - 1e-3).abs() < 1e-12);
+        assert_eq!(b11.on_side(Side::South), 0.0);
+    }
+
+    #[test]
+    fn every_block_has_a_lateral_path_in_grid() {
+        assert!(grid2x2().adjacency().all_blocks_have_lateral_paths());
+    }
+
+    #[test]
+    fn diagonal_blocks_are_not_adjacent() {
+        let fp = Floorplan::new(vec![
+            Block::from_mm("a", 1.0, 1.0, 0.0, 0.0),
+            Block::from_mm("b", 1.0, 1.0, 1.0, 1.0),
+        ])
+        .unwrap();
+        let adj = fp.adjacency();
+        assert!(adj.edges().is_empty());
+        assert!(adj.neighbors(0).is_empty());
+        // Both are still on the boundary, so they have lateral paths.
+        assert!(adj.all_blocks_have_lateral_paths());
+    }
+
+    #[test]
+    fn center_distance_recorded_on_edges() {
+        let adj = grid2x2().adjacency();
+        let e = adj.edge_between(0, 1).unwrap();
+        assert!((e.center_distance - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_block_floorplan_has_full_boundary() {
+        let fp = Floorplan::new(vec![Block::from_mm("solo", 3.0, 2.0, 0.0, 0.0)]).unwrap();
+        let adj = fp.adjacency();
+        let e = adj.boundary_exposure(0);
+        assert!((e.north - 3e-3).abs() < 1e-12);
+        assert!((e.south - 3e-3).abs() < 1e-12);
+        assert!((e.east - 2e-3).abs() < 1e-12);
+        assert!((e.west - 2e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "block id out of range")]
+    fn neighbor_query_out_of_range_panics() {
+        let adj = grid2x2().adjacency();
+        let _ = adj.neighbors(10);
+    }
+
+    #[test]
+    fn side_all_lists_four_sides() {
+        assert_eq!(Side::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,149 @@
+//! Programmatic floorplan construction.
+
+use crate::{Block, Floorplan, Result};
+
+/// Builder for [`Floorplan`] values.
+///
+/// The builder collects blocks and validates them all at once in
+/// [`FloorplanBuilder::build`]; this gives better error messages than
+/// validating incrementally, because overlap errors report both offending
+/// blocks by name.
+///
+/// # Example
+///
+/// ```
+/// use thermsched_floorplan::{Block, FloorplanBuilder};
+///
+/// # fn main() -> Result<(), thermsched_floorplan::FloorplanError> {
+/// let fp = FloorplanBuilder::new()
+///     .add_block(Block::from_mm("cpu", 4.0, 4.0, 0.0, 0.0))
+///     .add_block_mm("l2", 4.0, 4.0, 4.0, 0.0)
+///     .build()?;
+/// assert_eq!(fp.block_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FloorplanBuilder {
+    blocks: Vec<Block>,
+}
+
+impl FloorplanBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a pre-constructed block.
+    #[must_use]
+    pub fn add_block(mut self, block: Block) -> Self {
+        self.blocks.push(block);
+        self
+    }
+
+    /// Adds a block specified in millimetres.
+    #[must_use]
+    pub fn add_block_mm(
+        self,
+        name: impl Into<String>,
+        width_mm: f64,
+        height_mm: f64,
+        x_mm: f64,
+        y_mm: f64,
+    ) -> Self {
+        self.add_block(Block::from_mm(name, width_mm, height_mm, x_mm, y_mm))
+    }
+
+    /// Adds every block from an iterator.
+    #[must_use]
+    pub fn add_blocks<I: IntoIterator<Item = Block>>(mut self, blocks: I) -> Self {
+        self.blocks.extend(blocks);
+        self
+    }
+
+    /// Number of blocks added so far.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Returns `true` if no blocks have been added.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Validates the collected blocks and builds the floorplan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates every validation error of [`Floorplan::new`].
+    pub fn build(self) -> Result<Floorplan> {
+        Floorplan::new(self.blocks)
+    }
+}
+
+impl Extend<Block> for FloorplanBuilder {
+    fn extend<T: IntoIterator<Item = Block>>(&mut self, iter: T) {
+        self.blocks.extend(iter);
+    }
+}
+
+impl FromIterator<Block> for FloorplanBuilder {
+    fn from_iter<T: IntoIterator<Item = Block>>(iter: T) -> Self {
+        FloorplanBuilder {
+            blocks: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FloorplanError;
+
+    #[test]
+    fn builds_from_mixed_methods() {
+        let fp = FloorplanBuilder::new()
+            .add_block(Block::from_mm("a", 1.0, 1.0, 0.0, 0.0))
+            .add_block_mm("b", 1.0, 1.0, 1.0, 0.0)
+            .add_blocks(vec![Block::from_mm("c", 2.0, 1.0, 0.0, 1.0)])
+            .build()
+            .unwrap();
+        assert_eq!(fp.block_count(), 3);
+    }
+
+    #[test]
+    fn empty_builder_fails_to_build() {
+        let b = FloorplanBuilder::new();
+        assert!(b.is_empty());
+        assert!(matches!(b.build(), Err(FloorplanError::EmptyFloorplan)));
+    }
+
+    #[test]
+    fn len_tracks_additions() {
+        let b = FloorplanBuilder::new().add_block_mm("a", 1.0, 1.0, 0.0, 0.0);
+        assert_eq!(b.len(), 1);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut b: FloorplanBuilder = vec![Block::from_mm("a", 1.0, 1.0, 0.0, 0.0)]
+            .into_iter()
+            .collect();
+        b.extend(vec![Block::from_mm("b", 1.0, 1.0, 1.0, 0.0)]);
+        assert_eq!(b.len(), 2);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn validation_errors_propagate() {
+        let result = FloorplanBuilder::new()
+            .add_block_mm("a", 2.0, 2.0, 0.0, 0.0)
+            .add_block_mm("b", 2.0, 2.0, 1.0, 1.0)
+            .build();
+        assert!(matches!(
+            result,
+            Err(FloorplanError::OverlappingBlocks { .. })
+        ));
+    }
+}

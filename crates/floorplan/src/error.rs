@@ -1,0 +1,123 @@
+//! Error type for floorplan construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing, validating or parsing floorplans.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FloorplanError {
+    /// A block has a non-positive or non-finite width/height.
+    InvalidDimensions {
+        /// Name of the offending block.
+        block: String,
+        /// Width that was supplied (metres).
+        width: f64,
+        /// Height that was supplied (metres).
+        height: f64,
+    },
+    /// A block has a non-finite position.
+    InvalidPosition {
+        /// Name of the offending block.
+        block: String,
+    },
+    /// Two blocks overlap by more than the geometric tolerance.
+    OverlappingBlocks {
+        /// Name of the first block.
+        first: String,
+        /// Name of the second block.
+        second: String,
+        /// Overlap area in square metres.
+        area: f64,
+    },
+    /// Two blocks share the same name.
+    DuplicateName {
+        /// The duplicated name.
+        name: String,
+    },
+    /// The floorplan contains no blocks.
+    EmptyFloorplan,
+    /// A block name was looked up but does not exist.
+    UnknownBlock {
+        /// The name that was looked up.
+        name: String,
+    },
+    /// A block index was out of range.
+    BlockIndexOutOfRange {
+        /// The index that was supplied.
+        index: usize,
+        /// Number of blocks in the floorplan.
+        count: usize,
+    },
+    /// A line of an `.flp` file could not be parsed.
+    ParseError {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for FloorplanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FloorplanError::InvalidDimensions {
+                block,
+                width,
+                height,
+            } => write!(
+                f,
+                "block '{block}' has invalid dimensions {width} x {height} m"
+            ),
+            FloorplanError::InvalidPosition { block } => {
+                write!(f, "block '{block}' has a non-finite position")
+            }
+            FloorplanError::OverlappingBlocks {
+                first,
+                second,
+                area,
+            } => write!(
+                f,
+                "blocks '{first}' and '{second}' overlap by {area:.3e} m^2"
+            ),
+            FloorplanError::DuplicateName { name } => {
+                write!(f, "duplicate block name '{name}'")
+            }
+            FloorplanError::EmptyFloorplan => write!(f, "floorplan contains no blocks"),
+            FloorplanError::UnknownBlock { name } => write!(f, "unknown block '{name}'"),
+            FloorplanError::BlockIndexOutOfRange { index, count } => write!(
+                f,
+                "block index {index} out of range for floorplan with {count} blocks"
+            ),
+            FloorplanError::ParseError { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for FloorplanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = FloorplanError::DuplicateName {
+            name: "cpu".into(),
+        };
+        assert_eq!(e.to_string(), "duplicate block name 'cpu'");
+        let e = FloorplanError::ParseError {
+            line: 3,
+            message: "expected 5 fields".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FloorplanError>();
+    }
+}

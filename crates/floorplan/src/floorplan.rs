@@ -1,0 +1,297 @@
+//! The [`Floorplan`] container.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{AdjacencyGraph, Block, FloorplanError, Rect, Result};
+
+/// Index of a block within a [`Floorplan`]. Blocks keep their insertion order,
+/// so a `BlockId` is stable for the lifetime of the floorplan.
+pub type BlockId = usize;
+
+/// A validated collection of non-overlapping blocks on a die.
+///
+/// Construct a floorplan through [`crate::FloorplanBuilder`], [`Floorplan::new`]
+/// or the [`crate::parse_flp`] parser; all three run the same validation
+/// (non-empty, unique names, positive dimensions, no overlaps).
+///
+/// # Example
+///
+/// ```
+/// use thermsched_floorplan::{Block, Floorplan};
+///
+/// # fn main() -> Result<(), thermsched_floorplan::FloorplanError> {
+/// let fp = Floorplan::new(vec![
+///     Block::from_mm("a", 2.0, 2.0, 0.0, 0.0),
+///     Block::from_mm("b", 2.0, 2.0, 2.0, 0.0),
+/// ])?;
+/// assert_eq!(fp.block_count(), 2);
+/// assert_eq!(fp.index_of("b"), Some(1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Floorplan {
+    blocks: Vec<Block>,
+    #[cfg_attr(feature = "serde", serde(skip))]
+    name_index: HashMap<String, BlockId>,
+    bounds: Rect,
+}
+
+impl Floorplan {
+    /// Creates a floorplan from a list of blocks, validating it.
+    ///
+    /// # Errors
+    ///
+    /// * [`FloorplanError::EmptyFloorplan`] if `blocks` is empty.
+    /// * [`FloorplanError::InvalidDimensions`] / [`FloorplanError::InvalidPosition`]
+    ///   for malformed blocks.
+    /// * [`FloorplanError::DuplicateName`] if two blocks share a name.
+    /// * [`FloorplanError::OverlappingBlocks`] if any two blocks overlap by
+    ///   more than the geometric tolerance.
+    pub fn new(blocks: Vec<Block>) -> Result<Self> {
+        if blocks.is_empty() {
+            return Err(FloorplanError::EmptyFloorplan);
+        }
+        let mut name_index = HashMap::with_capacity(blocks.len());
+        for (i, b) in blocks.iter().enumerate() {
+            if !(b.width() > 0.0
+                && b.height() > 0.0
+                && b.width().is_finite()
+                && b.height().is_finite())
+            {
+                return Err(FloorplanError::InvalidDimensions {
+                    block: b.name().to_owned(),
+                    width: b.width(),
+                    height: b.height(),
+                });
+            }
+            if !(b.rect().x.is_finite() && b.rect().y.is_finite()) {
+                return Err(FloorplanError::InvalidPosition {
+                    block: b.name().to_owned(),
+                });
+            }
+            if name_index.insert(b.name().to_owned(), i).is_some() {
+                return Err(FloorplanError::DuplicateName {
+                    name: b.name().to_owned(),
+                });
+            }
+        }
+        // Overlap check. The area tolerance scales with the smaller block so
+        // that sliver overlaps from floating-point noise are not rejected.
+        for i in 0..blocks.len() {
+            for j in (i + 1)..blocks.len() {
+                let area = blocks[i].rect().overlap_area(blocks[j].rect());
+                let min_area = blocks[i].area().min(blocks[j].area());
+                if area > 1e-9 * min_area {
+                    return Err(FloorplanError::OverlappingBlocks {
+                        first: blocks[i].name().to_owned(),
+                        second: blocks[j].name().to_owned(),
+                        area,
+                    });
+                }
+            }
+        }
+        let bounds = blocks
+            .iter()
+            .skip(1)
+            .fold(*blocks[0].rect(), |acc, b| acc.union(b.rect()));
+        Ok(Floorplan {
+            blocks,
+            name_index,
+            bounds,
+        })
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Borrows the blocks in insertion order.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Iterates over `(BlockId, &Block)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks.iter().enumerate()
+    }
+
+    /// Block with the given id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::BlockIndexOutOfRange`] if `id` is out of range.
+    pub fn block(&self, id: BlockId) -> Result<&Block> {
+        self.blocks
+            .get(id)
+            .ok_or(FloorplanError::BlockIndexOutOfRange {
+                index: id,
+                count: self.blocks.len(),
+            })
+    }
+
+    /// Block with the given name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::UnknownBlock`] if no block has that name.
+    pub fn block_by_name(&self, name: &str) -> Result<&Block> {
+        self.index_of(name)
+            .map(|i| &self.blocks[i])
+            .ok_or_else(|| FloorplanError::UnknownBlock {
+                name: name.to_owned(),
+            })
+    }
+
+    /// Id of the block with the given name, if any.
+    pub fn index_of(&self, name: &str) -> Option<BlockId> {
+        self.name_index.get(name).copied()
+    }
+
+    /// Bounding box of all blocks (the die outline), in metres.
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    /// Total area covered by blocks, in square metres.
+    pub fn total_block_area(&self) -> f64 {
+        self.blocks.iter().map(Block::area).sum()
+    }
+
+    /// Fraction of the bounding box covered by blocks, in `[0, 1]`.
+    ///
+    /// Library floorplans tile their die exactly, so this is `~1.0` for them;
+    /// values well below 1 indicate dead space between blocks, which weakens
+    /// the lateral heat paths assumed by the session thermal model.
+    pub fn coverage(&self) -> f64 {
+        let die = self.bounds.area();
+        if die <= 0.0 {
+            0.0
+        } else {
+            (self.total_block_area() / die).min(1.0)
+        }
+    }
+
+    /// Computes the adjacency graph (shared edges and boundary exposure).
+    pub fn adjacency(&self) -> AdjacencyGraph {
+        AdjacencyGraph::from_floorplan(self)
+    }
+}
+
+impl fmt::Display for Floorplan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Floorplan: {} blocks, die {:.1} x {:.1} mm",
+            self.blocks.len(),
+            self.bounds.width * 1e3,
+            self.bounds.height * 1e3
+        )?;
+        for b in &self.blocks {
+            writeln!(f, "  {b}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blocks() -> Vec<Block> {
+        vec![
+            Block::from_mm("a", 2.0, 2.0, 0.0, 0.0),
+            Block::from_mm("b", 2.0, 2.0, 2.0, 0.0),
+        ]
+    }
+
+    #[test]
+    fn builds_valid_floorplan() {
+        let fp = Floorplan::new(two_blocks()).unwrap();
+        assert_eq!(fp.block_count(), 2);
+        assert_eq!(fp.index_of("a"), Some(0));
+        assert_eq!(fp.block(1).unwrap().name(), "b");
+        assert!(fp.block(2).is_err());
+        assert!(fp.block_by_name("missing").is_err());
+        assert_eq!(fp.block_by_name("b").unwrap().name(), "b");
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(matches!(
+            Floorplan::new(vec![]),
+            Err(FloorplanError::EmptyFloorplan)
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let blocks = vec![
+            Block::from_mm("x", 1.0, 1.0, 0.0, 0.0),
+            Block::from_mm("x", 1.0, 1.0, 5.0, 5.0),
+        ];
+        assert!(matches!(
+            Floorplan::new(blocks),
+            Err(FloorplanError::DuplicateName { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_overlap() {
+        let blocks = vec![
+            Block::from_mm("a", 2.0, 2.0, 0.0, 0.0),
+            Block::from_mm("b", 2.0, 2.0, 1.0, 0.0),
+        ];
+        assert!(matches!(
+            Floorplan::new(blocks),
+            Err(FloorplanError::OverlappingBlocks { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_dimensions_and_positions() {
+        assert!(matches!(
+            Floorplan::new(vec![Block::from_mm("z", 0.0, 1.0, 0.0, 0.0)]),
+            Err(FloorplanError::InvalidDimensions { .. })
+        ));
+        assert!(matches!(
+            Floorplan::new(vec![Block::new("z", 1.0, 1.0, f64::NAN, 0.0)]),
+            Err(FloorplanError::InvalidPosition { .. })
+        ));
+    }
+
+    #[test]
+    fn bounds_and_coverage() {
+        let fp = Floorplan::new(two_blocks()).unwrap();
+        let b = fp.bounds();
+        assert!((b.width - 0.004).abs() < 1e-12);
+        assert!((b.height - 0.002).abs() < 1e-12);
+        assert!((fp.coverage() - 1.0).abs() < 1e-9);
+        assert!((fp.total_block_area() - 8.0e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn touching_blocks_are_not_overlapping() {
+        // Exact abutment must be accepted.
+        let fp = Floorplan::new(two_blocks());
+        assert!(fp.is_ok());
+    }
+
+    #[test]
+    fn display_lists_blocks() {
+        let fp = Floorplan::new(two_blocks()).unwrap();
+        let s = format!("{fp}");
+        assert!(s.contains("2 blocks"));
+        assert!(s.contains("a ["));
+    }
+
+    #[test]
+    fn iter_preserves_order() {
+        let fp = Floorplan::new(two_blocks()).unwrap();
+        let names: Vec<&str> = fp.iter().map(|(_, b)| b.name()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,206 @@
+//! Axis-aligned rectangle primitive.
+
+/// Absolute tolerance (in metres) below which coordinates are considered
+/// equal. Floorplans are specified with millimetre-scale coordinates, so one
+/// nanometre of slack comfortably absorbs floating-point noise without hiding
+/// genuine gaps or overlaps.
+pub const GEOMETRY_TOLERANCE: f64 = 1e-9;
+
+/// An axis-aligned rectangle, defined by its lower-left corner, width and
+/// height. All lengths are in metres.
+///
+/// # Example
+///
+/// ```
+/// use thermsched_floorplan::Rect;
+///
+/// let a = Rect::new(0.0, 0.0, 2.0, 1.0);
+/// let b = Rect::new(2.0, 0.0, 1.0, 1.0);
+/// assert_eq!(a.abutment_length(&b), 1.0);
+/// assert_eq!(a.overlap_area(&b), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Rect {
+    /// X coordinate of the left edge (metres).
+    pub x: f64,
+    /// Y coordinate of the bottom edge (metres).
+    pub y: f64,
+    /// Width (metres).
+    pub width: f64,
+    /// Height (metres).
+    pub height: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle from its lower-left corner and size.
+    pub fn new(x: f64, y: f64, width: f64, height: f64) -> Self {
+        Rect {
+            x,
+            y,
+            width,
+            height,
+        }
+    }
+
+    /// X coordinate of the right edge.
+    pub fn right(&self) -> f64 {
+        self.x + self.width
+    }
+
+    /// Y coordinate of the top edge.
+    pub fn top(&self) -> f64 {
+        self.y + self.height
+    }
+
+    /// Area in square metres.
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+
+    /// Coordinates of the centre point `(x, y)`.
+    pub fn center(&self) -> (f64, f64) {
+        (self.x + self.width / 2.0, self.y + self.height / 2.0)
+    }
+
+    /// Euclidean distance between the centres of two rectangles.
+    pub fn center_distance(&self, other: &Rect) -> f64 {
+        let (ax, ay) = self.center();
+        let (bx, by) = other.center();
+        ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+    }
+
+    /// Length of the 1-D overlap of two intervals `[a0, a1]` and `[b0, b1]`.
+    fn interval_overlap(a0: f64, a1: f64, b0: f64, b1: f64) -> f64 {
+        (a1.min(b1) - a0.max(b0)).max(0.0)
+    }
+
+    /// Area of the intersection of two rectangles (zero if disjoint).
+    pub fn overlap_area(&self, other: &Rect) -> f64 {
+        let w = Self::interval_overlap(self.x, self.right(), other.x, other.right());
+        let h = Self::interval_overlap(self.y, self.top(), other.y, other.top());
+        w * h
+    }
+
+    /// Length of the shared boundary between two *abutting* rectangles.
+    ///
+    /// Two rectangles abut when an edge of one coincides (within
+    /// [`GEOMETRY_TOLERANCE`]) with an edge of the other and their extents
+    /// overlap along that edge. Overlapping rectangles are not considered
+    /// abutting and return `0.0`.
+    pub fn abutment_length(&self, other: &Rect) -> f64 {
+        // Vertical abutment (left/right edges touch): overlap in y.
+        let y_overlap = Self::interval_overlap(self.y, self.top(), other.y, other.top());
+        if y_overlap > GEOMETRY_TOLERANCE
+            && ((self.right() - other.x).abs() < GEOMETRY_TOLERANCE
+                || (other.right() - self.x).abs() < GEOMETRY_TOLERANCE)
+        {
+            return y_overlap;
+        }
+        // Horizontal abutment (top/bottom edges touch): overlap in x.
+        let x_overlap = Self::interval_overlap(self.x, self.right(), other.x, other.right());
+        if x_overlap > GEOMETRY_TOLERANCE
+            && ((self.top() - other.y).abs() < GEOMETRY_TOLERANCE
+                || (other.top() - self.y).abs() < GEOMETRY_TOLERANCE)
+        {
+            return x_overlap;
+        }
+        0.0
+    }
+
+    /// Returns `true` if the rectangle has positive, finite dimensions and a
+    /// finite position.
+    pub fn is_valid(&self) -> bool {
+        self.width > 0.0
+            && self.height > 0.0
+            && self.width.is_finite()
+            && self.height.is_finite()
+            && self.x.is_finite()
+            && self.y.is_finite()
+    }
+
+    /// Smallest rectangle containing both `self` and `other`.
+    pub fn union(&self, other: &Rect) -> Rect {
+        let x = self.x.min(other.x);
+        let y = self.y.min(other.y);
+        let right = self.right().max(other.right());
+        let top = self.top().max(other.top());
+        Rect::new(x, y, right - x, top - y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_properties() {
+        let r = Rect::new(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(r.right(), 4.0);
+        assert_eq!(r.top(), 6.0);
+        assert_eq!(r.area(), 12.0);
+        assert_eq!(r.center(), (2.5, 4.0));
+    }
+
+    #[test]
+    fn overlap_area_cases() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let b = Rect::new(1.0, 1.0, 2.0, 2.0);
+        assert_eq!(a.overlap_area(&b), 1.0);
+        let c = Rect::new(5.0, 5.0, 1.0, 1.0);
+        assert_eq!(a.overlap_area(&c), 0.0);
+        // Touching rectangles do not overlap.
+        let d = Rect::new(2.0, 0.0, 1.0, 2.0);
+        assert_eq!(a.overlap_area(&d), 0.0);
+    }
+
+    #[test]
+    fn abutment_vertical_and_horizontal() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let right = Rect::new(2.0, 1.0, 1.0, 3.0);
+        assert_eq!(a.abutment_length(&right), 1.0);
+        assert_eq!(right.abutment_length(&a), 1.0);
+
+        let above = Rect::new(0.5, 2.0, 1.0, 1.0);
+        assert_eq!(a.abutment_length(&above), 1.0);
+
+        let corner_only = Rect::new(2.0, 2.0, 1.0, 1.0);
+        assert_eq!(a.abutment_length(&corner_only), 0.0);
+
+        let far = Rect::new(10.0, 10.0, 1.0, 1.0);
+        assert_eq!(a.abutment_length(&far), 0.0);
+    }
+
+    #[test]
+    fn overlapping_rectangles_are_not_abutting() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let b = Rect::new(1.0, 0.0, 2.0, 2.0);
+        assert_eq!(a.abutment_length(&b), 0.0);
+        assert!(a.overlap_area(&b) > 0.0);
+    }
+
+    #[test]
+    fn center_distance_is_symmetric() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let b = Rect::new(3.0, 4.0, 2.0, 2.0);
+        assert_eq!(a.center_distance(&b), b.center_distance(&a));
+        assert_eq!(a.center_distance(&b), 5.0);
+    }
+
+    #[test]
+    fn validity_checks() {
+        assert!(Rect::new(0.0, 0.0, 1.0, 1.0).is_valid());
+        assert!(!Rect::new(0.0, 0.0, 0.0, 1.0).is_valid());
+        assert!(!Rect::new(0.0, 0.0, -1.0, 1.0).is_valid());
+        assert!(!Rect::new(f64::NAN, 0.0, 1.0, 1.0).is_valid());
+        assert!(!Rect::new(0.0, 0.0, f64::INFINITY, 1.0).is_valid());
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let b = Rect::new(2.0, 3.0, 1.0, 1.0);
+        let u = a.union(&b);
+        assert_eq!(u, Rect::new(0.0, 0.0, 3.0, 4.0));
+    }
+}

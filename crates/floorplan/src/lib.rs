@@ -1,0 +1,67 @@
+//! Floorplan geometry for the `thermsched` workspace.
+//!
+//! A [`Floorplan`] is a collection of rectangular [`Block`]s placed on a die.
+//! This crate provides:
+//!
+//! * geometric primitives ([`Rect`]) with the overlap/abutment predicates the
+//!   thermal model needs,
+//! * adjacency extraction ([`AdjacencyGraph`]): which blocks share an edge,
+//!   how long the shared edge is, and how much of each block's perimeter is
+//!   exposed on each side of the die boundary,
+//! * a parser and writer for the HotSpot-style `.flp` text format
+//!   ([`parse_flp`], [`to_flp`]),
+//! * a [`FloorplanBuilder`] for programmatic construction, and
+//! * a library of ready-made floorplans ([`library`]) including the
+//!   Alpha-21364-like 15-block floorplan used by the DATE 2005 experiments and
+//!   the hypothetical 7-core system of the paper's Figure 1.
+//!
+//! Lengths are SI metres throughout; helpers taking millimetres are provided
+//! because floorplans are naturally specified in mm.
+//!
+//! # Example
+//!
+//! ```
+//! use thermsched_floorplan::{Block, FloorplanBuilder};
+//!
+//! # fn main() -> Result<(), thermsched_floorplan::FloorplanError> {
+//! let fp = FloorplanBuilder::new()
+//!     .add_block(Block::from_mm("cpu", 4.0, 4.0, 0.0, 0.0))
+//!     .add_block(Block::from_mm("cache", 4.0, 4.0, 4.0, 0.0))
+//!     .build()?;
+//! let adj = fp.adjacency();
+//! assert!(adj.shared_edge_length(0, 1) > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adjacency;
+mod block;
+mod builder;
+mod error;
+mod floorplan;
+mod geometry;
+pub mod library;
+mod parser;
+
+pub use adjacency::{AdjacencyGraph, BoundaryExposure, SharedEdge, Side};
+pub use block::Block;
+pub use builder::FloorplanBuilder;
+pub use error::FloorplanError;
+pub use floorplan::{BlockId, Floorplan};
+pub use geometry::{Rect, GEOMETRY_TOLERANCE};
+pub use parser::{parse_flp, to_flp};
+
+/// Convenience result alias used throughout this crate.
+pub type Result<T, E = FloorplanError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn library_floorplans_are_valid() {
+        assert_eq!(crate::library::alpha21364().block_count(), 15);
+        assert_eq!(crate::library::figure1_system().block_count(), 7);
+    }
+}

@@ -1,0 +1,171 @@
+//! Reading and writing the HotSpot-style `.flp` text format.
+//!
+//! Each non-comment line describes one block:
+//!
+//! ```text
+//! <name> <width_m> <height_m> <left_x_m> <bottom_y_m>
+//! ```
+//!
+//! Fields are separated by whitespace (tabs in the original HotSpot files).
+//! Lines starting with `#` and blank lines are ignored, matching the format
+//! of the floorplans shipped with the HotSpot thermal simulator that the
+//! paper's experiments are based on.
+
+use crate::{Block, Floorplan, FloorplanError, Result};
+
+/// Parses a floorplan from `.flp` text.
+///
+/// # Errors
+///
+/// * [`FloorplanError::ParseError`] if a line does not have exactly five
+///   whitespace-separated fields or a numeric field fails to parse.
+/// * Any validation error of [`Floorplan::new`] (duplicate names, overlaps,
+///   bad dimensions, empty floorplan).
+///
+/// # Example
+///
+/// ```
+/// use thermsched_floorplan::parse_flp;
+///
+/// # fn main() -> Result<(), thermsched_floorplan::FloorplanError> {
+/// let text = "cpu\t0.002\t0.002\t0.000\t0.000\nl2\t0.002\t0.002\t0.002\t0.000\n";
+/// let fp = parse_flp(text)?;
+/// assert_eq!(fp.block_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_flp(text: &str) -> Result<Floorplan> {
+    let mut blocks = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 5 {
+            return Err(FloorplanError::ParseError {
+                line: lineno + 1,
+                message: format!("expected 5 fields, found {}", fields.len()),
+            });
+        }
+        let name = fields[0].to_owned();
+        let mut nums = [0.0f64; 4];
+        for (k, field) in fields[1..].iter().enumerate() {
+            nums[k] = field.parse::<f64>().map_err(|_| FloorplanError::ParseError {
+                line: lineno + 1,
+                message: format!("cannot parse '{field}' as a number"),
+            })?;
+        }
+        let [width, height, x, y] = nums;
+        blocks.push(Block::new(name, width, height, x, y));
+    }
+    Floorplan::new(blocks)
+}
+
+/// Serialises a floorplan to `.flp` text (tab-separated, metres), suitable
+/// for feeding to external HotSpot-compatible tools.
+///
+/// # Example
+///
+/// ```
+/// use thermsched_floorplan::{parse_flp, to_flp, Block, Floorplan};
+///
+/// # fn main() -> Result<(), thermsched_floorplan::FloorplanError> {
+/// let fp = Floorplan::new(vec![Block::from_mm("cpu", 2.0, 2.0, 0.0, 0.0)])?;
+/// let text = to_flp(&fp);
+/// let round_trip = parse_flp(&text)?;
+/// assert_eq!(round_trip.block_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_flp(fp: &Floorplan) -> String {
+    let mut out = String::new();
+    out.push_str("# floorplan written by thermsched-floorplan\n");
+    out.push_str("# name\twidth_m\theight_m\tleft_x_m\tbottom_y_m\n");
+    for b in fp.blocks() {
+        out.push_str(&format!(
+            "{}\t{:.9}\t{:.9}\t{:.9}\t{:.9}\n",
+            b.name(),
+            b.width(),
+            b.height(),
+            b.rect().x,
+            b.rect().y
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+
+    #[test]
+    fn parses_well_formed_text() {
+        let text = "a\t0.001\t0.001\t0\t0\nb 0.001 0.001 0.001 0\n";
+        let fp = parse_flp(text).unwrap();
+        assert_eq!(fp.block_count(), 2);
+        assert_eq!(fp.index_of("b"), Some(1));
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = "# header\n\n  \na\t0.001\t0.001\t0\t0\n# trailing comment\n";
+        let fp = parse_flp(text).unwrap();
+        assert_eq!(fp.block_count(), 1);
+    }
+
+    #[test]
+    fn reports_wrong_field_count_with_line_number() {
+        let text = "a\t0.001\t0.001\t0\n";
+        match parse_flp(text) {
+            Err(FloorplanError::ParseError { line, message }) => {
+                assert_eq!(line, 1);
+                assert!(message.contains("5 fields"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_bad_numbers() {
+        let text = "a\t0.001\tnot_a_number\t0\t0\n";
+        assert!(matches!(
+            parse_flp(text),
+            Err(FloorplanError::ParseError { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_text_is_an_empty_floorplan_error() {
+        assert!(matches!(
+            parse_flp("# nothing here\n"),
+            Err(FloorplanError::EmptyFloorplan)
+        ));
+    }
+
+    #[test]
+    fn round_trips_library_floorplan() {
+        let fp = library::alpha21364();
+        let text = to_flp(&fp);
+        let back = parse_flp(&text).unwrap();
+        assert_eq!(back.block_count(), fp.block_count());
+        for (a, b) in fp.blocks().iter().zip(back.blocks()) {
+            assert_eq!(a.name(), b.name());
+            assert!((a.width() - b.width()).abs() < 1e-9);
+            assert!((a.height() - b.height()).abs() < 1e-9);
+            assert!((a.rect().x - b.rect().x).abs() < 1e-9);
+            assert!((a.rect().y - b.rect().y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn validation_still_applies_after_parsing() {
+        // Overlapping blocks must be rejected even if the file parses.
+        let text = "a\t0.002\t0.002\t0\t0\nb\t0.002\t0.002\t0.001\t0\n";
+        assert!(matches!(
+            parse_flp(text),
+            Err(FloorplanError::OverlappingBlocks { .. })
+        ));
+    }
+}

@@ -1,0 +1,222 @@
+//! Gauss–Seidel iterative solver.
+
+use crate::{norm2, sub, CsrMatrix, IterativeSolution, LinalgError, Result};
+
+/// Gauss–Seidel (successive substitution) solver for diagonally dominant
+/// sparse systems, with optional successive over-relaxation (SOR).
+///
+/// Used as a cheap smoother / fallback for matrices that are diagonally
+/// dominant but not symmetric (for example when boundary conditions are
+/// stamped asymmetrically during experimentation), and as an independent
+/// cross-check of the conjugate-gradient solver in tests.
+///
+/// # Example
+///
+/// ```
+/// use thermsched_linalg::{CsrMatrix, GaussSeidel, Triplet};
+///
+/// # fn main() -> Result<(), thermsched_linalg::LinalgError> {
+/// let a = CsrMatrix::from_triplets(2, 2, &[
+///     Triplet::new(0, 0, 4.0), Triplet::new(0, 1, 1.0),
+///     Triplet::new(1, 0, 1.0), Triplet::new(1, 1, 3.0),
+/// ])?;
+/// let sol = GaussSeidel::new().solve(&a, &[1.0, 2.0])?;
+/// assert!(sol.residual_norm < 1e-8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaussSeidel {
+    max_iterations: usize,
+    tolerance: f64,
+    relaxation: f64,
+}
+
+impl Default for GaussSeidel {
+    fn default() -> Self {
+        GaussSeidel {
+            max_iterations: 20_000,
+            tolerance: 1e-10,
+            relaxation: 1.0,
+        }
+    }
+}
+
+impl GaussSeidel {
+    /// Creates a solver with default settings (20 000 iterations, tolerance
+    /// `1e-10`, no over-relaxation).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the maximum number of sweeps.
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Sets the relative residual tolerance.
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Sets the SOR relaxation factor `omega` (must be in `(0, 2)` for
+    /// convergence on SPD systems; `1.0` is plain Gauss–Seidel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `omega` is not strictly positive and finite.
+    pub fn with_relaxation(mut self, omega: f64) -> Self {
+        assert!(
+            omega > 0.0 && omega.is_finite(),
+            "relaxation factor must be positive and finite"
+        );
+        self.relaxation = omega;
+        self
+    }
+
+    /// Solves `A · x = b` starting from the zero vector.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `a` is not square.
+    /// * [`LinalgError::DimensionMismatch`] if `b.len() != a.rows()`.
+    /// * [`LinalgError::Singular`] if a diagonal entry of `a` is zero.
+    /// * [`LinalgError::DidNotConverge`] if the sweep budget is exhausted.
+    pub fn solve(&self, a: &CsrMatrix, b: &[f64]) -> Result<IterativeSolution> {
+        if a.rows() != a.cols() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: n,
+                found: b.len(),
+                context: "GaussSeidel::solve",
+            });
+        }
+        let diag = a.diagonal();
+        for (i, &d) in diag.iter().enumerate() {
+            if d == 0.0 {
+                return Err(LinalgError::Singular { pivot: i });
+            }
+        }
+        let b_norm = norm2(b).max(f64::MIN_POSITIVE);
+        let abs_tol = self.tolerance * b_norm;
+
+        let mut x = vec![0.0; n];
+        for iter in 0..self.max_iterations {
+            for i in 0..n {
+                let mut sigma = 0.0;
+                for (j, v) in a.row_entries(i) {
+                    if j != i {
+                        sigma += v * x[j];
+                    }
+                }
+                let gs = (b[i] - sigma) / diag[i];
+                x[i] = x[i] + self.relaxation * (gs - x[i]);
+            }
+            let r = sub(b, &a.mul_vec(&x)?)?;
+            let res_norm = norm2(&r);
+            if res_norm <= abs_tol {
+                return Ok(IterativeSolution {
+                    x,
+                    iterations: iter + 1,
+                    residual_norm: res_norm,
+                });
+            }
+        }
+        let r = sub(b, &a.mul_vec(&x)?)?;
+        Err(LinalgError::DidNotConverge {
+            iterations: self.max_iterations,
+            residual: norm2(&r),
+            tolerance: abs_tol,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Triplet;
+
+    fn dominant_system(n: usize) -> (CsrMatrix, Vec<f64>) {
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push(Triplet::new(i, i, 4.0));
+            if i + 1 < n {
+                t.push(Triplet::new(i, i + 1, -1.0));
+                t.push(Triplet::new(i + 1, i, -1.0));
+            }
+        }
+        let a = CsrMatrix::from_triplets(n, n, &t).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn converges_on_diagonally_dominant_system() {
+        let (a, b) = dominant_system(40);
+        let sol = GaussSeidel::new().solve(&a, &b).unwrap();
+        assert!(sol.residual_norm < 1e-8);
+    }
+
+    #[test]
+    fn sor_converges_to_the_same_solution_as_plain_gs() {
+        let (a, b) = dominant_system(60);
+        let plain = GaussSeidel::new().solve(&a, &b).unwrap();
+        let sor = GaussSeidel::new().with_relaxation(1.2).solve(&a, &b).unwrap();
+        assert!(sor.residual_norm < 1e-8);
+        for (p, q) in sor.x.iter().zip(&plain.x) {
+            assert!((p - q).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rejects_zero_diagonal() {
+        let a = CsrMatrix::from_triplets(2, 2, &[Triplet::new(0, 0, 1.0)]).unwrap();
+        assert!(matches!(
+            GaussSeidel::new().solve(&a, &[1.0, 1.0]),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let rect = CsrMatrix::from_triplets(2, 3, &[]).unwrap();
+        assert!(GaussSeidel::new().solve(&rect, &[0.0; 3]).is_err());
+        let (a, _) = dominant_system(3);
+        assert!(GaussSeidel::new().solve(&a, &[0.0; 2]).is_err());
+    }
+
+    #[test]
+    fn reports_non_convergence() {
+        let (a, b) = dominant_system(100);
+        let err = GaussSeidel::new()
+            .with_max_iterations(1)
+            .with_tolerance(1e-14)
+            .solve(&a, &b)
+            .unwrap_err();
+        assert!(matches!(err, LinalgError::DidNotConverge { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "relaxation factor")]
+    fn invalid_relaxation_panics() {
+        let _ = GaussSeidel::new().with_relaxation(0.0);
+    }
+
+    #[test]
+    fn agrees_with_cg() {
+        let (a, b) = dominant_system(25);
+        let gs = GaussSeidel::new().solve(&a, &b).unwrap();
+        let cg = crate::ConjugateGradient::new().solve(&a, &b).unwrap();
+        for (p, q) in gs.x.iter().zip(&cg.x) {
+            assert!((p - q).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Small, dependency-free linear-algebra kernels for the `thermsched` workspace.
+//!
+//! The compact thermal model used by `thermsched-thermal` reduces to solving
+//! linear systems `G · T = P` where `G` is a symmetric, strictly diagonally
+//! dominant thermal-conductance matrix (steady state), and to repeatedly
+//! solving slightly perturbed systems during transient integration. The
+//! matrices involved are small (tens to a few hundred nodes), so simple dense
+//! factorisations and classic iterative methods are more than adequate; this
+//! crate provides them without pulling a large external dependency into the
+//! workspace.
+//!
+//! # Contents
+//!
+//! * [`DenseMatrix`] — row-major dense matrix with the usual arithmetic.
+//! * [`LuDecomposition`] — LU factorisation with partial pivoting.
+//! * [`CholeskyDecomposition`] — Cholesky factorisation for SPD systems.
+//! * [`CsrMatrix`] — compressed-sparse-row matrix for larger grids.
+//! * [`ConjugateGradient`] and [`GaussSeidel`] — iterative solvers.
+//!
+//! # Example
+//!
+//! ```
+//! use thermsched_linalg::{DenseMatrix, LuDecomposition};
+//!
+//! # fn main() -> Result<(), thermsched_linalg::LinalgError> {
+//! let a = DenseMatrix::from_rows(&[
+//!     vec![4.0, 1.0],
+//!     vec![1.0, 3.0],
+//! ])?;
+//! let lu = LuDecomposition::new(&a)?;
+//! let x = lu.solve(&[1.0, 2.0])?;
+//! assert!((a.mul_vec(&x)?[0] - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cg;
+mod cholesky;
+mod dense;
+mod error;
+mod gauss_seidel;
+mod lu;
+mod sparse;
+mod vector;
+
+pub use cg::{ConjugateGradient, IterativeSolution};
+pub use cholesky::CholeskyDecomposition;
+pub use dense::DenseMatrix;
+pub use error::LinalgError;
+pub use gauss_seidel::GaussSeidel;
+pub use lu::LuDecomposition;
+pub use sparse::{CsrMatrix, Triplet};
+pub use vector::{axpy, dot, norm2, norm_inf, scale, sub};
+
+/// Convenience result alias used throughout this crate.
+pub type Result<T, E = LinalgError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_level_roundtrip() {
+        let a = DenseMatrix::from_rows(&[vec![2.0, 0.0], vec![0.0, 2.0]]).unwrap();
+        let lu = LuDecomposition::new(&a).unwrap();
+        let x = lu.solve(&[2.0, 4.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0]);
+    }
+}

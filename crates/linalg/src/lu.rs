@@ -1,0 +1,340 @@
+//! LU factorisation with partial pivoting.
+
+use crate::{DenseMatrix, LinalgError, Result};
+
+/// LU factorisation with partial (row) pivoting of a square matrix.
+///
+/// The factorisation is computed once and can then be reused to solve
+/// `A · x = b` for many right-hand sides, which is exactly the access pattern
+/// of the transient thermal solver (the system matrix is fixed by the
+/// floorplan and package while the power vector changes every step).
+///
+/// # Example
+///
+/// ```
+/// use thermsched_linalg::{DenseMatrix, LuDecomposition};
+///
+/// # fn main() -> Result<(), thermsched_linalg::LinalgError> {
+/// let a = DenseMatrix::from_rows(&[
+///     vec![2.0, 1.0, 1.0],
+///     vec![4.0, -6.0, 0.0],
+///     vec![-2.0, 7.0, 2.0],
+/// ])?;
+/// let lu = LuDecomposition::new(&a)?;
+/// let x = lu.solve(&[5.0, -2.0, 9.0])?;
+/// let r = a.mul_vec(&x)?;
+/// assert!((r[0] - 5.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    /// Combined L (below diagonal, implicit unit diagonal) and U (diagonal and
+    /// above) factors, stored in-place.
+    lu: DenseMatrix,
+    /// Row permutation applied during pivoting: `perm[i]` is the original row
+    /// now living at position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, used by [`LuDecomposition::determinant`].
+    perm_sign: f64,
+}
+
+/// Pivots smaller than this are treated as exact zeros (singular matrix).
+const PIVOT_TOLERANCE: f64 = 1e-14;
+
+impl LuDecomposition {
+    /// Factorises `a`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `a` is not square.
+    /// * [`LinalgError::Empty`] if `a` has zero rows.
+    /// * [`LinalgError::NonFinite`] if `a` contains NaN or infinite entries.
+    /// * [`LinalgError::Singular`] if a pivot smaller than `1e-14` (relative to
+    ///   the largest element) is encountered.
+    pub fn new(a: &DenseMatrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::Empty {
+                context: "LuDecomposition::new",
+            });
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NonFinite {
+                context: "LuDecomposition::new",
+            });
+        }
+
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+        let scale = a.max_abs().max(1.0);
+
+        for k in 0..n {
+            // Find the pivot row.
+            let mut pivot_row = k;
+            let mut pivot_val = lu.get(k, k).abs();
+            for i in (k + 1)..n {
+                let v = lu.get(i, k).abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val < PIVOT_TOLERANCE * scale {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if pivot_row != k {
+                swap_rows(&mut lu, k, pivot_row);
+                perm.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu.get(k, k);
+            for i in (k + 1)..n {
+                let factor = lu.get(i, k) / pivot;
+                lu.set(i, k, factor);
+                for j in (k + 1)..n {
+                    let v = lu.get(i, j) - factor * lu.get(k, j);
+                    lu.set(i, j, v);
+                }
+            }
+        }
+
+        Ok(LuDecomposition {
+            lu,
+            perm,
+            perm_sign,
+        })
+    }
+
+    /// Dimension of the factorised matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A · x = b` using the precomputed factorisation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: n,
+                found: b.len(),
+                context: "LuDecomposition::solve",
+            });
+        }
+        // Apply permutation: y = P * b.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+
+        // Forward substitution with unit lower-triangular L.
+        for i in 1..n {
+            let mut sum = x[i];
+            for j in 0..i {
+                sum -= self.lu.get(i, j) * x[j];
+            }
+            x[i] = sum;
+        }
+        // Backward substitution with U.
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for j in (i + 1)..n {
+                sum -= self.lu.get(i, j) * x[j];
+            }
+            x[i] = sum / self.lu.get(i, i);
+        }
+        Ok(x)
+    }
+
+    /// Solves `A · X = B` column by column where `B` is given as a matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.rows() != self.dim()`.
+    pub fn solve_matrix(&self, b: &DenseMatrix) -> Result<DenseMatrix> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: n,
+                found: b.rows(),
+                context: "LuDecomposition::solve_matrix",
+            });
+        }
+        let mut out = DenseMatrix::zeros(n, b.cols());
+        let mut col = vec![0.0; n];
+        for j in 0..b.cols() {
+            for i in 0..n {
+                col[i] = b.get(i, j);
+            }
+            let x = self.solve(&col)?;
+            for i in 0..n {
+                out.set(i, j, x[i]);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Computes the inverse of the factorised matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`LuDecomposition::solve_matrix`].
+    pub fn inverse(&self) -> Result<DenseMatrix> {
+        self.solve_matrix(&DenseMatrix::identity(self.dim()))
+    }
+
+    /// Determinant of the factorised matrix.
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.perm_sign;
+        for i in 0..self.dim() {
+            det *= self.lu.get(i, i);
+        }
+        det
+    }
+}
+
+fn swap_rows(m: &mut DenseMatrix, a: usize, b: usize) {
+    if a == b {
+        return;
+    }
+    for j in 0..m.cols() {
+        let tmp = m.get(a, j);
+        m.set(a, j, m.get(b, j));
+        m.set(b, j, tmp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(a: &DenseMatrix, x: &[f64], b: &[f64]) -> f64 {
+        let ax = a.mul_vec(x).unwrap();
+        ax.iter()
+            .zip(b)
+            .map(|(r, s)| (r - s).abs())
+            .fold(0.0_f64, f64::max)
+    }
+
+    #[test]
+    fn solves_small_system() {
+        let a = DenseMatrix::from_rows(&[
+            vec![2.0, 1.0, 1.0],
+            vec![4.0, -6.0, 0.0],
+            vec![-2.0, 7.0, 2.0],
+        ])
+        .unwrap();
+        let b = [5.0, -2.0, 9.0];
+        let lu = LuDecomposition::new(&a).unwrap();
+        let x = lu.solve(&b).unwrap();
+        assert!(residual(&a, &x, &b) < 1e-10);
+    }
+
+    #[test]
+    fn solves_system_requiring_pivoting() {
+        // Zero on the first diagonal entry forces a row swap.
+        let a = DenseMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let lu = LuDecomposition::new(&a).unwrap();
+        let x = lu.solve(&[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn rejects_singular_matrix() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert!(matches!(
+            LuDecomposition::new(&a),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square_and_empty_and_non_finite() {
+        let rect = DenseMatrix::zeros(2, 3);
+        assert!(matches!(
+            LuDecomposition::new(&rect),
+            Err(LinalgError::NotSquare { .. })
+        ));
+        let empty = DenseMatrix::zeros(0, 0);
+        assert!(matches!(
+            LuDecomposition::new(&empty),
+            Err(LinalgError::Empty { .. })
+        ));
+        let mut nan = DenseMatrix::identity(2);
+        nan.set(0, 0, f64::NAN);
+        assert!(matches!(
+            LuDecomposition::new(&nan),
+            Err(LinalgError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn determinant_and_inverse() {
+        let a = DenseMatrix::from_rows(&[vec![4.0, 7.0], vec![2.0, 6.0]]).unwrap();
+        let lu = LuDecomposition::new(&a).unwrap();
+        assert!((lu.determinant() - 10.0).abs() < 1e-12);
+        let inv = lu.inverse().unwrap();
+        let prod = a.mul_mat(&inv).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((prod.get(i, j) - expected).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_rejects_wrong_rhs_length() {
+        let a = DenseMatrix::identity(3);
+        let lu = LuDecomposition::new(&a).unwrap();
+        assert!(lu.solve(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn solve_matrix_handles_multiple_rhs() {
+        let a = DenseMatrix::from_rows(&[vec![3.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let lu = LuDecomposition::new(&a).unwrap();
+        let b = DenseMatrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        let x = lu.solve_matrix(&b).unwrap();
+        let prod = a.mul_mat(&x).unwrap();
+        assert!((prod.get(0, 0) - 1.0).abs() < 1e-12);
+        assert!((prod.get(0, 1)).abs() < 1e-12);
+        let wrong = DenseMatrix::zeros(3, 1);
+        assert!(lu.solve_matrix(&wrong).is_err());
+    }
+
+    #[test]
+    fn larger_random_like_system_is_solved_accurately() {
+        // Deterministic pseudo-random diagonally dominant matrix.
+        let n = 25;
+        let mut a = DenseMatrix::zeros(n, n);
+        let mut state = 42u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
+        };
+        for i in 0..n {
+            let mut row_sum = 0.0;
+            for j in 0..n {
+                if i != j {
+                    let v = next();
+                    a.set(i, j, v);
+                    row_sum += v.abs();
+                }
+            }
+            a.set(i, i, row_sum + 1.0);
+        }
+        let b: Vec<f64> = (0..n).map(|i| i as f64 * 0.37 - 2.0).collect();
+        let lu = LuDecomposition::new(&a).unwrap();
+        let x = lu.solve(&b).unwrap();
+        assert!(residual(&a, &x, &b) < 1e-9);
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type for SoC test-description construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while describing a system under test.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SocError {
+    /// A test specification refers to a block name that is not in the
+    /// floorplan.
+    UnknownCore {
+        /// The name that could not be resolved.
+        name: String,
+    },
+    /// A core has no test specification.
+    MissingTestSpec {
+        /// Name of the core without a specification.
+        name: String,
+    },
+    /// A test power or duration is non-positive or non-finite.
+    InvalidTestSpec {
+        /// Name of the offending core.
+        name: String,
+        /// Description of the offending field.
+        field: &'static str,
+        /// The value that was supplied.
+        value: f64,
+    },
+    /// A generator parameter is out of range.
+    InvalidGeneratorParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The value that was supplied.
+        value: f64,
+    },
+}
+
+impl fmt::Display for SocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SocError::UnknownCore { name } => write!(f, "unknown core '{name}'"),
+            SocError::MissingTestSpec { name } => {
+                write!(f, "core '{name}' has no test specification")
+            }
+            SocError::InvalidTestSpec { name, field, value } => {
+                write!(f, "core '{name}' has invalid {field} = {value}")
+            }
+            SocError::InvalidGeneratorParameter { name, value } => {
+                write!(f, "invalid generator parameter {name} = {value}")
+            }
+        }
+    }
+}
+
+impl Error for SocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SocError::UnknownCore { name: "cpu".into() };
+        assert_eq!(e.to_string(), "unknown core 'cpu'");
+        let e = SocError::InvalidTestSpec {
+            name: "cpu".into(),
+            field: "test_power_w",
+            value: -3.0,
+        };
+        assert!(e.to_string().contains("test_power_w"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SocError>();
+    }
+}

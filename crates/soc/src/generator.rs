@@ -1,0 +1,271 @@
+//! Seeded random generation of systems under test.
+//!
+//! The paper evaluates one fixed system (the Alpha-21364-like SoC); the
+//! generator here exists for the scaling and robustness studies in the bench
+//! crate and for property-based tests, which need many structurally different
+//! but always-valid systems.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use thermsched_floorplan::{library as floorplan_library, Floorplan};
+
+use crate::{Result, SocError, SystemUnderTest, TestSpec};
+
+/// Configuration for [`SocGenerator`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneratorConfig {
+    /// Number of grid columns of the generated floorplan.
+    pub grid_columns: usize,
+    /// Number of grid rows of the generated floorplan.
+    pub grid_rows: usize,
+    /// Edge length of each core in millimetres.
+    pub core_size_mm: f64,
+    /// Minimum test power density in W/mm².
+    pub min_power_density: f64,
+    /// Maximum test power density in W/mm².
+    pub max_power_density: f64,
+    /// Minimum core test time in seconds.
+    pub min_test_time: f64,
+    /// Maximum core test time in seconds.
+    pub max_test_time: f64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            grid_columns: 4,
+            grid_rows: 4,
+            core_size_mm: 4.0,
+            min_power_density: 0.2,
+            max_power_density: 1.6,
+            min_test_time: 1.0,
+            max_test_time: 1.0,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::InvalidGeneratorParameter`] naming the first
+    /// offending field.
+    pub fn validate(&self) -> Result<()> {
+        if self.grid_columns == 0 {
+            return Err(SocError::InvalidGeneratorParameter {
+                name: "grid_columns",
+                value: 0.0,
+            });
+        }
+        if self.grid_rows == 0 {
+            return Err(SocError::InvalidGeneratorParameter {
+                name: "grid_rows",
+                value: 0.0,
+            });
+        }
+        let positive: [(&'static str, f64); 3] = [
+            ("core_size_mm", self.core_size_mm),
+            ("min_power_density", self.min_power_density),
+            ("min_test_time", self.min_test_time),
+        ];
+        for (name, value) in positive {
+            if !(value > 0.0 && value.is_finite()) {
+                return Err(SocError::InvalidGeneratorParameter { name, value });
+            }
+        }
+        if !(self.max_power_density >= self.min_power_density
+            && self.max_power_density.is_finite())
+        {
+            return Err(SocError::InvalidGeneratorParameter {
+                name: "max_power_density",
+                value: self.max_power_density,
+            });
+        }
+        if !(self.max_test_time >= self.min_test_time && self.max_test_time.is_finite()) {
+            return Err(SocError::InvalidGeneratorParameter {
+                name: "max_test_time",
+                value: self.max_test_time,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic (seeded) generator of grid-shaped systems under test.
+///
+/// # Example
+///
+/// ```
+/// use thermsched_soc::{GeneratorConfig, SocGenerator};
+///
+/// # fn main() -> Result<(), thermsched_soc::SocError> {
+/// let mut generator = SocGenerator::new(42, GeneratorConfig::default())?;
+/// let sut = generator.generate()?;
+/// assert_eq!(sut.core_count(), 16);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SocGenerator {
+    rng: StdRng,
+    config: GeneratorConfig,
+}
+
+impl SocGenerator {
+    /// Creates a generator with the given seed and configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::InvalidGeneratorParameter`] if the configuration is
+    /// invalid.
+    pub fn new(seed: u64, config: GeneratorConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(SocGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            config,
+        })
+    }
+
+    /// The configuration this generator uses.
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.config
+    }
+
+    /// Generates the next system under test. Repeated calls yield different
+    /// (but seed-deterministic) power assignments over the same grid
+    /// floorplan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors, which cannot occur for validated
+    /// configurations.
+    pub fn generate(&mut self) -> Result<SystemUnderTest> {
+        let floorplan = self.floorplan();
+        let core_area_mm2 = self.config.core_size_mm * self.config.core_size_mm;
+        let mut specs = Vec::with_capacity(floorplan.block_count());
+        for block in floorplan.blocks() {
+            let density = self
+                .rng
+                .gen_range(self.config.min_power_density..=self.config.max_power_density);
+            let test_time = if self.config.max_test_time > self.config.min_test_time {
+                self.rng
+                    .gen_range(self.config.min_test_time..=self.config.max_test_time)
+            } else {
+                self.config.min_test_time
+            };
+            let test_power = density * core_area_mm2;
+            // Pick a functional power such that the test/functional ratio is
+            // in the paper's 1.5x-8x range.
+            let ratio = self.rng.gen_range(1.5..=8.0);
+            specs.push(
+                TestSpec::new(block.name(), test_power, test_time)?
+                    .with_functional_power(test_power / ratio)?,
+            );
+        }
+        SystemUnderTest::new(floorplan, specs)
+    }
+
+    /// The grid floorplan shared by all systems from this generator.
+    pub fn floorplan(&self) -> Floorplan {
+        floorplan_library::uniform_grid(
+            self.config.grid_columns,
+            self.config.grid_rows,
+            self.config.core_size_mm,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(GeneratorConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn config_validation_catches_bad_fields() {
+        let mut c = GeneratorConfig::default();
+        c.grid_columns = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = GeneratorConfig::default();
+        c.core_size_mm = -1.0;
+        assert!(c.validate().is_err());
+
+        let mut c = GeneratorConfig::default();
+        c.max_power_density = c.min_power_density / 2.0;
+        assert!(c.validate().is_err());
+
+        let mut c = GeneratorConfig::default();
+        c.max_test_time = 0.5;
+        assert!(c.validate().is_err());
+
+        assert!(SocGenerator::new(1, c).is_err());
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let mut a = SocGenerator::new(7, GeneratorConfig::default()).unwrap();
+        let mut b = SocGenerator::new(7, GeneratorConfig::default()).unwrap();
+        let sa = a.generate().unwrap();
+        let sb = b.generate().unwrap();
+        for (x, y) in sa.test_specs().iter().zip(sb.test_specs()) {
+            assert_eq!(x.test_power(), y.test_power());
+            assert_eq!(x.test_time(), y.test_time());
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_powers() {
+        let mut a = SocGenerator::new(1, GeneratorConfig::default()).unwrap();
+        let mut b = SocGenerator::new(2, GeneratorConfig::default()).unwrap();
+        let sa = a.generate().unwrap();
+        let sb = b.generate().unwrap();
+        let same = sa
+            .test_specs()
+            .iter()
+            .zip(sb.test_specs())
+            .all(|(x, y)| (x.test_power() - y.test_power()).abs() < 1e-12);
+        assert!(!same, "different seeds should produce different systems");
+    }
+
+    #[test]
+    fn generated_sut_respects_configuration_bounds() {
+        let config = GeneratorConfig {
+            grid_columns: 3,
+            grid_rows: 5,
+            core_size_mm: 2.0,
+            min_power_density: 0.5,
+            max_power_density: 1.0,
+            min_test_time: 0.5,
+            max_test_time: 2.0,
+        };
+        let mut g = SocGenerator::new(99, config).unwrap();
+        let sut = g.generate().unwrap();
+        assert_eq!(sut.core_count(), 15);
+        for (id, spec) in sut.iter() {
+            let density = sut.test_power_density(id);
+            assert!(density >= 0.5 - 1e-9 && density <= 1.0 + 1e-9);
+            assert!(spec.test_time() >= 0.5 && spec.test_time() <= 2.0);
+            let ratio = spec.test_to_functional_ratio().unwrap();
+            assert!((1.5..=8.0 + 1e-9).contains(&ratio));
+        }
+    }
+
+    #[test]
+    fn repeated_generation_varies_power_assignment() {
+        let mut g = SocGenerator::new(5, GeneratorConfig::default()).unwrap();
+        let first = g.generate().unwrap();
+        let second = g.generate().unwrap();
+        let same = first
+            .test_specs()
+            .iter()
+            .zip(second.test_specs())
+            .all(|(x, y)| (x.test_power() - y.test_power()).abs() < 1e-12);
+        assert!(!same);
+        assert_eq!(g.config().grid_columns, 4);
+    }
+}

@@ -1,0 +1,42 @@
+//! System-under-test descriptions for the `thermsched` workspace.
+//!
+//! The DATE 2005 paper schedules the tests of embedded cores of an SoC. This
+//! crate provides the data model for that input:
+//!
+//! * [`TestSpec`] — how one core behaves while its test set is applied
+//!   (average test power, test length, optional functional power),
+//! * [`SystemUnderTest`] — a floorplan paired with one test specification per
+//!   core, the input type consumed by every scheduler in the `thermsched`
+//!   core crate,
+//! * [`library`] — the two systems the paper uses (the Alpha-21364-like
+//!   15-core SoC of the evaluation and the hypothetical 7-core SoC of
+//!   Figure 1), and
+//! * [`SocGenerator`] — a seeded random generator of grid-shaped systems for
+//!   scaling studies and property-based tests.
+//!
+//! # Example
+//!
+//! ```
+//! use thermsched_soc::library;
+//!
+//! let sut = library::alpha21364_sut();
+//! println!("{sut}");
+//! assert_eq!(sut.core_count(), 15);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod generator;
+pub mod library;
+mod soc;
+mod test_spec;
+
+pub use error::SocError;
+pub use generator::{GeneratorConfig, SocGenerator};
+pub use soc::SystemUnderTest;
+pub use test_spec::TestSpec;
+
+/// Convenience result alias used throughout this crate.
+pub type Result<T, E = SocError> = std::result::Result<T, E>;

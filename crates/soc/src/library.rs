@@ -1,0 +1,192 @@
+//! Ready-made systems under test.
+//!
+//! * [`alpha21364_sut`] — the Alpha-21364-like 15-core system used for the
+//!   paper's experimental evaluation (Section 4), with test powers in the
+//!   1.5×–8× range of the functional powers as stated in the paper. The
+//!   absolute watt values are calibrated against the workspace's RC thermal
+//!   model so that single-core tests stay below the paper's lowest
+//!   temperature limit (145 °C) while unconstrained concurrency would push
+//!   hot blocks well past the highest limit (185 °C) — the same dynamic range
+//!   the paper's experiments operate in.
+//! * [`figure1_sut`] — the hypothetical 7-core system of Figure 1: every core
+//!   dissipates 15 W during test, so a 45 W chip-level power budget admits
+//!   both the small-core session and the large-core session even though their
+//!   peak temperatures differ drastically.
+
+use thermsched_floorplan::library as floorplan_library;
+
+use crate::{Result, SystemUnderTest, TestSpec};
+
+/// Per-core test powers for the Alpha-21364-like system, as
+/// `(core, test_power_w, functional_power_w)`.
+///
+/// Exposed so that benches and examples can report the test-to-functional
+/// ratios alongside scheduling results.
+pub const ALPHA21364_TEST_POWERS: [(&str, f64, f64); 15] = [
+    ("L2_bottom", 40.0, 21.0),
+    ("L2_left", 15.0, 8.0),
+    ("L2_right", 15.0, 8.0),
+    ("Icache", 16.0, 6.0),
+    ("Dcache", 17.0, 6.0),
+    ("LdStQ", 13.5, 2.5),
+    ("IntExec", 21.0, 4.0),
+    ("IntReg", 15.75, 2.8),
+    ("IntMap", 11.0, 1.5),
+    ("IntQ", 11.5, 1.6),
+    ("Bpred", 8.0, 1.0),
+    ("DTB", 7.0, 0.9),
+    ("FPAdd", 20.0, 2.5),
+    ("FPMul", 15.5, 2.0),
+    ("FPReg", 12.5, 1.6),
+];
+
+/// Default per-core test length in seconds for the library systems.
+///
+/// The paper reports schedule lengths and simulation effort in whole seconds
+/// for a 15-core system (2 s – 7 s schedules), which implies core tests of
+/// roughly one second each; we use exactly one second so that "schedule
+/// length in seconds" equals "number of test sessions".
+pub const DEFAULT_TEST_TIME: f64 = 1.0;
+
+/// Builds the Alpha-21364-like 15-core system under test used by the paper's
+/// evaluation.
+///
+/// # Example
+///
+/// ```
+/// let sut = thermsched_soc::library::alpha21364_sut();
+/// assert_eq!(sut.core_count(), 15);
+/// // Test power is 1.5x-8x the functional power for every core.
+/// for (_, spec) in sut.iter() {
+///     let ratio = spec.test_to_functional_ratio().unwrap();
+///     assert!(ratio >= 1.5 && ratio <= 8.0);
+/// }
+/// ```
+pub fn alpha21364_sut() -> SystemUnderTest {
+    try_alpha21364_sut().expect("library system is valid by construction")
+}
+
+/// Fallible variant of [`alpha21364_sut`], useful when the caller wants to
+/// surface construction errors instead of panicking.
+///
+/// # Errors
+///
+/// Never fails for the shipped constants; the `Result` form exists so the
+/// construction path is also exercised through the error-checked API.
+pub fn try_alpha21364_sut() -> Result<SystemUnderTest> {
+    let floorplan = floorplan_library::alpha21364();
+    let mut specs = Vec::with_capacity(ALPHA21364_TEST_POWERS.len());
+    for (name, test_power, functional_power) in ALPHA21364_TEST_POWERS {
+        specs.push(
+            TestSpec::new(name, test_power, DEFAULT_TEST_TIME)?
+                .with_functional_power(functional_power)?,
+        );
+    }
+    SystemUnderTest::new(floorplan, specs)
+}
+
+/// Builds the hypothetical 7-core system of the paper's Figure 1: every core
+/// dissipates 15 W during test (5 W functionally) for a 1-second test.
+///
+/// # Example
+///
+/// ```
+/// let sut = thermsched_soc::library::figure1_sut();
+/// assert_eq!(sut.core_count(), 7);
+/// assert!((sut.total_test_power() - 105.0).abs() < 1e-9);
+/// ```
+pub fn figure1_sut() -> SystemUnderTest {
+    try_figure1_sut().expect("library system is valid by construction")
+}
+
+/// Fallible variant of [`figure1_sut`].
+///
+/// # Errors
+///
+/// Never fails for the shipped constants.
+pub fn try_figure1_sut() -> Result<SystemUnderTest> {
+    let floorplan = floorplan_library::figure1_system();
+    let specs = floorplan
+        .blocks()
+        .iter()
+        .map(|b| {
+            TestSpec::new(b.name(), 15.0, DEFAULT_TEST_TIME)
+                .and_then(|s| s.with_functional_power(5.0))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    SystemUnderTest::new(floorplan, specs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_sut_covers_every_block_exactly_once() {
+        let sut = alpha21364_sut();
+        assert_eq!(sut.core_count(), 15);
+        for (id, spec) in sut.iter() {
+            assert_eq!(
+                sut.floorplan().index_of(spec.core_name()),
+                Some(id),
+                "spec order must match block order"
+            );
+        }
+    }
+
+    #[test]
+    fn alpha_test_powers_follow_paper_ratio_range() {
+        let sut = alpha21364_sut();
+        for (_, spec) in sut.iter() {
+            let ratio = spec.test_to_functional_ratio().unwrap();
+            assert!(
+                (1.5..=8.0).contains(&ratio),
+                "core {} has test/functional ratio {ratio}",
+                spec.core_name()
+            );
+        }
+    }
+
+    #[test]
+    fn alpha_power_densities_span_a_wide_range() {
+        // Datapath blocks must be far denser than the caches so that
+        // power-density (not power) drives the schedule, as in the paper.
+        let sut = alpha21364_sut();
+        let densities: Vec<f64> = (0..sut.core_count())
+            .map(|i| sut.test_power_density(i))
+            .collect();
+        let max = densities.iter().cloned().fold(0.0, f64::max);
+        let min = densities.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min > 3.0, "density spread too small: {min} .. {max}");
+    }
+
+    #[test]
+    fn alpha_test_times_are_one_second() {
+        let sut = alpha21364_sut();
+        for (_, spec) in sut.iter() {
+            assert_eq!(spec.test_time(), DEFAULT_TEST_TIME);
+        }
+        assert_eq!(sut.sequential_test_time(), 15.0);
+    }
+
+    #[test]
+    fn figure1_sut_matches_paper_setup() {
+        let sut = figure1_sut();
+        assert_eq!(sut.core_count(), 7);
+        for (_, spec) in sut.iter() {
+            assert_eq!(spec.test_power(), 15.0);
+            assert_eq!(spec.test_time(), 1.0);
+        }
+        // Power density of C2 is 4x that of C5 (the paper's observation).
+        let c2 = sut.floorplan().index_of("C2").unwrap();
+        let c5 = sut.floorplan().index_of("C5").unwrap();
+        let ratio = sut.test_power_density(c2) / sut.test_power_density(c5);
+        assert!((ratio - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fallible_constructors_succeed() {
+        assert!(try_alpha21364_sut().is_ok());
+        assert!(try_figure1_sut().is_ok());
+    }
+}

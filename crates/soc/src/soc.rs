@@ -1,0 +1,266 @@
+//! The system under test: a floorplan plus one test specification per core.
+
+use std::fmt;
+
+use thermsched_floorplan::{BlockId, Floorplan};
+
+use crate::{Result, SocError, TestSpec};
+
+/// A system-on-chip prepared for test scheduling: every floorplan block has a
+/// test specification (test power and test time).
+///
+/// The type guarantees, by construction, that test specifications and
+/// floorplan blocks are in one-to-one correspondence, so schedulers can index
+/// both by [`BlockId`] without re-validating.
+///
+/// # Example
+///
+/// ```
+/// use thermsched_floorplan::{Block, Floorplan};
+/// use thermsched_soc::{SystemUnderTest, TestSpec};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let fp = Floorplan::new(vec![
+///     Block::from_mm("cpu", 4.0, 4.0, 0.0, 0.0),
+///     Block::from_mm("dsp", 4.0, 4.0, 4.0, 0.0),
+/// ])?;
+/// let sut = SystemUnderTest::new(
+///     fp,
+///     vec![TestSpec::new("cpu", 8.0, 1.0)?, TestSpec::new("dsp", 5.0, 1.0)?],
+/// )?;
+/// assert_eq!(sut.core_count(), 2);
+/// assert_eq!(sut.test_spec(0).test_power(), 8.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SystemUnderTest {
+    floorplan: Floorplan,
+    /// Test specs indexed by [`BlockId`].
+    specs: Vec<TestSpec>,
+}
+
+impl SystemUnderTest {
+    /// Pairs a floorplan with test specifications.
+    ///
+    /// The specifications may be given in any order; they are matched to
+    /// blocks by core name.
+    ///
+    /// # Errors
+    ///
+    /// * [`SocError::UnknownCore`] if a specification names a block that does
+    ///   not exist.
+    /// * [`SocError::MissingTestSpec`] if any block has no specification.
+    pub fn new(floorplan: Floorplan, specs: Vec<TestSpec>) -> Result<Self> {
+        let mut ordered: Vec<Option<TestSpec>> = vec![None; floorplan.block_count()];
+        for spec in specs {
+            let id = floorplan
+                .index_of(spec.core_name())
+                .ok_or_else(|| SocError::UnknownCore {
+                    name: spec.core_name().to_owned(),
+                })?;
+            ordered[id] = Some(spec);
+        }
+        let mut flat = Vec::with_capacity(ordered.len());
+        for (id, spec) in ordered.into_iter().enumerate() {
+            match spec {
+                Some(s) => flat.push(s),
+                None => {
+                    return Err(SocError::MissingTestSpec {
+                        name: floorplan.blocks()[id].name().to_owned(),
+                    })
+                }
+            }
+        }
+        Ok(SystemUnderTest {
+            floorplan,
+            specs: flat,
+        })
+    }
+
+    /// Number of cores (equal to the floorplan block count).
+    pub fn core_count(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Borrows the floorplan.
+    pub fn floorplan(&self) -> &Floorplan {
+        &self.floorplan
+    }
+
+    /// Test specification of core `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn test_spec(&self, id: BlockId) -> &TestSpec {
+        &self.specs[id]
+    }
+
+    /// All test specifications in block-id order.
+    pub fn test_specs(&self) -> &[TestSpec] {
+        &self.specs
+    }
+
+    /// Test power of core `id` in watts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn test_power(&self, id: BlockId) -> f64 {
+        self.specs[id].test_power()
+    }
+
+    /// Test time of core `id` in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn test_time(&self, id: BlockId) -> f64 {
+        self.specs[id].test_time()
+    }
+
+    /// Test power density of core `id` in W/mm².
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn test_power_density(&self, id: BlockId) -> f64 {
+        self.specs[id].test_power() / (self.floorplan.blocks()[id].area() * 1e6)
+    }
+
+    /// Sum of all core test powers in watts (the quantity a chip-level
+    /// power-constrained scheduler budgets against).
+    pub fn total_test_power(&self) -> f64 {
+        self.specs.iter().map(TestSpec::test_power).sum()
+    }
+
+    /// Total test time if every core were tested back-to-back (the purely
+    /// sequential schedule length), in seconds.
+    pub fn sequential_test_time(&self) -> f64 {
+        self.specs.iter().map(TestSpec::test_time).sum()
+    }
+
+    /// Iterates over `(BlockId, &TestSpec)` pairs in block order.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockId, &TestSpec)> {
+        self.specs.iter().enumerate()
+    }
+}
+
+impl fmt::Display for SystemUnderTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "SystemUnderTest: {} cores, total test power {:.1} W",
+            self.core_count(),
+            self.total_test_power()
+        )?;
+        for (id, spec) in self.iter() {
+            writeln!(
+                f,
+                "  [{id:2}] {:<12} {:6.2} W for {:.2} s ({:.2} W/mm^2)",
+                spec.core_name(),
+                spec.test_power(),
+                spec.test_time(),
+                self.test_power_density(id)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thermsched_floorplan::Block;
+
+    fn fp() -> Floorplan {
+        Floorplan::new(vec![
+            Block::from_mm("cpu", 4.0, 4.0, 0.0, 0.0),
+            Block::from_mm("dsp", 2.0, 4.0, 4.0, 0.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn pairs_specs_with_blocks_by_name() {
+        // Note reversed order relative to the floorplan.
+        let sut = SystemUnderTest::new(
+            fp(),
+            vec![
+                TestSpec::new("dsp", 5.0, 2.0).unwrap(),
+                TestSpec::new("cpu", 8.0, 1.0).unwrap(),
+            ],
+        )
+        .unwrap();
+        assert_eq!(sut.core_count(), 2);
+        assert_eq!(sut.test_spec(0).core_name(), "cpu");
+        assert_eq!(sut.test_power(0), 8.0);
+        assert_eq!(sut.test_time(1), 2.0);
+        assert_eq!(sut.total_test_power(), 13.0);
+        assert_eq!(sut.sequential_test_time(), 3.0);
+    }
+
+    #[test]
+    fn rejects_unknown_and_missing_cores() {
+        let err = SystemUnderTest::new(
+            fp(),
+            vec![
+                TestSpec::new("cpu", 8.0, 1.0).unwrap(),
+                TestSpec::new("gpu", 5.0, 1.0).unwrap(),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, SocError::UnknownCore { .. }));
+
+        let err =
+            SystemUnderTest::new(fp(), vec![TestSpec::new("cpu", 8.0, 1.0).unwrap()]).unwrap_err();
+        assert!(matches!(err, SocError::MissingTestSpec { .. }));
+    }
+
+    #[test]
+    fn power_density_uses_block_area() {
+        let sut = SystemUnderTest::new(
+            fp(),
+            vec![
+                TestSpec::new("cpu", 16.0, 1.0).unwrap(),
+                TestSpec::new("dsp", 8.0, 1.0).unwrap(),
+            ],
+        )
+        .unwrap();
+        // cpu: 16 W over 16 mm^2 = 1 W/mm^2; dsp: 8 W over 8 mm^2 = 1 W/mm^2.
+        assert!((sut.test_power_density(0) - 1.0).abs() < 1e-9);
+        assert!((sut.test_power_density(1) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_lists_cores() {
+        let sut = SystemUnderTest::new(
+            fp(),
+            vec![
+                TestSpec::new("cpu", 8.0, 1.0).unwrap(),
+                TestSpec::new("dsp", 5.0, 1.0).unwrap(),
+            ],
+        )
+        .unwrap();
+        let text = format!("{sut}");
+        assert!(text.contains("2 cores"));
+        assert!(text.contains("cpu"));
+        assert!(text.contains("dsp"));
+    }
+
+    #[test]
+    fn iter_yields_block_order() {
+        let sut = SystemUnderTest::new(
+            fp(),
+            vec![
+                TestSpec::new("dsp", 5.0, 1.0).unwrap(),
+                TestSpec::new("cpu", 8.0, 1.0).unwrap(),
+            ],
+        )
+        .unwrap();
+        let names: Vec<&str> = sut.iter().map(|(_, s)| s.core_name()).collect();
+        assert_eq!(names, vec!["cpu", "dsp"]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Per-core test specifications.
+
+use crate::{Result, SocError};
+
+/// How one core behaves while its test set is applied.
+///
+/// The DATE 2005 paper characterises each core by its average power
+/// dissipation during test (which it reports as 1.5×–8× the functional
+/// power) and the length of its test. Functional power is kept alongside so
+/// that examples and benches can report the test-to-functional ratio.
+///
+/// # Example
+///
+/// ```
+/// use thermsched_soc::TestSpec;
+///
+/// # fn main() -> Result<(), thermsched_soc::SocError> {
+/// let spec = TestSpec::new("IntExec", 12.0, 1.0)?.with_functional_power(4.0)?;
+/// assert_eq!(spec.core_name(), "IntExec");
+/// assert!((spec.test_to_functional_ratio().unwrap() - 3.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TestSpec {
+    core_name: String,
+    test_power: f64,
+    test_time: f64,
+    functional_power: Option<f64>,
+}
+
+impl TestSpec {
+    /// Creates a specification for a core: average power during test (watts)
+    /// and test length (seconds).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::InvalidTestSpec`] if power or time is non-positive
+    /// or non-finite.
+    pub fn new(core_name: impl Into<String>, test_power: f64, test_time: f64) -> Result<Self> {
+        let core_name = core_name.into();
+        if !(test_power > 0.0 && test_power.is_finite()) {
+            return Err(SocError::InvalidTestSpec {
+                name: core_name,
+                field: "test_power_w",
+                value: test_power,
+            });
+        }
+        if !(test_time > 0.0 && test_time.is_finite()) {
+            return Err(SocError::InvalidTestSpec {
+                name: core_name,
+                field: "test_time_s",
+                value: test_time,
+            });
+        }
+        Ok(TestSpec {
+            core_name,
+            test_power,
+            test_time,
+            functional_power: None,
+        })
+    }
+
+    /// Attaches the core's functional (normal-mode) power, in watts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::InvalidTestSpec`] if the value is non-positive or
+    /// non-finite.
+    pub fn with_functional_power(mut self, functional_power: f64) -> Result<Self> {
+        if !(functional_power > 0.0 && functional_power.is_finite()) {
+            return Err(SocError::InvalidTestSpec {
+                name: self.core_name,
+                field: "functional_power_w",
+                value: functional_power,
+            });
+        }
+        self.functional_power = Some(functional_power);
+        Ok(self)
+    }
+
+    /// Name of the core (must match a floorplan block name).
+    pub fn core_name(&self) -> &str {
+        &self.core_name
+    }
+
+    /// Average power during test, in watts.
+    pub fn test_power(&self) -> f64 {
+        self.test_power
+    }
+
+    /// Test length in seconds.
+    pub fn test_time(&self) -> f64 {
+        self.test_time
+    }
+
+    /// Functional power in watts, if known.
+    pub fn functional_power(&self) -> Option<f64> {
+        self.functional_power
+    }
+
+    /// Ratio of test power to functional power, if functional power is known.
+    pub fn test_to_functional_ratio(&self) -> Option<f64> {
+        self.functional_power.map(|f| self.test_power / f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let s = TestSpec::new("cpu", 10.0, 2.0).unwrap();
+        assert_eq!(s.core_name(), "cpu");
+        assert_eq!(s.test_power(), 10.0);
+        assert_eq!(s.test_time(), 2.0);
+        assert_eq!(s.functional_power(), None);
+        assert_eq!(s.test_to_functional_ratio(), None);
+    }
+
+    #[test]
+    fn functional_power_and_ratio() {
+        let s = TestSpec::new("cpu", 10.0, 1.0)
+            .unwrap()
+            .with_functional_power(2.5)
+            .unwrap();
+        assert_eq!(s.functional_power(), Some(2.5));
+        assert_eq!(s.test_to_functional_ratio(), Some(4.0));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(TestSpec::new("cpu", 0.0, 1.0).is_err());
+        assert!(TestSpec::new("cpu", 10.0, 0.0).is_err());
+        assert!(TestSpec::new("cpu", f64::NAN, 1.0).is_err());
+        assert!(TestSpec::new("cpu", 10.0, f64::INFINITY).is_err());
+        assert!(TestSpec::new("cpu", 10.0, 1.0)
+            .unwrap()
+            .with_functional_power(0.0)
+            .is_err());
+    }
+}

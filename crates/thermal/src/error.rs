@@ -1,0 +1,111 @@
+//! Error type for thermal model construction and simulation.
+
+use std::error::Error;
+use std::fmt;
+
+use thermsched_linalg::LinalgError;
+
+/// Errors produced while building or simulating the compact thermal model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ThermalError {
+    /// A package or material parameter is non-positive or non-finite.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The value that was supplied.
+        value: f64,
+    },
+    /// A power map refers to a block id outside the floorplan.
+    UnknownBlock {
+        /// The offending block id.
+        block: usize,
+        /// Number of blocks in the model.
+        count: usize,
+    },
+    /// The power vector has the wrong length for the model.
+    PowerLengthMismatch {
+        /// Expected number of blocks.
+        expected: usize,
+        /// Length of the supplied power vector.
+        found: usize,
+    },
+    /// A power value is negative or non-finite.
+    InvalidPower {
+        /// The offending block id.
+        block: usize,
+        /// The offending power value in watts.
+        value: f64,
+    },
+    /// A simulation duration or time step is non-positive or non-finite.
+    InvalidDuration {
+        /// The offending value in seconds.
+        value: f64,
+    },
+    /// The underlying linear solve failed.
+    Solver(LinalgError),
+}
+
+impl fmt::Display for ThermalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThermalError::InvalidParameter { name, value } => {
+                write!(f, "invalid thermal parameter {name} = {value}")
+            }
+            ThermalError::UnknownBlock { block, count } => {
+                write!(f, "block id {block} out of range for model with {count} blocks")
+            }
+            ThermalError::PowerLengthMismatch { expected, found } => write!(
+                f,
+                "power vector length {found} does not match block count {expected}"
+            ),
+            ThermalError::InvalidPower { block, value } => {
+                write!(f, "invalid power {value} W for block {block}")
+            }
+            ThermalError::InvalidDuration { value } => {
+                write!(f, "invalid duration or time step {value} s")
+            }
+            ThermalError::Solver(e) => write!(f, "linear solver failure: {e}"),
+        }
+    }
+}
+
+impl Error for ThermalError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ThermalError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for ThermalError {
+    fn from(e: LinalgError) -> Self {
+        ThermalError::Solver(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ThermalError::InvalidParameter {
+            name: "die_thickness_m",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("die_thickness_m"));
+
+        let inner = LinalgError::Singular { pivot: 0 };
+        let e: ThermalError = inner.into();
+        assert!(e.to_string().contains("linear solver failure"));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ThermalError>();
+    }
+}

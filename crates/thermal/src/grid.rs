@@ -1,0 +1,491 @@
+//! Fine-grained grid thermal model.
+//!
+//! The block-level RC model in [`crate::ThermalNetwork`] lumps every
+//! floorplan block into a single node. HotSpot — the simulator the paper used
+//! for validation — also offers a *grid mode* in which the die is discretised
+//! into a regular mesh of thermal cells, which resolves intra-block gradients
+//! and the exact geometry of hot-spot formation. This module provides the
+//! equivalent: a steady-state grid model assembled as a sparse system and
+//! solved with the conjugate-gradient solver from `thermsched-linalg`.
+//!
+//! The grid model is intentionally steady-state only: the paper's
+//! modification 1 uses steady-state temperatures as upper bounds of the
+//! transient session profile, and the scheduler consumes the model through
+//! the same [`ThermalSimulator`] trait as the block-level simulator, so the
+//! two can be swapped to study guidance-vs-validation fidelity.
+
+use thermsched_floorplan::{BlockId, Floorplan};
+use thermsched_linalg::{ConjugateGradient, CsrMatrix, Triplet};
+
+use crate::{
+    PackageConfig, PowerMap, Result, SessionThermalResult, Temperatures, ThermalError,
+    ThermalSimulator,
+};
+
+/// Resolution of the thermal grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridResolution {
+    /// Number of grid columns across the die width.
+    pub columns: usize,
+    /// Number of grid rows across the die height.
+    pub rows: usize,
+}
+
+impl Default for GridResolution {
+    fn default() -> Self {
+        GridResolution {
+            columns: 32,
+            rows: 32,
+        }
+    }
+}
+
+impl GridResolution {
+    /// Creates a resolution after validating it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParameter`] if either dimension is zero.
+    pub fn new(columns: usize, rows: usize) -> Result<Self> {
+        if columns == 0 {
+            return Err(ThermalError::InvalidParameter {
+                name: "grid_columns",
+                value: 0.0,
+            });
+        }
+        if rows == 0 {
+            return Err(ThermalError::InvalidParameter {
+                name: "grid_rows",
+                value: 0.0,
+            });
+        }
+        Ok(GridResolution { columns, rows })
+    }
+
+    /// Total number of cells.
+    pub fn cell_count(&self) -> usize {
+        self.columns * self.rows
+    }
+}
+
+/// Steady-state grid thermal simulator.
+///
+/// The die bounding box is divided into `columns × rows` cells. Each cell is
+/// coupled laterally to its four neighbours through the silicon sheet
+/// conductance and vertically to the ambient through the per-area die,
+/// interface and (area-apportioned) package resistance. Cell powers are the
+/// block powers spread uniformly over the cells whose centres fall inside the
+/// block.
+///
+/// # Example
+///
+/// ```
+/// use thermsched_floorplan::library;
+/// use thermsched_thermal::{GridResolution, GridThermalSimulator, PowerMap, ThermalSimulator};
+///
+/// # fn main() -> Result<(), thermsched_thermal::ThermalError> {
+/// let fp = library::alpha21364();
+/// let sim = GridThermalSimulator::new(&fp, &Default::default(), GridResolution::new(24, 24)?)?;
+/// let mut power = PowerMap::zeros(fp.block_count());
+/// power.set(fp.index_of("IntExec").unwrap(), 20.0)?;
+/// let session = sim.simulate_session(&power, 1.0)?;
+/// assert!(session.max_temperature() > sim.ambient());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct GridThermalSimulator {
+    resolution: GridResolution,
+    /// Sparse conductance matrix over grid cells (W/K).
+    conductance: CsrMatrix,
+    /// For each cell, the floorplan block covering its centre (if any).
+    cell_block: Vec<Option<BlockId>>,
+    /// For each block, the indices of its cells.
+    block_cells: Vec<Vec<usize>>,
+    block_count: usize,
+    ambient: f64,
+    solver: ConjugateGradient,
+}
+
+impl GridThermalSimulator {
+    /// Builds the grid model for a floorplan, package and resolution.
+    ///
+    /// # Errors
+    ///
+    /// * [`ThermalError::InvalidParameter`] if the package or resolution is
+    ///   invalid, or if some block covers no grid cell (the resolution is too
+    ///   coarse for the smallest block).
+    pub fn new(
+        floorplan: &Floorplan,
+        package: &PackageConfig,
+        resolution: GridResolution,
+    ) -> Result<Self> {
+        package.validate()?;
+        let bounds = floorplan.bounds();
+        let nx = resolution.columns;
+        let ny = resolution.rows;
+        let cell_w = bounds.width / nx as f64;
+        let cell_h = bounds.height / ny as f64;
+
+        // Map cells to blocks by cell-centre containment; cells whose centre
+        // falls on a block boundary (or in floating-point slivers between
+        // abutting blocks) are assigned to the nearest block so that a fully
+        // tiled die always yields a fully covered grid.
+        let mut cell_block = vec![None; resolution.cell_count()];
+        let mut block_cells = vec![Vec::new(); floorplan.block_count()];
+        for iy in 0..ny {
+            for ix in 0..nx {
+                let cx = bounds.x + (ix as f64 + 0.5) * cell_w;
+                let cy = bounds.y + (iy as f64 + 0.5) * cell_h;
+                let cell = iy * nx + ix;
+                let mut assigned = None;
+                for (id, block) in floorplan.iter() {
+                    let r = block.rect();
+                    if cx >= r.x && cx < r.right() && cy >= r.y && cy < r.top() {
+                        assigned = Some(id);
+                        break;
+                    }
+                }
+                if assigned.is_none() {
+                    // Nearest block by centre-to-rectangle distance, but only
+                    // when the centre is essentially on a boundary (within one
+                    // cell); genuine whitespace stays unassigned (background
+                    // silicon with no power source).
+                    let mut best: Option<(BlockId, f64)> = None;
+                    for (id, block) in floorplan.iter() {
+                        let r = block.rect();
+                        let dx = (r.x - cx).max(cx - r.right()).max(0.0);
+                        let dy = (r.y - cy).max(cy - r.top()).max(0.0);
+                        let d = (dx * dx + dy * dy).sqrt();
+                        if best.map_or(true, |(_, bd)| d < bd) {
+                            best = Some((id, d));
+                        }
+                    }
+                    if let Some((id, d)) = best {
+                        if d < cell_w.min(cell_h) {
+                            assigned = Some(id);
+                        }
+                    }
+                }
+                if let Some(id) = assigned {
+                    cell_block[cell] = Some(id);
+                    block_cells[id].push(cell);
+                }
+            }
+        }
+        for (id, cells) in block_cells.iter().enumerate() {
+            if cells.is_empty() {
+                return Err(ThermalError::InvalidParameter {
+                    name: "grid resolution too coarse for block",
+                    value: id as f64,
+                });
+            }
+        }
+
+        // Assemble the sparse conductance matrix.
+        let k_die = package.die_material.conductivity;
+        let t_die = package.die_thickness;
+        let cell_area = cell_w * cell_h;
+        // Per-area vertical resistance: die + interface + package share.
+        let die_area = bounds.area();
+        let a_spreader = package.spreader_side * package.spreader_side;
+        let a_sink = package.sink_side * package.sink_side;
+        let package_resistance = package.spreader_thickness
+            / (package.spreader_material.conductivity * a_spreader)
+            + package.sink_thickness / (package.sink_material.conductivity * a_sink)
+            + package.convection_resistance;
+        let r_area = t_die / k_die
+            + package.interface_thickness / package.interface_material.conductivity
+            + package_resistance * die_area;
+        let g_vertical = cell_area / r_area;
+
+        // Lateral sheet conductance between orthogonally adjacent cells:
+        // G = k * t * (shared edge) / (centre distance).
+        let g_lat_x = k_die * t_die * cell_h / cell_w;
+        let g_lat_y = k_die * t_die * cell_w / cell_h;
+
+        let mut triplets = Vec::with_capacity(resolution.cell_count() * 5);
+        for iy in 0..ny {
+            for ix in 0..nx {
+                let cell = iy * nx + ix;
+                triplets.push(Triplet::new(cell, cell, g_vertical));
+                if ix + 1 < nx {
+                    let east = cell + 1;
+                    triplets.push(Triplet::new(cell, cell, g_lat_x));
+                    triplets.push(Triplet::new(east, east, g_lat_x));
+                    triplets.push(Triplet::new(cell, east, -g_lat_x));
+                    triplets.push(Triplet::new(east, cell, -g_lat_x));
+                }
+                if iy + 1 < ny {
+                    let north = cell + nx;
+                    triplets.push(Triplet::new(cell, cell, g_lat_y));
+                    triplets.push(Triplet::new(north, north, g_lat_y));
+                    triplets.push(Triplet::new(cell, north, -g_lat_y));
+                    triplets.push(Triplet::new(north, cell, -g_lat_y));
+                }
+            }
+        }
+        let conductance =
+            CsrMatrix::from_triplets(resolution.cell_count(), resolution.cell_count(), &triplets)?;
+
+        Ok(GridThermalSimulator {
+            resolution,
+            conductance,
+            cell_block,
+            block_cells,
+            block_count: floorplan.block_count(),
+            ambient: package.ambient,
+            solver: ConjugateGradient::new().with_tolerance(1e-9),
+        })
+    }
+
+    /// The grid resolution.
+    pub fn resolution(&self) -> GridResolution {
+        self.resolution
+    }
+
+    /// Number of grid cells.
+    pub fn cell_count(&self) -> usize {
+        self.resolution.cell_count()
+    }
+
+    /// The block covering cell `cell`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    pub fn cell_block(&self, cell: usize) -> Option<BlockId> {
+        self.cell_block[cell]
+    }
+
+    /// Solves the steady-state cell temperatures (°C) for a per-block power
+    /// map.
+    ///
+    /// # Errors
+    ///
+    /// * [`ThermalError::PowerLengthMismatch`] if the power map does not cover
+    ///   the floorplan's blocks.
+    /// * [`ThermalError::Solver`] if the conjugate-gradient solve fails.
+    pub fn cell_temperatures(&self, power: &PowerMap) -> Result<Vec<f64>> {
+        if power.block_count() != self.block_count {
+            return Err(ThermalError::PowerLengthMismatch {
+                expected: self.block_count,
+                found: power.block_count(),
+            });
+        }
+        let mut rhs = vec![0.0; self.cell_count()];
+        for (block, cells) in self.block_cells.iter().enumerate() {
+            let p = power.power(block);
+            if p > 0.0 {
+                let per_cell = p / cells.len() as f64;
+                for &cell in cells {
+                    rhs[cell] += per_cell;
+                }
+            }
+        }
+        let solution = self.solver.solve(&self.conductance, &rhs)?;
+        Ok(solution.x.iter().map(|dt| dt + self.ambient).collect())
+    }
+
+    /// Reduces cell temperatures to per-block maxima.
+    fn block_maxima(&self, cells: &[f64]) -> Vec<f64> {
+        self.block_cells
+            .iter()
+            .map(|ids| {
+                ids.iter()
+                    .map(|&c| cells[c])
+                    .fold(f64::NEG_INFINITY, f64::max)
+            })
+            .collect()
+    }
+}
+
+impl ThermalSimulator for GridThermalSimulator {
+    fn block_count(&self) -> usize {
+        self.block_count
+    }
+
+    fn ambient(&self) -> f64 {
+        self.ambient
+    }
+
+    fn simulate_session(&self, power: &PowerMap, duration: f64) -> Result<SessionThermalResult> {
+        if !(duration > 0.0 && duration.is_finite()) {
+            return Err(ThermalError::InvalidDuration { value: duration });
+        }
+        let cells = self.cell_temperatures(power)?;
+        let max_block_temperatures = self.block_maxima(&cells);
+        // Report per-block mean temperature as the "final" value; the maxima
+        // already capture the hot spots.
+        let means: Vec<f64> = self
+            .block_cells
+            .iter()
+            .map(|ids| ids.iter().map(|&c| cells[c]).sum::<f64>() / ids.len() as f64)
+            .collect();
+        Ok(SessionThermalResult {
+            max_block_temperatures,
+            final_temperatures: Temperatures::new(means, self.block_count),
+            duration,
+        })
+    }
+
+    fn steady_state(&self, power: &PowerMap) -> Result<Temperatures> {
+        let cells = self.cell_temperatures(power)?;
+        Ok(Temperatures::new(self.block_maxima(&cells), self.block_count))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RcThermalSimulator;
+    use thermsched_floorplan::library;
+
+    fn grid_sim(n: usize) -> (GridThermalSimulator, Floorplan) {
+        let fp = library::alpha21364();
+        let sim = GridThermalSimulator::new(
+            &fp,
+            &PackageConfig::default(),
+            GridResolution::new(n, n).unwrap(),
+        )
+        .unwrap();
+        (sim, fp)
+    }
+
+    #[test]
+    fn resolution_validation() {
+        assert!(GridResolution::new(0, 4).is_err());
+        assert!(GridResolution::new(4, 0).is_err());
+        assert_eq!(GridResolution::default().cell_count(), 1024);
+    }
+
+    #[test]
+    fn every_cell_maps_to_a_block_on_a_fully_tiled_die() {
+        let (sim, fp) = grid_sim(24);
+        assert_eq!(sim.cell_count(), 576);
+        assert_eq!(sim.block_count(), fp.block_count());
+        for cell in 0..sim.cell_count() {
+            assert!(sim.cell_block(cell).is_some());
+        }
+    }
+
+    #[test]
+    fn too_coarse_resolution_is_rejected() {
+        // A 2x2 grid cannot give every one of the 15 blocks a cell.
+        let fp = library::alpha21364();
+        let err = GridThermalSimulator::new(
+            &fp,
+            &PackageConfig::default(),
+            GridResolution::new(2, 2).unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ThermalError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn zero_power_is_ambient_everywhere() {
+        let (sim, fp) = grid_sim(16);
+        let temps = sim
+            .cell_temperatures(&PowerMap::zeros(fp.block_count()))
+            .unwrap();
+        for t in temps {
+            assert!((t - sim.ambient()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn heated_block_contains_the_hottest_cell() {
+        let (sim, fp) = grid_sim(24);
+        let idx = fp.index_of("IntExec").unwrap();
+        let mut p = PowerMap::zeros(fp.block_count());
+        p.set(idx, 21.0).unwrap();
+        let cells = sim.cell_temperatures(&p).unwrap();
+        let (hottest_cell, _) = cells
+            .iter()
+            .enumerate()
+            .fold((0, f64::NEG_INFINITY), |acc, (i, &t)| {
+                if t > acc.1 {
+                    (i, t)
+                } else {
+                    acc
+                }
+            });
+        assert_eq!(sim.cell_block(hottest_cell), Some(idx));
+    }
+
+    #[test]
+    fn agrees_qualitatively_with_the_block_level_model() {
+        // Same power map: both models must name the same hottest block and
+        // agree on the temperature ordering of heated vs idle blocks.
+        let fp = library::alpha21364();
+        let grid = GridThermalSimulator::new(
+            &fp,
+            &PackageConfig::default(),
+            GridResolution::new(32, 32).unwrap(),
+        )
+        .unwrap();
+        let block = RcThermalSimulator::from_floorplan(&fp).unwrap();
+        let mut p = PowerMap::zeros(fp.block_count());
+        p.set(fp.index_of("FPAdd").unwrap(), 20.0).unwrap();
+        p.set(fp.index_of("Dcache").unwrap(), 17.0).unwrap();
+        let tg = grid.steady_state(&p).unwrap();
+        let tb = block.steady_state(&p).unwrap();
+        assert_eq!(tg.hottest_block().unwrap().0, tb.hottest_block().unwrap().0);
+        // Within a factor-of-two band on the temperature rise of the hottest
+        // block (the models differ in spreading fidelity, not in physics).
+        let rg = tg.max_block_temperature() - 45.0;
+        let rb = tb.max_block_temperature() - 45.0;
+        assert!(rg > 0.5 * rb && rg < 2.0 * rb, "grid {rg:.1} vs block {rb:.1}");
+    }
+
+    #[test]
+    fn refining_the_grid_converges() {
+        let fp = library::alpha21364();
+        let mut p = PowerMap::zeros(fp.block_count());
+        p.set(fp.index_of("Bpred").unwrap(), 8.0).unwrap();
+        let coarse = GridThermalSimulator::new(
+            &fp,
+            &PackageConfig::default(),
+            GridResolution::new(24, 24).unwrap(),
+        )
+        .unwrap();
+        let fine = GridThermalSimulator::new(
+            &fp,
+            &PackageConfig::default(),
+            GridResolution::new(48, 48).unwrap(),
+        )
+        .unwrap();
+        let tc = coarse.steady_state(&p).unwrap().max_block_temperature();
+        let tf = fine.steady_state(&p).unwrap().max_block_temperature();
+        assert!(
+            (tc - tf).abs() < 0.25 * (tf - 45.0).abs().max(1.0),
+            "coarse {tc:.2} vs fine {tf:.2}"
+        );
+    }
+
+    #[test]
+    fn session_api_reports_maxima_and_validates_inputs() {
+        let (sim, fp) = grid_sim(16);
+        let mut p = PowerMap::zeros(fp.block_count());
+        p.set(0, 30.0).unwrap();
+        let session = sim.simulate_session(&p, 1.0).unwrap();
+        assert!(session.max_temperature() > sim.ambient());
+        assert_eq!(session.max_block_temperatures.len(), fp.block_count());
+        assert!(sim.simulate_session(&p, 0.0).is_err());
+        assert!(sim.simulate_session(&PowerMap::zeros(3), 1.0).is_err());
+    }
+
+    #[test]
+    fn small_block_runs_hotter_than_large_block_at_equal_power() {
+        let (sim, fp) = grid_sim(32);
+        let small = fp.index_of("Bpred").unwrap();
+        let large = fp.index_of("L2_bottom").unwrap();
+        let mut ps = PowerMap::zeros(fp.block_count());
+        ps.set(small, 10.0).unwrap();
+        let mut pl = PowerMap::zeros(fp.block_count());
+        pl.set(large, 10.0).unwrap();
+        let ts = sim.steady_state(&ps).unwrap().block(small);
+        let tl = sim.steady_state(&pl).unwrap().block(large);
+        assert!(ts > tl, "power density must dominate: {ts:.1} vs {tl:.1}");
+    }
+}

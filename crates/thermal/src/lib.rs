@@ -1,0 +1,68 @@
+//! Block-level RC-equivalent compact thermal simulation for the `thermsched`
+//! workspace.
+//!
+//! This crate plays the role that the HotSpot simulator plays in the DATE
+//! 2005 paper "Rapid Generation of Thermal-Safe Test Schedules": given a
+//! floorplan and a per-block power map, it predicts block temperatures, which
+//! the test scheduler uses to *validate* candidate test sessions. The model
+//! follows the thermal–electrical duality of the architecture-level RC model
+//! (Skadron et al., ISCAS 2003):
+//!
+//! * every floorplan block is a node with a thermal capacitance,
+//! * abutting blocks are coupled by lateral thermal resistances,
+//! * blocks on the die boundary have a lateral path to the ambient,
+//! * every block has a vertical path (die + interface material) to a lumped
+//!   heat-spreader node, which connects through the heat sink and a
+//!   convection resistance to the ambient.
+//!
+//! Both steady-state ([`SteadyStateSolver`]) and transient
+//! ([`TransientSolver`]) solutions are available; [`RcThermalSimulator`]
+//! wraps them behind the [`ThermalSimulator`] trait consumed by the
+//! scheduler.
+//!
+//! # Example
+//!
+//! ```
+//! use thermsched_floorplan::library;
+//! use thermsched_thermal::{PowerMap, RcThermalSimulator, ThermalSimulator};
+//!
+//! # fn main() -> Result<(), thermsched_thermal::ThermalError> {
+//! let floorplan = library::alpha21364();
+//! let simulator = RcThermalSimulator::from_floorplan(&floorplan)?;
+//! let mut power = PowerMap::zeros(floorplan.block_count());
+//! power.set(floorplan.index_of("IntExec").unwrap(), 25.0)?;
+//! let session = simulator.simulate_session(&power, 1.0)?;
+//! println!("peak temperature: {:.1} C", session.max_temperature());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod grid;
+mod materials;
+mod network;
+mod package;
+mod power;
+mod simulator;
+mod steady_state;
+mod temperatures;
+mod transient;
+
+pub use error::ThermalError;
+pub use grid::{GridResolution, GridThermalSimulator};
+pub use materials::Material;
+pub use network::{lateral_resistance_from_geometry, NodeKind, ThermalNetwork};
+pub use package::PackageConfig;
+pub use power::PowerMap;
+pub use simulator::{
+    RcThermalSimulator, SessionThermalResult, SimulationFidelity, ThermalSimulator,
+};
+pub use steady_state::SteadyStateSolver;
+pub use temperatures::Temperatures;
+pub use transient::{TransientConfig, TransientResult, TransientSolver};
+
+/// Convenience result alias used throughout this crate.
+pub type Result<T, E = ThermalError> = std::result::Result<T, E>;

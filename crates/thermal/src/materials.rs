@@ -1,0 +1,99 @@
+//! Material properties used by the RC-equivalent thermal model.
+//!
+//! Default values follow the ones shipped with the HotSpot simulator the
+//! paper used for validation (silicon die, thermal-interface material, copper
+//! heat spreader and heat sink).
+
+use crate::{Result, ThermalError};
+
+/// Thermal properties of one material layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Material {
+    /// Thermal conductivity in W/(m·K).
+    pub conductivity: f64,
+    /// Volumetric heat capacity in J/(m³·K).
+    pub volumetric_heat_capacity: f64,
+}
+
+impl Material {
+    /// Creates a material after validating that both properties are positive
+    /// and finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParameter`] for non-positive or
+    /// non-finite values.
+    pub fn new(conductivity: f64, volumetric_heat_capacity: f64) -> Result<Self> {
+        if !(conductivity > 0.0 && conductivity.is_finite()) {
+            return Err(ThermalError::InvalidParameter {
+                name: "conductivity",
+                value: conductivity,
+            });
+        }
+        if !(volumetric_heat_capacity > 0.0 && volumetric_heat_capacity.is_finite()) {
+            return Err(ThermalError::InvalidParameter {
+                name: "volumetric_heat_capacity",
+                value: volumetric_heat_capacity,
+            });
+        }
+        Ok(Material {
+            conductivity,
+            volumetric_heat_capacity,
+        })
+    }
+
+    /// Bulk silicon at operating temperature (k ≈ 100 W/m·K, c ≈ 1.75 MJ/m³K).
+    pub fn silicon() -> Self {
+        Material {
+            conductivity: 100.0,
+            volumetric_heat_capacity: 1.75e6,
+        }
+    }
+
+    /// Copper used for the heat spreader and heat sink base
+    /// (k ≈ 400 W/m·K, c ≈ 3.55 MJ/m³K).
+    pub fn copper() -> Self {
+        Material {
+            conductivity: 400.0,
+            volumetric_heat_capacity: 3.55e6,
+        }
+    }
+
+    /// Thermal interface material (grease) between die and spreader
+    /// (k ≈ 0.8 W/m·K, c ≈ 4 MJ/m³K).
+    ///
+    /// The interface layer dominates the per-block vertical resistance, which
+    /// therefore scales inversely with block area; this is what makes power
+    /// *density* (not power) the quantity that determines block temperature,
+    /// the effect the DATE 2005 paper builds on.
+    pub fn thermal_interface() -> Self {
+        Material {
+            conductivity: 0.8,
+            volumetric_heat_capacity: 4.0e6,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_physical() {
+        for m in [Material::silicon(), Material::copper(), Material::thermal_interface()] {
+            assert!(m.conductivity > 0.0);
+            assert!(m.volumetric_heat_capacity > 0.0);
+        }
+        // Copper conducts much better than the interface material.
+        assert!(Material::copper().conductivity > 10.0 * Material::thermal_interface().conductivity);
+    }
+
+    #[test]
+    fn new_validates_inputs() {
+        assert!(Material::new(100.0, 1e6).is_ok());
+        assert!(Material::new(0.0, 1e6).is_err());
+        assert!(Material::new(100.0, -1.0).is_err());
+        assert!(Material::new(f64::NAN, 1e6).is_err());
+    }
+}

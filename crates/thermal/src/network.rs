@@ -1,0 +1,415 @@
+//! Assembly of the RC-equivalent thermal network from a floorplan and a
+//! package description.
+//!
+//! The model follows the block-level HotSpot idea (thermal–electrical
+//! duality): every floorplan block is a node, laterally coupled to its
+//! abutting neighbours and to the die edge, and vertically coupled through
+//! the interface material to a heat-spreader node, which connects through the
+//! heat-sink node and a convection resistance to the ambient (thermal
+//! ground).
+
+use thermsched_floorplan::{AdjacencyGraph, BlockId, Floorplan, Side};
+use thermsched_linalg::DenseMatrix;
+
+use crate::{PackageConfig, Result, ThermalError};
+
+/// What a node of the thermal network represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum NodeKind {
+    /// A die-level floorplan block (index is the floorplan [`BlockId`]).
+    Block(usize),
+    /// The lumped heat-spreader node.
+    Spreader,
+    /// The lumped heat-sink node.
+    Sink,
+}
+
+/// The assembled RC-equivalent thermal network.
+///
+/// Temperatures are expressed as rises over the ambient; the conductance
+/// matrix `G` (in W/K) satisfies `G · ΔT = P` in steady state and
+/// `C · dΔT/dt = P − G · ΔT` in the transient case, with `C` the per-node
+/// thermal capacitance in J/K.
+///
+/// # Example
+///
+/// ```
+/// use thermsched_floorplan::library;
+/// use thermsched_thermal::{PackageConfig, ThermalNetwork};
+///
+/// # fn main() -> Result<(), thermsched_thermal::ThermalError> {
+/// let fp = library::alpha21364();
+/// let net = ThermalNetwork::build(&fp, &PackageConfig::default())?;
+/// assert_eq!(net.block_count(), 15);
+/// assert_eq!(net.node_count(), 17); // blocks + spreader + sink
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThermalNetwork {
+    conductance: DenseMatrix,
+    capacitance: Vec<f64>,
+    kinds: Vec<NodeKind>,
+    block_count: usize,
+    ambient: f64,
+    /// Lateral block-to-block thermal resistances, kept for the session
+    /// thermal model (K/W). `lateral_resistance[i][j]` is `f64::INFINITY`
+    /// when blocks `i` and `j` do not abut.
+    lateral_resistance: Vec<Vec<f64>>,
+    /// Per-block, per-side resistance of the lateral path to the die edge
+    /// (K/W); `f64::INFINITY` when the block does not touch that edge.
+    edge_resistance: Vec<[f64; 4]>,
+    /// Per-block vertical resistance to the spreader node (K/W).
+    vertical_resistance: Vec<f64>,
+}
+
+impl ThermalNetwork {
+    /// Builds the network for `floorplan` with the given package.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParameter`] if the package fails
+    /// validation.
+    pub fn build(floorplan: &Floorplan, package: &PackageConfig) -> Result<Self> {
+        package.validate()?;
+        let n = floorplan.block_count();
+        let adjacency = floorplan.adjacency();
+        let node_count = n + 2;
+        let spreader = n;
+        let sink = n + 1;
+
+        let mut g = DenseMatrix::zeros(node_count, node_count);
+        let mut c = vec![0.0; node_count];
+        let mut kinds = Vec::with_capacity(node_count);
+        for i in 0..n {
+            kinds.push(NodeKind::Block(i));
+        }
+        kinds.push(NodeKind::Spreader);
+        kinds.push(NodeKind::Sink);
+
+        let k_die = package.die_material.conductivity;
+        let t_die = package.die_thickness;
+
+        // Lateral block-to-block conductances.
+        let mut lateral_resistance = vec![vec![f64::INFINITY; n]; n];
+        for edge in adjacency.edges() {
+            let conductance = k_die * t_die * edge.length / edge.center_distance;
+            if conductance > 0.0 {
+                stamp_pair(&mut g, edge.a, edge.b, conductance);
+                let r = 1.0 / conductance;
+                lateral_resistance[edge.a][edge.b] = r;
+                lateral_resistance[edge.b][edge.a] = r;
+            }
+        }
+
+        // Lateral block-to-edge (ambient) conductances and vertical paths.
+        let mut edge_resistance = vec![[f64::INFINITY; 4]; n];
+        let mut vertical_resistance = vec![0.0; n];
+        for (id, block) in floorplan.iter() {
+            let exposure = adjacency.boundary_exposure(id);
+            for (s, side) in Side::ALL.iter().enumerate() {
+                let len = exposure.on_side(*side);
+                if len <= 0.0 {
+                    continue;
+                }
+                // Distance from the block centre to the exposed edge.
+                let half = match side {
+                    Side::North | Side::South => block.height() / 2.0,
+                    Side::East | Side::West => block.width() / 2.0,
+                };
+                let r_silicon = half / (k_die * t_die * len);
+                let r_package = package.edge_resistance_per_meter / len;
+                let r_total = r_silicon + r_package;
+                edge_resistance[id][s] = r_total;
+                // Path to ambient: stamp on the diagonal only.
+                g.add_to(id, id, 1.0 / r_total);
+            }
+
+            // Vertical path: die conduction + interface material, per block area.
+            let area = block.area();
+            let r_die_v = t_die / (k_die * area);
+            let r_tim = package.interface_thickness
+                / (package.interface_material.conductivity * area);
+            let r_vert = r_die_v + r_tim;
+            vertical_resistance[id] = r_vert;
+            stamp_pair(&mut g, id, spreader, 1.0 / r_vert);
+
+            // Block thermal capacitance.
+            c[id] = package.die_material.volumetric_heat_capacity * area * t_die;
+        }
+
+        // Spreader to sink conduction.
+        let a_spreader = package.spreader_side * package.spreader_side;
+        let a_sink = package.sink_side * package.sink_side;
+        let r_spreader = package.spreader_thickness
+            / (package.spreader_material.conductivity * a_spreader);
+        let r_sink_cond =
+            package.sink_thickness / (package.sink_material.conductivity * a_sink);
+        stamp_pair(&mut g, spreader, sink, 1.0 / (r_spreader + r_sink_cond));
+
+        // Sink to ambient convection.
+        g.add_to(sink, sink, 1.0 / package.convection_resistance);
+
+        // Spreader and sink capacitances.
+        c[spreader] = package.spreader_material.volumetric_heat_capacity
+            * a_spreader
+            * package.spreader_thickness;
+        c[sink] =
+            package.sink_material.volumetric_heat_capacity * a_sink * package.sink_thickness;
+
+        Ok(ThermalNetwork {
+            conductance: g,
+            capacitance: c,
+            kinds,
+            block_count: n,
+            ambient: package.ambient,
+            lateral_resistance,
+            edge_resistance,
+            vertical_resistance,
+        })
+    }
+
+    /// Number of die blocks in the model.
+    pub fn block_count(&self) -> usize {
+        self.block_count
+    }
+
+    /// Total number of nodes (blocks + spreader + sink).
+    pub fn node_count(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Ambient temperature in °C.
+    pub fn ambient(&self) -> f64 {
+        self.ambient
+    }
+
+    /// Kind of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn node_kind(&self, i: usize) -> NodeKind {
+        self.kinds[i]
+    }
+
+    /// Borrows the conductance matrix `G` (W/K).
+    pub fn conductance(&self) -> &DenseMatrix {
+        &self.conductance
+    }
+
+    /// Borrows the per-node capacitance vector (J/K).
+    pub fn capacitance(&self) -> &[f64] {
+        &self.capacitance
+    }
+
+    /// Lateral thermal resistance between two blocks in K/W
+    /// (`f64::INFINITY` if the blocks do not abut).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn lateral_resistance(&self, a: BlockId, b: BlockId) -> f64 {
+        self.lateral_resistance[a][b]
+    }
+
+    /// Resistance of the lateral path from block `id` to the die edge on the
+    /// given side, in K/W (`f64::INFINITY` if the block does not reach that
+    /// edge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn edge_resistance(&self, id: BlockId, side: Side) -> f64 {
+        let s = Side::ALL.iter().position(|x| *x == side).expect("side");
+        self.edge_resistance[id][s]
+    }
+
+    /// Vertical resistance from block `id` to the spreader node, in K/W.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn vertical_resistance(&self, id: BlockId) -> f64 {
+        self.vertical_resistance[id]
+    }
+
+    /// Expands a per-block power map into a full-length node power vector
+    /// (spreader and sink dissipate nothing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::PowerLengthMismatch`] if the power map does not
+    /// cover exactly [`ThermalNetwork::block_count`] blocks.
+    pub fn node_power_vector(&self, block_powers: &[f64]) -> Result<Vec<f64>> {
+        if block_powers.len() != self.block_count {
+            return Err(ThermalError::PowerLengthMismatch {
+                expected: self.block_count,
+                found: block_powers.len(),
+            });
+        }
+        let mut p = vec![0.0; self.node_count()];
+        p[..self.block_count].copy_from_slice(block_powers);
+        Ok(p)
+    }
+
+    /// The adjacency graph the network was built from can be recomputed from
+    /// the floorplan; this helper instead re-derives which blocks are coupled
+    /// laterally in the *network*, which tests use to check the stamping.
+    pub fn laterally_coupled(&self, a: BlockId, b: BlockId) -> bool {
+        self.lateral_resistance(a, b).is_finite()
+    }
+}
+
+/// Stamps a conductance between nodes `a` and `b` into the matrix.
+fn stamp_pair(g: &mut DenseMatrix, a: usize, b: usize, conductance: f64) {
+    g.add_to(a, a, conductance);
+    g.add_to(b, b, conductance);
+    g.add_to(a, b, -conductance);
+    g.add_to(b, a, -conductance);
+}
+
+/// Helper re-exported for use by the adjacency-based session model: computes
+/// the lateral silicon resistance between two abutting blocks given the
+/// shared-edge geometry (K/W).
+pub fn lateral_resistance_from_geometry(
+    adjacency: &AdjacencyGraph,
+    package: &PackageConfig,
+    a: BlockId,
+    b: BlockId,
+) -> f64 {
+    match adjacency.edge_between(a, b) {
+        Some(edge) => {
+            let conductance = package.die_material.conductivity
+                * package.die_thickness
+                * edge.length
+                / edge.center_distance;
+            if conductance > 0.0 {
+                1.0 / conductance
+            } else {
+                f64::INFINITY
+            }
+        }
+        None => f64::INFINITY,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thermsched_floorplan::library;
+
+    fn net() -> ThermalNetwork {
+        ThermalNetwork::build(&library::alpha21364(), &PackageConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn node_layout() {
+        let n = net();
+        assert_eq!(n.block_count(), 15);
+        assert_eq!(n.node_count(), 17);
+        assert_eq!(n.node_kind(0), NodeKind::Block(0));
+        assert_eq!(n.node_kind(15), NodeKind::Spreader);
+        assert_eq!(n.node_kind(16), NodeKind::Sink);
+        assert_eq!(n.ambient(), 45.0);
+    }
+
+    #[test]
+    fn conductance_matrix_is_symmetric_and_diagonally_dominant() {
+        let n = net();
+        let g = n.conductance();
+        assert!(g.is_symmetric(1e-9));
+        assert!(g.is_diagonally_dominant());
+        // Strict dominance at the sink row (convection to ground).
+        let sink = 16;
+        let row_off: f64 = (0..17)
+            .filter(|&j| j != sink)
+            .map(|j| g.get(sink, j).abs())
+            .sum();
+        assert!(g.get(sink, sink) > row_off);
+    }
+
+    #[test]
+    fn lateral_resistances_match_adjacency() {
+        let fp = library::alpha21364();
+        let n = ThermalNetwork::build(&fp, &PackageConfig::default()).unwrap();
+        let adj = fp.adjacency();
+        let icache = fp.index_of("Icache").unwrap();
+        let dcache = fp.index_of("Dcache").unwrap();
+        let fpadd = fp.index_of("FPAdd").unwrap();
+        assert!(adj.shared_edge_length(icache, dcache) > 0.0);
+        assert!(n.laterally_coupled(icache, dcache));
+        assert!(n.lateral_resistance(icache, dcache).is_finite());
+        // Icache (bottom-middle) and FPAdd (top row) are not adjacent.
+        assert!(!n.laterally_coupled(icache, fpadd));
+        assert!(n.lateral_resistance(icache, fpadd).is_infinite());
+    }
+
+    #[test]
+    fn edge_resistance_only_for_boundary_blocks() {
+        let fp = library::alpha21364();
+        let n = ThermalNetwork::build(&fp, &PackageConfig::default()).unwrap();
+        let l2_bottom = fp.index_of("L2_bottom").unwrap();
+        let int_exec = fp.index_of("IntExec").unwrap();
+        assert!(n.edge_resistance(l2_bottom, Side::South).is_finite());
+        // IntExec is interior: no edge exposure on any side.
+        for side in Side::ALL {
+            assert!(n.edge_resistance(int_exec, side).is_infinite());
+        }
+    }
+
+    #[test]
+    fn vertical_resistance_scales_inversely_with_area() {
+        let fp = library::alpha21364();
+        let n = ThermalNetwork::build(&fp, &PackageConfig::default()).unwrap();
+        let big = fp.index_of("L2_bottom").unwrap();
+        let small = fp.index_of("Bpred").unwrap();
+        let area_ratio = fp.blocks()[big].area() / fp.blocks()[small].area();
+        let r_ratio = n.vertical_resistance(small) / n.vertical_resistance(big);
+        assert!((area_ratio - r_ratio).abs() / area_ratio < 1e-9);
+    }
+
+    #[test]
+    fn capacitances_are_positive_and_sink_dominates() {
+        let n = net();
+        for &c in n.capacitance() {
+            assert!(c > 0.0);
+        }
+        let sink_c = n.capacitance()[16];
+        let max_block_c = n.capacitance()[..15].iter().cloned().fold(0.0, f64::max);
+        assert!(sink_c > max_block_c);
+    }
+
+    #[test]
+    fn node_power_vector_expands_blocks() {
+        let n = net();
+        let p = n.node_power_vector(&vec![1.0; 15]).unwrap();
+        assert_eq!(p.len(), 17);
+        assert_eq!(p[14], 1.0);
+        assert_eq!(p[15], 0.0);
+        assert_eq!(p[16], 0.0);
+        assert!(n.node_power_vector(&vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn invalid_package_is_rejected() {
+        let mut pkg = PackageConfig::default();
+        pkg.die_thickness = -1.0;
+        assert!(ThermalNetwork::build(&library::alpha21364(), &pkg).is_err());
+    }
+
+    #[test]
+    fn geometry_helper_matches_network_resistance() {
+        let fp = library::alpha21364();
+        let pkg = PackageConfig::default();
+        let n = ThermalNetwork::build(&fp, &pkg).unwrap();
+        let adj = fp.adjacency();
+        let a = fp.index_of("Icache").unwrap();
+        let b = fp.index_of("Dcache").unwrap();
+        let from_geom = lateral_resistance_from_geometry(&adj, &pkg, a, b);
+        assert!((from_geom - n.lateral_resistance(a, b)).abs() < 1e-9);
+        let c = fp.index_of("FPAdd").unwrap();
+        assert!(lateral_resistance_from_geometry(&adj, &pkg, a, c).is_infinite());
+    }
+}

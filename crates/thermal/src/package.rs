@@ -1,0 +1,199 @@
+//! Package description: die, interface material, heat spreader, heat sink and
+//! the convection path to ambient.
+
+use crate::{Material, Result, ThermalError};
+
+/// Geometry and material stack of the chip package.
+///
+/// The compact model built from this configuration has one node per
+/// floorplan block (the die layer), one heat-spreader node, one heat-sink
+/// node and the ambient as thermal ground:
+///
+/// ```text
+///   block i ──(lateral R)── block j          (silicon, per adjacency)
+///   block i ──(edge R)────── ambient          (die boundary exposure)
+///   block i ──(vertical R)── spreader         (die + TIM, per block area)
+///   spreader ──(R)────────── sink             (spreader conduction)
+///   sink ──(R_convection)─── ambient          (fan/heatsink convection)
+/// ```
+///
+/// Defaults are HotSpot-like: 0.5 mm die, 20 µm interface material, 1 mm
+/// copper spreader, a sink with 0.1 K/W total convection resistance and a
+/// 45 °C ambient.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PackageConfig {
+    /// Die (silicon) material.
+    pub die_material: Material,
+    /// Die thickness in metres.
+    pub die_thickness: f64,
+    /// Thermal interface material between die and spreader.
+    pub interface_material: Material,
+    /// Interface material thickness in metres.
+    pub interface_thickness: f64,
+    /// Heat-spreader material.
+    pub spreader_material: Material,
+    /// Heat-spreader thickness in metres.
+    pub spreader_thickness: f64,
+    /// Heat-spreader side length in metres (assumed square).
+    pub spreader_side: f64,
+    /// Heat-sink base thickness in metres.
+    pub sink_thickness: f64,
+    /// Heat-sink base side length in metres (assumed square).
+    pub sink_side: f64,
+    /// Heat-sink material.
+    pub sink_material: Material,
+    /// Total convection resistance from sink to ambient in K/W.
+    pub convection_resistance: f64,
+    /// Extra series resistance (per metre of exposed die edge) of the lateral
+    /// path from a boundary block to the ambient, in K·m/W. Models the
+    /// package material surrounding the die. Larger values make the die edge
+    /// closer to adiabatic (as in HotSpot); the default keeps the edge a
+    /// usable but clearly weaker heat-escape path than the vertical stack.
+    pub edge_resistance_per_meter: f64,
+    /// Ambient temperature in °C.
+    pub ambient: f64,
+}
+
+impl Default for PackageConfig {
+    fn default() -> Self {
+        PackageConfig {
+            die_material: Material::silicon(),
+            die_thickness: 0.5e-3,
+            interface_material: Material::thermal_interface(),
+            interface_thickness: 75e-6,
+            spreader_material: Material::copper(),
+            spreader_thickness: 1.0e-3,
+            spreader_side: 30e-3,
+            sink_thickness: 6.9e-3,
+            sink_side: 60e-3,
+            sink_material: Material::copper(),
+            convection_resistance: 0.1,
+            edge_resistance_per_meter: 0.05,
+            ambient: 45.0,
+        }
+    }
+}
+
+impl PackageConfig {
+    /// Creates the default HotSpot-like package.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the ambient temperature (°C).
+    #[must_use]
+    pub fn with_ambient(mut self, ambient: f64) -> Self {
+        self.ambient = ambient;
+        self
+    }
+
+    /// Sets the die thickness (metres).
+    #[must_use]
+    pub fn with_die_thickness(mut self, thickness: f64) -> Self {
+        self.die_thickness = thickness;
+        self
+    }
+
+    /// Sets the total sink-to-ambient convection resistance (K/W).
+    #[must_use]
+    pub fn with_convection_resistance(mut self, resistance: f64) -> Self {
+        self.convection_resistance = resistance;
+        self
+    }
+
+    /// Sets the lateral die-edge resistance per metre of exposed edge (K·m/W).
+    #[must_use]
+    pub fn with_edge_resistance_per_meter(mut self, r: f64) -> Self {
+        self.edge_resistance_per_meter = r;
+        self
+    }
+
+    /// Validates every geometric and material parameter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParameter`] naming the first offending
+    /// field.
+    pub fn validate(&self) -> Result<()> {
+        let checks: [(&'static str, f64); 8] = [
+            ("die_thickness", self.die_thickness),
+            ("interface_thickness", self.interface_thickness),
+            ("spreader_thickness", self.spreader_thickness),
+            ("spreader_side", self.spreader_side),
+            ("sink_thickness", self.sink_thickness),
+            ("sink_side", self.sink_side),
+            ("convection_resistance", self.convection_resistance),
+            ("edge_resistance_per_meter", self.edge_resistance_per_meter),
+        ];
+        for (name, value) in checks {
+            if !(value > 0.0 && value.is_finite()) {
+                return Err(ThermalError::InvalidParameter { name, value });
+            }
+        }
+        if !self.ambient.is_finite() {
+            return Err(ThermalError::InvalidParameter {
+                name: "ambient",
+                value: self.ambient,
+            });
+        }
+        for m in [
+            self.die_material,
+            self.interface_material,
+            self.spreader_material,
+            self.sink_material,
+        ] {
+            Material::new(m.conductivity, m.volumetric_heat_capacity)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_package_is_valid() {
+        assert!(PackageConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn builder_style_setters() {
+        let p = PackageConfig::new()
+            .with_ambient(25.0)
+            .with_die_thickness(0.3e-3)
+            .with_convection_resistance(0.25)
+            .with_edge_resistance_per_meter(5.0);
+        assert_eq!(p.ambient, 25.0);
+        assert_eq!(p.die_thickness, 0.3e-3);
+        assert_eq!(p.convection_resistance, 0.25);
+        assert_eq!(p.edge_resistance_per_meter, 5.0);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        let mut p = PackageConfig::default();
+        p.die_thickness = 0.0;
+        assert!(matches!(
+            p.validate(),
+            Err(ThermalError::InvalidParameter {
+                name: "die_thickness",
+                ..
+            })
+        ));
+
+        let mut p = PackageConfig::default();
+        p.convection_resistance = f64::NAN;
+        assert!(p.validate().is_err());
+
+        let mut p = PackageConfig::default();
+        p.ambient = f64::INFINITY;
+        assert!(p.validate().is_err());
+
+        let mut p = PackageConfig::default();
+        p.die_material.conductivity = -5.0;
+        assert!(p.validate().is_err());
+    }
+}

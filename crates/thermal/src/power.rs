@@ -1,0 +1,223 @@
+//! Power maps: per-block power dissipation driving the thermal model.
+
+use std::collections::BTreeMap;
+
+use thermsched_floorplan::{BlockId, Floorplan};
+
+use crate::{Result, ThermalError};
+
+/// Per-block power dissipation in watts.
+///
+/// A `PowerMap` is always created for a specific number of blocks; blocks
+/// whose power is not set dissipate zero (they are idle / passive, in the
+/// paper's terminology).
+///
+/// # Example
+///
+/// ```
+/// use thermsched_thermal::PowerMap;
+///
+/// # fn main() -> Result<(), thermsched_thermal::ThermalError> {
+/// let mut p = PowerMap::zeros(3);
+/// p.set(1, 12.5)?;
+/// assert_eq!(p.power(1), 12.5);
+/// assert_eq!(p.total(), 12.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PowerMap {
+    powers: Vec<f64>,
+}
+
+impl PowerMap {
+    /// Creates an all-zero power map for `block_count` blocks.
+    pub fn zeros(block_count: usize) -> Self {
+        PowerMap {
+            powers: vec![0.0; block_count],
+        }
+    }
+
+    /// Creates a power map from a plain vector of per-block powers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidPower`] if any value is negative or
+    /// non-finite.
+    pub fn from_vec(powers: Vec<f64>) -> Result<Self> {
+        for (i, &p) in powers.iter().enumerate() {
+            if !(p >= 0.0 && p.is_finite()) {
+                return Err(ThermalError::InvalidPower { block: i, value: p });
+            }
+        }
+        Ok(PowerMap { powers })
+    }
+
+    /// Creates a power map for a floorplan from `(block name, watts)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// * [`ThermalError::UnknownBlock`] if a name does not exist in the
+    ///   floorplan (reported with a block id equal to the floorplan size).
+    /// * [`ThermalError::InvalidPower`] for negative or non-finite powers.
+    pub fn from_named(fp: &Floorplan, powers: &BTreeMap<String, f64>) -> Result<Self> {
+        let mut map = PowerMap::zeros(fp.block_count());
+        for (name, &p) in powers {
+            let id = fp
+                .index_of(name)
+                .ok_or(ThermalError::UnknownBlock {
+                    block: fp.block_count(),
+                    count: fp.block_count(),
+                })?;
+            map.set(id, p)?;
+        }
+        Ok(map)
+    }
+
+    /// Number of blocks this map covers.
+    pub fn block_count(&self) -> usize {
+        self.powers.len()
+    }
+
+    /// Power of block `id` in watts (zero if never set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn power(&self, id: BlockId) -> f64 {
+        self.powers[id]
+    }
+
+    /// Sets the power of block `id`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ThermalError::UnknownBlock`] if `id` is out of range.
+    /// * [`ThermalError::InvalidPower`] if `watts` is negative or non-finite.
+    pub fn set(&mut self, id: BlockId, watts: f64) -> Result<()> {
+        if id >= self.powers.len() {
+            return Err(ThermalError::UnknownBlock {
+                block: id,
+                count: self.powers.len(),
+            });
+        }
+        if !(watts >= 0.0 && watts.is_finite()) {
+            return Err(ThermalError::InvalidPower {
+                block: id,
+                value: watts,
+            });
+        }
+        self.powers[id] = watts;
+        Ok(())
+    }
+
+    /// Total power over all blocks in watts.
+    pub fn total(&self) -> f64 {
+        self.powers.iter().sum()
+    }
+
+    /// Ids of blocks with strictly positive power (the "active" blocks).
+    pub fn active_blocks(&self) -> Vec<BlockId> {
+        self.powers
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p > 0.0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Borrows the raw per-block power slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.powers
+    }
+
+    /// Power density of block `id` in W/m², given the floorplan that defines
+    /// the block areas.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::UnknownBlock`] if `id` is out of range of
+    /// either the map or the floorplan.
+    pub fn power_density(&self, fp: &Floorplan, id: BlockId) -> Result<f64> {
+        if id >= self.powers.len() || id >= fp.block_count() {
+            return Err(ThermalError::UnknownBlock {
+                block: id,
+                count: self.powers.len().min(fp.block_count()),
+            });
+        }
+        let area = fp.blocks()[id].area();
+        Ok(self.powers[id] / area)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thermsched_floorplan::Block;
+
+    fn fp2() -> Floorplan {
+        Floorplan::new(vec![
+            Block::from_mm("a", 2.0, 2.0, 0.0, 0.0),
+            Block::from_mm("b", 4.0, 2.0, 2.0, 0.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn zeros_and_set() {
+        let mut p = PowerMap::zeros(3);
+        assert_eq!(p.block_count(), 3);
+        assert_eq!(p.total(), 0.0);
+        p.set(0, 5.0).unwrap();
+        p.set(2, 2.5).unwrap();
+        assert_eq!(p.power(0), 5.0);
+        assert_eq!(p.total(), 7.5);
+        assert_eq!(p.active_blocks(), vec![0, 2]);
+        assert_eq!(p.as_slice(), &[5.0, 0.0, 2.5]);
+    }
+
+    #[test]
+    fn set_validates() {
+        let mut p = PowerMap::zeros(2);
+        assert!(matches!(
+            p.set(5, 1.0),
+            Err(ThermalError::UnknownBlock { .. })
+        ));
+        assert!(matches!(
+            p.set(0, -1.0),
+            Err(ThermalError::InvalidPower { .. })
+        ));
+        assert!(p.set(0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn from_vec_validates() {
+        assert!(PowerMap::from_vec(vec![1.0, 0.0]).is_ok());
+        assert!(PowerMap::from_vec(vec![1.0, -2.0]).is_err());
+    }
+
+    #[test]
+    fn from_named_resolves_block_names() {
+        let fp = fp2();
+        let mut named = BTreeMap::new();
+        named.insert("b".to_owned(), 10.0);
+        let p = PowerMap::from_named(&fp, &named).unwrap();
+        assert_eq!(p.power(1), 10.0);
+        assert_eq!(p.power(0), 0.0);
+
+        named.insert("missing".to_owned(), 1.0);
+        assert!(PowerMap::from_named(&fp, &named).is_err());
+    }
+
+    #[test]
+    fn power_density_uses_block_area() {
+        let fp = fp2();
+        let p = PowerMap::from_vec(vec![4.0, 4.0]).unwrap();
+        // Block a is 4 mm^2, block b is 8 mm^2.
+        let da = p.power_density(&fp, 0).unwrap();
+        let db = p.power_density(&fp, 1).unwrap();
+        assert!((da / db - 2.0).abs() < 1e-9);
+        assert!(p.power_density(&fp, 7).is_err());
+    }
+}

@@ -1,0 +1,295 @@
+//! High-level session-oriented simulation API used by the test scheduler.
+
+use thermsched_floorplan::{BlockId, Floorplan};
+
+use crate::{
+    PackageConfig, PowerMap, Result, SteadyStateSolver, Temperatures, ThermalNetwork,
+    TransientConfig, TransientSolver,
+};
+
+/// Per-session thermal simulation outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionThermalResult {
+    /// Maximum temperature reached by each block during the session (°C).
+    pub max_block_temperatures: Vec<f64>,
+    /// Node temperatures at the end of the session (°C).
+    pub final_temperatures: Temperatures,
+    /// Simulated session duration in seconds.
+    pub duration: f64,
+}
+
+impl SessionThermalResult {
+    /// Hottest temperature reached by any block during the session.
+    pub fn max_temperature(&self) -> f64 {
+        self.max_block_temperatures
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Maximum temperature reached by one block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block_max_temperature(&self, id: BlockId) -> f64 {
+        self.max_block_temperatures[id]
+    }
+
+    /// Blocks whose maximum temperature reached or exceeded `limit` (°C).
+    pub fn violating_blocks(&self, limit: f64) -> Vec<BlockId> {
+        self.max_block_temperatures
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t >= limit)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// How session maximum temperatures are evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimulationFidelity {
+    /// Integrate the transient response over the session and record the
+    /// per-block maximum (the paper's validation flow with HotSpot).
+    #[default]
+    Transient,
+    /// Use the steady-state solution as the per-block maximum. This is the
+    /// paper's "modification 1" upper bound and is substantially cheaper.
+    SteadyState,
+}
+
+/// A thermal simulator that can evaluate test sessions.
+///
+/// The scheduler in the `thermsched` core crate is generic over this trait so
+/// that alternative simulators (e.g. a grid-level model or a wrapper around an
+/// external tool) can be swapped in; the paper itself notes that "other IC
+/// thermal simulation tools could be used just as well".
+pub trait ThermalSimulator {
+    /// Number of floorplan blocks known to the simulator.
+    fn block_count(&self) -> usize;
+
+    /// Ambient temperature in °C.
+    fn ambient(&self) -> f64;
+
+    /// Simulates a test session with the given per-block power for `duration`
+    /// seconds, starting from an ambient-temperature die.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return an error for malformed power maps or durations.
+    fn simulate_session(&self, power: &PowerMap, duration: f64) -> Result<SessionThermalResult>;
+
+    /// Steady-state temperatures under the given power map.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return an error for malformed power maps.
+    fn steady_state(&self, power: &PowerMap) -> Result<Temperatures>;
+}
+
+/// The RC-equivalent compact simulator: the crate's reference implementation
+/// of [`ThermalSimulator`], playing the role HotSpot plays in the paper.
+///
+/// # Example
+///
+/// ```
+/// use thermsched_floorplan::library;
+/// use thermsched_thermal::{PowerMap, RcThermalSimulator, ThermalSimulator};
+///
+/// # fn main() -> Result<(), thermsched_thermal::ThermalError> {
+/// let fp = library::figure1_system();
+/// let sim = RcThermalSimulator::from_floorplan(&fp)?;
+/// let mut p = PowerMap::zeros(fp.block_count());
+/// p.set(fp.index_of("C2").unwrap(), 15.0)?;
+/// let session = sim.simulate_session(&p, 1.0)?;
+/// assert!(session.max_temperature() > sim.ambient());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct RcThermalSimulator {
+    network: ThermalNetwork,
+    steady: SteadyStateSolver,
+    transient: TransientSolver,
+    fidelity: SimulationFidelity,
+}
+
+impl RcThermalSimulator {
+    /// Builds a simulator for a floorplan with the default package and
+    /// transient settings.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model construction and factorisation errors.
+    pub fn from_floorplan(floorplan: &Floorplan) -> Result<Self> {
+        Self::new(floorplan, &PackageConfig::default(), TransientConfig::default())
+    }
+
+    /// Builds a simulator with explicit package and transient configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model construction and factorisation errors.
+    pub fn new(
+        floorplan: &Floorplan,
+        package: &PackageConfig,
+        transient: TransientConfig,
+    ) -> Result<Self> {
+        let network = ThermalNetwork::build(floorplan, package)?;
+        let steady = SteadyStateSolver::new(&network)?;
+        let transient = TransientSolver::new(&network, transient)?;
+        Ok(RcThermalSimulator {
+            network,
+            steady,
+            transient,
+            fidelity: SimulationFidelity::default(),
+        })
+    }
+
+    /// Selects how session maxima are computed.
+    #[must_use]
+    pub fn with_fidelity(mut self, fidelity: SimulationFidelity) -> Self {
+        self.fidelity = fidelity;
+        self
+    }
+
+    /// Borrows the underlying thermal network (for the session thermal model,
+    /// which reuses its lateral/edge resistances).
+    pub fn network(&self) -> &ThermalNetwork {
+        &self.network
+    }
+
+    /// The configured fidelity.
+    pub fn fidelity(&self) -> SimulationFidelity {
+        self.fidelity
+    }
+}
+
+impl ThermalSimulator for RcThermalSimulator {
+    fn block_count(&self) -> usize {
+        self.network.block_count()
+    }
+
+    fn ambient(&self) -> f64 {
+        self.network.ambient()
+    }
+
+    fn simulate_session(&self, power: &PowerMap, duration: f64) -> Result<SessionThermalResult> {
+        match self.fidelity {
+            SimulationFidelity::Transient => {
+                let r = self.transient.simulate_from_ambient(power, duration)?;
+                Ok(SessionThermalResult {
+                    max_block_temperatures: r.max_block_temperatures,
+                    final_temperatures: r.final_temperatures,
+                    duration,
+                })
+            }
+            SimulationFidelity::SteadyState => {
+                if !(duration > 0.0 && duration.is_finite()) {
+                    return Err(crate::ThermalError::InvalidDuration { value: duration });
+                }
+                let t = self.steady.solve(power)?;
+                Ok(SessionThermalResult {
+                    max_block_temperatures: t.block_temperatures().to_vec(),
+                    final_temperatures: t,
+                    duration,
+                })
+            }
+        }
+    }
+
+    fn steady_state(&self, power: &PowerMap) -> Result<Temperatures> {
+        self.steady.solve(power)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thermsched_floorplan::library;
+
+    fn sim() -> (RcThermalSimulator, Floorplan) {
+        let fp = library::alpha21364();
+        let sim = RcThermalSimulator::from_floorplan(&fp).unwrap();
+        (sim, fp)
+    }
+
+    #[test]
+    fn block_count_and_ambient_are_exposed() {
+        let (sim, fp) = sim();
+        assert_eq!(sim.block_count(), fp.block_count());
+        assert_eq!(sim.ambient(), 45.0);
+        assert_eq!(sim.fidelity(), SimulationFidelity::Transient);
+    }
+
+    #[test]
+    fn transient_session_max_is_bounded_by_steady_state() {
+        let (sim, fp) = sim();
+        let mut p = PowerMap::zeros(fp.block_count());
+        p.set(fp.index_of("IntExec").unwrap(), 18.0).unwrap();
+        p.set(fp.index_of("Dcache").unwrap(), 12.0).unwrap();
+        let session = sim.simulate_session(&p, 1.0).unwrap();
+        let steady = sim.steady_state(&p).unwrap();
+        for i in 0..fp.block_count() {
+            assert!(session.max_block_temperatures[i] <= steady.block(i) + 1e-6);
+        }
+        assert!(session.max_temperature() <= steady.max_block_temperature() + 1e-6);
+    }
+
+    #[test]
+    fn steady_state_fidelity_reports_steady_maxima() {
+        let (sim, fp) = sim();
+        let sim = sim.with_fidelity(SimulationFidelity::SteadyState);
+        let mut p = PowerMap::zeros(fp.block_count());
+        p.set(fp.index_of("Bpred").unwrap(), 9.0).unwrap();
+        let session = sim.simulate_session(&p, 1.0).unwrap();
+        let steady = sim.steady_state(&p).unwrap();
+        for i in 0..fp.block_count() {
+            assert!((session.max_block_temperatures[i] - steady.block(i)).abs() < 1e-12);
+        }
+        assert!(sim.simulate_session(&p, -1.0).is_err());
+    }
+
+    #[test]
+    fn violating_blocks_filters_by_limit() {
+        let (sim, fp) = sim();
+        let bpred = fp.index_of("Bpred").unwrap();
+        let mut p = PowerMap::zeros(fp.block_count());
+        p.set(bpred, 20.0).unwrap();
+        let session = sim.simulate_session(&p, 1.0).unwrap();
+        let hot = session.block_max_temperature(bpred);
+        assert!(session.violating_blocks(hot + 1.0).is_empty());
+        let violators = session.violating_blocks(hot - 0.5);
+        assert!(violators.contains(&bpred));
+    }
+
+    #[test]
+    fn figure1_small_cores_run_hotter_than_large_cores_at_equal_power() {
+        // The crux of the paper's motivational example: equal total power,
+        // very different peak temperature.
+        let fp = library::figure1_system();
+        let sim = RcThermalSimulator::from_floorplan(&fp).unwrap();
+        let mut small = PowerMap::zeros(fp.block_count());
+        for name in ["C2", "C3", "C4"] {
+            small.set(fp.index_of(name).unwrap(), 15.0).unwrap();
+        }
+        let mut large = PowerMap::zeros(fp.block_count());
+        for name in ["C5", "C6", "C7"] {
+            large.set(fp.index_of(name).unwrap(), 15.0).unwrap();
+        }
+        assert!((small.total() - large.total()).abs() < 1e-12);
+        let t_small = sim.simulate_session(&small, 1.0).unwrap().max_temperature();
+        let t_large = sim.simulate_session(&large, 1.0).unwrap().max_temperature();
+        assert!(
+            t_small > t_large + 10.0,
+            "small-core session should be much hotter: {t_small:.1} vs {t_large:.1}"
+        );
+    }
+
+    #[test]
+    fn network_accessor_reflects_floorplan() {
+        let (sim, fp) = sim();
+        assert_eq!(sim.network().block_count(), fp.block_count());
+    }
+}

@@ -1,0 +1,181 @@
+//! Steady-state solution of the thermal network.
+
+use thermsched_linalg::CholeskyDecomposition;
+
+use crate::{PowerMap, Result, Temperatures, ThermalNetwork};
+
+/// Steady-state solver: factorises the conductance matrix once and solves
+/// `G · ΔT = P` for as many power maps as needed.
+///
+/// The paper's modification 1 argues that steady-state temperatures are upper
+/// bounds for the transient profile of a test session, so this solver is both
+/// the reference for the guidance model and a fast validation path.
+///
+/// # Example
+///
+/// ```
+/// use thermsched_floorplan::library;
+/// use thermsched_thermal::{PackageConfig, PowerMap, SteadyStateSolver, ThermalNetwork};
+///
+/// # fn main() -> Result<(), thermsched_thermal::ThermalError> {
+/// let fp = library::alpha21364();
+/// let net = ThermalNetwork::build(&fp, &PackageConfig::default())?;
+/// let solver = SteadyStateSolver::new(&net)?;
+/// let mut power = PowerMap::zeros(fp.block_count());
+/// power.set(fp.index_of("IntExec").unwrap(), 20.0)?;
+/// let temps = solver.solve(&power)?;
+/// assert!(temps.max_block_temperature() > net.ambient());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SteadyStateSolver {
+    factorisation: CholeskyDecomposition,
+    block_count: usize,
+    ambient: f64,
+}
+
+impl SteadyStateSolver {
+    /// Factorises the conductance matrix of `network`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::ThermalError::Solver`] error if the conductance
+    /// matrix is not symmetric positive definite, which indicates a malformed
+    /// model (e.g. a node with no path to ambient).
+    pub fn new(network: &ThermalNetwork) -> Result<Self> {
+        let factorisation = CholeskyDecomposition::new(network.conductance())?;
+        Ok(SteadyStateSolver {
+            factorisation,
+            block_count: network.block_count(),
+            ambient: network.ambient(),
+        })
+    }
+
+    /// Number of blocks covered by the solver.
+    pub fn block_count(&self) -> usize {
+        self.block_count
+    }
+
+    /// Solves for the steady-state temperatures under the given power map.
+    ///
+    /// # Errors
+    ///
+    /// * [`crate::ThermalError::PowerLengthMismatch`] if the power map does
+    ///   not match the model's block count.
+    /// * [`crate::ThermalError::Solver`] if the linear solve fails.
+    pub fn solve(&self, power: &PowerMap) -> Result<Temperatures> {
+        if power.block_count() != self.block_count {
+            return Err(crate::ThermalError::PowerLengthMismatch {
+                expected: self.block_count,
+                found: power.block_count(),
+            });
+        }
+        let node_count = self.factorisation.dim();
+        let mut p = vec![0.0; node_count];
+        p[..self.block_count].copy_from_slice(power.as_slice());
+        let rise = self.factorisation.solve(&p)?;
+        let absolute: Vec<f64> = rise.iter().map(|dt| dt + self.ambient).collect();
+        Ok(Temperatures::new(absolute, self.block_count))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PackageConfig;
+    use thermsched_floorplan::library;
+
+    fn solver_and_fp() -> (SteadyStateSolver, thermsched_floorplan::Floorplan) {
+        let fp = library::alpha21364();
+        let net = ThermalNetwork::build(&fp, &PackageConfig::default()).unwrap();
+        (SteadyStateSolver::new(&net).unwrap(), fp)
+    }
+
+    #[test]
+    fn zero_power_gives_ambient_everywhere() {
+        let (solver, fp) = solver_and_fp();
+        let temps = solver.solve(&PowerMap::zeros(fp.block_count())).unwrap();
+        for &t in temps.block_temperatures() {
+            assert!((t - 45.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn heated_block_is_hottest_and_above_ambient() {
+        let (solver, fp) = solver_and_fp();
+        let int_exec = fp.index_of("IntExec").unwrap();
+        let mut p = PowerMap::zeros(fp.block_count());
+        p.set(int_exec, 15.0).unwrap();
+        let temps = solver.solve(&p).unwrap();
+        let (hottest, t) = temps.hottest_block().unwrap();
+        assert_eq!(hottest, int_exec);
+        assert!(t > 45.0);
+        // Every block is warmed at least to ambient.
+        for &bt in temps.block_temperatures() {
+            assert!(bt >= 45.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn temperature_scales_linearly_with_power() {
+        let (solver, fp) = solver_and_fp();
+        let idx = fp.index_of("Bpred").unwrap();
+        let mut p1 = PowerMap::zeros(fp.block_count());
+        p1.set(idx, 5.0).unwrap();
+        let mut p2 = PowerMap::zeros(fp.block_count());
+        p2.set(idx, 10.0).unwrap();
+        let t1 = solver.solve(&p1).unwrap();
+        let t2 = solver.solve(&p2).unwrap();
+        let rise1 = t1.block(idx) - 45.0;
+        let rise2 = t2.block(idx) - 45.0;
+        assert!((rise2 / rise1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equal_power_heats_small_block_more_than_large_block() {
+        // The motivating observation of the paper: identical power, very
+        // different temperature because of power density.
+        let (solver, fp) = solver_and_fp();
+        let small = fp.index_of("Bpred").unwrap(); // 4 mm^2
+        let large = fp.index_of("L2_bottom").unwrap(); // 96 mm^2
+        let mut ps = PowerMap::zeros(fp.block_count());
+        ps.set(small, 10.0).unwrap();
+        let mut pl = PowerMap::zeros(fp.block_count());
+        pl.set(large, 10.0).unwrap();
+        let ts = solver.solve(&ps).unwrap().block(small);
+        let tl = solver.solve(&pl).unwrap().block(large);
+        assert!(
+            ts > tl + 5.0,
+            "small block should run much hotter: {ts:.1} vs {tl:.1}"
+        );
+    }
+
+    #[test]
+    fn superposition_holds() {
+        // The network is linear: temperatures from two sources add (as rises).
+        let (solver, fp) = solver_and_fp();
+        let a = fp.index_of("Icache").unwrap();
+        let b = fp.index_of("Dcache").unwrap();
+        let mut pa = PowerMap::zeros(fp.block_count());
+        pa.set(a, 8.0).unwrap();
+        let mut pb = PowerMap::zeros(fp.block_count());
+        pb.set(b, 12.0).unwrap();
+        let mut pab = PowerMap::zeros(fp.block_count());
+        pab.set(a, 8.0).unwrap();
+        pab.set(b, 12.0).unwrap();
+        let ta = solver.solve(&pa).unwrap();
+        let tb = solver.solve(&pb).unwrap();
+        let tab = solver.solve(&pab).unwrap();
+        for i in 0..fp.block_count() {
+            let expected = (ta.block(i) - 45.0) + (tb.block(i) - 45.0) + 45.0;
+            assert!((tab.block(i) - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_power_length() {
+        let (solver, _) = solver_and_fp();
+        assert!(solver.solve(&PowerMap::zeros(3)).is_err());
+    }
+}

@@ -1,0 +1,121 @@
+//! Temperature vectors produced by the solvers.
+
+use thermsched_floorplan::BlockId;
+
+/// Absolute node temperatures (°C) produced by a steady-state or transient
+/// solve.
+///
+/// Only the first [`Temperatures::block_count`] entries correspond to
+/// floorplan blocks; the remaining entries are package nodes (spreader and
+/// sink), exposed because they are occasionally useful for debugging the
+/// model but rarely needed by schedulers.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Temperatures {
+    values: Vec<f64>,
+    block_count: usize,
+}
+
+impl Temperatures {
+    /// Wraps a vector of absolute node temperatures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_count > values.len()`.
+    pub fn new(values: Vec<f64>, block_count: usize) -> Self {
+        assert!(
+            block_count <= values.len(),
+            "block count cannot exceed node count"
+        );
+        Temperatures {
+            values,
+            block_count,
+        }
+    }
+
+    /// Number of floorplan blocks covered.
+    pub fn block_count(&self) -> usize {
+        self.block_count
+    }
+
+    /// Temperature of block `id` in °C.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= self.block_count()`.
+    pub fn block(&self, id: BlockId) -> f64 {
+        assert!(id < self.block_count, "block id out of range");
+        self.values[id]
+    }
+
+    /// All block temperatures in block-id order.
+    pub fn block_temperatures(&self) -> &[f64] {
+        &self.values[..self.block_count]
+    }
+
+    /// All node temperatures (blocks followed by package nodes).
+    pub fn node_temperatures(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Hottest block temperature, together with the block id.
+    ///
+    /// Returns `None` if the model has no blocks.
+    pub fn hottest_block(&self) -> Option<(BlockId, f64)> {
+        self.values[..self.block_count]
+            .iter()
+            .copied()
+            .enumerate()
+            .fold(None, |acc, (i, t)| match acc {
+                Some((_, best)) if best >= t => acc,
+                _ => Some((i, t)),
+            })
+    }
+
+    /// Hottest block temperature in °C (`-inf` if the model has no blocks).
+    pub fn max_block_temperature(&self) -> f64 {
+        self.hottest_block().map(|(_, t)| t).unwrap_or(f64::NEG_INFINITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let t = Temperatures::new(vec![50.0, 80.0, 60.0, 47.0, 46.0], 3);
+        assert_eq!(t.block_count(), 3);
+        assert_eq!(t.block(1), 80.0);
+        assert_eq!(t.block_temperatures(), &[50.0, 80.0, 60.0]);
+        assert_eq!(t.node_temperatures().len(), 5);
+        assert_eq!(t.hottest_block(), Some((1, 80.0)));
+        assert_eq!(t.max_block_temperature(), 80.0);
+    }
+
+    #[test]
+    fn hottest_prefers_first_on_ties() {
+        let t = Temperatures::new(vec![70.0, 70.0], 2);
+        assert_eq!(t.hottest_block(), Some((0, 70.0)));
+    }
+
+    #[test]
+    fn zero_blocks() {
+        let t = Temperatures::new(vec![45.0], 0);
+        assert_eq!(t.hottest_block(), None);
+        assert_eq!(t.max_block_temperature(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "block id out of range")]
+    fn out_of_range_block_panics() {
+        let t = Temperatures::new(vec![50.0, 60.0], 1);
+        let _ = t.block(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "block count cannot exceed node count")]
+    fn invalid_block_count_panics() {
+        let _ = Temperatures::new(vec![50.0], 2);
+    }
+}

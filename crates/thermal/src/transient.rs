@@ -1,0 +1,306 @@
+//! Transient (time-domain) solution of the thermal network.
+
+use thermsched_linalg::{DenseMatrix, LuDecomposition};
+
+use crate::{PowerMap, Result, Temperatures, ThermalError, ThermalNetwork};
+
+/// Configuration of the implicit-Euler transient integrator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientConfig {
+    /// Integration time step in seconds.
+    pub time_step: f64,
+}
+
+impl Default for TransientConfig {
+    fn default() -> Self {
+        // Die-level thermal time constants are on the order of milliseconds;
+        // 1 ms resolves them while keeping second-long sessions cheap.
+        TransientConfig { time_step: 1e-3 }
+    }
+}
+
+/// Result of simulating one interval with constant per-block power.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientResult {
+    /// Maximum temperature reached by each block over the interval (°C).
+    pub max_block_temperatures: Vec<f64>,
+    /// Node temperatures at the end of the interval (°C).
+    pub final_temperatures: Temperatures,
+    /// Number of integration steps taken.
+    pub steps: usize,
+    /// Simulated duration in seconds.
+    pub duration: f64,
+}
+
+impl TransientResult {
+    /// Hottest block temperature observed anywhere in the interval.
+    pub fn max_temperature(&self) -> f64 {
+        self.max_block_temperatures
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// Implicit-Euler transient solver.
+///
+/// Each step solves `(C/Δt + G) · ΔT_{k+1} = C/Δt · ΔT_k + P`; the left-hand
+/// matrix is constant, so it is factorised once per solver and reused for
+/// every step and every simulated session. Implicit Euler is unconditionally
+/// stable, which matters because the network mixes millisecond block time
+/// constants with a heat-sink constant of many seconds.
+///
+/// # Example
+///
+/// ```
+/// use thermsched_floorplan::library;
+/// use thermsched_thermal::{PackageConfig, PowerMap, ThermalNetwork, TransientSolver};
+///
+/// # fn main() -> Result<(), thermsched_thermal::ThermalError> {
+/// let fp = library::alpha21364();
+/// let net = ThermalNetwork::build(&fp, &PackageConfig::default())?;
+/// let solver = TransientSolver::new(&net, Default::default())?;
+/// let mut p = PowerMap::zeros(fp.block_count());
+/// p.set(0, 10.0)?;
+/// let result = solver.simulate_from_ambient(&p, 0.5)?;
+/// assert!(result.max_temperature() > net.ambient());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TransientSolver {
+    factorisation: LuDecomposition,
+    capacitance_over_dt: Vec<f64>,
+    block_count: usize,
+    node_count: usize,
+    ambient: f64,
+    time_step: f64,
+}
+
+impl TransientSolver {
+    /// Builds the solver for a network and integrator configuration.
+    ///
+    /// # Errors
+    ///
+    /// * [`ThermalError::InvalidDuration`] if the time step is non-positive or
+    ///   non-finite.
+    /// * [`ThermalError::Solver`] if the stepping matrix cannot be factorised.
+    pub fn new(network: &ThermalNetwork, config: TransientConfig) -> Result<Self> {
+        if !(config.time_step > 0.0 && config.time_step.is_finite()) {
+            return Err(ThermalError::InvalidDuration {
+                value: config.time_step,
+            });
+        }
+        let node_count = network.node_count();
+        let capacitance_over_dt: Vec<f64> = network
+            .capacitance()
+            .iter()
+            .map(|c| c / config.time_step)
+            .collect();
+        let mut lhs: DenseMatrix = network.conductance().clone();
+        for (i, &c) in capacitance_over_dt.iter().enumerate() {
+            lhs.add_to(i, i, c);
+        }
+        let factorisation = LuDecomposition::new(&lhs)?;
+        Ok(TransientSolver {
+            factorisation,
+            capacitance_over_dt,
+            block_count: network.block_count(),
+            node_count,
+            ambient: network.ambient(),
+            time_step: config.time_step,
+        })
+    }
+
+    /// Integration time step in seconds.
+    pub fn time_step(&self) -> f64 {
+        self.time_step
+    }
+
+    /// Number of floorplan blocks covered.
+    pub fn block_count(&self) -> usize {
+        self.block_count
+    }
+
+    /// Simulates `duration` seconds starting from a uniform ambient die.
+    ///
+    /// # Errors
+    ///
+    /// See [`TransientSolver::simulate`].
+    pub fn simulate_from_ambient(&self, power: &PowerMap, duration: f64) -> Result<TransientResult> {
+        let initial = vec![self.ambient; self.node_count];
+        self.simulate(power, duration, &initial)
+    }
+
+    /// Simulates `duration` seconds of constant power starting from the given
+    /// absolute node temperatures.
+    ///
+    /// # Errors
+    ///
+    /// * [`ThermalError::PowerLengthMismatch`] if the power map or the initial
+    ///   temperature vector has the wrong length.
+    /// * [`ThermalError::InvalidDuration`] if `duration` is non-positive or
+    ///   non-finite.
+    /// * [`ThermalError::Solver`] if a step's linear solve fails.
+    pub fn simulate(
+        &self,
+        power: &PowerMap,
+        duration: f64,
+        initial_node_temperatures: &[f64],
+    ) -> Result<TransientResult> {
+        if power.block_count() != self.block_count {
+            return Err(ThermalError::PowerLengthMismatch {
+                expected: self.block_count,
+                found: power.block_count(),
+            });
+        }
+        if initial_node_temperatures.len() != self.node_count {
+            return Err(ThermalError::PowerLengthMismatch {
+                expected: self.node_count,
+                found: initial_node_temperatures.len(),
+            });
+        }
+        if !(duration > 0.0 && duration.is_finite()) {
+            return Err(ThermalError::InvalidDuration { value: duration });
+        }
+
+        let steps = (duration / self.time_step).ceil().max(1.0) as usize;
+        let mut p = vec![0.0; self.node_count];
+        p[..self.block_count].copy_from_slice(power.as_slice());
+
+        // State is the temperature rise over ambient.
+        let mut rise: Vec<f64> = initial_node_temperatures
+            .iter()
+            .map(|t| t - self.ambient)
+            .collect();
+        let mut max_rise: Vec<f64> = rise[..self.block_count].to_vec();
+
+        let mut rhs = vec![0.0; self.node_count];
+        for _ in 0..steps {
+            for i in 0..self.node_count {
+                rhs[i] = self.capacitance_over_dt[i] * rise[i] + p[i];
+            }
+            rise = self.factorisation.solve(&rhs)?;
+            for i in 0..self.block_count {
+                if rise[i] > max_rise[i] {
+                    max_rise[i] = rise[i];
+                }
+            }
+        }
+
+        let final_abs: Vec<f64> = rise.iter().map(|r| r + self.ambient).collect();
+        Ok(TransientResult {
+            max_block_temperatures: max_rise.iter().map(|r| r + self.ambient).collect(),
+            final_temperatures: Temperatures::new(final_abs, self.block_count),
+            steps,
+            duration,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PackageConfig, SteadyStateSolver};
+    use thermsched_floorplan::library;
+
+    fn setup() -> (ThermalNetwork, thermsched_floorplan::Floorplan) {
+        let fp = library::alpha21364();
+        let net = ThermalNetwork::build(&fp, &PackageConfig::default()).unwrap();
+        (net, fp)
+    }
+
+    #[test]
+    fn rejects_bad_configuration_and_inputs() {
+        let (net, fp) = setup();
+        assert!(TransientSolver::new(&net, TransientConfig { time_step: 0.0 }).is_err());
+        let solver = TransientSolver::new(&net, TransientConfig::default()).unwrap();
+        let p = PowerMap::zeros(fp.block_count());
+        assert!(solver.simulate_from_ambient(&p, 0.0).is_err());
+        assert!(solver.simulate_from_ambient(&p, f64::NAN).is_err());
+        assert!(solver.simulate_from_ambient(&PowerMap::zeros(2), 1.0).is_err());
+        let bad_initial = vec![45.0; 3];
+        assert!(solver.simulate(&p, 1.0, &bad_initial).is_err());
+    }
+
+    #[test]
+    fn zero_power_stays_at_ambient() {
+        let (net, fp) = setup();
+        let solver = TransientSolver::new(&net, TransientConfig::default()).unwrap();
+        let r = solver
+            .simulate_from_ambient(&PowerMap::zeros(fp.block_count()), 0.1)
+            .unwrap();
+        for &t in r.final_temperatures.block_temperatures() {
+            assert!((t - 45.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn temperature_rises_monotonically_toward_steady_state() {
+        let (net, fp) = setup();
+        let solver = TransientSolver::new(&net, TransientConfig::default()).unwrap();
+        let steady = SteadyStateSolver::new(&net).unwrap();
+        let idx = fp.index_of("IntExec").unwrap();
+        let mut p = PowerMap::zeros(fp.block_count());
+        p.set(idx, 20.0).unwrap();
+
+        let short = solver.simulate_from_ambient(&p, 0.05).unwrap();
+        let long = solver.simulate_from_ambient(&p, 1.0).unwrap();
+        let ss = steady.solve(&p).unwrap();
+
+        let t_short = short.final_temperatures.block(idx);
+        let t_long = long.final_temperatures.block(idx);
+        let t_ss = ss.block(idx);
+        assert!(t_short < t_long + 1e-9);
+        // The transient never overshoots the steady state (first-order RC).
+        assert!(t_long <= t_ss + 1e-6);
+        assert!(long.max_temperature() <= t_ss + 1e-6);
+    }
+
+    #[test]
+    fn die_reaches_quasi_steady_state_within_a_second() {
+        // With the sink held cold by its large capacitance, the die-level
+        // temperature differences settle within tens of milliseconds, so a
+        // one-second session probes essentially the quasi-steady profile.
+        let (net, fp) = setup();
+        let solver = TransientSolver::new(&net, TransientConfig::default()).unwrap();
+        let idx = fp.index_of("Bpred").unwrap();
+        let mut p = PowerMap::zeros(fp.block_count());
+        p.set(idx, 15.0).unwrap();
+        let half = solver.simulate_from_ambient(&p, 0.5).unwrap();
+        let one = solver.simulate_from_ambient(&p, 1.0).unwrap();
+        let diff = one.final_temperatures.block(idx) - half.final_temperatures.block(idx);
+        assert!(diff.abs() < 1.0, "die should be near quasi-steady: {diff}");
+    }
+
+    #[test]
+    fn continuing_a_simulation_matches_a_single_longer_run() {
+        let (net, fp) = setup();
+        let solver = TransientSolver::new(&net, TransientConfig::default()).unwrap();
+        let idx = fp.index_of("FPMul").unwrap();
+        let mut p = PowerMap::zeros(fp.block_count());
+        p.set(idx, 10.0).unwrap();
+
+        let first = solver.simulate_from_ambient(&p, 0.2).unwrap();
+        let resumed = solver
+            .simulate(&p, 0.2, first.final_temperatures.node_temperatures())
+            .unwrap();
+        let single = solver.simulate_from_ambient(&p, 0.4).unwrap();
+        let a = resumed.final_temperatures.block(idx);
+        let b = single.final_temperatures.block(idx);
+        assert!((a - b).abs() < 1e-6, "chained vs single run differ: {a} vs {b}");
+    }
+
+    #[test]
+    fn step_count_matches_duration() {
+        let (net, fp) = setup();
+        let solver = TransientSolver::new(&net, TransientConfig { time_step: 0.01 }).unwrap();
+        let r = solver
+            .simulate_from_ambient(&PowerMap::zeros(fp.block_count()), 0.1)
+            .unwrap();
+        assert_eq!(r.steps, 10);
+        assert_eq!(r.duration, 0.1);
+        assert_eq!(solver.time_step(), 0.01);
+        assert_eq!(solver.block_count(), fp.block_count());
+    }
+}

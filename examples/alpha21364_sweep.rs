@@ -1,0 +1,49 @@
+//! Regenerates the paper's evaluation sweeps on the Alpha-21364-like system:
+//! Table 1 (full `TL × STCL` grid) and Figure 5 (the `TL ∈ {145,155,165}`
+//! subset plotted as schedule length and simulation effort vs `STCL`).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example alpha21364_sweep            # Table 1
+//! cargo run --release --example alpha21364_sweep -- figure5 # Figure 5 subset
+//! ```
+
+use thermsched::{experiments, report};
+use thermsched_soc::library;
+use thermsched_thermal::RcThermalSimulator;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let figure5_only = std::env::args().any(|a| a == "figure5");
+
+    let sut = library::alpha21364_sut();
+    let simulator = RcThermalSimulator::from_floorplan(sut.floorplan())?;
+
+    if figure5_only {
+        let points = experiments::figure5_sweep(&sut, &simulator)?;
+        println!("{}", report::render_figure5(&points));
+    } else {
+        let points = experiments::table1_sweep(
+            &sut,
+            &simulator,
+            &experiments::default_temperature_limits(),
+            &experiments::default_stc_limits(),
+        )?;
+        println!("{}", report::render_table1(&points));
+
+        // Summary statistics in the style of the paper's observations.
+        let max_reduction = points
+            .iter()
+            .map(|p| p.schedule_length)
+            .fold(f64::NEG_INFINITY, f64::max)
+            / points
+                .iter()
+                .map(|p| p.schedule_length)
+                .fold(f64::INFINITY, f64::min);
+        println!(
+            "schedule-length spread across the sweep: {:.1}x (paper reports up to 3.5x)",
+            max_reduction
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,90 @@
+//! Thermal-aware scheduling vs chip-level power-constrained scheduling vs
+//! purely sequential testing, on the Alpha-21364-like system.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example baseline_comparison
+//! ```
+
+use thermsched::{
+    experiments, PowerConstrainedScheduler, ScheduleValidator, SchedulerConfig,
+    SequentialScheduler, ThermalAwareScheduler,
+};
+use thermsched_soc::library;
+use thermsched_thermal::RcThermalSimulator;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sut = library::alpha21364_sut();
+    let simulator = RcThermalSimulator::from_floorplan(sut.floorplan())?;
+    let validator = ScheduleValidator::new(&sut, &simulator)?;
+    let temperature_limit = 150.0;
+
+    println!(
+        "system: {} cores, total test power {:.1} W, limit {temperature_limit} C\n",
+        sut.core_count(),
+        sut.total_test_power()
+    );
+    println!(
+        "{:<34} {:>10} {:>10} {:>12} {:>11}",
+        "scheduler", "length[s]", "sessions", "max temp[C]", "violations"
+    );
+
+    // 1. Purely sequential (always safe, always longest).
+    let sequential = SequentialScheduler::new().schedule(&sut);
+    let eval = validator.evaluate(&sequential)?;
+    println!(
+        "{:<34} {:>10.1} {:>10} {:>12.1} {:>11}",
+        "sequential",
+        sequential.total_length(),
+        sequential.session_count(),
+        eval.max_temperature(),
+        eval.violating_sessions(temperature_limit).len()
+    );
+
+    // 2. Chip-level power-constrained scheduling at several budgets.
+    for budget in [60.0, 90.0, 120.0] {
+        let schedule = PowerConstrainedScheduler::new(budget)?.schedule(&sut)?;
+        let eval = validator.evaluate(&schedule)?;
+        println!(
+            "{:<34} {:>10.1} {:>10} {:>12.1} {:>11}",
+            format!("power-constrained ({budget:.0} W)"),
+            schedule.total_length(),
+            schedule.session_count(),
+            eval.max_temperature(),
+            eval.violating_sessions(temperature_limit).len()
+        );
+    }
+
+    // 3. Thermal-aware scheduling at several STCL operating points.
+    for stcl in [30.0, 60.0, 100.0] {
+        let config = SchedulerConfig::new(temperature_limit, stcl)?;
+        let outcome = ThermalAwareScheduler::new(&sut, &simulator, config)?.schedule()?;
+        println!(
+            "{:<34} {:>10.1} {:>10} {:>12.1} {:>11}",
+            format!("thermal-aware (STCL {stcl:.0})"),
+            outcome.schedule_length(),
+            outcome.session_count(),
+            outcome.max_temperature,
+            0
+        );
+    }
+
+    // 4. The matched-concurrency comparison used in EXPERIMENTS.md.
+    let cmp = experiments::baseline_comparison(&sut, &simulator, temperature_limit, 60.0)?;
+    println!(
+        "\nmatched-budget comparison (budget = hottest thermal-aware session power = {:.1} W):",
+        cmp.power_budget
+    );
+    println!(
+        "  thermal-aware    : {:>4.1} s, peak {:>6.1} C",
+        cmp.thermal_aware_length, cmp.thermal_aware_max_temperature
+    );
+    println!(
+        "  power-constrained: {:>4.1} s, peak {:>6.1} C, {} violating session(s)",
+        cmp.power_constrained_length,
+        cmp.power_constrained_max_temperature,
+        cmp.power_constrained_violations
+    );
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Scheduling a user-defined SoC: build a floorplan programmatically, attach
+//! test specifications, and compare two `STCL` operating points.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example custom_soc
+//! ```
+
+use thermsched::{SchedulerConfig, ThermalAwareScheduler};
+use thermsched_floorplan::FloorplanBuilder;
+use thermsched_soc::{SystemUnderTest, TestSpec};
+use thermsched_thermal::RcThermalSimulator;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small heterogeneous SoC: two CPU clusters, a GPU, a DSP, a modem and
+    // two memory controllers on a 12 x 10 mm die.
+    let floorplan = FloorplanBuilder::new()
+        .add_block_mm("cpu0", 3.0, 4.0, 0.0, 6.0)
+        .add_block_mm("cpu1", 3.0, 4.0, 3.0, 6.0)
+        .add_block_mm("gpu", 6.0, 6.0, 6.0, 4.0)
+        .add_block_mm("dsp", 3.0, 3.0, 0.0, 3.0)
+        .add_block_mm("modem", 3.0, 3.0, 3.0, 3.0)
+        .add_block_mm("mem0", 6.0, 3.0, 0.0, 0.0)
+        .add_block_mm("mem1", 6.0, 4.0, 6.0, 0.0)
+        .build()?;
+
+    let sut = SystemUnderTest::new(
+        floorplan,
+        vec![
+            TestSpec::new("cpu0", 14.0, 1.0)?.with_functional_power(4.0)?,
+            TestSpec::new("cpu1", 14.0, 1.0)?.with_functional_power(4.0)?,
+            TestSpec::new("gpu", 24.0, 2.0)?.with_functional_power(10.0)?,
+            TestSpec::new("dsp", 9.0, 1.0)?.with_functional_power(2.0)?,
+            TestSpec::new("modem", 8.0, 1.0)?.with_functional_power(2.5)?,
+            TestSpec::new("mem0", 7.0, 1.5)?.with_functional_power(3.0)?,
+            TestSpec::new("mem1", 9.0, 1.5)?.with_functional_power(3.5)?,
+        ],
+    )?;
+    println!("{sut}");
+
+    let simulator = RcThermalSimulator::from_floorplan(sut.floorplan())?;
+
+    for stcl in [25.0, 80.0] {
+        let config = SchedulerConfig::new(150.0, stcl)?;
+        let outcome = ThermalAwareScheduler::new(&sut, &simulator, config)?.schedule()?;
+        println!(
+            "STCL = {stcl:>5.1}: length {:>4.1} s, effort {:>4.1} s, peak {:>6.1} C, sessions:",
+            outcome.schedule_length(),
+            outcome.simulation_effort,
+            outcome.max_temperature
+        );
+        for record in &outcome.session_records {
+            let names: Vec<&str> = record
+                .session
+                .cores()
+                .map(|c| sut.test_spec(c).core_name())
+                .collect();
+            println!("    {:<34} peak {:>6.1} C", names.join(", "), record.max_temperature);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! The paper's Figure 1 motivational example: two test sessions with
+//! identical total power — and therefore both acceptable to a chip-level
+//! power-constrained scheduler — differ drastically in peak temperature
+//! because their power *densities* differ.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example motivational_hotspots
+//! ```
+
+use thermsched::{experiments, report, PowerConstrainedScheduler, ScheduleValidator};
+use thermsched_soc::library;
+use thermsched_thermal::RcThermalSimulator;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's comparison of the two hand-picked equal-power sessions.
+    let figure1 = experiments::figure1()?;
+    println!("{}", report::render_figure1(&figure1));
+
+    // What an actual power-constrained scheduler would do on this system with
+    // the same 45 W budget — and how hot its sessions get.
+    let sut = library::figure1_sut();
+    let simulator = RcThermalSimulator::from_floorplan(sut.floorplan())?;
+    let schedule = PowerConstrainedScheduler::new(45.0)?.schedule(&sut)?;
+    let evaluation = ScheduleValidator::new(&sut, &simulator)?.evaluate(&schedule)?;
+    println!("power-constrained schedule under the same 45 W budget:");
+    for session in &evaluation.sessions {
+        let names: Vec<&str> = session
+            .cores
+            .iter()
+            .map(|&c| sut.test_spec(c).core_name())
+            .collect();
+        println!(
+            "  session {}: {:<16} {:>5.1} W  peak {:>6.1} C",
+            session.session_index,
+            names.join(","),
+            session.total_power,
+            session.max_temperature
+        );
+    }
+    println!(
+        "hottest session of the power-constrained schedule: {:.1} C",
+        evaluation.max_temperature()
+    );
+    Ok(())
+}

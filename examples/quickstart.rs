@@ -1,0 +1,46 @@
+//! Quickstart: generate a thermal-safe test schedule for the Alpha-21364-like
+//! system and print it.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use thermsched::{SchedulerConfig, ThermalAwareScheduler};
+use thermsched_soc::library;
+use thermsched_thermal::RcThermalSimulator;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The system under test: a 15-core SoC with per-core test powers.
+    let sut = library::alpha21364_sut();
+    println!("{sut}");
+
+    // 2. A compact thermal simulator for its floorplan (the validation tool).
+    let simulator = RcThermalSimulator::from_floorplan(sut.floorplan())?;
+
+    // 3. The thermal-aware scheduler: TL = 165 C, STCL = 50.
+    let config = SchedulerConfig::new(165.0, 50.0)?;
+    let scheduler = ThermalAwareScheduler::new(&sut, &simulator, config)?;
+    let outcome = scheduler.schedule()?;
+
+    // 4. Inspect the result.
+    println!("{}", outcome.schedule);
+    println!("schedule length      : {:.1} s", outcome.schedule_length());
+    println!("simulation effort    : {:.1} s", outcome.simulation_effort);
+    println!("discarded sessions   : {}", outcome.discarded_sessions);
+    println!("hottest session      : {:.1} C (limit 165.0 C)", outcome.max_temperature);
+    for (i, record) in outcome.session_records.iter().enumerate() {
+        let names: Vec<&str> = record
+            .session
+            .cores()
+            .map(|c| sut.test_spec(c).core_name())
+            .collect();
+        println!(
+            "  session {i}: {:<40} peak {:.1} C",
+            names.join(", "),
+            record.max_temperature
+        );
+    }
+    Ok(())
+}

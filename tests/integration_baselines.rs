@@ -1,0 +1,113 @@
+//! Integration tests of the baseline schedulers against the thermal
+//! validator: the paper's argument that chip-level power budgeting does not
+//! imply thermal safety.
+
+use thermsched::{
+    PackingOrder, PowerConstrainedScheduler, ScheduleValidator, SchedulerConfig,
+    SequentialScheduler, ThermalAwareScheduler,
+};
+use thermsched_soc::library;
+use thermsched_thermal::RcThermalSimulator;
+
+#[test]
+fn sequential_testing_is_the_thermal_floor() {
+    // No session of any schedule can be cooler than testing its hottest core
+    // alone; the sequential schedule realises exactly that floor.
+    let sut = library::alpha21364_sut();
+    let sim = RcThermalSimulator::from_floorplan(sut.floorplan()).unwrap();
+    let validator = ScheduleValidator::new(&sut, &sim).unwrap();
+
+    let sequential_eval = validator
+        .evaluate(&SequentialScheduler::new().schedule(&sut))
+        .unwrap();
+    let config = SchedulerConfig::new(165.0, 60.0).unwrap();
+    let thermal = ThermalAwareScheduler::new(&sut, &sim, config)
+        .unwrap()
+        .schedule()
+        .unwrap();
+    assert!(sequential_eval.max_temperature() <= thermal.max_temperature + 1e-9);
+    assert!(thermal.schedule_length() <= 15.0);
+}
+
+#[test]
+fn power_budget_alone_does_not_imply_thermal_safety() {
+    let sut = library::alpha21364_sut();
+    let sim = RcThermalSimulator::from_floorplan(sut.floorplan()).unwrap();
+    let validator = ScheduleValidator::new(&sut, &sim).unwrap();
+
+    // Sweep power budgets; past some point the schedules overheat even
+    // though every session honours its budget.
+    let mut any_violation = false;
+    for budget in [50.0, 80.0, 110.0, 140.0, 190.0] {
+        let schedule = PowerConstrainedScheduler::new(budget)
+            .unwrap()
+            .schedule(&sut)
+            .unwrap();
+        assert!(schedule.covers_exactly_once(sut.core_count()));
+        let eval = validator.evaluate(&schedule).unwrap();
+        if !eval.is_thermally_safe(145.0) {
+            any_violation = true;
+        }
+    }
+    assert!(
+        any_violation,
+        "some power-feasible schedule must overheat, as in the paper's motivation"
+    );
+}
+
+#[test]
+fn power_constrained_packing_orders_agree_on_coverage() {
+    let sut = library::alpha21364_sut();
+    for budget in [45.0, 75.0, 120.0] {
+        for order in [PackingOrder::AsGiven, PackingOrder::DescendingPower] {
+            let schedule = PowerConstrainedScheduler::new(budget)
+                .unwrap()
+                .with_order(order)
+                .schedule(&sut)
+                .unwrap();
+            assert!(schedule.covers_exactly_once(sut.core_count()));
+            for session in schedule.iter() {
+                if session.core_count() > 1 {
+                    assert!(session.total_power() <= budget + 1e-9);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn thermal_aware_schedule_is_competitive_with_power_constrained_at_equal_safety() {
+    // Pick the largest power budget whose schedule is still thermally safe at
+    // TL = 150 C; the thermal-aware scheduler should give a schedule at most
+    // as long (usually shorter), because it limits concurrency only where the
+    // die actually overheats.
+    let sut = library::alpha21364_sut();
+    let sim = RcThermalSimulator::from_floorplan(sut.floorplan()).unwrap();
+    let validator = ScheduleValidator::new(&sut, &sim).unwrap();
+    let limit = 150.0;
+
+    let mut best_safe_power_length = f64::INFINITY;
+    for budget in (30..=190).step_by(10) {
+        let schedule = PowerConstrainedScheduler::new(budget as f64)
+            .unwrap()
+            .schedule(&sut)
+            .unwrap();
+        let eval = validator.evaluate(&schedule).unwrap();
+        if eval.is_thermally_safe(limit) {
+            best_safe_power_length = best_safe_power_length.min(schedule.total_length());
+        }
+    }
+    assert!(best_safe_power_length.is_finite());
+
+    let config = SchedulerConfig::new(limit, 100.0).unwrap();
+    let outcome = ThermalAwareScheduler::new(&sut, &sim, config)
+        .unwrap()
+        .schedule()
+        .unwrap();
+    assert!(
+        outcome.schedule_length() <= best_safe_power_length + 1.0,
+        "thermal-aware: {} s, best safe power-constrained: {} s",
+        outcome.schedule_length(),
+        best_safe_power_length
+    );
+}

@@ -1,0 +1,132 @@
+//! Cross-crate integration tests of the thermal substrate: floorplans fed
+//! through the RC model, checked against physical expectations.
+
+use std::collections::BTreeMap;
+
+use thermsched_floorplan::{library, parse_flp, to_flp};
+use thermsched_thermal::{
+    PackageConfig, PowerMap, RcThermalSimulator, SteadyStateSolver, ThermalNetwork,
+    ThermalSimulator, TransientConfig, TransientSolver,
+};
+
+#[test]
+fn flp_round_trip_preserves_thermal_behaviour() {
+    // Writing a floorplan to .flp text and reading it back must produce the
+    // same steady-state temperatures.
+    let fp = library::alpha21364();
+    let fp2 = parse_flp(&to_flp(&fp)).unwrap();
+    let pkg = PackageConfig::default();
+    let net1 = ThermalNetwork::build(&fp, &pkg).unwrap();
+    let net2 = ThermalNetwork::build(&fp2, &pkg).unwrap();
+    let solver1 = SteadyStateSolver::new(&net1).unwrap();
+    let solver2 = SteadyStateSolver::new(&net2).unwrap();
+    let mut power = PowerMap::zeros(fp.block_count());
+    power.set(fp.index_of("IntExec").unwrap(), 16.0).unwrap();
+    power.set(fp.index_of("Icache").unwrap(), 12.0).unwrap();
+    let t1 = solver1.solve(&power).unwrap();
+    let t2 = solver2.solve(&power).unwrap();
+    for i in 0..fp.block_count() {
+        assert!((t1.block(i) - t2.block(i)).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn named_power_maps_match_index_based_power_maps() {
+    let fp = library::alpha21364();
+    let mut named = BTreeMap::new();
+    named.insert("FPMul".to_owned(), 11.6);
+    named.insert("Dcache".to_owned(), 12.75);
+    let by_name = PowerMap::from_named(&fp, &named).unwrap();
+    let mut by_index = PowerMap::zeros(fp.block_count());
+    by_index
+        .set(fp.index_of("FPMul").unwrap(), 11.6)
+        .unwrap();
+    by_index
+        .set(fp.index_of("Dcache").unwrap(), 12.75)
+        .unwrap();
+    assert_eq!(by_name, by_index);
+}
+
+#[test]
+fn hotter_ambient_shifts_all_temperatures_uniformly() {
+    let fp = library::alpha21364();
+    let mut power = PowerMap::zeros(fp.block_count());
+    power.set(fp.index_of("FPAdd").unwrap(), 15.0).unwrap();
+
+    let cold = RcThermalSimulator::new(
+        &fp,
+        &PackageConfig::default().with_ambient(25.0),
+        TransientConfig::default(),
+    )
+    .unwrap();
+    let hot = RcThermalSimulator::new(
+        &fp,
+        &PackageConfig::default().with_ambient(55.0),
+        TransientConfig::default(),
+    )
+    .unwrap();
+    let t_cold = cold.steady_state(&power).unwrap();
+    let t_hot = hot.steady_state(&power).unwrap();
+    for i in 0..fp.block_count() {
+        let shift = t_hot.block(i) - t_cold.block(i);
+        assert!((shift - 30.0).abs() < 1e-6, "ambient shift must be uniform");
+    }
+}
+
+#[test]
+fn transient_with_finer_step_converges_to_the_same_answer() {
+    let fp = library::figure1_system();
+    let pkg = PackageConfig::default();
+    let net = ThermalNetwork::build(&fp, &pkg).unwrap();
+    let coarse = TransientSolver::new(&net, TransientConfig { time_step: 2e-3 }).unwrap();
+    let fine = TransientSolver::new(&net, TransientConfig { time_step: 5e-4 }).unwrap();
+    let mut power = PowerMap::zeros(fp.block_count());
+    power.set(fp.index_of("C2").unwrap(), 15.0).unwrap();
+    power.set(fp.index_of("C3").unwrap(), 15.0).unwrap();
+    let a = coarse.simulate_from_ambient(&power, 1.0).unwrap();
+    let b = fine.simulate_from_ambient(&power, 1.0).unwrap();
+    for i in 0..fp.block_count() {
+        assert!(
+            (a.final_temperatures.block(i) - b.final_temperatures.block(i)).abs() < 0.5,
+            "time-step sensitivity too high at block {i}"
+        );
+    }
+}
+
+#[test]
+fn better_cooling_lowers_peak_temperature() {
+    let fp = library::alpha21364();
+    let mut power = PowerMap::zeros(fp.block_count());
+    for name in ["IntExec", "IntReg", "IntQ", "IntMap"] {
+        power.set(fp.index_of(name).unwrap(), 10.0).unwrap();
+    }
+    let weak = RcThermalSimulator::new(
+        &fp,
+        &PackageConfig::default().with_convection_resistance(0.5),
+        TransientConfig::default(),
+    )
+    .unwrap();
+    let strong = RcThermalSimulator::new(
+        &fp,
+        &PackageConfig::default().with_convection_resistance(0.05),
+        TransientConfig::default(),
+    )
+    .unwrap();
+    let t_weak = weak.steady_state(&power).unwrap().max_block_temperature();
+    let t_strong = strong.steady_state(&power).unwrap().max_block_temperature();
+    assert!(t_strong < t_weak);
+}
+
+#[test]
+fn grid_floorplan_center_runs_hotter_than_corner_for_uniform_power() {
+    // A uniform power map on a regular grid must produce the classic
+    // centre-hot / corner-cool pattern (corners have the most boundary
+    // exposure), which exercises adjacency + edge paths end to end.
+    let fp = library::uniform_grid(5, 5, 2.0);
+    let sim = RcThermalSimulator::from_floorplan(&fp).unwrap();
+    let power = PowerMap::from_vec(vec![2.0; fp.block_count()]).unwrap();
+    let temps = sim.steady_state(&power).unwrap();
+    let center = fp.index_of("b2_2").unwrap();
+    let corner = fp.index_of("b0_0").unwrap();
+    assert!(temps.block(center) > temps.block(corner));
+}

@@ -1,0 +1,149 @@
+//! Property-based tests of core invariants across the workspace.
+
+use proptest::prelude::*;
+
+use thermsched::{CoreWeights, SchedulerConfig, SessionThermalModel, ThermalAwareScheduler};
+use thermsched_floorplan::{library as fp_library, Block, Floorplan};
+use thermsched_linalg::{CholeskyDecomposition, DenseMatrix, LuDecomposition};
+use thermsched_soc::{SystemUnderTest, TestSpec};
+use thermsched_thermal::{PackageConfig, PowerMap, RcThermalSimulator, ThermalSimulator};
+
+/// Strategy: a diagonally dominant symmetric positive-definite matrix.
+fn spd_matrix(n: usize) -> impl Strategy<Value = DenseMatrix> {
+    proptest::collection::vec(-1.0f64..1.0, n * n).prop_map(move |vals| {
+        let mut m = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..i {
+                let v = vals[i * n + j];
+                m.set(i, j, v);
+                m.set(j, i, v);
+            }
+        }
+        for i in 0..n {
+            let off: f64 = (0..n).filter(|&j| j != i).map(|j| m.get(i, j).abs()).sum();
+            m.set(i, i, off + 1.0 + vals[i * n + i].abs());
+        }
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn lu_and_cholesky_agree_on_spd_systems(a in spd_matrix(6), b in proptest::collection::vec(-10.0f64..10.0, 6)) {
+        let lu = LuDecomposition::new(&a).unwrap();
+        let chol = CholeskyDecomposition::new(&a).unwrap();
+        let x1 = lu.solve(&b).unwrap();
+        let x2 = chol.solve(&b).unwrap();
+        for (p, q) in x1.iter().zip(&x2) {
+            prop_assert!((p - q).abs() < 1e-6);
+        }
+        // Residual check.
+        let ax = a.mul_vec(&x1).unwrap();
+        for (r, s) in ax.iter().zip(&b) {
+            prop_assert!((r - s).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn grid_floorplans_always_have_full_coverage_and_lateral_paths(
+        nx in 1usize..6,
+        ny in 1usize..6,
+        size in 0.5f64..5.0,
+    ) {
+        let fp = fp_library::uniform_grid(nx, ny, size);
+        prop_assert_eq!(fp.block_count(), nx * ny);
+        prop_assert!((fp.coverage() - 1.0).abs() < 1e-9);
+        prop_assert!(fp.adjacency().all_blocks_have_lateral_paths());
+    }
+
+    #[test]
+    fn steady_state_temperatures_scale_linearly_and_stay_above_ambient(
+        watts in 0.5f64..30.0,
+        block in 0usize..15,
+    ) {
+        let fp = fp_library::alpha21364();
+        let sim = RcThermalSimulator::from_floorplan(&fp).unwrap();
+        let mut p1 = PowerMap::zeros(fp.block_count());
+        p1.set(block, watts).unwrap();
+        let mut p2 = PowerMap::zeros(fp.block_count());
+        p2.set(block, 2.0 * watts).unwrap();
+        let t1 = sim.steady_state(&p1).unwrap();
+        let t2 = sim.steady_state(&p2).unwrap();
+        for i in 0..fp.block_count() {
+            prop_assert!(t1.block(i) >= sim.ambient() - 1e-9);
+            let r1 = t1.block(i) - sim.ambient();
+            let r2 = t2.block(i) - sim.ambient();
+            prop_assert!((r2 - 2.0 * r1).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn session_characteristic_is_monotone_under_session_growth(
+        seed_cores in proptest::collection::btree_set(0usize..15, 1..8),
+        extra in 0usize..15,
+    ) {
+        let sut = thermsched_soc::library::alpha21364_sut();
+        let model = SessionThermalModel::new(&sut, &PackageConfig::default(), Default::default()).unwrap();
+        let weights = CoreWeights::ones(sut.core_count());
+        let base: Vec<usize> = seed_cores.iter().copied().collect();
+        let stc_base = model.session_characteristic(&base, &weights);
+        if !base.contains(&extra) {
+            let mut grown = base.clone();
+            grown.push(extra);
+            let stc_grown = model.session_characteristic(&grown, &weights);
+            prop_assert!(stc_grown >= stc_base - 1e-9);
+        }
+        // Rth of every active core is positive and finite on this floorplan.
+        for &c in &base {
+            let r = model.equivalent_resistance(&base, c);
+            prop_assert!(r.is_finite() && r > 0.0);
+        }
+    }
+
+    #[test]
+    fn scheduler_output_always_covers_each_core_once_and_respects_tl(
+        stcl in 15.0f64..120.0,
+        tl in 150.0f64..190.0,
+    ) {
+        let sut = thermsched_soc::library::alpha21364_sut();
+        let sim = RcThermalSimulator::from_floorplan(sut.floorplan()).unwrap();
+        let config = SchedulerConfig::new(tl, stcl).unwrap();
+        let outcome = ThermalAwareScheduler::new(&sut, &sim, config).unwrap().schedule().unwrap();
+        prop_assert!(outcome.schedule.covers_exactly_once(sut.core_count()));
+        prop_assert!(outcome.max_temperature < tl);
+        prop_assert!(outcome.simulation_effort + 1e-9 >= outcome.schedule_length());
+        prop_assert!(outcome.schedule_length() <= sut.sequential_test_time() + 1e-9);
+    }
+}
+
+proptest! {
+    // Smaller case count: each case builds a floorplan and simulator.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn two_block_systems_never_overheat_when_tested_sequentially(
+        w1 in 1.0f64..8.0,
+        w2 in 1.0f64..8.0,
+        p1 in 1.0f64..10.0,
+        p2 in 1.0f64..10.0,
+    ) {
+        let fp = Floorplan::new(vec![
+            Block::from_mm("a", w1, 4.0, 0.0, 0.0),
+            Block::from_mm("b", w2, 4.0, w1, 0.0),
+        ]).unwrap();
+        let sut = SystemUnderTest::new(fp, vec![
+            TestSpec::new("a", p1, 1.0).unwrap(),
+            TestSpec::new("b", p2, 1.0).unwrap(),
+        ]).unwrap();
+        let sim = RcThermalSimulator::from_floorplan(sut.floorplan()).unwrap();
+        // A permissive limit must always be schedulable, and the outcome must
+        // never be hotter than the physics allows for these tiny powers.
+        let config = SchedulerConfig::new(250.0, 60.0).unwrap();
+        let outcome = ThermalAwareScheduler::new(&sut, &sim, config).unwrap().schedule().unwrap();
+        prop_assert!(outcome.schedule.covers_exactly_once(2));
+        prop_assert!(outcome.max_temperature < 250.0);
+        prop_assert!(outcome.max_temperature > sim.ambient());
+    }
+}
