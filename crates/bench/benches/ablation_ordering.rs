@@ -8,8 +8,8 @@ use thermsched_bench::alpha_fixture;
 fn bench_ordering_ablation(c: &mut Criterion) {
     let (sut, simulator) = alpha_fixture();
 
-    let points = experiments::ordering_sweep(&sut, &simulator, 155.0, 60.0)
-        .expect("ordering ablation runs");
+    let points =
+        experiments::ordering_sweep(&sut, &simulator, 155.0, 60.0).expect("ordering ablation runs");
     println!(
         "\n{}",
         report::render_ablation("A2 — candidate-core ordering (TL=155, STCL=60)", &points)

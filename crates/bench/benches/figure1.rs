@@ -13,8 +13,8 @@ fn bench_figure1(c: &mut Criterion) {
     let (sut, simulator) = figure1_fixture();
     c.bench_function("figure1/equal_power_sessions", |b| {
         b.iter(|| {
-            let r = experiments::figure1_with(&sut, &simulator, 45.0)
-                .expect("figure1 experiment runs");
+            let r =
+                experiments::figure1_with(&sut, &simulator, 45.0).expect("figure1 experiment runs");
             assert!(r.temperature_gap > 0.0);
             r
         })

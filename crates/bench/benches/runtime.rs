@@ -32,7 +32,10 @@ fn bench_session_simulation(c: &mut Criterion) {
         power.set(core, sut.test_power(core)).expect("valid power");
     }
     c.bench_function("runtime/transient_session_1s", |b| {
-        b.iter(|| sim.simulate_session(&power, 1.0).expect("simulation succeeds"))
+        b.iter(|| {
+            sim.simulate_session(&power, 1.0)
+                .expect("simulation succeeds")
+        })
     });
 }
 

@@ -43,10 +43,7 @@ mod tests {
     fn fixtures_build() {
         let (sut, sim) = alpha_fixture();
         assert_eq!(sut.core_count(), 15);
-        assert_eq!(
-            thermsched_thermal::ThermalSimulator::block_count(&sim),
-            15
-        );
+        assert_eq!(thermsched_thermal::ThermalSimulator::block_count(&sim), 15);
         let (sut, _) = figure1_fixture();
         assert_eq!(sut.core_count(), 7);
     }

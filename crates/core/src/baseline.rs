@@ -184,10 +184,7 @@ mod tests {
         let schedule = scheduler.schedule(&sut).unwrap();
         assert!(schedule.covers_exactly_once(sut.core_count()));
         let l2 = sut.floorplan().index_of("L2_bottom").unwrap();
-        let containing: Vec<_> = schedule
-            .iter()
-            .filter(|s| s.contains(l2))
-            .collect();
+        let containing: Vec<_> = schedule.iter().filter(|s| s.contains(l2)).collect();
         assert_eq!(containing.len(), 1);
         assert_eq!(containing[0].core_count(), 1);
     }

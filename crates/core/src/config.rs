@@ -218,6 +218,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::field_reassign_with_default)] // mutating one field at a time is the point
     fn validation_catches_bad_values() {
         assert!(SchedulerConfig::new(0.0, 30.0).is_err());
         assert!(SchedulerConfig::new(145.0, -1.0).is_err());
@@ -236,7 +237,9 @@ mod tests {
         assert!(c.validate().is_err());
         let mut opts = crate::SessionModelOptions::default();
         opts.stc_scale = 0.0;
-        let c = SchedulerConfig::new(145.0, 30.0).unwrap().with_session_model(opts);
+        let c = SchedulerConfig::new(145.0, 30.0)
+            .unwrap()
+            .with_session_model(opts);
         assert!(c.validate().is_err());
     }
 

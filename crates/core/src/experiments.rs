@@ -86,10 +86,8 @@ pub fn figure1_with<S: ThermalSimulator>(
 ) -> Result<Figure1Report> {
     let validator = ScheduleValidator::new(sut, simulator)?;
     let fp = sut.floorplan();
-    let session_defs: [(&str, [&str; 3]); 2] = [
-        ("TS1", ["C2", "C3", "C4"]),
-        ("TS2", ["C5", "C6", "C7"]),
-    ];
+    let session_defs: [(&str, [&str; 3]); 2] =
+        [("TS1", ["C2", "C3", "C4"]), ("TS2", ["C5", "C6", "C7"])];
     let mut schedule = TestSchedule::new();
     let mut labels = Vec::new();
     for (label, names) in session_defs {
@@ -97,7 +95,10 @@ pub fn figure1_with<S: ThermalSimulator>(
             .iter()
             .map(|n| fp.index_of(n).expect("figure1 core names exist"));
         schedule.push(TestSession::new(ids, sut));
-        labels.push((label.to_owned(), names.iter().map(|s| s.to_string()).collect()));
+        labels.push((
+            label.to_owned(),
+            names.iter().map(|s| s.to_string()).collect(),
+        ));
     }
     let evaluation = validator.evaluate(&schedule)?;
     let mut sessions = Vec::new();
@@ -109,9 +110,7 @@ pub fn figure1_with<S: ThermalSimulator>(
             max_temperature: eval.max_temperature,
         });
     }
-    let both_satisfy_power_limit = sessions
-        .iter()
-        .all(|s| s.total_power <= power_limit + 1e-9);
+    let both_satisfy_power_limit = sessions.iter().all(|s| s.total_power <= power_limit + 1e-9);
     let temperature_gap = (sessions[0].max_temperature - sessions[1].max_temperature).abs();
     Ok(Figure1Report {
         power_limit,
@@ -240,8 +239,7 @@ pub fn weight_factor_sweep<S: ThermalSimulator>(
 ) -> Result<Vec<AblationPoint>> {
     let mut out = Vec::with_capacity(factors.len());
     for &factor in factors {
-        let config = SchedulerConfig::new(temperature_limit, stc_limit)?
-            .with_weight_factor(factor);
+        let config = SchedulerConfig::new(temperature_limit, stc_limit)?.with_weight_factor(factor);
         let outcome = ThermalAwareScheduler::new(sut, simulator, config)?.schedule()?;
         out.push(AblationPoint {
             label: format!("weight_factor={factor}"),
@@ -267,8 +265,7 @@ pub fn ordering_sweep<S: ThermalSimulator>(
 ) -> Result<Vec<AblationPoint>> {
     let mut out = Vec::with_capacity(CoreOrdering::ALL.len());
     for ordering in CoreOrdering::ALL {
-        let config =
-            SchedulerConfig::new(temperature_limit, stc_limit)?.with_ordering(ordering);
+        let config = SchedulerConfig::new(temperature_limit, stc_limit)?.with_ordering(ordering);
         let outcome = ThermalAwareScheduler::new(sut, simulator, config)?.schedule()?;
         out.push(AblationPoint {
             label: format!("{ordering:?}"),
@@ -294,7 +291,10 @@ pub fn model_options_sweep<S: ThermalSimulator>(
     stc_limit: f64,
 ) -> Result<Vec<AblationPoint>> {
     let variants: [(&str, SessionModelOptions); 3] = [
-        ("paper (lateral-only, drop active-active)", SessionModelOptions::paper()),
+        (
+            "paper (lateral-only, drop active-active)",
+            SessionModelOptions::paper(),
+        ),
         (
             "keep active-active paths",
             SessionModelOptions {
@@ -312,8 +312,8 @@ pub fn model_options_sweep<S: ThermalSimulator>(
     ];
     let mut out = Vec::with_capacity(variants.len());
     for (label, options) in variants {
-        let config = SchedulerConfig::new(temperature_limit, stc_limit)?
-            .with_session_model(options);
+        let config =
+            SchedulerConfig::new(temperature_limit, stc_limit)?.with_session_model(options);
         let model = SessionThermalModel::new(sut, &PackageConfig::default(), options)?;
         let outcome =
             ThermalAwareScheduler::with_model(sut, simulator, config, model)?.schedule()?;
@@ -389,9 +389,7 @@ mod tests {
         assert_eq!(report.sessions.len(), 2);
         assert!(report.both_satisfy_power_limit);
         // Both sessions dissipate the same power...
-        assert!(
-            (report.sessions[0].total_power - report.sessions[1].total_power).abs() < 1e-9
-        );
+        assert!((report.sessions[0].total_power - report.sessions[1].total_power).abs() < 1e-9);
         // ...but the small-core session is much hotter.
         assert!(report.sessions[0].max_temperature > report.sessions[1].max_temperature + 10.0);
         assert!(report.temperature_gap > 10.0);
@@ -453,9 +451,6 @@ mod tests {
         // The baseline is allowed the same session power but is blind to
         // power density, so it runs at least as hot as the thermal-aware
         // schedule (and usually violates the limit outright).
-        assert!(
-            cmp.power_constrained_max_temperature + 1e-9
-                >= cmp.thermal_aware_max_temperature
-        );
+        assert!(cmp.power_constrained_max_temperature + 1e-9 >= cmp.thermal_aware_max_temperature);
     }
 }

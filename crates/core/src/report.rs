@@ -82,11 +82,17 @@ pub fn render_figure5(points: &[SweepPoint]) -> String {
 pub fn render_ablation(title: &str, points: &[AblationPoint]) -> String {
     let mut out = String::new();
     out.push_str(&format!("{title}\n"));
-    out.push_str("variant                                    length[s]  effort[s]  discarded  max temp[C]\n");
+    out.push_str(
+        "variant                                    length[s]  effort[s]  discarded  max temp[C]\n",
+    );
     for p in points {
         out.push_str(&format!(
             "{:<42} {:>9.1}  {:>9.1}  {:>9}  {:>11.2}\n",
-            p.label, p.schedule_length, p.simulation_effort, p.discarded_sessions, p.max_temperature
+            p.label,
+            p.schedule_length,
+            p.simulation_effort,
+            p.discarded_sessions,
+            p.max_temperature
         ));
     }
     out

@@ -98,7 +98,9 @@ impl TestSession {
     pub fn power_map(&self, sut: &SystemUnderTest) -> Result<PowerMap> {
         let mut power = PowerMap::zeros(sut.core_count());
         for &c in &self.cores {
-            power.set(c, sut.test_power(c)).map_err(ScheduleError::from)?;
+            power
+                .set(c, sut.test_power(c))
+                .map_err(ScheduleError::from)?;
         }
         Ok(power)
     }

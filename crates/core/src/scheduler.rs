@@ -114,7 +114,11 @@ impl<'a, S: ThermalSimulator> ThermalAwareScheduler<'a, S> {
     /// * [`ScheduleError::InvalidConfig`] if the configuration is invalid.
     /// * [`ScheduleError::CoreCountMismatch`] if the simulator does not model
     ///   the same number of blocks as the system under test.
-    pub fn new(sut: &'a SystemUnderTest, simulator: &'a S, config: SchedulerConfig) -> Result<Self> {
+    pub fn new(
+        sut: &'a SystemUnderTest,
+        simulator: &'a S,
+        config: SchedulerConfig,
+    ) -> Result<Self> {
         let model = SessionThermalModel::new(sut, &PackageConfig::default(), config.session_model)?;
         Self::with_model(sut, simulator, config, model)
     }
@@ -173,13 +177,13 @@ impl<'a, S: ThermalSimulator> ThermalAwareScheduler<'a, S> {
         // ---- Phase 1 (lines 1-7): per-core characterisation. ----
         let mut bcmt = vec![0.0; n];
         let mut characterization_effort = 0.0;
-        for core in 0..n {
+        for (core, slot) in bcmt.iter_mut().enumerate() {
             let session = TestSession::new([core], self.sut);
             let power = session.power_map(self.sut)?;
             let result = self
                 .simulator
                 .simulate_session(&power, session.duration())?;
-            bcmt[core] = result.block_max_temperature(core);
+            *slot = result.block_max_temperature(core);
             characterization_effort += session.duration();
         }
 
@@ -233,8 +237,7 @@ impl<'a, S: ThermalSimulator> ThermalAwareScheduler<'a, S> {
             for &candidate in &ordered {
                 let mut tentative = active.clone();
                 tentative.push(candidate);
-                if self.model.session_characteristic(&tentative, &weights)
-                    <= self.config.stc_limit
+                if self.model.session_characteristic(&tentative, &weights) <= self.config.stc_limit
                 {
                     active = tentative;
                 }
@@ -344,9 +347,7 @@ impl<'a, S: ThermalSimulator> ThermalAwareScheduler<'a, S> {
                 });
             }
             CoreOrdering::DescendingCharacteristic | CoreOrdering::AscendingCharacteristic => {
-                let key = |c: usize| {
-                    self.model.session_characteristic(&[c], weights)
-                };
+                let key = |c: usize| self.model.session_characteristic(&[c], weights);
                 ordered.sort_by(|&a, &b| key(a).partial_cmp(&key(b)).expect("finite STC"));
                 if self.config.ordering == CoreOrdering::DescendingCharacteristic {
                     ordered.reverse();
@@ -406,8 +407,7 @@ mod tests {
         let scheduler = ThermalAwareScheduler::new(&sut, &sim, config).unwrap();
         let outcome = scheduler.schedule().unwrap();
         // Effort = committed sessions + discarded attempts (1 s each here).
-        let expected =
-            outcome.schedule_length() + outcome.discarded_sessions as f64 * 1.0;
+        let expected = outcome.schedule_length() + outcome.discarded_sessions as f64 * 1.0;
         assert!((outcome.simulation_effort - expected).abs() < 1e-9);
         assert!(outcome.effort_ratio() >= 1.0);
         assert_eq!(outcome.characterization_effort, 15.0);
@@ -438,10 +438,11 @@ mod tests {
     #[test]
     fn higher_temperature_limit_never_lengthens_the_schedule() {
         let (sut, sim) = setup();
-        let low = ThermalAwareScheduler::new(&sut, &sim, SchedulerConfig::new(145.0, 70.0).unwrap())
-            .unwrap()
-            .schedule()
-            .unwrap();
+        let low =
+            ThermalAwareScheduler::new(&sut, &sim, SchedulerConfig::new(145.0, 70.0).unwrap())
+                .unwrap()
+                .schedule()
+                .unwrap();
         let high =
             ThermalAwareScheduler::new(&sut, &sim, SchedulerConfig::new(185.0, 70.0).unwrap())
                 .unwrap()
@@ -461,7 +462,10 @@ mod tests {
         assert_eq!(outcome.bcmt.len(), sut.core_count());
         for &t in &outcome.bcmt {
             assert!(t > sim.ambient());
-            assert!(t < 145.0, "library calibration keeps single cores below 145 C");
+            assert!(
+                t < 145.0,
+                "library calibration keeps single cores below 145 C"
+            );
         }
         assert_eq!(outcome.effective_temperature_limit, 165.0);
     }

@@ -214,9 +214,7 @@ impl SessionThermalModel {
         );
         active
             .iter()
-            .map(|&c| {
-                self.thermal_characteristic(active, c) * self.power[c] * weights.weight(c)
-            })
+            .map(|&c| self.thermal_characteristic(active, c) * self.power[c] * weights.weight(c))
             .fold(0.0_f64, f64::max)
             * self.options.stc_scale
     }
@@ -237,9 +235,12 @@ mod tests {
 
     fn model() -> (SessionThermalModel, thermsched_soc::SystemUnderTest) {
         let sut = library::alpha21364_sut();
-        let model =
-            SessionThermalModel::new(&sut, &PackageConfig::default(), SessionModelOptions::paper())
-                .unwrap();
+        let model = SessionThermalModel::new(
+            &sut,
+            &PackageConfig::default(),
+            SessionModelOptions::paper(),
+        )
+        .unwrap();
         (model, sut)
     }
 
@@ -297,9 +298,12 @@ mod tests {
         let mut opts = SessionModelOptions::paper();
         opts.include_vertical_path = true;
         let with_v = SessionThermalModel::new(&sut, &PackageConfig::default(), opts).unwrap();
-        let without =
-            SessionThermalModel::new(&sut, &PackageConfig::default(), SessionModelOptions::paper())
-                .unwrap();
+        let without = SessionThermalModel::new(
+            &sut,
+            &PackageConfig::default(),
+            SessionModelOptions::paper(),
+        )
+        .unwrap();
         for core in 0..sut.core_count() {
             assert!(
                 with_v.equivalent_resistance(&[core], core)
@@ -379,9 +383,12 @@ mod tests {
     #[test]
     fn figure1_small_cores_have_higher_density_driven_characteristics() {
         let sut = library::figure1_sut();
-        let model =
-            SessionThermalModel::new(&sut, &PackageConfig::default(), SessionModelOptions::paper())
-                .unwrap();
+        let model = SessionThermalModel::new(
+            &sut,
+            &PackageConfig::default(),
+            SessionModelOptions::paper(),
+        )
+        .unwrap();
         let fp = sut.floorplan();
         let c2 = fp.index_of("C2").unwrap();
         let c5 = fp.index_of("C5").unwrap();

@@ -219,9 +219,8 @@ impl AdjacencyGraph {
     /// (a neighbour or some boundary exposure). Isolated blocks would have an
     /// infinite equivalent lateral resistance in the session model.
     pub fn all_blocks_have_lateral_paths(&self) -> bool {
-        (0..self.block_count).all(|i| {
-            !self.neighbors(i).is_empty() || self.boundary[i].total() > GEOMETRY_TOLERANCE
-        })
+        (0..self.block_count)
+            .all(|i| !self.neighbors(i).is_empty() || self.boundary[i].total() > GEOMETRY_TOLERANCE)
     }
 }
 

@@ -35,7 +35,13 @@ impl Block {
 
     /// Creates a block from millimetre units (the natural unit for
     /// floorplans); stored internally in metres.
-    pub fn from_mm(name: impl Into<String>, width_mm: f64, height_mm: f64, x_mm: f64, y_mm: f64) -> Self {
+    pub fn from_mm(
+        name: impl Into<String>,
+        width_mm: f64,
+        height_mm: f64,
+        x_mm: f64,
+        y_mm: f64,
+    ) -> Self {
         Block::new(
             name,
             width_mm * 1e-3,

@@ -104,9 +104,7 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = FloorplanError::DuplicateName {
-            name: "cpu".into(),
-        };
+        let e = FloorplanError::DuplicateName { name: "cpu".into() };
         assert_eq!(e.to_string(), "duplicate block name 'cpu'");
         let e = FloorplanError::ParseError {
             line: 3,

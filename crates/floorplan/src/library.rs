@@ -160,8 +160,21 @@ mod tests {
     fn alpha21364_block_names_are_the_expected_architectural_units() {
         let fp = alpha21364();
         for name in [
-            "L2_bottom", "L2_left", "L2_right", "Icache", "Dcache", "LdStQ", "IntExec", "IntReg",
-            "IntMap", "IntQ", "Bpred", "DTB", "FPAdd", "FPMul", "FPReg",
+            "L2_bottom",
+            "L2_left",
+            "L2_right",
+            "Icache",
+            "Dcache",
+            "LdStQ",
+            "IntExec",
+            "IntReg",
+            "IntMap",
+            "IntQ",
+            "Bpred",
+            "DTB",
+            "FPAdd",
+            "FPMul",
+            "FPReg",
         ] {
             assert!(fp.index_of(name).is_some(), "missing block {name}");
         }

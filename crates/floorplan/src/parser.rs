@@ -51,10 +51,12 @@ pub fn parse_flp(text: &str) -> Result<Floorplan> {
         let name = fields[0].to_owned();
         let mut nums = [0.0f64; 4];
         for (k, field) in fields[1..].iter().enumerate() {
-            nums[k] = field.parse::<f64>().map_err(|_| FloorplanError::ParseError {
-                line: lineno + 1,
-                message: format!("cannot parse '{field}' as a number"),
-            })?;
+            nums[k] = field
+                .parse::<f64>()
+                .map_err(|_| FloorplanError::ParseError {
+                    line: lineno + 1,
+                    message: format!("cannot parse '{field}' as a number"),
+                })?;
         }
         let [width, height, x, y] = nums;
         blocks.push(Block::new(name, width, height, x, y));

@@ -206,7 +206,7 @@ mod tests {
     #[test]
     fn zero_rhs_returns_zero_solution_immediately() {
         let a = laplacian_1d(10);
-        let sol = ConjugateGradient::new().solve(&a, &vec![0.0; 10]).unwrap();
+        let sol = ConjugateGradient::new().solve(&a, &[0.0; 10]).unwrap();
         assert_eq!(sol.x, vec![0.0; 10]);
         assert_eq!(sol.iterations, 0);
     }
@@ -246,7 +246,9 @@ mod tests {
         .unwrap();
         // The right-hand side is chosen so the first search direction exposes
         // the negative curvature of this indefinite matrix.
-        let err = ConjugateGradient::new().solve(&a, &[1.0, -1.0]).unwrap_err();
+        let err = ConjugateGradient::new()
+            .solve(&a, &[1.0, -1.0])
+            .unwrap_err();
         assert!(matches!(err, LinalgError::NotPositiveDefinite { .. }));
     }
 

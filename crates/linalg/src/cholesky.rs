@@ -116,8 +116,8 @@ impl CholeskyDecomposition {
         let mut y = vec![0.0; n];
         for i in 0..n {
             let mut sum = b[i];
-            for j in 0..i {
-                sum -= self.l.get(i, j) * y[j];
+            for (j, &yj) in y.iter().enumerate().take(i) {
+                sum -= self.l.get(i, j) * yj;
             }
             y[i] = sum / self.l.get(i, i);
         }
@@ -125,8 +125,8 @@ impl CholeskyDecomposition {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut sum = y[i];
-            for j in (i + 1)..n {
-                sum -= self.l.get(j, i) * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                sum -= self.l.get(j, i) * xj;
             }
             x[i] = sum / self.l.get(i, i);
         }

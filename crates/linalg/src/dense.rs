@@ -160,7 +160,9 @@ impl DenseMatrix {
 
     /// Returns the main diagonal as a vector (length `min(rows, cols)`).
     pub fn diagonal(&self) -> Vec<f64> {
-        (0..self.rows.min(self.cols)).map(|i| self.get(i, i)).collect()
+        (0..self.rows.min(self.cols))
+            .map(|i| self.get(i, i))
+            .collect()
     }
 
     /// Matrix–vector product `A · x`.
@@ -177,9 +179,9 @@ impl DenseMatrix {
             });
         }
         let mut y = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+            *yi = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
         Ok(y)
     }
@@ -297,7 +299,10 @@ impl Add for &DenseMatrix {
 
     fn add(self, rhs: &DenseMatrix) -> DenseMatrix {
         assert_eq!(self.rows, rhs.rows, "row count mismatch in matrix addition");
-        assert_eq!(self.cols, rhs.cols, "column count mismatch in matrix addition");
+        assert_eq!(
+            self.cols, rhs.cols,
+            "column count mismatch in matrix addition"
+        );
         DenseMatrix {
             rows: self.rows,
             cols: self.cols,
@@ -315,8 +320,14 @@ impl Sub for &DenseMatrix {
     type Output = DenseMatrix;
 
     fn sub(self, rhs: &DenseMatrix) -> DenseMatrix {
-        assert_eq!(self.rows, rhs.rows, "row count mismatch in matrix subtraction");
-        assert_eq!(self.cols, rhs.cols, "column count mismatch in matrix subtraction");
+        assert_eq!(
+            self.rows, rhs.rows,
+            "row count mismatch in matrix subtraction"
+        );
+        assert_eq!(
+            self.cols, rhs.cols,
+            "column count mismatch in matrix subtraction"
+        );
         DenseMatrix {
             rows: self.rows,
             cols: self.cols,

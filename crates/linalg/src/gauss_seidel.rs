@@ -169,7 +169,10 @@ mod tests {
     fn sor_converges_to_the_same_solution_as_plain_gs() {
         let (a, b) = dominant_system(60);
         let plain = GaussSeidel::new().solve(&a, &b).unwrap();
-        let sor = GaussSeidel::new().with_relaxation(1.2).solve(&a, &b).unwrap();
+        let sor = GaussSeidel::new()
+            .with_relaxation(1.2)
+            .solve(&a, &b)
+            .unwrap();
         assert!(sor.residual_norm < 1e-8);
         for (p, q) in sor.x.iter().zip(&plain.x) {
             assert!((p - q).abs() < 1e-6);

@@ -138,16 +138,16 @@ impl LuDecomposition {
         // Forward substitution with unit lower-triangular L.
         for i in 1..n {
             let mut sum = x[i];
-            for j in 0..i {
-                sum -= self.lu.get(i, j) * x[j];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                sum -= self.lu.get(i, j) * xj;
             }
             x[i] = sum;
         }
         // Backward substitution with U.
         for i in (0..n).rev() {
             let mut sum = x[i];
-            for j in (i + 1)..n {
-                sum -= self.lu.get(i, j) * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                sum -= self.lu.get(i, j) * xj;
             }
             x[i] = sum / self.lu.get(i, i);
         }
@@ -171,12 +171,12 @@ impl LuDecomposition {
         let mut out = DenseMatrix::zeros(n, b.cols());
         let mut col = vec![0.0; n];
         for j in 0..b.cols() {
-            for i in 0..n {
-                col[i] = b.get(i, j);
+            for (i, c) in col.iter_mut().enumerate() {
+                *c = b.get(i, j);
             }
             let x = self.solve(&col)?;
-            for i in 0..n {
-                out.set(i, j, x[i]);
+            for (i, &v) in x.iter().enumerate() {
+                out.set(i, j, v);
             }
         }
         Ok(out)
@@ -318,7 +318,9 @@ mod tests {
         let mut a = DenseMatrix::zeros(n, n);
         let mut state = 42u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
         };
         for i in 0..n {

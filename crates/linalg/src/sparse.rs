@@ -154,12 +154,12 @@ impl CsrMatrix {
             });
         }
         let mut y = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for k in self.row_ptr[i]..self.row_ptr[i + 1] {
                 acc += self.values[k] * x[self.col_idx[k]];
             }
-            y[i] = acc;
+            *yi = acc;
         }
         Ok(y)
     }
@@ -249,12 +249,8 @@ mod tests {
 
     #[test]
     fn duplicates_are_summed() {
-        let m = CsrMatrix::from_triplets(
-            1,
-            1,
-            &[Triplet::new(0, 0, 1.0), Triplet::new(0, 0, 2.5)],
-        )
-        .unwrap();
+        let m = CsrMatrix::from_triplets(1, 1, &[Triplet::new(0, 0, 1.0), Triplet::new(0, 0, 2.5)])
+            .unwrap();
         assert_eq!(m.get(0, 0), 3.5);
         assert_eq!(m.nnz(), 1);
     }

@@ -74,8 +74,7 @@ impl GeneratorConfig {
                 return Err(SocError::InvalidGeneratorParameter { name, value });
             }
         }
-        if !(self.max_power_density >= self.min_power_density
-            && self.max_power_density.is_finite())
+        if !(self.max_power_density >= self.min_power_density && self.max_power_density.is_finite())
         {
             return Err(SocError::InvalidGeneratorParameter {
                 name: "max_power_density",
@@ -186,6 +185,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::field_reassign_with_default)] // mutating one field at a time is the point
     fn config_validation_catches_bad_fields() {
         let mut c = GeneratorConfig::default();
         c.grid_columns = 0;
@@ -248,7 +248,7 @@ mod tests {
         assert_eq!(sut.core_count(), 15);
         for (id, spec) in sut.iter() {
             let density = sut.test_power_density(id);
-            assert!(density >= 0.5 - 1e-9 && density <= 1.0 + 1e-9);
+            assert!((0.5 - 1e-9..=1.0 + 1e-9).contains(&density));
             assert!(spec.test_time() >= 0.5 && spec.test_time() <= 2.0);
             let ratio = spec.test_to_functional_ratio().unwrap();
             assert!((1.5..=8.0 + 1e-9).contains(&ratio));

@@ -53,7 +53,10 @@ impl fmt::Display for ThermalError {
                 write!(f, "invalid thermal parameter {name} = {value}")
             }
             ThermalError::UnknownBlock { block, count } => {
-                write!(f, "block id {block} out of range for model with {count} blocks")
+                write!(
+                    f,
+                    "block id {block} out of range for model with {count} blocks"
+                )
             }
             ThermalError::PowerLengthMismatch { expected, found } => write!(
                 f,

@@ -157,7 +157,7 @@ impl GridThermalSimulator {
                         let dx = (r.x - cx).max(cx - r.right()).max(0.0);
                         let dy = (r.y - cy).max(cy - r.top()).max(0.0);
                         let d = (dx * dx + dy * dy).sqrt();
-                        if best.map_or(true, |(_, bd)| d < bd) {
+                        if best.is_none_or(|(_, bd)| d < bd) {
                             best = Some((id, d));
                         }
                     }
@@ -331,7 +331,10 @@ impl ThermalSimulator for GridThermalSimulator {
 
     fn steady_state(&self, power: &PowerMap) -> Result<Temperatures> {
         let cells = self.cell_temperatures(power)?;
-        Ok(Temperatures::new(self.block_maxima(&cells), self.block_count))
+        Ok(Temperatures::new(
+            self.block_maxima(&cells),
+            self.block_count,
+        ))
     }
 }
 
@@ -400,16 +403,20 @@ mod tests {
         let mut p = PowerMap::zeros(fp.block_count());
         p.set(idx, 21.0).unwrap();
         let cells = sim.cell_temperatures(&p).unwrap();
-        let (hottest_cell, _) = cells
-            .iter()
-            .enumerate()
-            .fold((0, f64::NEG_INFINITY), |acc, (i, &t)| {
-                if t > acc.1 {
-                    (i, t)
-                } else {
-                    acc
-                }
-            });
+        let (hottest_cell, _) =
+            cells
+                .iter()
+                .enumerate()
+                .fold(
+                    (0, f64::NEG_INFINITY),
+                    |acc, (i, &t)| {
+                        if t > acc.1 {
+                            (i, t)
+                        } else {
+                            acc
+                        }
+                    },
+                );
         assert_eq!(sim.cell_block(hottest_cell), Some(idx));
     }
 
@@ -435,7 +442,10 @@ mod tests {
         // block (the models differ in spreading fidelity, not in physics).
         let rg = tg.max_block_temperature() - 45.0;
         let rb = tb.max_block_temperature() - 45.0;
-        assert!(rg > 0.5 * rb && rg < 2.0 * rb, "grid {rg:.1} vs block {rb:.1}");
+        assert!(
+            rg > 0.5 * rb && rg < 2.0 * rb,
+            "grid {rg:.1} vs block {rb:.1}"
+        );
     }
 
     #[test]

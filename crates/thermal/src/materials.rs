@@ -81,12 +81,18 @@ mod tests {
 
     #[test]
     fn presets_are_physical() {
-        for m in [Material::silicon(), Material::copper(), Material::thermal_interface()] {
+        for m in [
+            Material::silicon(),
+            Material::copper(),
+            Material::thermal_interface(),
+        ] {
             assert!(m.conductivity > 0.0);
             assert!(m.volumetric_heat_capacity > 0.0);
         }
         // Copper conducts much better than the interface material.
-        assert!(Material::copper().conductivity > 10.0 * Material::thermal_interface().conductivity);
+        assert!(
+            Material::copper().conductivity > 10.0 * Material::thermal_interface().conductivity
+        );
     }
 
     #[test]

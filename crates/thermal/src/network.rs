@@ -129,8 +129,8 @@ impl ThermalNetwork {
             // Vertical path: die conduction + interface material, per block area.
             let area = block.area();
             let r_die_v = t_die / (k_die * area);
-            let r_tim = package.interface_thickness
-                / (package.interface_material.conductivity * area);
+            let r_tim =
+                package.interface_thickness / (package.interface_material.conductivity * area);
             let r_vert = r_die_v + r_tim;
             vertical_resistance[id] = r_vert;
             stamp_pair(&mut g, id, spreader, 1.0 / r_vert);
@@ -142,10 +142,9 @@ impl ThermalNetwork {
         // Spreader to sink conduction.
         let a_spreader = package.spreader_side * package.spreader_side;
         let a_sink = package.sink_side * package.sink_side;
-        let r_spreader = package.spreader_thickness
-            / (package.spreader_material.conductivity * a_spreader);
-        let r_sink_cond =
-            package.sink_thickness / (package.sink_material.conductivity * a_sink);
+        let r_spreader =
+            package.spreader_thickness / (package.spreader_material.conductivity * a_spreader);
+        let r_sink_cond = package.sink_thickness / (package.sink_material.conductivity * a_sink);
         stamp_pair(&mut g, spreader, sink, 1.0 / (r_spreader + r_sink_cond));
 
         // Sink to ambient convection.
@@ -155,8 +154,7 @@ impl ThermalNetwork {
         c[spreader] = package.spreader_material.volumetric_heat_capacity
             * a_spreader
             * package.spreader_thickness;
-        c[sink] =
-            package.sink_material.volumetric_heat_capacity * a_sink * package.sink_thickness;
+        c[sink] = package.sink_material.volumetric_heat_capacity * a_sink * package.sink_thickness;
 
         Ok(ThermalNetwork {
             conductance: g,
@@ -281,10 +279,9 @@ pub fn lateral_resistance_from_geometry(
 ) -> f64 {
     match adjacency.edge_between(a, b) {
         Some(edge) => {
-            let conductance = package.die_material.conductivity
-                * package.die_thickness
-                * edge.length
-                / edge.center_distance;
+            let conductance =
+                package.die_material.conductivity * package.die_thickness * edge.length
+                    / edge.center_distance;
             if conductance > 0.0 {
                 1.0 / conductance
             } else {
@@ -384,15 +381,16 @@ mod tests {
     #[test]
     fn node_power_vector_expands_blocks() {
         let n = net();
-        let p = n.node_power_vector(&vec![1.0; 15]).unwrap();
+        let p = n.node_power_vector(&[1.0; 15]).unwrap();
         assert_eq!(p.len(), 17);
         assert_eq!(p[14], 1.0);
         assert_eq!(p[15], 0.0);
         assert_eq!(p[16], 0.0);
-        assert!(n.node_power_vector(&vec![1.0; 3]).is_err());
+        assert!(n.node_power_vector(&[1.0; 3]).is_err());
     }
 
     #[test]
+    #[allow(clippy::field_reassign_with_default)] // mutating one field at a time is the point
     fn invalid_package_is_rejected() {
         let mut pkg = PackageConfig::default();
         pkg.die_thickness = -1.0;

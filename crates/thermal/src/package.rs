@@ -173,6 +173,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::field_reassign_with_default)] // mutating one field at a time is the point
     fn validation_catches_bad_fields() {
         let mut p = PackageConfig::default();
         p.die_thickness = 0.0;

@@ -64,12 +64,10 @@ impl PowerMap {
     pub fn from_named(fp: &Floorplan, powers: &BTreeMap<String, f64>) -> Result<Self> {
         let mut map = PowerMap::zeros(fp.block_count());
         for (name, &p) in powers {
-            let id = fp
-                .index_of(name)
-                .ok_or(ThermalError::UnknownBlock {
-                    block: fp.block_count(),
-                    count: fp.block_count(),
-                })?;
+            let id = fp.index_of(name).ok_or(ThermalError::UnknownBlock {
+                block: fp.block_count(),
+                count: fp.block_count(),
+            })?;
             map.set(id, p)?;
         }
         Ok(map)

@@ -123,7 +123,11 @@ impl RcThermalSimulator {
     ///
     /// Propagates model construction and factorisation errors.
     pub fn from_floorplan(floorplan: &Floorplan) -> Result<Self> {
-        Self::new(floorplan, &PackageConfig::default(), TransientConfig::default())
+        Self::new(
+            floorplan,
+            &PackageConfig::default(),
+            TransientConfig::default(),
+        )
     }
 
     /// Builds a simulator with explicit package and transient configuration.

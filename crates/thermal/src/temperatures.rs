@@ -74,7 +74,9 @@ impl Temperatures {
 
     /// Hottest block temperature in °C (`-inf` if the model has no blocks).
     pub fn max_block_temperature(&self) -> f64 {
-        self.hottest_block().map(|(_, t)| t).unwrap_or(f64::NEG_INFINITY)
+        self.hottest_block()
+            .map(|(_, t)| t)
+            .unwrap_or(f64::NEG_INFINITY)
     }
 }
 

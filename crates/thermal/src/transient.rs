@@ -127,7 +127,11 @@ impl TransientSolver {
     /// # Errors
     ///
     /// See [`TransientSolver::simulate`].
-    pub fn simulate_from_ambient(&self, power: &PowerMap, duration: f64) -> Result<TransientResult> {
+    pub fn simulate_from_ambient(
+        &self,
+        power: &PowerMap,
+        duration: f64,
+    ) -> Result<TransientResult> {
         let initial = vec![self.ambient; self.node_count];
         self.simulate(power, duration, &initial)
     }
@@ -218,7 +222,9 @@ mod tests {
         let p = PowerMap::zeros(fp.block_count());
         assert!(solver.simulate_from_ambient(&p, 0.0).is_err());
         assert!(solver.simulate_from_ambient(&p, f64::NAN).is_err());
-        assert!(solver.simulate_from_ambient(&PowerMap::zeros(2), 1.0).is_err());
+        assert!(solver
+            .simulate_from_ambient(&PowerMap::zeros(2), 1.0)
+            .is_err());
         let bad_initial = vec![45.0; 3];
         assert!(solver.simulate(&p, 1.0, &bad_initial).is_err());
     }
@@ -288,7 +294,10 @@ mod tests {
         let single = solver.simulate_from_ambient(&p, 0.4).unwrap();
         let a = resumed.final_temperatures.block(idx);
         let b = single.final_temperatures.block(idx);
-        assert!((a - b).abs() < 1e-6, "chained vs single run differ: {a} vs {b}");
+        assert!(
+            (a - b).abs() < 1e-6,
+            "chained vs single run differ: {a} vs {b}"
+        );
     }
 
     #[test]

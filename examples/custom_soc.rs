@@ -56,7 +56,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .cores()
                 .map(|c| sut.test_spec(c).core_name())
                 .collect();
-            println!("    {:<34} peak {:>6.1} C", names.join(", "), record.max_temperature);
+            println!(
+                "    {:<34} peak {:>6.1} C",
+                names.join(", "),
+                record.max_temperature
+            );
         }
     }
     Ok(())

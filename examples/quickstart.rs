@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("schedule length      : {:.1} s", outcome.schedule_length());
     println!("simulation effort    : {:.1} s", outcome.simulation_effort);
     println!("discarded sessions   : {}", outcome.discarded_sessions);
-    println!("hottest session      : {:.1} C (limit 165.0 C)", outcome.max_temperature);
+    println!(
+        "hottest session      : {:.1} C (limit 165.0 C)",
+        outcome.max_temperature
+    );
     for (i, record) in outcome.session_records.iter().enumerate() {
         let names: Vec<&str> = record
             .session

@@ -1,0 +1,15 @@
+//! Workspace facade for the DATE 2005 thermal-safe test scheduling
+//! reproduction.
+//!
+//! This crate exists to host the workspace-level integration tests
+//! (`tests/`) and runnable examples (`examples/`); it re-exports the member
+//! crates so downstream users can depend on a single package.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use thermsched as core;
+pub use thermsched_floorplan as floorplan;
+pub use thermsched_linalg as linalg;
+pub use thermsched_soc as soc;
+pub use thermsched_thermal as thermal;

@@ -1,0 +1,62 @@
+//! Smoke tests that run every file in `examples/` end to end.
+//!
+//! The quickstart in `crates/core/src/lib.rs` and the examples are the public
+//! contract of the workspace; each must keep building and exiting cleanly.
+//! Each test shells out to `cargo run --example` with the same toolchain that
+//! is running the test suite, so the examples are exercised exactly the way a
+//! user would invoke them. Concurrent tests serialise on Cargo's build lock,
+//! which is harmless: everything is already compiled by the time `cargo test`
+//! starts running binaries.
+
+use std::path::Path;
+use std::process::Command;
+
+fn run_example(name: &str) -> std::process::Output {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let manifest_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
+    Command::new(cargo)
+        .args(["run", "--quiet", "--example", name])
+        .current_dir(manifest_dir)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example `{name}`: {e}"))
+}
+
+fn assert_example_succeeds(name: &str, expected_in_stdout: &str) {
+    let output = run_example(name);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "example `{name}` exited with {:?}\nstdout:\n{stdout}\nstderr:\n{stderr}",
+        output.status.code()
+    );
+    assert!(
+        stdout.contains(expected_in_stdout),
+        "example `{name}` stdout does not contain {expected_in_stdout:?}\nstdout:\n{stdout}"
+    );
+}
+
+#[test]
+fn quickstart_runs() {
+    assert_example_succeeds("quickstart", "schedule");
+}
+
+#[test]
+fn custom_soc_runs() {
+    assert_example_succeeds("custom_soc", "sessions");
+}
+
+#[test]
+fn motivational_hotspots_runs() {
+    assert_example_succeeds("motivational_hotspots", "temperature");
+}
+
+#[test]
+fn baseline_comparison_runs() {
+    assert_example_succeeds("baseline_comparison", "schedule");
+}
+
+#[test]
+fn alpha21364_sweep_runs() {
+    assert_example_succeeds("alpha21364_sweep", "STCL");
+}

@@ -120,7 +120,8 @@ fn table1_subset_shows_the_length_versus_effort_tradeoff() {
 fn ablations_run_and_stay_thermally_safe() {
     let sut = library::alpha21364_sut();
     let sim = RcThermalSimulator::from_floorplan(sut.floorplan()).unwrap();
-    let weight = experiments::weight_factor_sweep(&sut, &sim, 160.0, 70.0, &[1.0, 1.1, 2.0]).unwrap();
+    let weight =
+        experiments::weight_factor_sweep(&sut, &sim, 160.0, 70.0, &[1.0, 1.1, 2.0]).unwrap();
     let ordering = experiments::ordering_sweep(&sut, &sim, 160.0, 70.0).unwrap();
     let model = experiments::model_options_sweep(&sut, &sim, 160.0, 70.0).unwrap();
     for p in weight.iter().chain(&ordering).chain(&model) {
@@ -139,7 +140,5 @@ fn baseline_comparison_reports_violations_for_the_power_only_scheduler() {
     assert!(cmp.thermal_aware_max_temperature < 150.0);
     // Given the same per-session power allowance, the density-blind baseline
     // runs hotter than the thermal-aware schedule.
-    assert!(
-        cmp.power_constrained_max_temperature >= cmp.thermal_aware_max_temperature - 1e-9
-    );
+    assert!(cmp.power_constrained_max_temperature >= cmp.thermal_aware_max_temperature - 1e-9);
 }

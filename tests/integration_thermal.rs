@@ -38,12 +38,8 @@ fn named_power_maps_match_index_based_power_maps() {
     named.insert("Dcache".to_owned(), 12.75);
     let by_name = PowerMap::from_named(&fp, &named).unwrap();
     let mut by_index = PowerMap::zeros(fp.block_count());
-    by_index
-        .set(fp.index_of("FPMul").unwrap(), 11.6)
-        .unwrap();
-    by_index
-        .set(fp.index_of("Dcache").unwrap(), 12.75)
-        .unwrap();
+    by_index.set(fp.index_of("FPMul").unwrap(), 11.6).unwrap();
+    by_index.set(fp.index_of("Dcache").unwrap(), 12.75).unwrap();
     assert_eq!(by_name, by_index);
 }
 

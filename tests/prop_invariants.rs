@@ -27,8 +27,20 @@ fn spd_matrix(n: usize) -> impl Strategy<Value = DenseMatrix> {
     })
 }
 
+/// Base RNG seed pinned for CI reproducibility: every case derives its seed
+/// from this value, the test name and the case index, so a failure reported
+/// in CI replays identically on any machine. Failing case seeds are also
+/// persisted to `tests/prop_invariants.proptest-regressions` and re-run
+/// before fresh cases on subsequent runs.
+///
+/// NOTE: `with_rng_seed` is provided by the vendored proptest stub only.
+/// Real proptest pins seeds differently (`TestRunner::new_with_rng` /
+/// `RngAlgorithm`), so when `vendor/proptest` is swapped for the real crate
+/// these two `proptest_config` lines must drop the call.
+const PINNED_RNG_SEED: u64 = 0xDA7E_2005_0001;
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+    #![proptest_config(ProptestConfig::with_cases(32).with_rng_seed(PINNED_RNG_SEED))]
 
     #[test]
     fn lu_and_cholesky_agree_on_spd_systems(a in spd_matrix(6), b in proptest::collection::vec(-10.0f64..10.0, 6)) {
@@ -120,7 +132,7 @@ proptest! {
 
 proptest! {
     // Smaller case count: each case builds a floorplan and simulator.
-    #![proptest_config(ProptestConfig::with_cases(12))]
+    #![proptest_config(ProptestConfig::with_cases(12).with_rng_seed(PINNED_RNG_SEED))]
 
     #[test]
     fn two_block_systems_never_overheat_when_tested_sequentially(

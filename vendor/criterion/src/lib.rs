@@ -1,0 +1,293 @@
+//! Minimal, API-compatible stand-in for the subset of `criterion` that the
+//! `thermsched` bench targets use.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors this stub instead of the real Criterion. It runs
+//! each benchmark closure for a configurable number of samples, reports
+//! mean/min/max wall-clock time per iteration to stdout, and understands the
+//! CLI flags Cargo passes (`--bench`, `--test`, filters) well enough to stay
+//! out of the way. Statistical analysis, warm-up calibration and HTML
+//! reports are intentionally absent; swap this crate for the real
+//! `criterion` (same import paths) when a registry is available.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let test_mode = args.iter().any(|a| a == "--test");
+        // The first non-flag argument Cargo forwards is the benchmark name
+        // filter (`cargo bench -- <filter>`).
+        let filter = args.iter().find(|a| !a.starts_with('-')).cloned();
+        Criterion {
+            sample_size: 10,
+            filter,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples collected per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    fn run_one<F>(&self, id: &str, f: &mut F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_with_sample_size(id, self.sample_size, f);
+    }
+
+    fn run_with_sample_size<F>(&self, id: &str, sample_size: usize, f: &mut F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let samples = if self.test_mode { 1 } else { sample_size };
+        let mut bencher = Bencher {
+            samples,
+            durations: Vec::with_capacity(samples),
+        };
+        f(&mut bencher);
+        report(id, &bencher.durations);
+    }
+}
+
+/// Passed to every benchmark closure; times the body it is given.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, once per configured sample.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        self.durations.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = f();
+            self.durations.push(start.elapsed());
+            black_box(out);
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark in the group against a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion
+            .run_with_sample_size(&full, sample_size, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion
+            .run_with_sample_size(&full, sample_size, &mut f);
+        self
+    }
+
+    /// Finishes the group. Present for API compatibility.
+    pub fn finish(self) {}
+}
+
+/// Identifies one parameterised benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from the parameter value alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// Builds an id from a function name and a parameter value.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+}
+
+fn report(id: &str, durations: &[Duration]) {
+    if durations.is_empty() {
+        println!("{id:<50} (not timed)");
+        return;
+    }
+    let total: Duration = durations.iter().sum();
+    let mean = total / durations.len() as u32;
+    let min = durations.iter().min().expect("non-empty");
+    let max = durations.iter().max().expect("non-empty");
+    println!(
+        "{id:<50} time: [{} {} {}]  ({} samples)",
+        fmt_duration(*min),
+        fmt_duration(mean),
+        fmt_duration(*max),
+        durations.len(),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions with an optional shared config,
+/// mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_the_closure() {
+        let mut c = Criterion {
+            sample_size: 3,
+            filter: None,
+            test_mode: false,
+        };
+        let mut runs = 0usize;
+        c.bench_function("stub/smoke", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn groups_respect_sample_size_override() {
+        let mut c = Criterion {
+            sample_size: 50,
+            filter: None,
+            test_mode: false,
+        };
+        let mut runs = 0usize;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(2);
+            group.bench_with_input(BenchmarkId::from_parameter(1), &(), |b, _| {
+                b.iter(|| runs += 1)
+            });
+            group.finish();
+        }
+        assert_eq!(runs, 2);
+    }
+
+    #[test]
+    fn filters_skip_non_matching_benchmarks() {
+        let mut c = Criterion {
+            sample_size: 3,
+            filter: Some("other".to_string()),
+            test_mode: false,
+        };
+        let mut runs = 0usize;
+        c.bench_function("stub/smoke", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(16).0, "16");
+        assert_eq!(BenchmarkId::new("f", 2).0, "f/2");
+    }
+}

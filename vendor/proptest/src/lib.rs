@@ -1,0 +1,541 @@
+//! Minimal, API-compatible stand-in for the subset of `proptest` that the
+//! `thermsched` workspace uses.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors this stub instead of the real proptest. It provides:
+//!
+//! * a [`Strategy`](strategy::Strategy) trait with `prop_map`, implemented
+//!   for numeric ranges,
+//! * [`collection::vec`] and [`collection::btree_set`] strategies,
+//! * the [`proptest!`], [`prop_assert!`] and [`prop_assert_eq!`] macros, and
+//! * a [`ProptestConfig`](test_runner::ProptestConfig) with a pinned RNG
+//!   seed, case count, and file-based failure persistence: the seed of every
+//!   failing case is appended to a `*.proptest-regressions` file next to the
+//!   test source, and persisted seeds are replayed first on the next run.
+//!
+//! Shrinking is intentionally absent — failures report the case seed, which
+//! reproduces the input deterministically. Swap this crate for the real
+//! `proptest` (same import paths) when a registry is available; the one
+//! stub-only API is [`ProptestConfig::with_rng_seed`](test_runner::ProptestConfig::with_rng_seed),
+//! whose call sites must be ported to real proptest's seeding mechanism.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Generates values of type `Value` from a seeded RNG.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transforms every generated value with `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn sample(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.source.sample(rng))
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(f64, usize, u64, u32, i64);
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Number of elements a collection strategy should produce: either an
+    /// exact count (`usize`) or a half-open range of counts.
+    pub trait IntoSizeRange {
+        /// Draws a size from the allowed set.
+        fn sample_size(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn sample_size(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn sample_size(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy producing `Vec`s whose elements come from `element`.
+    pub fn vec<S: Strategy>(
+        element: S,
+        size: impl IntoSizeRange,
+    ) -> VecStrategy<S, impl IntoSizeRange> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: IntoSizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.size.sample_size(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy producing `BTreeSet`s with distinct elements from `element`.
+    pub fn btree_set<S>(
+        element: S,
+        size: impl IntoSizeRange,
+    ) -> BTreeSetStrategy<S, impl IntoSizeRange>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    /// Strategy returned by [`btree_set`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S, Z> Strategy for BTreeSetStrategy<S, Z>
+    where
+        S: Strategy,
+        S::Value: Ord,
+        Z: IntoSizeRange,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+            let target = self.size.sample_size(rng);
+            let mut set = BTreeSet::new();
+            // The element domain may be smaller than the requested size
+            // (e.g. 0..15 with size up to 8 is fine, but not guaranteed in
+            // general), so bound the rejection loop like the real crate does.
+            let mut attempts = 0usize;
+            let max_attempts = 100 * target.max(1);
+            while set.len() < target && attempts < max_attempts {
+                set.insert(self.element.sample(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The case runner: configuration, failure persistence and replay.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::fmt;
+    use std::fs;
+    use std::io::Write as _;
+    use std::path::PathBuf;
+
+    /// A failed property case, carrying the assertion message.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Builds an error from an assertion message.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError(reason.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Runner configuration, mirroring `proptest::test_runner::Config`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+        /// Base RNG seed. Each case derives its own seed from this value,
+        /// the test name and the case index, so runs are fully reproducible.
+        pub rng_seed: u64,
+        /// Whether failing case seeds are appended to the per-source-file
+        /// `*.proptest-regressions` file and replayed on later runs.
+        pub failure_persistence: bool,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                rng_seed: 0x7468_6572_6d73_6368, // "thermsch"
+                failure_persistence: true,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A default configuration with the given case count.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..ProptestConfig::default()
+            }
+        }
+
+        /// Builder-style override of the base RNG seed.
+        #[must_use]
+        pub fn with_rng_seed(mut self, seed: u64) -> Self {
+            self.rng_seed = seed;
+            self
+        }
+    }
+
+    /// Derives the per-case seed. FNV-1a over the test name, mixed with the
+    /// base seed and case index.
+    fn case_seed(base: u64, test_name: &str, case: u32) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^ base.rotate_left(17) ^ ((case as u64) << 32 | case as u64)
+    }
+
+    fn regression_path(source_file: &str) -> PathBuf {
+        // `file!()` paths are relative to the workspace root, but the test
+        // binary's CWD is the *member crate's* manifest dir, so for any
+        // member other than the root package the raw path would resolve to
+        // e.g. `crates/linalg/crates/linalg/tests/...`. Walk up from the
+        // CWD until the source file itself is found and anchor there.
+        let relative = PathBuf::from(source_file);
+        if let Ok(cwd) = std::env::current_dir() {
+            let mut dir = cwd.as_path();
+            loop {
+                if dir.join(&relative).is_file() {
+                    return dir.join(&relative).with_extension("proptest-regressions");
+                }
+                match dir.parent() {
+                    Some(parent) => dir = parent,
+                    None => break,
+                }
+            }
+        }
+        relative.with_extension("proptest-regressions")
+    }
+
+    fn persisted_seeds(source_file: &str, test_name: &str) -> Vec<u64> {
+        let Ok(content) = fs::read_to_string(regression_path(source_file)) else {
+            return Vec::new();
+        };
+        content
+            .lines()
+            .filter_map(|line| {
+                let line = line.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    return None;
+                }
+                let mut parts = line.split_whitespace();
+                let name = parts.next()?;
+                let seed = parts.next()?.parse().ok()?;
+                (name == test_name).then_some(seed)
+            })
+            .collect()
+    }
+
+    fn persist_failure(source_file: &str, test_name: &str, seed: u64) {
+        let path = regression_path(source_file);
+        let header_needed = !path.exists();
+        let Ok(mut file) = fs::OpenOptions::new().create(true).append(true).open(&path) else {
+            eprintln!(
+                "proptest stub: could not persist regression to {}",
+                path.display()
+            );
+            return;
+        };
+        if header_needed {
+            let _ = writeln!(
+                file,
+                "# Seeds for failure cases proptest has generated in the past.\n\
+                 # It is automatically read and these particular cases re-run before any\n\
+                 # novel cases are generated. Format: `<test name> <case seed>` per line."
+            );
+        }
+        let _ = writeln!(file, "{test_name} {seed}");
+    }
+
+    /// Runs one property: replays persisted failures, then `config.cases`
+    /// fresh cases.
+    ///
+    /// # Panics
+    ///
+    /// Panics (failing the surrounding `#[test]`) on the first failing case,
+    /// after persisting its seed.
+    pub fn run<F>(config: &ProptestConfig, test_name: &str, source_file: &str, mut case: F)
+    where
+        F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+    {
+        if config.failure_persistence {
+            for seed in persisted_seeds(source_file, test_name) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                if let Err(e) = case(&mut rng) {
+                    panic!(
+                        "persisted regression case failed (test `{test_name}`, seed {seed}): {e}"
+                    );
+                }
+            }
+        }
+        for i in 0..config.cases {
+            let seed = case_seed(config.rng_seed, test_name, i);
+            let mut rng = StdRng::seed_from_u64(seed);
+            if let Err(e) = case(&mut rng) {
+                if config.failure_persistence {
+                    persist_failure(source_file, test_name, seed);
+                }
+                panic!("property `{test_name}` failed at case {i} (seed {seed}): {e}");
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a property, failing the case (not aborting the
+/// process) when it does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Declares property-based tests, mirroring `proptest::proptest!`.
+///
+/// Supports an optional leading `#![proptest_config(expr)]` and any number of
+/// `#[test] fn name(pattern in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:pat in $strategy:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                $crate::test_runner::run(
+                    &config,
+                    stringify!($name),
+                    ::core::file!(),
+                    |__proptest_rng| {
+                        $(
+                            let $arg = $crate::strategy::Strategy::sample(
+                                &($strategy),
+                                __proptest_rng,
+                            );
+                        )*
+                        $body
+                        ::core::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_sample_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = (0.5f64..5.0).sample(&mut rng);
+            assert!((0.5..5.0).contains(&x));
+            let n = (1usize..6).sample(&mut rng);
+            assert!((1..6).contains(&n));
+        }
+    }
+
+    #[test]
+    fn prop_map_transforms_values() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let doubled = (1usize..10).prop_map(|v| v * 2);
+        for _ in 0..100 {
+            let v = doubled.sample(&mut rng);
+            assert!(v % 2 == 0 && (2..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn collection_vec_has_requested_length() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = crate::collection::vec(-1.0f64..1.0, 9usize);
+        assert_eq!(s.sample(&mut rng).len(), 9);
+    }
+
+    #[test]
+    fn collection_btree_set_respects_size_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = crate::collection::btree_set(0usize..15, 1..8);
+        for _ in 0..100 {
+            let set = s.sample(&mut rng);
+            assert!((1..8).contains(&set.len()));
+            assert!(set.iter().all(|&v| v < 15));
+        }
+    }
+
+    #[test]
+    fn config_with_cases_keeps_pinned_seed() {
+        let c = ProptestConfig::with_cases(32);
+        assert_eq!(c.cases, 32);
+        assert_eq!(c.rng_seed, ProptestConfig::default().rng_seed);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generates_passing_tests(x in 0.0f64..1.0, n in 1usize..4) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((1..4).contains(&n));
+            prop_assert_eq!(n * 2 / 2, n);
+        }
+    }
+}
