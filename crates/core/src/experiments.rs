@@ -144,34 +144,42 @@ pub struct SweepPoint {
 /// default arguments this regenerates Table 1 of the paper; restricted to
 /// `TL ∈ {145, 155, 165}` it regenerates Figure 5.
 ///
+/// Every grid point is an independent scheduling run, so the grid is fanned
+/// out across the machine with scoped threads; the returned points are in
+/// row-major `(TL, STCL)` order regardless of which thread computed them.
+///
 /// # Errors
 ///
 /// Propagates scheduler failures (which, for the library system and default
 /// limits, do not occur).
-pub fn table1_sweep<S: ThermalSimulator>(
+pub fn table1_sweep<S: ThermalSimulator + Sync>(
     sut: &SystemUnderTest,
     simulator: &S,
     temperature_limits: &[f64],
     stc_limits: &[f64],
 ) -> Result<Vec<SweepPoint>> {
-    let mut points = Vec::with_capacity(temperature_limits.len() * stc_limits.len());
-    for &tl in temperature_limits {
-        for &stcl in stc_limits {
-            let config = SchedulerConfig::new(tl, stcl)?;
-            let scheduler = ThermalAwareScheduler::new(sut, simulator, config)?;
-            let outcome = scheduler.schedule()?;
-            points.push(SweepPoint {
-                temperature_limit: tl,
-                stc_limit: stcl,
-                schedule_length: outcome.schedule_length(),
-                session_count: outcome.session_count(),
-                simulation_effort: outcome.simulation_effort,
-                discarded_sessions: outcome.discarded_sessions,
-                max_temperature: outcome.max_temperature,
-            });
-        }
-    }
-    Ok(points)
+    let combos: Vec<(f64, f64)> = temperature_limits
+        .iter()
+        .flat_map(|&tl| stc_limits.iter().map(move |&stcl| (tl, stcl)))
+        .collect();
+    let run = |(tl, stcl): (f64, f64)| -> Result<SweepPoint> {
+        let config = SchedulerConfig::new(tl, stcl)?;
+        let scheduler = ThermalAwareScheduler::new(sut, simulator, config)?;
+        let outcome = scheduler.schedule()?;
+        Ok(SweepPoint {
+            temperature_limit: tl,
+            stc_limit: stcl,
+            schedule_length: outcome.schedule_length(),
+            session_count: outcome.session_count(),
+            simulation_effort: outcome.simulation_effort,
+            discarded_sessions: outcome.discarded_sessions,
+            max_temperature: outcome.max_temperature,
+        })
+    };
+
+    crate::parallel::parallel_map_ordered(&combos, run)
+        .into_iter()
+        .collect()
 }
 
 /// Convenience wrapper for the Figure 5 subset of the sweep
@@ -180,7 +188,7 @@ pub fn table1_sweep<S: ThermalSimulator>(
 /// # Errors
 ///
 /// See [`table1_sweep`].
-pub fn figure5_sweep<S: ThermalSimulator>(
+pub fn figure5_sweep<S: ThermalSimulator + Sync>(
     sut: &SystemUnderTest,
     simulator: &S,
 ) -> Result<Vec<SweepPoint>> {
@@ -230,7 +238,7 @@ pub struct AblationPoint {
 /// # Errors
 ///
 /// Propagates scheduler failures.
-pub fn weight_factor_sweep<S: ThermalSimulator>(
+pub fn weight_factor_sweep<S: ThermalSimulator + Sync>(
     sut: &SystemUnderTest,
     simulator: &S,
     temperature_limit: f64,
@@ -257,7 +265,7 @@ pub fn weight_factor_sweep<S: ThermalSimulator>(
 /// # Errors
 ///
 /// Propagates scheduler failures.
-pub fn ordering_sweep<S: ThermalSimulator>(
+pub fn ordering_sweep<S: ThermalSimulator + Sync>(
     sut: &SystemUnderTest,
     simulator: &S,
     temperature_limit: f64,
@@ -284,7 +292,7 @@ pub fn ordering_sweep<S: ThermalSimulator>(
 /// # Errors
 ///
 /// Propagates scheduler failures.
-pub fn model_options_sweep<S: ThermalSimulator>(
+pub fn model_options_sweep<S: ThermalSimulator + Sync>(
     sut: &SystemUnderTest,
     simulator: &S,
     temperature_limit: f64,
@@ -353,7 +361,7 @@ pub struct BaselineComparison {
 /// # Errors
 ///
 /// Propagates scheduler and validation failures.
-pub fn baseline_comparison<S: ThermalSimulator>(
+pub fn baseline_comparison<S: ThermalSimulator + Sync>(
     sut: &SystemUnderTest,
     simulator: &S,
     temperature_limit: f64,

@@ -60,9 +60,11 @@ mod baseline;
 mod config;
 mod error;
 pub mod experiments;
+mod parallel;
 pub mod report;
 mod schedule;
 mod scheduler;
+mod session_cache;
 mod session_model;
 mod validator;
 mod weights;
@@ -72,6 +74,7 @@ pub use config::{CoreOrdering, CoreViolationPolicy, SchedulerConfig};
 pub use error::ScheduleError;
 pub use schedule::{TestSchedule, TestSession};
 pub use scheduler::{ScheduleOutcome, SessionRecord, ThermalAwareScheduler};
+pub use session_cache::SessionCache;
 pub use session_model::{SessionModelOptions, SessionThermalModel, DEFAULT_STC_SCALE};
 pub use validator::{ScheduleEvaluation, ScheduleValidator, SessionEvaluation};
 pub use weights::CoreWeights;

@@ -1,0 +1,78 @@
+//! Ordered parallel map over independent work items with scoped threads.
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Set inside worker threads so nested calls run sequentially instead of
+    /// oversubscribing the machine: a `table1_sweep` worker calls
+    /// `ThermalAwareScheduler::schedule`, whose phase 1 would otherwise fan
+    /// out again — up to P² runnable threads on a P-core machine.
+    static IN_PARALLEL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Applies `f` to every item, fanning the work out across the machine with
+/// scoped threads, and returns the results in item order regardless of which
+/// thread computed them. Falls back to a plain sequential loop when only one
+/// thread is useful or when already running inside another
+/// `parallel_map_ordered` worker.
+pub(crate) fn parallel_map_ordered<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Copy + Sync,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map_or(1, |t| t.get())
+        .min(items.len())
+        .max(1);
+    if threads == 1 || IN_PARALLEL_WORKER.with(Cell::get) {
+        return items.iter().map(|&item| f(item)).collect();
+    }
+    let mut slots: Vec<Option<U>> = items.iter().map(|_| None).collect();
+    let chunk_size = items.len().div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (slot_chunk, item_chunk) in slots.chunks_mut(chunk_size).zip(items.chunks(chunk_size)) {
+            scope.spawn(move || {
+                IN_PARALLEL_WORKER.with(|flag| flag.set(true));
+                for (slot, &item) in slot_chunk.iter_mut().zip(item_chunk) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every item is processed by exactly one thread"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_item_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map_ordered(&items, |i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_singleton_inputs() {
+        assert_eq!(parallel_map_ordered::<usize, usize, _>(&[], |i| i), vec![]);
+        assert_eq!(parallel_map_ordered(&[7], |i| i + 1), vec![8]);
+    }
+
+    #[test]
+    fn nested_calls_run_sequentially_and_stay_ordered() {
+        let items: Vec<usize> = (0..8).collect();
+        let out = parallel_map_ordered(&items, |i| {
+            let inner: Vec<usize> = (0..4).collect();
+            parallel_map_ordered(&inner, move |j| i * 10 + j)
+        });
+        for (i, row) in out.iter().enumerate() {
+            assert_eq!(row, &vec![i * 10, i * 10 + 1, i * 10 + 2, i * 10 + 3]);
+        }
+    }
+}

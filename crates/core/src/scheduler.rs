@@ -1,19 +1,22 @@
 //! The thermal-aware test-schedule generator (Algorithm 1 of the paper).
 
 use thermsched_soc::SystemUnderTest;
-use thermsched_thermal::{PackageConfig, ThermalSimulator};
+use thermsched_thermal::{PackageConfig, SessionThermalResult, ThermalSimulator};
 
 use crate::{
     CoreOrdering, CoreViolationPolicy, CoreWeights, Result, ScheduleError, SchedulerConfig,
-    SessionThermalModel, TestSchedule, TestSession,
+    SessionCache, SessionThermalModel, TestSchedule, TestSession,
 };
 
-/// A committed test session together with the thermal-validation results that
-/// admitted it into the schedule.
+/// The thermal-validation results that admitted one committed session into
+/// the schedule.
+///
+/// Records are produced in schedule order: the `i`-th record describes the
+/// `i`-th session of [`ScheduleOutcome::schedule`] (zip them to pair
+/// sessions with their validation data — the session itself lives only in
+/// the schedule so the commit path never clones it).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SessionRecord {
-    /// The committed session.
-    pub session: TestSession,
     /// Per-block maximum temperatures observed during the validating
     /// simulation (°C).
     pub block_max_temperatures: Vec<f64>,
@@ -38,6 +41,12 @@ pub struct ScheduleOutcome {
     pub characterization_effort: f64,
     /// Number of candidate sessions discarded because of thermal violations.
     pub discarded_sessions: usize,
+    /// Number of candidate validations served from the session-result cache
+    /// instead of a fresh simulation (re-attempted discarded candidates and
+    /// single-core sessions already characterised in phase 1). Cached
+    /// attempts still accrue `simulation_effort` — the paper's metric counts
+    /// attempts, not wall-clock — but cost no simulation time.
+    pub cached_validations: usize,
     /// Hottest temperature reached by any committed session (°C).
     pub max_temperature: f64,
     /// Best-case maximum temperature of every core (tested alone), in °C.
@@ -160,6 +169,25 @@ impl<'a, S: ThermalSimulator> ThermalAwareScheduler<'a, S> {
     pub fn session_model(&self) -> &SessionThermalModel {
         &self.model
     }
+}
+
+impl<'a, S: ThermalSimulator + Sync> ThermalAwareScheduler<'a, S> {
+    /// Phase 1 (lines 1–7): per-core characterisation, fanned out across the
+    /// machine with scoped threads. Every single-core validation is
+    /// independent, so the pass parallelises embarrassingly; results come
+    /// back in core order, keeping the outcome deterministic.
+    fn characterise_cores(&self) -> Result<Vec<SessionThermalResult>> {
+        let cores: Vec<usize> = (0..self.sut.core_count()).collect();
+        let sut = self.sut;
+        let simulator = self.simulator;
+        crate::parallel::parallel_map_ordered(&cores, |core| -> Result<SessionThermalResult> {
+            let session = TestSession::new([core], sut);
+            let power = session.power_map(sut)?;
+            Ok(simulator.simulate_session(&power, session.duration())?)
+        })
+        .into_iter()
+        .collect()
+    }
 
     /// Runs Algorithm 1 and returns the generated schedule together with its
     /// cost metrics.
@@ -175,16 +203,16 @@ impl<'a, S: ThermalSimulator> ThermalAwareScheduler<'a, S> {
         let n = self.sut.core_count();
 
         // ---- Phase 1 (lines 1-7): per-core characterisation. ----
+        let mut cache = SessionCache::new();
         let mut bcmt = vec![0.0; n];
         let mut characterization_effort = 0.0;
-        for (core, slot) in bcmt.iter_mut().enumerate() {
-            let session = TestSession::new([core], self.sut);
-            let power = session.power_map(self.sut)?;
-            let result = self
-                .simulator
-                .simulate_session(&power, session.duration())?;
-            *slot = result.block_max_temperature(core);
-            characterization_effort += session.duration();
+        for (core, result) in self.characterise_cores()?.into_iter().enumerate() {
+            bcmt[core] = result.block_max_temperature(core);
+            characterization_effort += result.duration;
+            // Seed the session cache: phase 2 falls back to single-core
+            // sessions when no pair fits under the STC limit, and those are
+            // exactly the simulations this pass has already run.
+            cache.insert(vec![core], result);
         }
 
         let mut effective_limit = self.config.temperature_limit;
@@ -212,15 +240,20 @@ impl<'a, S: ThermalSimulator> ThermalAwareScheduler<'a, S> {
         let mut session_records = Vec::new();
         let mut simulation_effort = 0.0;
         let mut discarded_sessions = 0usize;
+        let mut cached_validations = 0usize;
         let mut max_temperature = f64::NEG_INFINITY;
         let mut iterations = 0usize;
         // Livelock guard for weight_factor == 1.0 (the "no adaptation"
-        // ablation): remembers the last discarded candidate and its hottest
-        // violator so an identical candidate can be shrunk instead of being
-        // re-simulated forever. With the paper's factor of 1.1 the weights
+        // ablation): remembers every discarded candidate and its hottest
+        // violator so a recurring candidate is shrunk instead of being
+        // re-attempted forever. Remembering only the *last* discard is not
+        // enough — the greedy fill regenerates the full candidate each
+        // iteration, so candidate and shrunk candidate alternate without
+        // ever making progress. With the paper's factor of 1.1 the weights
         // change after every discard, so this guard never fires and the
         // algorithm behaves exactly as published.
-        let mut last_discarded: Option<(Vec<usize>, usize)> = None;
+        let mut discarded_violators: std::collections::HashMap<Vec<usize>, usize> =
+            std::collections::HashMap::new();
 
         while !available.is_empty() {
             iterations += 1;
@@ -247,73 +280,86 @@ impl<'a, S: ThermalSimulator> ThermalAwareScheduler<'a, S> {
                 // paper does not cover this corner; to guarantee progress we
                 // schedule the least-characteristic core alone (it cannot
                 // violate TL because its BCMT was checked in phase 1).
-                let fallback = *ordered
+                let fallback = ordered
                     .iter()
-                    .min_by(|&&a, &&b| {
-                        let sa = self.model.session_characteristic(&[a], &weights);
-                        let sb = self.model.session_characteristic(&[b], &weights);
-                        sa.partial_cmp(&sb).expect("finite characteristics")
-                    })
-                    .expect("available set is non-empty");
+                    .map(|&c| (self.model.session_characteristic(&[c], &weights), c))
+                    .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite characteristics"))
+                    .expect("available set is non-empty")
+                    .1;
                 active.push(fallback);
             }
 
             // Livelock guard (see above): only possible when the weights are
-            // frozen, i.e. weight_factor == 1.0.
+            // frozen, i.e. weight_factor == 1.0. Shrinking chains terminate
+            // because singletons never violate (their BCMT passed phase 1).
             if self.config.weight_factor == 1.0 {
-                if let Some((prev, hottest_violator)) = &last_discarded {
-                    let mut sorted = active.clone();
-                    sorted.sort_unstable();
-                    if &sorted == prev && active.len() > 1 {
-                        active.retain(|c| c != hottest_violator);
+                while active.len() > 1 {
+                    let key = SessionCache::key(active.iter().copied());
+                    match discarded_violators.get(&key) {
+                        Some(&violator) => active.retain(|&c| c != violator),
+                        None => break,
                     }
                 }
             }
 
-            // Lines 16-23: validate the candidate session thermally.
+            // Lines 16-23: validate the candidate session thermally. The
+            // cache turns re-attempted candidates into lookups; either way
+            // the attempt accrues the full session duration of simulation
+            // effort, so the paper's cost metric is unaffected.
             let session = TestSession::new(active.iter().copied(), self.sut);
-            let power = session.power_map(self.sut)?;
-            let result = self
-                .simulator
-                .simulate_session(&power, session.duration())?;
+            let key = SessionCache::key(session.cores());
+            if cache.contains(&key) {
+                cached_validations += 1;
+            } else {
+                let power = session.power_map(self.sut)?;
+                let result = self
+                    .simulator
+                    .simulate_session(&power, session.duration())?;
+                cache.insert(key.clone(), result);
+            }
             simulation_effort += session.duration();
 
-            let violators: Vec<usize> = active
-                .iter()
-                .copied()
-                .filter(|&c| result.block_max_temperature(c) >= effective_limit)
-                .collect();
-
-            if violators.is_empty() {
-                // Lines 24-27: commit the session.
+            let (violators, session_max, hottest_violator) = {
+                let result = cache.get(&key).expect("candidate was just validated");
+                let violators: Vec<usize> = active
+                    .iter()
+                    .copied()
+                    .filter(|&c| result.block_max_temperature(c) >= effective_limit)
+                    .collect();
                 let session_max = active
                     .iter()
                     .map(|&c| result.block_max_temperature(c))
                     .fold(f64::NEG_INFINITY, f64::max);
+                let hottest_violator = violators.iter().copied().max_by(|&a, &b| {
+                    result
+                        .block_max_temperature(a)
+                        .partial_cmp(&result.block_max_temperature(b))
+                        .expect("finite temperatures")
+                });
+                (violators, session_max, hottest_violator)
+            };
+
+            if violators.is_empty() {
+                // Lines 24-27: commit the session. A committed core set can
+                // never recur, so the result is taken out of the cache and
+                // its buffers move straight into the record — no clones.
+                let result = cache.take(&key).expect("candidate was just validated");
                 max_temperature = max_temperature.max(session_max);
                 available.retain(|c| !active.contains(c));
                 session_records.push(SessionRecord {
-                    session: session.clone(),
-                    block_max_temperatures: result.max_block_temperatures.clone(),
+                    block_max_temperatures: result.max_block_temperatures,
                     max_temperature: session_max,
                 });
                 schedule.push(session);
             } else {
-                // Lines 19-22: discard and penalise the violators.
+                // Lines 19-22: discard and penalise the violators. The
+                // result stays cached: a recurring candidate (common while
+                // the weights settle) is served without re-simulation.
                 discarded_sessions += 1;
-                let hottest_violator = violators
-                    .iter()
-                    .copied()
-                    .max_by(|&a, &b| {
-                        result
-                            .block_max_temperature(a)
-                            .partial_cmp(&result.block_max_temperature(b))
-                            .expect("finite temperatures")
-                    })
-                    .expect("violators are non-empty in this branch");
-                let mut sorted = active.clone();
-                sorted.sort_unstable();
-                last_discarded = Some((sorted, hottest_violator));
+                let hottest_violator =
+                    hottest_violator.expect("violators are non-empty in this branch");
+                // `key` is the sorted candidate set already.
+                discarded_violators.insert(key, hottest_violator);
                 for v in violators {
                     weights.multiply(v, self.config.weight_factor);
                 }
@@ -326,6 +372,7 @@ impl<'a, S: ThermalSimulator> ThermalAwareScheduler<'a, S> {
             simulation_effort,
             characterization_effort,
             discarded_sessions,
+            cached_validations,
             max_temperature,
             bcmt,
             effective_temperature_limit: effective_limit,
@@ -347,11 +394,19 @@ impl<'a, S: ThermalSimulator> ThermalAwareScheduler<'a, S> {
                 });
             }
             CoreOrdering::DescendingCharacteristic | CoreOrdering::AscendingCharacteristic => {
-                let key = |c: usize| self.model.session_characteristic(&[c], weights);
-                ordered.sort_by(|&a, &b| key(a).partial_cmp(&key(b)).expect("finite STC"));
+                // Precompute each core's characteristic once: evaluating it
+                // inside the comparator costs an equivalent-resistance
+                // reduction per comparison, i.e. O(n² · log n) per ordering.
+                let mut keyed: Vec<(f64, usize)> = ordered
+                    .iter()
+                    .map(|&c| (self.model.session_characteristic(&[c], weights), c))
+                    .collect();
+                keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite STC"));
                 if self.config.ordering == CoreOrdering::DescendingCharacteristic {
-                    ordered.reverse();
+                    keyed.reverse();
                 }
+                ordered.clear();
+                ordered.extend(keyed.into_iter().map(|(_, c)| c));
             }
         }
         ordered

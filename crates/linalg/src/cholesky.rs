@@ -105,32 +105,55 @@ impl CholeskyDecomposition {
     /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
         let n = self.dim();
-        if b.len() != n {
-            return Err(LinalgError::DimensionMismatch {
-                expected: n,
-                found: b.len(),
-                context: "CholeskyDecomposition::solve",
-            });
+        let mut out = vec![0.0; n];
+        let mut scratch = vec![0.0; n];
+        self.solve_into(b, &mut out, &mut scratch)?;
+        Ok(out)
+    }
+
+    /// Solves `A · x = b` into a caller-provided buffer without allocating.
+    ///
+    /// `scratch` holds the intermediate vector `y` of the forward
+    /// substitution `L · y = b`; `out` receives the solution of the backward
+    /// substitution `Lᵀ · x = y`. Both must have length
+    /// [`CholeskyDecomposition::dim`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `rhs`, `out` or
+    /// `scratch` has a length other than `self.dim()`.
+    pub fn solve_into(&self, rhs: &[f64], out: &mut [f64], scratch: &mut [f64]) -> Result<()> {
+        let n = self.dim();
+        for (len, context) in [
+            (rhs.len(), "CholeskyDecomposition::solve_into rhs"),
+            (out.len(), "CholeskyDecomposition::solve_into out"),
+            (scratch.len(), "CholeskyDecomposition::solve_into scratch"),
+        ] {
+            if len != n {
+                return Err(LinalgError::DimensionMismatch {
+                    expected: n,
+                    found: len,
+                    context,
+                });
+            }
         }
-        // Forward substitution: L · y = b.
-        let mut y = vec![0.0; n];
+        // Forward substitution: L · y = b, y stored in scratch.
         for i in 0..n {
-            let mut sum = b[i];
-            for (j, &yj) in y.iter().enumerate().take(i) {
+            let mut sum = rhs[i];
+            for (j, &yj) in scratch.iter().enumerate().take(i) {
                 sum -= self.l.get(i, j) * yj;
             }
-            y[i] = sum / self.l.get(i, i);
+            scratch[i] = sum / self.l.get(i, i);
         }
         // Backward substitution: Lᵀ · x = y.
-        let mut x = vec![0.0; n];
         for i in (0..n).rev() {
-            let mut sum = y[i];
-            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+            let mut sum = scratch[i];
+            for (j, &xj) in out.iter().enumerate().skip(i + 1) {
                 sum -= self.l.get(j, i) * xj;
             }
-            x[i] = sum / self.l.get(i, i);
+            out[i] = sum / self.l.get(i, i);
         }
-        Ok(x)
+        Ok(())
     }
 
     /// Determinant of the factorised matrix (product of squared pivots).

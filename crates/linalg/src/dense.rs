@@ -171,6 +171,20 @@ impl DenseMatrix {
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if `x.len() != self.cols()`.
     pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        let mut y = vec![0.0; self.rows];
+        self.mul_vec_into(x, &mut y)?;
+        Ok(y)
+    }
+
+    /// Matrix–vector product `A · x` written into a caller-provided buffer,
+    /// avoiding any heap allocation (the hot-loop variant of
+    /// [`DenseMatrix::mul_vec`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `x.len() != self.cols()`
+    /// or `out.len() != self.rows()`.
+    pub fn mul_vec_into(&self, x: &[f64], out: &mut [f64]) -> Result<()> {
         if x.len() != self.cols {
             return Err(LinalgError::DimensionMismatch {
                 expected: self.cols,
@@ -178,12 +192,18 @@ impl DenseMatrix {
                 context: "matrix-vector product",
             });
         }
-        let mut y = vec![0.0; self.rows];
-        for (i, yi) in y.iter_mut().enumerate() {
+        if out.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.rows,
+                found: out.len(),
+                context: "matrix-vector product output",
+            });
+        }
+        for (i, yi) in out.iter_mut().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
             *yi = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
-        Ok(y)
+        Ok(())
     }
 
     /// Matrix–matrix product `A · B`.
@@ -192,6 +212,19 @@ impl DenseMatrix {
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if `self.cols() != other.rows()`.
     pub fn mul_mat(&self, other: &DenseMatrix) -> Result<DenseMatrix> {
+        let mut out = DenseMatrix::zeros(self.rows, other.cols);
+        self.mul_mat_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix–matrix product `A · B` written into a caller-provided matrix,
+    /// avoiding any heap allocation. `out` is overwritten entirely.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `self.cols() != other.rows()`
+    /// or `out` is not `self.rows() × other.cols()`.
+    pub fn mul_mat_into(&self, other: &DenseMatrix, out: &mut DenseMatrix) -> Result<()> {
         if self.cols != other.rows {
             return Err(LinalgError::DimensionMismatch {
                 expected: self.cols,
@@ -199,19 +232,28 @@ impl DenseMatrix {
                 context: "matrix-matrix product",
             });
         }
-        let mut out = DenseMatrix::zeros(self.rows, other.cols);
+        if out.rows != self.rows || out.cols != other.cols {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.rows * other.cols,
+                found: out.rows * out.cols,
+                context: "matrix-matrix product output",
+            });
+        }
+        out.data.fill(0.0);
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let aik = self.get(i, k);
                 if aik == 0.0 {
                     continue;
                 }
-                for j in 0..other.cols {
-                    out.add_to(i, j, aik * other.get(k, j));
+                let src = &other.data[k * other.cols..(k + 1) * other.cols];
+                let dst = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d += aik * s;
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Returns the transpose of the matrix.

@@ -14,8 +14,14 @@
 //! * [`DenseMatrix`] — row-major dense matrix with the usual arithmetic.
 //! * [`LuDecomposition`] — LU factorisation with partial pivoting.
 //! * [`CholeskyDecomposition`] — Cholesky factorisation for SPD systems.
+//! * [`AffineStepOperator`] — the `k`-step operator of an affine recurrence,
+//!   built by repeated squaring (the transient solver's fast path).
 //! * [`CsrMatrix`] — compressed-sparse-row matrix for larger grids.
 //! * [`ConjugateGradient`] and [`GaussSeidel`] — iterative solvers.
+//!
+//! The factorisations additionally expose allocation-free `solve_into`
+//! variants for hot loops that solve against the same matrix thousands of
+//! times per simulated second.
 //!
 //! # Example
 //!
@@ -44,6 +50,7 @@ mod error;
 mod gauss_seidel;
 mod lu;
 mod sparse;
+mod step_operator;
 mod vector;
 
 pub use cg::{ConjugateGradient, IterativeSolution};
@@ -53,6 +60,7 @@ pub use error::LinalgError;
 pub use gauss_seidel::GaussSeidel;
 pub use lu::LuDecomposition;
 pub use sparse::{CsrMatrix, Triplet};
+pub use step_operator::AffineStepOperator;
 pub use vector::{axpy, dot, norm2, norm_inf, scale, sub};
 
 /// Convenience result alias used throughout this crate.

@@ -125,33 +125,60 @@ impl LuDecomposition {
     /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
         let n = self.dim();
-        if b.len() != n {
-            return Err(LinalgError::DimensionMismatch {
-                expected: n,
-                found: b.len(),
-                context: "LuDecomposition::solve",
-            });
-        }
-        // Apply permutation: y = P * b.
-        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        let mut out = vec![0.0; n];
+        let mut scratch = vec![0.0; n];
+        self.solve_into(b, &mut out, &mut scratch)?;
+        Ok(out)
+    }
 
-        // Forward substitution with unit lower-triangular L.
+    /// Solves `A · x = b` into a caller-provided buffer without allocating.
+    ///
+    /// `scratch` holds the permuted right-hand side during forward
+    /// substitution; `out` receives the solution during back substitution.
+    /// Both must have length [`LuDecomposition::dim`]. This is the hot-loop
+    /// variant of [`LuDecomposition::solve`] used by the transient thermal
+    /// solver, which performs ~1000 solves per simulated second.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `rhs`, `out` or
+    /// `scratch` has a length other than `self.dim()`.
+    pub fn solve_into(&self, rhs: &[f64], out: &mut [f64], scratch: &mut [f64]) -> Result<()> {
+        let n = self.dim();
+        for (len, context) in [
+            (rhs.len(), "LuDecomposition::solve_into rhs"),
+            (out.len(), "LuDecomposition::solve_into out"),
+            (scratch.len(), "LuDecomposition::solve_into scratch"),
+        ] {
+            if len != n {
+                return Err(LinalgError::DimensionMismatch {
+                    expected: n,
+                    found: len,
+                    context,
+                });
+            }
+        }
+        // Apply permutation: scratch = P · rhs.
+        for (s, &p) in scratch.iter_mut().zip(&self.perm) {
+            *s = rhs[p];
+        }
+        // Forward substitution with unit lower-triangular L (in place).
         for i in 1..n {
-            let mut sum = x[i];
-            for (j, &xj) in x.iter().enumerate().take(i) {
-                sum -= self.lu.get(i, j) * xj;
+            let mut sum = scratch[i];
+            for (j, &yj) in scratch.iter().enumerate().take(i) {
+                sum -= self.lu.get(i, j) * yj;
             }
-            x[i] = sum;
+            scratch[i] = sum;
         }
-        // Backward substitution with U.
+        // Backward substitution with U, reading y from scratch into out.
         for i in (0..n).rev() {
-            let mut sum = x[i];
-            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+            let mut sum = scratch[i];
+            for (j, &xj) in out.iter().enumerate().skip(i + 1) {
                 sum -= self.lu.get(i, j) * xj;
             }
-            x[i] = sum / self.lu.get(i, i);
+            out[i] = sum / self.lu.get(i, i);
         }
-        Ok(x)
+        Ok(())
     }
 
     /// Solves `A · X = B` column by column where `B` is given as a matrix.
@@ -170,11 +197,13 @@ impl LuDecomposition {
         }
         let mut out = DenseMatrix::zeros(n, b.cols());
         let mut col = vec![0.0; n];
+        let mut x = vec![0.0; n];
+        let mut scratch = vec![0.0; n];
         for j in 0..b.cols() {
             for (i, c) in col.iter_mut().enumerate() {
                 *c = b.get(i, j);
             }
-            let x = self.solve(&col)?;
+            self.solve_into(&col, &mut x, &mut scratch)?;
             for (i, &v) in x.iter().enumerate() {
                 out.set(i, j, v);
             }

@@ -1,0 +1,300 @@
+//! Affine step operators for linear recurrences, advanced by repeated
+//! squaring.
+
+use crate::{DenseMatrix, LinalgError, Result};
+
+/// The `k`-step operator of the affine recurrence `x_{j+1} = A · x_j + b`.
+///
+/// Advancing the recurrence `k` steps gives
+/// `x_k = Aᵏ · x_0 + S_k · b` with `S_k = I + A + … + Aᵏ⁻¹`, so the pair
+/// `(Aᵏ, S_k)` captures the whole `k`-step evolution for *any* input vector
+/// `b`. The pair composes — `k + m` steps is `(Aᵏ·Aᵐ, S_m + Aᵐ·S_k)` — which
+/// makes it squarable, and [`AffineStepOperator::pow`] exploits that to build
+/// the `k`-step operator in `O(n³ · log k)` work instead of `k` linear
+/// solves. This is the core of the transient thermal solver's constant-power
+/// fast path.
+///
+/// # Example
+///
+/// ```
+/// use thermsched_linalg::{AffineStepOperator, DenseMatrix};
+///
+/// # fn main() -> Result<(), thermsched_linalg::LinalgError> {
+/// // Scalar recurrence x ← 0.5 x + 1: after many steps x → 2.
+/// let a = DenseMatrix::from_rows(&[vec![0.5]])?;
+/// let op = AffineStepOperator::single(&a)?.pow(50)?;
+/// let x = op.apply(&[0.0], &[1.0])?;
+/// assert!((x[0] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AffineStepOperator {
+    /// `Aᵏ`.
+    power: DenseMatrix,
+    /// `S_k = I + A + … + Aᵏ⁻¹` (the zero matrix for `k = 0`).
+    sum: DenseMatrix,
+    /// Number of recurrence steps `k` this operator advances.
+    steps: usize,
+}
+
+impl AffineStepOperator {
+    /// The zero-step (identity) operator: `x_0 = I · x_0 + 0 · b`.
+    pub fn identity(n: usize) -> Self {
+        AffineStepOperator {
+            power: DenseMatrix::identity(n),
+            sum: DenseMatrix::zeros(n, n),
+            steps: 0,
+        }
+    }
+
+    /// The single-step operator of the recurrence with matrix `a`:
+    /// `(A¹, S_1) = (A, I)`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `a` is not square.
+    /// * [`LinalgError::Empty`] if `a` has zero rows.
+    /// * [`LinalgError::NonFinite`] if `a` contains NaN or infinite entries.
+    pub fn single(a: &DenseMatrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        if a.rows() == 0 {
+            return Err(LinalgError::Empty {
+                context: "AffineStepOperator::single",
+            });
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NonFinite {
+                context: "AffineStepOperator::single",
+            });
+        }
+        Ok(AffineStepOperator {
+            power: a.clone(),
+            sum: DenseMatrix::identity(a.rows()),
+            steps: 1,
+        })
+    }
+
+    /// Dimension `n` of the state vector.
+    pub fn dim(&self) -> usize {
+        self.power.rows()
+    }
+
+    /// Number of recurrence steps this operator advances.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Borrows `Aᵏ`.
+    pub fn power(&self) -> &DenseMatrix {
+        &self.power
+    }
+
+    /// Borrows `S_k = I + A + … + Aᵏ⁻¹`.
+    pub fn sum(&self) -> &DenseMatrix {
+        &self.sum
+    }
+
+    /// Composes two step operators of the same recurrence: applying `self`
+    /// (for `m` steps) *after* `earlier` (for `k` steps) yields the
+    /// `(k + m)`-step operator `(Aᵐ·Aᵏ, S_m + Aᵐ·S_k)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the operators have
+    /// different dimensions.
+    pub fn compose_after(&self, earlier: &Self) -> Result<Self> {
+        if self.dim() != earlier.dim() {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.dim(),
+                found: earlier.dim(),
+                context: "AffineStepOperator::compose_after",
+            });
+        }
+        let power = self.power.mul_mat(&earlier.power)?;
+        let sum = &(self.power.mul_mat(&earlier.sum)?) + &self.sum;
+        Ok(AffineStepOperator {
+            power,
+            sum,
+            steps: self.steps + earlier.steps,
+        })
+    }
+
+    /// The operator advancing twice as many steps: `self ∘ self`.
+    ///
+    /// # Errors
+    ///
+    /// See [`AffineStepOperator::compose_after`].
+    pub fn squared(&self) -> Result<Self> {
+        self.compose_after(self)
+    }
+
+    /// The operator advancing `k · self.steps()` steps, built by repeated
+    /// squaring in `O(n³ · log k)` work.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`AffineStepOperator::compose_after`] (which
+    /// cannot occur for a well-formed operator).
+    pub fn pow(&self, k: usize) -> Result<Self> {
+        let mut result = AffineStepOperator::identity(self.dim());
+        let mut base = self.clone();
+        let mut k = k;
+        loop {
+            if k & 1 == 1 {
+                result = base.compose_after(&result)?;
+            }
+            k >>= 1;
+            if k == 0 {
+                break;
+            }
+            base = base.squared()?;
+        }
+        Ok(result)
+    }
+
+    /// Applies the operator: `x_k = Aᵏ · x_0 + S_k · b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `x0` or `b` has a
+    /// length other than `self.dim()`.
+    pub fn apply(&self, x0: &[f64], b: &[f64]) -> Result<Vec<f64>> {
+        let mut out = vec![0.0; self.dim()];
+        let mut scratch = vec![0.0; self.dim()];
+        self.apply_into(x0, b, &mut out, &mut scratch)?;
+        Ok(out)
+    }
+
+    /// Allocation-free variant of [`AffineStepOperator::apply`]: writes
+    /// `Aᵏ · x_0 + S_k · b` into `out`, using `scratch` as workspace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if any slice has a length
+    /// other than `self.dim()`.
+    pub fn apply_into(
+        &self,
+        x0: &[f64],
+        b: &[f64],
+        out: &mut [f64],
+        scratch: &mut [f64],
+    ) -> Result<()> {
+        self.power.mul_vec_into(x0, out)?;
+        self.sum.mul_vec_into(b, scratch)?;
+        for (o, &s) in out.iter_mut().zip(scratch.iter()) {
+            *o += s;
+        }
+        Ok(())
+    }
+
+    /// Applies the operator from a zero initial state: `x_k = S_k · b`
+    /// (the "from rest" / from-ambient case of the thermal solver).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
+    pub fn apply_from_rest(&self, b: &[f64]) -> Result<Vec<f64>> {
+        self.sum.mul_vec(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(a: &DenseMatrix, x: &[f64], b: &[f64]) -> Vec<f64> {
+        let mut next = a.mul_vec(x).unwrap();
+        for (n, &bi) in next.iter_mut().zip(b) {
+            *n += bi;
+        }
+        next
+    }
+
+    fn test_matrix() -> DenseMatrix {
+        DenseMatrix::from_rows(&[
+            vec![0.6, 0.1, 0.0],
+            vec![0.2, 0.5, 0.1],
+            vec![0.0, 0.3, 0.4],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn pow_matches_sequential_stepping() {
+        let a = test_matrix();
+        let b = [1.0, -0.5, 2.0];
+        let x0 = [0.3, 0.0, -1.0];
+        for k in [0usize, 1, 2, 3, 7, 16, 33, 100] {
+            let mut x = x0.to_vec();
+            for _ in 0..k {
+                x = step(&a, &x, &b);
+            }
+            let op = AffineStepOperator::single(&a).unwrap().pow(k).unwrap();
+            assert_eq!(op.steps(), k);
+            let fast = op.apply(&x0, &b).unwrap();
+            for (p, q) in fast.iter().zip(&x) {
+                assert!((p - q).abs() < 1e-12, "k={k}: {p} vs {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn from_rest_drops_the_power_term() {
+        let a = test_matrix();
+        let b = [1.0, 2.0, 3.0];
+        let op = AffineStepOperator::single(&a).unwrap().pow(9).unwrap();
+        let rest = op.apply_from_rest(&b).unwrap();
+        let zero = op.apply(&[0.0; 3], &b).unwrap();
+        assert_eq!(rest, zero);
+    }
+
+    #[test]
+    fn composition_accumulates_steps() {
+        let a = test_matrix();
+        let five = AffineStepOperator::single(&a).unwrap().pow(5).unwrap();
+        let three = AffineStepOperator::single(&a).unwrap().pow(3).unwrap();
+        let eight = five.compose_after(&three).unwrap();
+        let direct = AffineStepOperator::single(&a).unwrap().pow(8).unwrap();
+        assert_eq!(eight.steps(), 8);
+        let b = [0.7, -0.2, 0.4];
+        let x0 = [1.0, 1.0, 1.0];
+        let p = eight.apply(&x0, &b).unwrap();
+        let q = direct.apply(&x0, &b).unwrap();
+        for (u, v) in p.iter().zip(&q) {
+            assert!((u - v).abs() < 1e-12);
+        }
+        assert_eq!(eight.squared().unwrap().steps(), 16);
+    }
+
+    #[test]
+    fn identity_is_a_no_op() {
+        let id = AffineStepOperator::identity(2);
+        assert_eq!(id.steps(), 0);
+        assert_eq!(id.dim(), 2);
+        let x = id.apply(&[3.0, 4.0], &[100.0, 100.0]).unwrap();
+        assert_eq!(x, vec![3.0, 4.0]);
+        assert_eq!(id.power(), &DenseMatrix::identity(2));
+        assert_eq!(id.sum(), &DenseMatrix::zeros(2, 2));
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        assert!(AffineStepOperator::single(&DenseMatrix::zeros(2, 3)).is_err());
+        assert!(AffineStepOperator::single(&DenseMatrix::zeros(0, 0)).is_err());
+        let mut nan = DenseMatrix::identity(2);
+        nan.set(0, 1, f64::NAN);
+        assert!(AffineStepOperator::single(&nan).is_err());
+
+        let a = AffineStepOperator::identity(2);
+        let b = AffineStepOperator::identity(3);
+        assert!(a.compose_after(&b).is_err());
+        assert!(a.apply(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(a.apply_from_rest(&[1.0, 2.0, 3.0]).is_err());
+    }
+}

@@ -130,6 +130,24 @@ impl RcThermalSimulator {
         )
     }
 
+    /// Builds a simulator like [`RcThermalSimulator::from_floorplan`] but
+    /// with the precomputed-operator transient fast path
+    /// ([`crate::TransientMethod::PrecomputedOperator`]), which advances
+    /// whole constant-power sessions in `O(n³ · log k)` instead of stepping
+    /// `k` times. Session results agree with the reference path to well
+    /// within 1e-6 °C.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model construction and factorisation errors.
+    pub fn fast_from_floorplan(floorplan: &Floorplan) -> Result<Self> {
+        Self::new(
+            floorplan,
+            &PackageConfig::default(),
+            TransientConfig::fast(),
+        )
+    }
+
     /// Builds a simulator with explicit package and transient configuration.
     ///
     /// # Errors

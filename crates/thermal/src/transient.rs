@@ -1,21 +1,64 @@
 //! Transient (time-domain) solution of the thermal network.
 
-use thermsched_linalg::{DenseMatrix, LuDecomposition};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use thermsched_linalg::{AffineStepOperator, DenseMatrix, LuDecomposition};
 
 use crate::{PowerMap, Result, Temperatures, ThermalError, ThermalNetwork};
+
+/// Which transient solution path the solver uses for from-ambient
+/// constant-power simulations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransientMethod {
+    /// Step the implicit-Euler recurrence one time step at a time. Exact for
+    /// any initial state and power history; this is the reference path.
+    #[default]
+    ImplicitEuler,
+    /// Precompute the dense step operator `A = (C/Δt + G)⁻¹ · (C/Δt)` once
+    /// and advance whole sessions with `(Aᵏ, S_k)` built by repeated
+    /// squaring, so a `k`-step session costs `O(n³ · log k)` instead of
+    /// `O(n² · k)` with zero per-step allocation. Used by
+    /// [`TransientSolver::simulate_from_ambient`] only, where it is exact
+    /// (see the solver docs); [`TransientSolver::simulate`] from an
+    /// arbitrary initial state always steps sequentially.
+    PrecomputedOperator,
+}
 
 /// Configuration of the implicit-Euler transient integrator.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransientConfig {
     /// Integration time step in seconds.
     pub time_step: f64,
+    /// Solution path for from-ambient constant-power simulations.
+    pub method: TransientMethod,
 }
 
 impl Default for TransientConfig {
     fn default() -> Self {
         // Die-level thermal time constants are on the order of milliseconds;
         // 1 ms resolves them while keeping second-long sessions cheap.
-        TransientConfig { time_step: 1e-3 }
+        TransientConfig {
+            time_step: 1e-3,
+            method: TransientMethod::default(),
+        }
+    }
+}
+
+impl TransientConfig {
+    /// The default time step with the precomputed-operator fast path.
+    pub fn fast() -> Self {
+        TransientConfig {
+            method: TransientMethod::PrecomputedOperator,
+            ..TransientConfig::default()
+        }
+    }
+
+    /// Sets the solution path.
+    #[must_use]
+    pub fn with_method(mut self, method: TransientMethod) -> Self {
+        self.method = method;
+        self
     }
 }
 
@@ -75,6 +118,15 @@ pub struct TransientSolver {
     node_count: usize,
     ambient: f64,
     time_step: f64,
+    method: TransientMethod,
+    /// The single-step operator `A = (C/Δt + G)⁻¹ · (C/Δt)`, precomputed at
+    /// construction time when the fast path is selected.
+    step_matrix: Option<DenseMatrix>,
+    /// `k → (Aᵏ, S_k)` cache: the powered operator depends only on the step
+    /// count, so every session of the same duration after the first costs a
+    /// single solve plus a matrix–vector product. Guarded by a mutex so the
+    /// solver stays shareable across the scheduler's phase-1 threads.
+    powered: Mutex<HashMap<usize, AffineStepOperator>>,
 }
 
 impl TransientSolver {
@@ -102,6 +154,12 @@ impl TransientSolver {
             lhs.add_to(i, i, c);
         }
         let factorisation = LuDecomposition::new(&lhs)?;
+        let step_matrix = match config.method {
+            TransientMethod::ImplicitEuler => None,
+            TransientMethod::PrecomputedOperator => Some(
+                factorisation.solve_matrix(&DenseMatrix::from_diagonal(&capacitance_over_dt))?,
+            ),
+        };
         Ok(TransientSolver {
             factorisation,
             capacitance_over_dt,
@@ -109,12 +167,20 @@ impl TransientSolver {
             node_count,
             ambient: network.ambient(),
             time_step: config.time_step,
+            method: config.method,
+            step_matrix,
+            powered: Mutex::new(HashMap::new()),
         })
     }
 
     /// Integration time step in seconds.
     pub fn time_step(&self) -> f64 {
         self.time_step
+    }
+
+    /// The solution path this solver uses for from-ambient simulations.
+    pub fn method(&self) -> TransientMethod {
+        self.method
     }
 
     /// Number of floorplan blocks covered.
@@ -124,6 +190,15 @@ impl TransientSolver {
 
     /// Simulates `duration` seconds starting from a uniform ambient die.
     ///
+    /// With [`TransientMethod::PrecomputedOperator`] the whole interval is
+    /// advanced in one application of the `k`-step operator. That is exact
+    /// here (and only here): starting from ambient, the temperature-rise
+    /// state is zero, the step matrix `A` and the per-step increment
+    /// `b = (C/Δt + G)⁻¹ · p` are element-wise non-negative (the stepping
+    /// matrix is an M-matrix and power maps are non-negative), so the
+    /// implicit-Euler iterates rise monotonically and the per-block maximum
+    /// over the interval equals the final value the operator produces.
+    ///
     /// # Errors
     ///
     /// See [`TransientSolver::simulate`].
@@ -132,8 +207,76 @@ impl TransientSolver {
         power: &PowerMap,
         duration: f64,
     ) -> Result<TransientResult> {
+        if self.method == TransientMethod::PrecomputedOperator {
+            return self.simulate_with_operator(power, duration);
+        }
         let initial = vec![self.ambient; self.node_count];
         self.simulate(power, duration, &initial)
+    }
+
+    /// The fast path: validates inputs, then computes the final rise
+    /// `S_k · b` through the cached `k`-step operator.
+    fn simulate_with_operator(&self, power: &PowerMap, duration: f64) -> Result<TransientResult> {
+        self.validate_inputs(power, duration)?;
+        let steps = (duration / self.time_step).ceil().max(1.0) as usize;
+        let mut p = vec![0.0; self.node_count];
+        p[..self.block_count].copy_from_slice(power.as_slice());
+        let b = self.factorisation.solve(&p)?;
+
+        let step_matrix = self
+            .step_matrix
+            .as_ref()
+            .expect("fast path implies a precomputed step matrix");
+        let cached = {
+            let powered = self.powered.lock().expect("operator cache lock");
+            powered
+                .get(&steps)
+                .map(|op| op.apply_from_rest(&b))
+                .transpose()?
+        };
+        let rise = match cached {
+            Some(rise) => rise,
+            None => {
+                // Build the operator outside the lock so concurrent callers
+                // (the scheduler's phase-1 threads) don't serialise on the
+                // O(n³·log k) squaring; a racing duplicate is dropped by
+                // or_insert and both race outcomes are deterministic.
+                let op = AffineStepOperator::single(step_matrix)?.pow(steps)?;
+                let rise = op.apply_from_rest(&b)?;
+                self.powered
+                    .lock()
+                    .expect("operator cache lock")
+                    .entry(steps)
+                    .or_insert(op);
+                rise
+            }
+        };
+
+        Ok(TransientResult {
+            max_block_temperatures: rise[..self.block_count]
+                .iter()
+                .map(|r| r + self.ambient)
+                .collect(),
+            final_temperatures: Temperatures::new(
+                rise.iter().map(|r| r + self.ambient).collect(),
+                self.block_count,
+            ),
+            steps,
+            duration,
+        })
+    }
+
+    fn validate_inputs(&self, power: &PowerMap, duration: f64) -> Result<()> {
+        if power.block_count() != self.block_count {
+            return Err(ThermalError::PowerLengthMismatch {
+                expected: self.block_count,
+                found: power.block_count(),
+            });
+        }
+        if !(duration > 0.0 && duration.is_finite()) {
+            return Err(ThermalError::InvalidDuration { value: duration });
+        }
+        Ok(())
     }
 
     /// Simulates `duration` seconds of constant power starting from the given
@@ -152,27 +295,20 @@ impl TransientSolver {
         duration: f64,
         initial_node_temperatures: &[f64],
     ) -> Result<TransientResult> {
-        if power.block_count() != self.block_count {
-            return Err(ThermalError::PowerLengthMismatch {
-                expected: self.block_count,
-                found: power.block_count(),
-            });
-        }
+        self.validate_inputs(power, duration)?;
         if initial_node_temperatures.len() != self.node_count {
             return Err(ThermalError::PowerLengthMismatch {
                 expected: self.node_count,
                 found: initial_node_temperatures.len(),
             });
         }
-        if !(duration > 0.0 && duration.is_finite()) {
-            return Err(ThermalError::InvalidDuration { value: duration });
-        }
 
         let steps = (duration / self.time_step).ceil().max(1.0) as usize;
         let mut p = vec![0.0; self.node_count];
         p[..self.block_count].copy_from_slice(power.as_slice());
 
-        // State is the temperature rise over ambient.
+        // State is the temperature rise over ambient. All buffers are
+        // allocated once here; the step loop itself is allocation-free.
         let mut rise: Vec<f64> = initial_node_temperatures
             .iter()
             .map(|t| t - self.ambient)
@@ -180,11 +316,15 @@ impl TransientSolver {
         let mut max_rise: Vec<f64> = rise[..self.block_count].to_vec();
 
         let mut rhs = vec![0.0; self.node_count];
+        let mut next = vec![0.0; self.node_count];
+        let mut scratch = vec![0.0; self.node_count];
         for _ in 0..steps {
             for i in 0..self.node_count {
                 rhs[i] = self.capacitance_over_dt[i] * rise[i] + p[i];
             }
-            rise = self.factorisation.solve(&rhs)?;
+            self.factorisation
+                .solve_into(&rhs, &mut next, &mut scratch)?;
+            std::mem::swap(&mut rise, &mut next);
             for i in 0..self.block_count {
                 if rise[i] > max_rise[i] {
                     max_rise[i] = rise[i];
@@ -217,7 +357,14 @@ mod tests {
     #[test]
     fn rejects_bad_configuration_and_inputs() {
         let (net, fp) = setup();
-        assert!(TransientSolver::new(&net, TransientConfig { time_step: 0.0 }).is_err());
+        assert!(TransientSolver::new(
+            &net,
+            TransientConfig {
+                time_step: 0.0,
+                ..TransientConfig::default()
+            }
+        )
+        .is_err());
         let solver = TransientSolver::new(&net, TransientConfig::default()).unwrap();
         let p = PowerMap::zeros(fp.block_count());
         assert!(solver.simulate_from_ambient(&p, 0.0).is_err());
@@ -301,9 +448,81 @@ mod tests {
     }
 
     #[test]
+    fn fast_path_matches_reference_on_sessions() {
+        let (net, fp) = setup();
+        let reference = TransientSolver::new(&net, TransientConfig::default()).unwrap();
+        let fast = TransientSolver::new(&net, TransientConfig::fast()).unwrap();
+        assert_eq!(fast.method(), TransientMethod::PrecomputedOperator);
+        let mut p = PowerMap::zeros(fp.block_count());
+        p.set(fp.index_of("IntExec").unwrap(), 20.0).unwrap();
+        p.set(fp.index_of("Bpred").unwrap(), 8.0).unwrap();
+        for duration in [0.001, 0.017, 0.25, 1.0] {
+            let r = reference.simulate_from_ambient(&p, duration).unwrap();
+            let f = fast.simulate_from_ambient(&p, duration).unwrap();
+            assert_eq!(r.steps, f.steps);
+            for (a, b) in r
+                .max_block_temperatures
+                .iter()
+                .zip(&f.max_block_temperatures)
+            {
+                assert!((a - b).abs() < 1e-6, "duration {duration}: {a} vs {b}");
+            }
+            for (a, b) in r
+                .final_temperatures
+                .node_temperatures()
+                .iter()
+                .zip(f.final_temperatures.node_temperatures())
+            {
+                assert!((a - b).abs() < 1e-6);
+            }
+        }
+        // A second run of the same duration hits the powered-operator cache
+        // and must give bit-identical results.
+        let once = fast.simulate_from_ambient(&p, 1.0).unwrap();
+        let twice = fast.simulate_from_ambient(&p, 1.0).unwrap();
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn fast_path_validates_inputs_like_the_reference() {
+        let (net, fp) = setup();
+        let fast = TransientSolver::new(&net, TransientConfig::fast()).unwrap();
+        let p = PowerMap::zeros(fp.block_count());
+        assert!(fast.simulate_from_ambient(&p, 0.0).is_err());
+        assert!(fast.simulate_from_ambient(&p, f64::NAN).is_err());
+        assert!(fast
+            .simulate_from_ambient(&PowerMap::zeros(2), 1.0)
+            .is_err());
+    }
+
+    #[test]
+    fn fast_solver_still_steps_from_arbitrary_initial_state() {
+        let (net, fp) = setup();
+        let reference = TransientSolver::new(&net, TransientConfig::default()).unwrap();
+        let fast = TransientSolver::new(&net, TransientConfig::fast()).unwrap();
+        let mut p = PowerMap::zeros(fp.block_count());
+        p.set(fp.index_of("FPMul").unwrap(), 10.0).unwrap();
+        let warm = reference.simulate_from_ambient(&p, 0.2).unwrap();
+        let a = reference
+            .simulate(&p, 0.2, warm.final_temperatures.node_temperatures())
+            .unwrap();
+        let b = fast
+            .simulate(&p, 0.2, warm.final_temperatures.node_temperatures())
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn step_count_matches_duration() {
         let (net, fp) = setup();
-        let solver = TransientSolver::new(&net, TransientConfig { time_step: 0.01 }).unwrap();
+        let solver = TransientSolver::new(
+            &net,
+            TransientConfig {
+                time_step: 0.01,
+                ..TransientConfig::default()
+            },
+        )
+        .unwrap();
         let r = solver
             .simulate_from_ambient(&PowerMap::zeros(fp.block_count()), 0.1)
             .unwrap();

@@ -50,9 +50,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             outcome.simulation_effort,
             outcome.max_temperature
         );
-        for record in &outcome.session_records {
-            let names: Vec<&str> = record
-                .session
+        for (session, record) in outcome.schedule.iter().zip(&outcome.session_records) {
+            let names: Vec<&str> = session
                 .cores()
                 .map(|c| sut.test_spec(c).core_name())
                 .collect();

@@ -33,9 +33,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "hottest session      : {:.1} C (limit 165.0 C)",
         outcome.max_temperature
     );
-    for (i, record) in outcome.session_records.iter().enumerate() {
-        let names: Vec<&str> = record
-            .session
+    // Records are in schedule order: zip them with the sessions.
+    for (i, (session, record)) in outcome
+        .schedule
+        .iter()
+        .zip(&outcome.session_records)
+        .enumerate()
+    {
+        let names: Vec<&str> = session
             .cores()
             .map(|c| sut.test_spec(c).core_name())
             .collect();

@@ -74,8 +74,22 @@ fn transient_with_finer_step_converges_to_the_same_answer() {
     let fp = library::figure1_system();
     let pkg = PackageConfig::default();
     let net = ThermalNetwork::build(&fp, &pkg).unwrap();
-    let coarse = TransientSolver::new(&net, TransientConfig { time_step: 2e-3 }).unwrap();
-    let fine = TransientSolver::new(&net, TransientConfig { time_step: 5e-4 }).unwrap();
+    let coarse = TransientSolver::new(
+        &net,
+        TransientConfig {
+            time_step: 2e-3,
+            ..TransientConfig::default()
+        },
+    )
+    .unwrap();
+    let fine = TransientSolver::new(
+        &net,
+        TransientConfig {
+            time_step: 5e-4,
+            ..TransientConfig::default()
+        },
+    )
+    .unwrap();
     let mut power = PowerMap::zeros(fp.block_count());
     power.set(fp.index_of("C2").unwrap(), 15.0).unwrap();
     power.set(fp.index_of("C3").unwrap(), 15.0).unwrap();
