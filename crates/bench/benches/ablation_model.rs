@@ -3,24 +3,32 @@
 //! restriction, each toggled.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use thermsched::{experiments, report};
+use thermsched::{report, AblationPoint, Engine, SweepSpec};
 use thermsched_bench::alpha_fixture;
 
 fn bench_model_ablation(c: &mut Criterion) {
     let (sut, simulator) = alpha_fixture();
+    let engine = Engine::builder()
+        .sut(&sut)
+        .backend(&simulator)
+        .build()
+        .expect("engine builds");
+    let spec = SweepSpec::model_ablation(155.0, 60.0);
 
-    let points = experiments::model_options_sweep(&sut, &simulator, 155.0, 60.0)
-        .expect("model ablation runs");
+    let points: Vec<AblationPoint> = engine
+        .sweep(&spec)
+        .expect("model ablation runs")
+        .into_points()
+        .into_iter()
+        .map(AblationPoint::from)
+        .collect();
     println!(
         "\n{}",
         report::render_ablation("A3 — session-model fidelity (TL=155, STCL=60)", &points)
     );
 
     c.bench_function("ablation/model_options_sweep", |b| {
-        b.iter(|| {
-            experiments::model_options_sweep(&sut, &simulator, 155.0, 60.0)
-                .expect("model ablation runs")
-        })
+        b.iter(|| engine.sweep(&spec).expect("model ablation runs"))
     });
 }
 

@@ -2,24 +2,32 @@
 //! loop (the paper's pseudocode leaves the iteration order unspecified).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use thermsched::{experiments, report};
+use thermsched::{report, AblationPoint, Engine, SweepSpec};
 use thermsched_bench::alpha_fixture;
 
 fn bench_ordering_ablation(c: &mut Criterion) {
     let (sut, simulator) = alpha_fixture();
+    let engine = Engine::builder()
+        .sut(&sut)
+        .backend(&simulator)
+        .build()
+        .expect("engine builds");
+    let spec = SweepSpec::ordering_ablation(155.0, 60.0);
 
-    let points =
-        experiments::ordering_sweep(&sut, &simulator, 155.0, 60.0).expect("ordering ablation runs");
+    let points: Vec<AblationPoint> = engine
+        .sweep(&spec)
+        .expect("ordering ablation runs")
+        .into_points()
+        .into_iter()
+        .map(AblationPoint::from)
+        .collect();
     println!(
         "\n{}",
         report::render_ablation("A2 — candidate-core ordering (TL=155, STCL=60)", &points)
     );
 
     c.bench_function("ablation/ordering_sweep", |b| {
-        b.iter(|| {
-            experiments::ordering_sweep(&sut, &simulator, 155.0, 60.0)
-                .expect("ordering ablation runs")
-        })
+        b.iter(|| engine.sweep(&spec).expect("ordering ablation runs"))
     });
 }
 

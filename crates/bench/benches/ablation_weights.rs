@@ -2,25 +2,33 @@
 //! (the paper fixes it at 1.1 without exploring alternatives).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use thermsched::{experiments, report};
+use thermsched::{report, AblationPoint, Engine, SweepSpec};
 use thermsched_bench::alpha_fixture;
 
 fn bench_weight_ablation(c: &mut Criterion) {
     let (sut, simulator) = alpha_fixture();
+    let engine = Engine::builder()
+        .sut(&sut)
+        .backend(&simulator)
+        .build()
+        .expect("engine builds");
     let factors = [1.0, 1.05, 1.1, 1.25, 1.5, 2.0];
+    let spec = SweepSpec::weight_ablation(155.0, 80.0, &factors);
 
-    let points = experiments::weight_factor_sweep(&sut, &simulator, 155.0, 80.0, &factors)
-        .expect("weight ablation runs");
+    let points: Vec<AblationPoint> = engine
+        .sweep(&spec)
+        .expect("weight ablation runs")
+        .into_points()
+        .into_iter()
+        .map(AblationPoint::from)
+        .collect();
     println!(
         "\n{}",
         report::render_ablation("A1 — violation weight factor (TL=155, STCL=80)", &points)
     );
 
     c.bench_function("ablation/weight_factor_sweep", |b| {
-        b.iter(|| {
-            experiments::weight_factor_sweep(&sut, &simulator, 155.0, 80.0, &factors)
-                .expect("weight ablation runs")
-        })
+        b.iter(|| engine.sweep(&spec).expect("weight ablation runs"))
     });
 }
 

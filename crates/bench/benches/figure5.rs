@@ -3,26 +3,32 @@
 //! TL ∈ {145, 155, 165} °C, and benchmarks one sweep point per series.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use thermsched::{experiments, report, SchedulerConfig, ThermalAwareScheduler};
+use thermsched::{report, Engine, SchedulerConfig, SweepSpec};
 use thermsched_bench::alpha_fixture;
 
 fn bench_figure5(c: &mut Criterion) {
     let (sut, simulator) = alpha_fixture();
+    let engine = Engine::builder()
+        .sut(&sut)
+        .backend(&simulator)
+        .build()
+        .expect("engine builds");
 
     // Print the full reproduced figure once.
-    let points = experiments::figure5_sweep(&sut, &simulator).expect("figure5 sweep runs");
-    println!("\n{}", report::render_figure5(&points));
+    let figure = engine
+        .sweep(&SweepSpec::figure5())
+        .expect("figure5 sweep runs");
+    println!("\n{}", report::render_figure5(figure.points()));
 
     // Benchmark the schedule generation at a tight and a loose STCL for the
-    // middle temperature limit (155 C).
+    // middle temperature limit (155 C), through the engine facade.
     let mut group = c.benchmark_group("figure5/schedule_generation");
     for stcl in [20.0, 60.0, 100.0] {
         group.bench_with_input(BenchmarkId::from_parameter(stcl), &stcl, |b, &stcl| {
             b.iter(|| {
                 let config = SchedulerConfig::new(155.0, stcl).expect("valid config");
-                ThermalAwareScheduler::new(&sut, &simulator, config)
-                    .expect("scheduler builds")
-                    .schedule()
+                engine
+                    .schedule_with(config)
                     .expect("schedule generation succeeds")
             })
         });

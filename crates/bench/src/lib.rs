@@ -35,6 +35,34 @@ pub fn figure1_fixture() -> (SystemUnderTest, RcThermalSimulator) {
     (sut, simulator)
 }
 
+/// Median of a set of wall-clock samples.
+///
+/// # Panics
+///
+/// Panics on an empty or NaN-containing sample set.
+pub fn median(mut values: Vec<f64>) -> f64 {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    values[values.len() / 2]
+}
+
+/// Whether a baseline-recording bench invocation should (re)measure and
+/// overwrite its committed `BENCH_pr<N>.json` file. Mirrors the vendored
+/// criterion stub's filter semantics: the baseline is recorded only when at
+/// least one of `recorded_ids` is actually selected by the CLI filter, and
+/// never in `cargo test --benches` (`--test`) mode — a filtered run like
+/// `cargo bench -- some_other_group` must not clobber committed numbers
+/// with timings nobody asked for.
+pub fn baseline_recording_enabled(recorded_ids: &[&str]) -> bool {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--test") {
+        return false;
+    }
+    match args.iter().find(|a| !a.starts_with('-')) {
+        None => true,
+        Some(filter) => recorded_ids.iter().any(|id| id.contains(filter.as_str())),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -52,6 +52,12 @@ pub enum ScheduleError {
         /// Number of sessions in the schedule.
         count: usize,
     },
+    /// A required component was not supplied to a builder (e.g.
+    /// [`crate::Engine::builder`] without a system under test).
+    MissingComponent {
+        /// Name of the missing component.
+        component: &'static str,
+    },
     /// An underlying thermal simulation failed.
     Thermal(ThermalError),
     /// The system-under-test description is malformed.
@@ -83,6 +89,9 @@ impl fmt::Display for ScheduleError {
                 f,
                 "session index {index} out of range for schedule with {count} sessions"
             ),
+            ScheduleError::MissingComponent { component } => {
+                write!(f, "builder is missing a required component: {component}")
+            }
             ScheduleError::Thermal(e) => write!(f, "thermal simulation failed: {e}"),
             ScheduleError::Soc(e) => write!(f, "system description error: {e}"),
         }

@@ -1,22 +1,29 @@
 //! Experiment drivers that regenerate the paper's figures and tables.
 //!
-//! Every public function here corresponds to an entry of the per-experiment
-//! index in `DESIGN.md`:
+//! Since the `Engine`/`SweepRunner` redesign the sweeps are expressed
+//! declaratively: build one [`crate::Engine`] per (system, backend) pair and
+//! run [`crate::SweepSpec`]s against it — the engine's shared session cache
+//! then serves the overlap between sweep points from memory. The free
+//! functions this module used to expose remain as thin deprecated wrappers
+//! for one release:
 //!
-//! * [`figure1`] — the motivational hot-spot example (Figure 1),
-//! * [`figure5_sweep`] / [`table1_sweep`] — schedule length, simulation
-//!   effort and maximum temperature as functions of `TL` and `STCL`
-//!   (Figure 5 and Table 1),
-//! * [`weight_factor_sweep`], [`ordering_sweep`], [`model_options_sweep`] —
-//!   the A1–A3 ablations of design choices the paper fixes implicitly.
+//! | old call | new call |
+//! |---|---|
+//! | [`table1_sweep`] | `engine.sweep(&SweepSpec::grid(tls, stcls))` |
+//! | [`figure5_sweep`] | `engine.sweep(&SweepSpec::figure5())` |
+//! | [`table1_default`] | `engine.sweep(&SweepSpec::table1())` |
+//! | [`weight_factor_sweep`] | `SweepSpec::point(tl, stcl).with_variants(...)` |
+//! | [`ordering_sweep`] | `SweepSpec::point(tl, stcl).with_variants(...)` |
+//! | [`model_options_sweep`] | `SweepSpec::point(tl, stcl).with_variants(...)` |
+//! | [`baseline_comparison`] | `SweepSpec::point(tl, stcl).with_baseline()` |
+//!
+//! [`figure1`] (the motivational example) is not a sweep and stays a
+//! first-class driver.
 
 use thermsched_soc::{library, SystemUnderTest};
-use thermsched_thermal::{PackageConfig, RcThermalSimulator, ThermalSimulator};
+use thermsched_thermal::ThermalBackend;
 
-use crate::{
-    CoreOrdering, PowerConstrainedScheduler, Result, ScheduleValidator, SchedulerConfig,
-    SessionModelOptions, SessionThermalModel, TestSchedule, TestSession, ThermalAwareScheduler,
-};
+use crate::{Engine, Result, ScheduleValidator, SweepSpec, TestSchedule, TestSession};
 
 /// Default `TL` sweep of Table 1: 145 °C to 185 °C in 5 °C steps.
 pub fn default_temperature_limits() -> Vec<f64> {
@@ -70,16 +77,16 @@ pub struct Figure1Report {
 /// Propagates simulator construction and simulation failures.
 pub fn figure1() -> Result<Figure1Report> {
     let sut = library::figure1_sut();
-    let simulator = RcThermalSimulator::from_floorplan(sut.floorplan())?;
+    let simulator = thermsched_thermal::RcThermalSimulator::from_floorplan(sut.floorplan())?;
     figure1_with(&sut, &simulator, 45.0)
 }
 
-/// [`figure1`] with caller-provided system, simulator and power budget.
+/// [`figure1`] with caller-provided system, backend and power budget.
 ///
 /// # Errors
 ///
 /// Propagates simulation failures.
-pub fn figure1_with<S: ThermalSimulator>(
+pub fn figure1_with<S: ThermalBackend + ?Sized>(
     sut: &SystemUnderTest,
     simulator: &S,
     power_limit: f64,
@@ -120,7 +127,8 @@ pub fn figure1_with<S: ThermalSimulator>(
     })
 }
 
-/// One row of the Table 1 / Figure 5 sweep.
+/// One row of a sweep: the operating point, the cost metrics, and the cache
+/// accounting of the run that produced it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepPoint {
     /// Temperature limit `TL` in °C.
@@ -137,49 +145,43 @@ pub struct SweepPoint {
     pub discarded_sessions: usize,
     /// Hottest simulated temperature over the committed schedule (°C).
     pub max_temperature: f64,
+    /// Label of the [`SweepVariant`] that produced the point (`"default"`
+    /// for plain grid sweeps).
+    pub label: String,
+    /// Candidate validations served from any session cache during this run
+    /// (see [`crate::ScheduleOutcome::cached_validations`]).
+    pub cached_validations: usize,
+    /// Simulations this point avoided because another sweep point sharing
+    /// the engine's cache had already run them (see
+    /// [`crate::ScheduleOutcome::warm_cache_hits`]).
+    pub warm_cache_hits: usize,
+    /// Matched-budget baseline comparison, when the spec requested one.
+    pub baseline: Option<BaselineComparison>,
 }
 
 /// Runs the thermal-aware scheduler over a grid of `TL × STCL` values on the
-/// given system, producing one [`SweepPoint`] per combination. With the
-/// default arguments this regenerates Table 1 of the paper; restricted to
-/// `TL ∈ {145, 155, 165}` it regenerates Figure 5.
-///
-/// Every grid point is an independent scheduling run, so the grid is fanned
-/// out across the machine with scoped threads; the returned points are in
-/// row-major `(TL, STCL)` order regardless of which thread computed them.
+/// given system, producing one [`SweepPoint`] per combination in row-major
+/// `(TL, STCL)` order.
 ///
 /// # Errors
 ///
 /// Propagates scheduler failures (which, for the library system and default
 /// limits, do not occur).
-pub fn table1_sweep<S: ThermalSimulator + Sync>(
+#[deprecated(
+    since = "0.1.0",
+    note = "build an `Engine` and run `engine.sweep(&SweepSpec::grid(temperature_limits, \
+            stc_limits))` — the engine's shared cache makes repeated sweeps cheaper"
+)]
+pub fn table1_sweep<S: ThermalBackend>(
     sut: &SystemUnderTest,
     simulator: &S,
     temperature_limits: &[f64],
     stc_limits: &[f64],
 ) -> Result<Vec<SweepPoint>> {
-    let combos: Vec<(f64, f64)> = temperature_limits
-        .iter()
-        .flat_map(|&tl| stc_limits.iter().map(move |&stcl| (tl, stcl)))
-        .collect();
-    let run = |(tl, stcl): (f64, f64)| -> Result<SweepPoint> {
-        let config = SchedulerConfig::new(tl, stcl)?;
-        let scheduler = ThermalAwareScheduler::new(sut, simulator, config)?;
-        let outcome = scheduler.schedule()?;
-        Ok(SweepPoint {
-            temperature_limit: tl,
-            stc_limit: stcl,
-            schedule_length: outcome.schedule_length(),
-            session_count: outcome.session_count(),
-            simulation_effort: outcome.simulation_effort,
-            discarded_sessions: outcome.discarded_sessions,
-            max_temperature: outcome.max_temperature,
-        })
-    };
-
-    crate::parallel::parallel_map_ordered(&combos, run)
-        .into_iter()
-        .collect()
+    let engine = Engine::builder().sut(sut).backend(simulator).build()?;
+    Ok(engine
+        .sweep(&SweepSpec::grid(temperature_limits, stc_limits))?
+        .into_points())
 }
 
 /// Convenience wrapper for the Figure 5 subset of the sweep
@@ -187,17 +189,17 @@ pub fn table1_sweep<S: ThermalSimulator + Sync>(
 ///
 /// # Errors
 ///
-/// See [`table1_sweep`].
-pub fn figure5_sweep<S: ThermalSimulator + Sync>(
+/// Propagates scheduler failures.
+#[deprecated(
+    since = "0.1.0",
+    note = "build an `Engine` and run `engine.sweep(&SweepSpec::figure5())`"
+)]
+pub fn figure5_sweep<S: ThermalBackend>(
     sut: &SystemUnderTest,
     simulator: &S,
 ) -> Result<Vec<SweepPoint>> {
-    table1_sweep(
-        sut,
-        simulator,
-        &figure5_temperature_limits(),
-        &default_stc_limits(),
-    )
+    let engine = Engine::builder().sut(sut).backend(simulator).build()?;
+    Ok(engine.sweep(&SweepSpec::figure5())?.into_points())
 }
 
 /// Runs the full Table 1 sweep on the library Alpha-21364-like system with
@@ -205,16 +207,16 @@ pub fn figure5_sweep<S: ThermalSimulator + Sync>(
 ///
 /// # Errors
 ///
-/// See [`table1_sweep`].
+/// Propagates scheduler failures.
+#[deprecated(
+    since = "0.1.0",
+    note = "build an `Engine` over `library::alpha21364_sut()` and run \
+            `engine.sweep(&SweepSpec::table1())`"
+)]
 pub fn table1_default() -> Result<Vec<SweepPoint>> {
     let sut = library::alpha21364_sut();
-    let simulator = RcThermalSimulator::from_floorplan(sut.floorplan())?;
-    table1_sweep(
-        &sut,
-        &simulator,
-        &default_temperature_limits(),
-        &default_stc_limits(),
-    )
+    let engine = Engine::builder().sut(&sut).build()?;
+    Ok(engine.sweep(&SweepSpec::table1())?.into_points())
 }
 
 /// One row of an ablation sweep: a label plus the usual cost metrics.
@@ -232,32 +234,52 @@ pub struct AblationPoint {
     pub max_temperature: f64,
 }
 
+impl From<SweepPoint> for AblationPoint {
+    fn from(p: SweepPoint) -> Self {
+        AblationPoint {
+            label: p.label,
+            schedule_length: p.schedule_length,
+            simulation_effort: p.simulation_effort,
+            discarded_sessions: p.discarded_sessions,
+            max_temperature: p.max_temperature,
+        }
+    }
+}
+
+fn ablation_sweep<S: ThermalBackend>(
+    sut: &SystemUnderTest,
+    simulator: &S,
+    spec: &SweepSpec,
+) -> Result<Vec<AblationPoint>> {
+    let engine = Engine::builder().sut(sut).backend(simulator).build()?;
+    Ok(engine
+        .sweep(spec)?
+        .into_points()
+        .into_iter()
+        .map(AblationPoint::from)
+        .collect())
+}
+
 /// A1 ablation: sensitivity of the algorithm to the violation weight factor
 /// (the paper uses 1.1).
 ///
 /// # Errors
 ///
 /// Propagates scheduler failures.
-pub fn weight_factor_sweep<S: ThermalSimulator + Sync>(
+#[deprecated(
+    since = "0.1.0",
+    note = "run `SweepSpec::point(tl, stcl).with_variants(...)` with one \
+            `SweepVariant::with_weight_factor` per factor through an `Engine`"
+)]
+pub fn weight_factor_sweep<S: ThermalBackend>(
     sut: &SystemUnderTest,
     simulator: &S,
     temperature_limit: f64,
     stc_limit: f64,
     factors: &[f64],
 ) -> Result<Vec<AblationPoint>> {
-    let mut out = Vec::with_capacity(factors.len());
-    for &factor in factors {
-        let config = SchedulerConfig::new(temperature_limit, stc_limit)?.with_weight_factor(factor);
-        let outcome = ThermalAwareScheduler::new(sut, simulator, config)?.schedule()?;
-        out.push(AblationPoint {
-            label: format!("weight_factor={factor}"),
-            schedule_length: outcome.schedule_length(),
-            simulation_effort: outcome.simulation_effort,
-            discarded_sessions: outcome.discarded_sessions,
-            max_temperature: outcome.max_temperature,
-        });
-    }
-    Ok(out)
+    let spec = SweepSpec::weight_ablation(temperature_limit, stc_limit, factors);
+    ablation_sweep(sut, simulator, &spec)
 }
 
 /// A2 ablation: candidate-core ordering strategies.
@@ -265,25 +287,19 @@ pub fn weight_factor_sweep<S: ThermalSimulator + Sync>(
 /// # Errors
 ///
 /// Propagates scheduler failures.
-pub fn ordering_sweep<S: ThermalSimulator + Sync>(
+#[deprecated(
+    since = "0.1.0",
+    note = "run `SweepSpec::point(tl, stcl).with_variants(...)` with one \
+            `SweepVariant::with_ordering` per `CoreOrdering` through an `Engine`"
+)]
+pub fn ordering_sweep<S: ThermalBackend>(
     sut: &SystemUnderTest,
     simulator: &S,
     temperature_limit: f64,
     stc_limit: f64,
 ) -> Result<Vec<AblationPoint>> {
-    let mut out = Vec::with_capacity(CoreOrdering::ALL.len());
-    for ordering in CoreOrdering::ALL {
-        let config = SchedulerConfig::new(temperature_limit, stc_limit)?.with_ordering(ordering);
-        let outcome = ThermalAwareScheduler::new(sut, simulator, config)?.schedule()?;
-        out.push(AblationPoint {
-            label: format!("{ordering:?}"),
-            schedule_length: outcome.schedule_length(),
-            simulation_effort: outcome.simulation_effort,
-            discarded_sessions: outcome.discarded_sessions,
-            max_temperature: outcome.max_temperature,
-        });
-    }
-    Ok(out)
+    let spec = SweepSpec::ordering_ablation(temperature_limit, stc_limit);
+    ablation_sweep(sut, simulator, &spec)
 }
 
 /// A3 ablation: fidelity of the guidance session thermal model (the paper's
@@ -292,48 +308,19 @@ pub fn ordering_sweep<S: ThermalSimulator + Sync>(
 /// # Errors
 ///
 /// Propagates scheduler failures.
-pub fn model_options_sweep<S: ThermalSimulator + Sync>(
+#[deprecated(
+    since = "0.1.0",
+    note = "run `SweepSpec::point(tl, stcl).with_variants(...)` with one \
+            `SweepVariant::with_session_model` per option set through an `Engine`"
+)]
+pub fn model_options_sweep<S: ThermalBackend>(
     sut: &SystemUnderTest,
     simulator: &S,
     temperature_limit: f64,
     stc_limit: f64,
 ) -> Result<Vec<AblationPoint>> {
-    let variants: [(&str, SessionModelOptions); 3] = [
-        (
-            "paper (lateral-only, drop active-active)",
-            SessionModelOptions::paper(),
-        ),
-        (
-            "keep active-active paths",
-            SessionModelOptions {
-                keep_active_active_paths: true,
-                ..SessionModelOptions::paper()
-            },
-        ),
-        (
-            "include vertical path",
-            SessionModelOptions {
-                include_vertical_path: true,
-                ..SessionModelOptions::paper()
-            },
-        ),
-    ];
-    let mut out = Vec::with_capacity(variants.len());
-    for (label, options) in variants {
-        let config =
-            SchedulerConfig::new(temperature_limit, stc_limit)?.with_session_model(options);
-        let model = SessionThermalModel::new(sut, &PackageConfig::default(), options)?;
-        let outcome =
-            ThermalAwareScheduler::with_model(sut, simulator, config, model)?.schedule()?;
-        out.push(AblationPoint {
-            label: label.to_owned(),
-            schedule_length: outcome.schedule_length(),
-            simulation_effort: outcome.simulation_effort,
-            discarded_sessions: outcome.discarded_sessions,
-            max_temperature: outcome.max_temperature,
-        });
-    }
-    Ok(out)
+    let spec = SweepSpec::model_ablation(temperature_limit, stc_limit);
+    ablation_sweep(sut, simulator, &spec)
 }
 
 /// Compares the thermal-aware scheduler against the chip-level
@@ -361,35 +348,30 @@ pub struct BaselineComparison {
 /// # Errors
 ///
 /// Propagates scheduler and validation failures.
-pub fn baseline_comparison<S: ThermalSimulator + Sync>(
+#[deprecated(
+    since = "0.1.0",
+    note = "run `engine.sweep(&SweepSpec::point(tl, stcl).with_baseline())` and read the \
+            point's `baseline` field"
+)]
+pub fn baseline_comparison<S: ThermalBackend>(
     sut: &SystemUnderTest,
     simulator: &S,
     temperature_limit: f64,
     stc_limit: f64,
 ) -> Result<BaselineComparison> {
-    let config = SchedulerConfig::new(temperature_limit, stc_limit)?;
-    let thermal_outcome = ThermalAwareScheduler::new(sut, simulator, config)?.schedule()?;
-    let power_budget = thermal_outcome
-        .schedule
-        .iter()
-        .map(TestSession::total_power)
-        .fold(0.0_f64, f64::max)
-        .max(1.0);
-    let baseline = PowerConstrainedScheduler::new(power_budget)?.schedule(sut)?;
-    let evaluation = ScheduleValidator::new(sut, simulator)?.evaluate(&baseline)?;
-    Ok(BaselineComparison {
-        thermal_aware_length: thermal_outcome.schedule_length(),
-        thermal_aware_max_temperature: thermal_outcome.max_temperature,
-        power_constrained_length: baseline.total_length(),
-        power_constrained_max_temperature: evaluation.max_temperature(),
-        power_budget,
-        power_constrained_violations: evaluation.violating_sessions(temperature_limit).len(),
-    })
+    let engine = Engine::builder().sut(sut).backend(simulator).build()?;
+    let report = engine.sweep(&SweepSpec::point(temperature_limit, stc_limit).with_baseline())?;
+    Ok(report
+        .into_points()
+        .remove(0)
+        .baseline
+        .expect("a sweep with compare_baseline attaches a comparison to every point"))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use thermsched_thermal::RcThermalSimulator;
 
     #[test]
     fn figure1_reproduces_the_motivational_gap() {
@@ -417,10 +399,13 @@ mod tests {
     #[test]
     fn small_sweep_produces_consistent_points() {
         let sut = library::alpha21364_sut();
-        let simulator = RcThermalSimulator::from_floorplan(sut.floorplan()).unwrap();
-        let points = table1_sweep(&sut, &simulator, &[165.0], &[20.0, 100.0]).unwrap();
+        let engine = Engine::builder().sut(&sut).build().unwrap();
+        let report = engine
+            .sweep(&SweepSpec::grid(&[165.0], &[20.0, 100.0]))
+            .unwrap();
+        let points = report.points();
         assert_eq!(points.len(), 2);
-        for p in &points {
+        for p in points {
             assert!(p.schedule_length >= 1.0);
             assert!(p.simulation_effort >= p.schedule_length);
             assert!(p.max_temperature < p.temperature_limit);
@@ -431,17 +416,18 @@ mod tests {
     }
 
     #[test]
-    fn ablation_sweeps_cover_their_variants() {
+    fn ablation_sweeps_cover_their_variants_through_the_new_api() {
         let sut = library::alpha21364_sut();
-        let simulator = RcThermalSimulator::from_floorplan(sut.floorplan()).unwrap();
-        let weights =
-            weight_factor_sweep(&sut, &simulator, 165.0, 60.0, &[1.05, 1.1, 1.5]).unwrap();
+        let engine = Engine::builder().sut(&sut).build().unwrap();
+        let weights = engine
+            .sweep(&SweepSpec::weight_ablation(165.0, 60.0, &[1.05, 1.1, 1.5]))
+            .unwrap();
         assert_eq!(weights.len(), 3);
-        let orderings = ordering_sweep(&sut, &simulator, 165.0, 60.0).unwrap();
+        let orderings = engine
+            .sweep(&SweepSpec::ordering_ablation(165.0, 60.0))
+            .unwrap();
         assert_eq!(orderings.len(), 4);
-        let models = model_options_sweep(&sut, &simulator, 165.0, 60.0).unwrap();
-        assert_eq!(models.len(), 3);
-        for p in weights.iter().chain(&orderings).chain(&models) {
+        for p in weights.points().iter().chain(orderings.points()) {
             assert!(p.schedule_length >= 1.0);
             assert!(p.max_temperature < 165.0);
             assert!(!p.label.is_empty());
@@ -451,8 +437,11 @@ mod tests {
     #[test]
     fn baseline_comparison_shows_the_thermal_risk_of_power_only_scheduling() {
         let sut = library::alpha21364_sut();
-        let simulator = RcThermalSimulator::from_floorplan(sut.floorplan()).unwrap();
-        let cmp = baseline_comparison(&sut, &simulator, 150.0, 70.0).unwrap();
+        let engine = Engine::builder().sut(&sut).build().unwrap();
+        let report = engine
+            .sweep(&SweepSpec::point(150.0, 70.0).with_baseline())
+            .unwrap();
+        let cmp = report.points()[0].baseline.as_ref().unwrap();
         assert!(cmp.thermal_aware_max_temperature < 150.0);
         assert!(cmp.power_budget > 0.0);
         assert!(cmp.power_constrained_length >= 1.0);
@@ -460,5 +449,45 @@ mod tests {
         // power density, so it runs at least as hot as the thermal-aware
         // schedule (and usually violates the limit outright).
         assert!(cmp.power_constrained_max_temperature + 1e-9 >= cmp.thermal_aware_max_temperature);
+    }
+
+    /// The deprecation contract: every legacy driver still compiles and
+    /// produces the same numbers as the engine pipeline it now wraps.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_the_engine_pipeline() {
+        let sut = library::alpha21364_sut();
+        let simulator = RcThermalSimulator::from_floorplan(sut.floorplan()).unwrap();
+        let engine = Engine::builder()
+            .sut(&sut)
+            .backend(&simulator)
+            .build()
+            .unwrap();
+
+        let old = table1_sweep(&sut, &simulator, &[165.0], &[40.0, 80.0]).unwrap();
+        let new = engine
+            .sweep(&SweepSpec::grid(&[165.0], &[40.0, 80.0]))
+            .unwrap();
+        assert_eq!(old.len(), new.len());
+        for (o, n) in old.iter().zip(new.points()) {
+            assert_eq!(o.schedule_length, n.schedule_length);
+            assert_eq!(o.simulation_effort, n.simulation_effort);
+            assert_eq!(o.discarded_sessions, n.discarded_sessions);
+            assert_eq!(o.max_temperature, n.max_temperature);
+        }
+
+        let weights = weight_factor_sweep(&sut, &simulator, 165.0, 60.0, &[1.1, 1.5]).unwrap();
+        assert_eq!(weights.len(), 2);
+        assert_eq!(weights[0].label, "weight_factor=1.1");
+
+        let orderings = ordering_sweep(&sut, &simulator, 165.0, 60.0).unwrap();
+        assert_eq!(orderings.len(), 4);
+
+        let models = model_options_sweep(&sut, &simulator, 165.0, 60.0).unwrap();
+        assert_eq!(models.len(), 3);
+        assert!(models[0].label.starts_with("paper"));
+
+        let cmp = baseline_comparison(&sut, &simulator, 150.0, 70.0).unwrap();
+        assert!(cmp.power_budget > 0.0);
     }
 }

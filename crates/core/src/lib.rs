@@ -30,34 +30,58 @@
 //!
 //! # Quick start
 //!
+//! The [`Engine`] facade owns everything a scheduling session needs — the
+//! backend (any [`thermsched_thermal::ThermalBackend`]; by default an
+//! RC-compact simulator whose precomputed-operator fast path is selected
+//! automatically wherever it is exact), the configuration, and a session
+//! cache that stays warm across runs:
+//!
 //! ```
-//! use thermsched::{SchedulerConfig, ThermalAwareScheduler};
+//! use thermsched::Engine;
 //! use thermsched_soc::library;
-//! use thermsched_thermal::RcThermalSimulator;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! // The 15-core Alpha-21364-like system the paper evaluates on.
+//! // The 15-core Alpha-21364-like system the paper evaluates on, scheduled
+//! // at the paper's mid-range operating point (TL = 165 C, STCL = 50).
 //! let sut = library::alpha21364_sut();
-//! let simulator = RcThermalSimulator::from_floorplan(sut.floorplan())?;
+//! let engine = Engine::builder().sut(&sut).build()?;
 //!
-//! // TL = 165 C, STCL = 50 (the paper's mid-range operating point).
-//! let config = SchedulerConfig::new(165.0, 50.0)?;
-//! let scheduler = ThermalAwareScheduler::new(&sut, &simulator, config)?;
-//! let outcome = scheduler.schedule()?;
-//!
+//! let outcome = engine.schedule()?;
 //! println!("schedule length: {} s", outcome.schedule_length());
 //! println!("simulation effort: {} s", outcome.simulation_effort);
 //! println!("hottest committed session: {:.1} C", outcome.max_temperature);
 //! assert!(outcome.max_temperature < 165.0);
+//!
+//! // Sweeps are declarative; points reuse the engine's warm cache.
+//! let report = engine.sweep(&thermsched::SweepSpec::grid(&[165.0], &[20.0, 100.0]))?;
+//! assert_eq!(report.points().len(), 2);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Migrating from the pre-`Engine` API
+//!
+//! The old entry points still compile (with deprecation warnings) for one
+//! release. The mapping:
+//!
+//! | old call | new call |
+//! |---|---|
+//! | `RcThermalSimulator::fast_from_floorplan(fp)` | `RcThermalSimulator::from_floorplan(fp)` (fast is the default; `reference_from_floorplan` opts into implicit Euler) |
+//! | `ThermalAwareScheduler::new(&sut, &sim, cfg)?.schedule()` | `Engine::builder().sut(&sut).backend(&sim).config(cfg).build()?.schedule()` |
+//! | `experiments::table1_sweep(&sut, &sim, tls, stcls)` | `engine.sweep(&SweepSpec::grid(tls, stcls))` |
+//! | `experiments::figure5_sweep(&sut, &sim)` | `engine.sweep(&SweepSpec::figure5())` |
+//! | `experiments::weight_factor_sweep(...)` | `engine.sweep(&SweepSpec::point(tl, stcl).with_variants(...))` |
+//! | `experiments::ordering_sweep(...)` | `engine.sweep(&SweepSpec::point(tl, stcl).with_variants(...))` |
+//! | `experiments::model_options_sweep(...)` | `engine.sweep(&SweepSpec::point(tl, stcl).with_variants(...))` |
+//! | `experiments::baseline_comparison(...)` | `engine.sweep(&SweepSpec::point(tl, stcl).with_baseline())` |
+//! | `ScheduleValidator::new(&sut, &sim)?.evaluate(&schedule)` | `engine.evaluate(&schedule)` (the validator remains public) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod baseline;
 mod config;
+mod engine;
 mod error;
 pub mod experiments;
 mod parallel;
@@ -66,16 +90,20 @@ mod schedule;
 mod scheduler;
 mod session_cache;
 mod session_model;
+mod sweep;
 mod validator;
 mod weights;
 
 pub use baseline::{PackingOrder, PowerConstrainedScheduler, SequentialScheduler};
 pub use config::{CoreOrdering, CoreViolationPolicy, SchedulerConfig};
+pub use engine::{Engine, EngineBuilder};
 pub use error::ScheduleError;
+pub use experiments::{AblationPoint, BaselineComparison, SweepPoint};
 pub use schedule::{TestSchedule, TestSession};
 pub use scheduler::{ScheduleOutcome, SessionRecord, ThermalAwareScheduler};
-pub use session_cache::SessionCache;
+pub use session_cache::{SessionCache, SessionCacheHandle};
 pub use session_model::{SessionModelOptions, SessionThermalModel, DEFAULT_STC_SCALE};
+pub use sweep::{SweepReport, SweepRunner, SweepSpec, SweepVariant};
 pub use validator::{ScheduleEvaluation, ScheduleValidator, SessionEvaluation};
 pub use weights::CoreWeights;
 

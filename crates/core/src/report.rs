@@ -112,6 +112,10 @@ mod tests {
                 simulation_effort: 8.0,
                 discarded_sessions: 1,
                 max_temperature: 144.3,
+                label: "default".into(),
+                cached_validations: 0,
+                warm_cache_hits: 0,
+                baseline: None,
             },
             SweepPoint {
                 temperature_limit: 155.0,
@@ -121,6 +125,10 @@ mod tests {
                 simulation_effort: 15.0,
                 discarded_sessions: 12,
                 max_temperature: 154.4,
+                label: "default".into(),
+                cached_validations: 4,
+                warm_cache_hits: 2,
+                baseline: None,
             },
         ]
     }

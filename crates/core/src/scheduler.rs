@@ -1,11 +1,11 @@
 //! The thermal-aware test-schedule generator (Algorithm 1 of the paper).
 
 use thermsched_soc::SystemUnderTest;
-use thermsched_thermal::{PackageConfig, SessionThermalResult, ThermalSimulator};
+use thermsched_thermal::{PackageConfig, SessionThermalResult, ThermalBackend};
 
 use crate::{
     CoreOrdering, CoreViolationPolicy, CoreWeights, Result, ScheduleError, SchedulerConfig,
-    SessionCache, SessionThermalModel, TestSchedule, TestSession,
+    SessionCache, SessionCacheHandle, SessionThermalModel, TestSchedule, TestSession,
 };
 
 /// The thermal-validation results that admitted one committed session into
@@ -47,6 +47,15 @@ pub struct ScheduleOutcome {
     /// attempts still accrue `simulation_effort` — the paper's metric counts
     /// attempts, not wall-clock — but cost no simulation time.
     pub cached_validations: usize,
+    /// Number of simulations avoided because a *shared* session cache (see
+    /// [`crate::SessionCacheHandle`] and
+    /// [`ThermalAwareScheduler::schedule_with_cache`]) already held the
+    /// result from an earlier run against the same backend: cross-point
+    /// phase-1 characterisations plus phase-2 candidate validations first
+    /// attempted by another sweep point. Always zero for
+    /// [`ThermalAwareScheduler::schedule`], whose cache lives and dies with
+    /// the call.
+    pub warm_cache_hits: usize,
     /// Hottest temperature reached by any committed session (°C).
     pub max_temperature: f64,
     /// Best-case maximum temperature of every core (tested alone), in °C.
@@ -71,22 +80,43 @@ impl ScheduleOutcome {
 
     /// Ratio of simulation effort to schedule length; `1.0` means every
     /// candidate session was accepted at the first attempt.
+    ///
+    /// Defined for every outcome: an empty schedule (a zero-core system
+    /// under test, where both effort and length are zero) reports `1.0`,
+    /// the ratio's minimum — no candidate needed a second attempt — rather
+    /// than a `NaN` from `0/0`.
     pub fn effort_ratio(&self) -> f64 {
         let len = self.schedule_length();
-        if len > 0.0 {
+        if len > 0.0 && len.is_finite() {
             self.simulation_effort / len
         } else {
+            1.0
+        }
+    }
+
+    /// Fraction of phase-2 validation attempts (committed plus discarded
+    /// candidate sessions) served from a session cache instead of a fresh
+    /// simulation, in `[0, 1]`.
+    ///
+    /// Defined for every outcome: with no attempts at all (empty schedule)
+    /// the fraction is `0.0` rather than a `NaN` from `0/0`.
+    pub fn cached_fraction(&self) -> f64 {
+        let attempts = self.session_count() + self.discarded_sessions;
+        if attempts == 0 {
             0.0
+        } else {
+            self.cached_validations as f64 / attempts as f64
         }
     }
 }
 
 /// Thermal-aware test-schedule generator.
 ///
-/// The scheduler is generic over the [`ThermalSimulator`] used for session
-/// validation so that the guidance model (cheap) and the validator
-/// (expensive) can be varied independently — the central trade-off the paper
-/// explores.
+/// The scheduler is generic over the [`ThermalBackend`] used for session
+/// validation — including `dyn ThermalBackend`, which is how the
+/// [`crate::Engine`] facade drives it — so that the guidance model (cheap)
+/// and the validator (expensive) can be varied independently, the central
+/// trade-off the paper explores.
 ///
 /// # Example
 ///
@@ -107,14 +137,17 @@ impl ScheduleOutcome {
 /// # }
 /// ```
 #[derive(Debug)]
-pub struct ThermalAwareScheduler<'a, S: ThermalSimulator> {
+pub struct ThermalAwareScheduler<'a, S: ThermalBackend + ?Sized> {
     sut: &'a SystemUnderTest,
     simulator: &'a S,
-    model: SessionThermalModel,
+    /// Owned for the classic constructors, borrowed when the
+    /// [`crate::Engine`] lends its prebuilt model — the facade must not pay
+    /// a model clone per run.
+    model: std::borrow::Cow<'a, SessionThermalModel>,
     config: SchedulerConfig,
 }
 
-impl<'a, S: ThermalSimulator> ThermalAwareScheduler<'a, S> {
+impl<'a, S: ThermalBackend + ?Sized> ThermalAwareScheduler<'a, S> {
     /// Creates a scheduler whose guidance model is built from the default
     /// package description.
     ///
@@ -145,6 +178,31 @@ impl<'a, S: ThermalSimulator> ThermalAwareScheduler<'a, S> {
         config: SchedulerConfig,
         model: SessionThermalModel,
     ) -> Result<Self> {
+        Self::build(sut, simulator, config, std::borrow::Cow::Owned(model))
+    }
+
+    /// Like [`ThermalAwareScheduler::with_model`], but borrowing the model —
+    /// the zero-copy path the [`crate::Engine`] uses to hand its prebuilt
+    /// model to every run.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ThermalAwareScheduler::new`].
+    pub fn with_model_ref(
+        sut: &'a SystemUnderTest,
+        simulator: &'a S,
+        config: SchedulerConfig,
+        model: &'a SessionThermalModel,
+    ) -> Result<Self> {
+        Self::build(sut, simulator, config, std::borrow::Cow::Borrowed(model))
+    }
+
+    fn build(
+        sut: &'a SystemUnderTest,
+        simulator: &'a S,
+        config: SchedulerConfig,
+        model: std::borrow::Cow<'a, SessionThermalModel>,
+    ) -> Result<Self> {
         config.validate()?;
         if simulator.block_count() != sut.core_count() {
             return Err(ScheduleError::CoreCountMismatch {
@@ -171,22 +229,66 @@ impl<'a, S: ThermalSimulator> ThermalAwareScheduler<'a, S> {
     }
 }
 
-impl<'a, S: ThermalSimulator + Sync> ThermalAwareScheduler<'a, S> {
+impl<'a, S: ThermalBackend + ?Sized> ThermalAwareScheduler<'a, S> {
     /// Phase 1 (lines 1–7): per-core characterisation, fanned out across the
     /// machine with scoped threads. Every single-core validation is
     /// independent, so the pass parallelises embarrassingly; results come
-    /// back in core order, keeping the outcome deterministic.
-    fn characterise_cores(&self) -> Result<Vec<SessionThermalResult>> {
-        let cores: Vec<usize> = (0..self.sut.core_count()).collect();
+    /// back in core order, keeping the outcome deterministic. With a shared
+    /// cache, cores already characterised by an earlier run against the same
+    /// backend are served from it and only the misses are simulated.
+    fn characterise_cores(
+        &self,
+        shared: Option<&SessionCacheHandle>,
+        warm_cache_hits: &mut usize,
+    ) -> Result<Vec<SessionThermalResult>> {
+        let n = self.sut.core_count();
+        let mut results: Vec<Option<SessionThermalResult>> = vec![None; n];
+        let mut misses: Vec<usize> = Vec::new();
+        // Probe all singletons under one lock acquisition; per-core round
+        // trips would dominate the engine's overhead on small systems.
+        match shared {
+            Some(shared) => shared.with_locked(|cache| {
+                for (core, slot) in results.iter_mut().enumerate() {
+                    match cache.get(&[core]) {
+                        Some(result) => {
+                            *slot = Some(result.clone());
+                            *warm_cache_hits += 1;
+                        }
+                        None => misses.push(core),
+                    }
+                }
+            }),
+            None => misses.extend(0..n),
+        }
         let sut = self.sut;
         let simulator = self.simulator;
-        crate::parallel::parallel_map_ordered(&cores, |core| -> Result<SessionThermalResult> {
-            let session = TestSession::new([core], sut);
-            let power = session.power_map(sut)?;
-            Ok(simulator.simulate_session(&power, session.duration())?)
-        })
-        .into_iter()
-        .collect()
+        let fresh = crate::parallel::parallel_map_ordered(
+            &misses,
+            |core| -> Result<SessionThermalResult> {
+                let session = TestSession::new([core], sut);
+                let power = session.power_map(sut)?;
+                Ok(simulator.simulate_session(&power, session.duration())?)
+            },
+        );
+        for (&core, result) in misses.iter().zip(fresh) {
+            results[core] = Some(result?);
+        }
+        if let Some(shared) = shared {
+            // Publish every fresh characterisation under one lock (first
+            // write wins; a racing run's duplicate is identical anyway).
+            shared.with_locked(|cache| {
+                for &core in &misses {
+                    if !cache.contains(&[core]) {
+                        let result = results[core].as_ref().expect("miss was simulated");
+                        cache.insert(vec![core], result.clone());
+                    }
+                }
+            });
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("every core is characterised exactly once"))
+            .collect())
     }
 
     /// Runs Algorithm 1 and returns the generated schedule together with its
@@ -200,13 +302,43 @@ impl<'a, S: ThermalSimulator + Sync> ThermalAwareScheduler<'a, S> {
     ///   runs out before every core is scheduled.
     /// * [`ScheduleError::Thermal`] if a validating simulation fails.
     pub fn schedule(&self) -> Result<ScheduleOutcome> {
+        self.run(None)
+    }
+
+    /// Like [`ThermalAwareScheduler::schedule`], but backed by a shared
+    /// session cache that outlives this run: results already cached by
+    /// earlier runs against the same backend are reused (counted in
+    /// [`ScheduleOutcome::warm_cache_hits`]), and every fresh simulation is
+    /// published back for later runs. The schedule produced is identical to
+    /// an uncached run — the simulators are deterministic — only the
+    /// wall-clock cost changes; the paper's `simulation_effort` metric
+    /// counts attempts either way.
+    ///
+    /// The cache must only ever be shared between runs that use the same
+    /// backend and system under test (cache keys are core sets); the
+    /// [`crate::Engine`] facade enforces this by owning one handle per
+    /// backend.
+    ///
+    /// # Errors
+    ///
+    /// See [`ThermalAwareScheduler::schedule`].
+    pub fn schedule_with_cache(&self, shared: &SessionCacheHandle) -> Result<ScheduleOutcome> {
+        self.run(Some(shared))
+    }
+
+    fn run(&self, shared: Option<&SessionCacheHandle>) -> Result<ScheduleOutcome> {
         let n = self.sut.core_count();
+        let mut warm_cache_hits = 0usize;
 
         // ---- Phase 1 (lines 1-7): per-core characterisation. ----
         let mut cache = SessionCache::new();
         let mut bcmt = vec![0.0; n];
         let mut characterization_effort = 0.0;
-        for (core, result) in self.characterise_cores()?.into_iter().enumerate() {
+        for (core, result) in self
+            .characterise_cores(shared, &mut warm_cache_hits)?
+            .into_iter()
+            .enumerate()
+        {
             bcmt[core] = result.block_max_temperature(core);
             characterization_effort += result.duration;
             // Seed the session cache: phase 2 falls back to single-core
@@ -303,18 +435,27 @@ impl<'a, S: ThermalSimulator + Sync> ThermalAwareScheduler<'a, S> {
             }
 
             // Lines 16-23: validate the candidate session thermally. The
-            // cache turns re-attempted candidates into lookups; either way
-            // the attempt accrues the full session duration of simulation
-            // effort, so the paper's cost metric is unaffected.
+            // per-run cache turns re-attempted candidates into lookups, and
+            // the shared cache (when present) extends that to candidates
+            // first attempted by earlier runs; either way the attempt
+            // accrues the full session duration of simulation effort, so
+            // the paper's cost metric is unaffected.
             let session = TestSession::new(active.iter().copied(), self.sut);
             let key = SessionCache::key(session.cores());
             if cache.contains(&key) {
                 cached_validations += 1;
+            } else if let Some(result) = shared.and_then(|s| s.lookup(&key)) {
+                cached_validations += 1;
+                warm_cache_hits += 1;
+                cache.insert(key.clone(), result);
             } else {
                 let power = session.power_map(self.sut)?;
                 let result = self
                     .simulator
                     .simulate_session(&power, session.duration())?;
+                if let Some(shared) = shared {
+                    shared.store(key.clone(), result.clone());
+                }
                 cache.insert(key.clone(), result);
             }
             simulation_effort += session.duration();
@@ -373,6 +514,7 @@ impl<'a, S: ThermalSimulator + Sync> ThermalAwareScheduler<'a, S> {
             characterization_effort,
             discarded_sessions,
             cached_validations,
+            warm_cache_hits,
             max_temperature,
             bcmt,
             effective_temperature_limit: effective_limit,
@@ -417,7 +559,7 @@ impl<'a, S: ThermalSimulator + Sync> ThermalAwareScheduler<'a, S> {
 mod tests {
     use super::*;
     use thermsched_soc::library;
-    use thermsched_thermal::RcThermalSimulator;
+    use thermsched_thermal::{RcThermalSimulator, ThermalSimulator};
 
     fn setup() -> (thermsched_soc::SystemUnderTest, RcThermalSimulator) {
         let sut = library::alpha21364_sut();
@@ -587,6 +729,75 @@ mod tests {
             assert!(outcome.final_weights.bumped_core_count() > 0);
             assert!(outcome.final_weights.max_weight() > 1.0);
         }
+    }
+
+    #[test]
+    fn shared_cache_reuses_results_across_runs_without_changing_outputs() {
+        let (sut, sim) = setup();
+        let config = SchedulerConfig::new(165.0, 50.0).unwrap();
+        let scheduler = ThermalAwareScheduler::new(&sut, &sim, config).unwrap();
+
+        let cold = scheduler.schedule().unwrap();
+        assert_eq!(cold.warm_cache_hits, 0, "per-call cache is always cold");
+
+        let cache = SessionCacheHandle::new();
+        let first = scheduler.schedule_with_cache(&cache).unwrap();
+        assert_eq!(first.warm_cache_hits, 0, "first run populates the cache");
+        assert!(
+            cache.len() >= sut.core_count(),
+            "phase-1 singletons and every validated candidate are published"
+        );
+
+        let second = scheduler.schedule_with_cache(&cache).unwrap();
+        assert!(
+            second.warm_cache_hits >= sut.core_count(),
+            "re-running warm serves at least every phase-1 characterisation \
+             from the shared cache, got {}",
+            second.warm_cache_hits
+        );
+
+        // Warm or cold, the deterministic simulators produce one answer.
+        assert_eq!(cold.schedule, first.schedule);
+        assert_eq!(first.schedule, second.schedule);
+        assert_eq!(first.session_records, second.session_records);
+        assert_eq!(cold.simulation_effort, second.simulation_effort);
+        assert_eq!(cold.discarded_sessions, second.discarded_sessions);
+        assert_eq!(cold.bcmt, second.bcmt);
+    }
+
+    #[test]
+    fn effort_ratio_and_cached_fraction_are_defined_for_empty_outcomes() {
+        let empty = ScheduleOutcome {
+            schedule: TestSchedule::new(),
+            session_records: Vec::new(),
+            simulation_effort: 0.0,
+            characterization_effort: 0.0,
+            discarded_sessions: 0,
+            cached_validations: 0,
+            warm_cache_hits: 0,
+            max_temperature: f64::NEG_INFINITY,
+            bcmt: Vec::new(),
+            effective_temperature_limit: 165.0,
+            final_weights: CoreWeights::ones(0),
+        };
+        // Zero schedule length and zero effort must not yield NaN/inf.
+        assert_eq!(empty.effort_ratio(), 1.0);
+        assert_eq!(empty.cached_fraction(), 0.0);
+        assert!(empty.effort_ratio().is_finite());
+        assert!(empty.cached_fraction().is_finite());
+    }
+
+    #[test]
+    fn cached_fraction_is_bounded_on_real_runs() {
+        let (sut, sim) = setup();
+        let config = SchedulerConfig::new(150.0, 90.0).unwrap();
+        let outcome = ThermalAwareScheduler::new(&sut, &sim, config)
+            .unwrap()
+            .schedule()
+            .unwrap();
+        let f = outcome.cached_fraction();
+        assert!((0.0..=1.0).contains(&f), "cached fraction {f} out of range");
+        assert!(outcome.effort_ratio() >= 1.0);
     }
 
     #[test]

@@ -77,7 +77,7 @@ impl SessionModelOptions {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SessionThermalModel {
     /// Lateral resistance between blocks (K/W), `INFINITY` when not adjacent.
     lateral: Vec<Vec<f64>>,

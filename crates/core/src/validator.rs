@@ -6,7 +6,7 @@
 //! power-constrained schedule can hide severe local overheating.
 
 use thermsched_soc::SystemUnderTest;
-use thermsched_thermal::ThermalSimulator;
+use thermsched_thermal::ThermalBackend;
 
 use crate::{Result, ScheduleError, TestSchedule};
 
@@ -77,12 +77,12 @@ impl ScheduleEvaluation {
 /// # }
 /// ```
 #[derive(Debug)]
-pub struct ScheduleValidator<'a, S: ThermalSimulator> {
+pub struct ScheduleValidator<'a, S: ThermalBackend + ?Sized> {
     sut: &'a SystemUnderTest,
     simulator: &'a S,
 }
 
-impl<'a, S: ThermalSimulator> ScheduleValidator<'a, S> {
+impl<'a, S: ThermalBackend + ?Sized> ScheduleValidator<'a, S> {
     /// Creates a validator.
     ///
     /// # Errors
@@ -138,7 +138,7 @@ mod tests {
     use super::*;
     use crate::{PowerConstrainedScheduler, SequentialScheduler};
     use thermsched_soc::library;
-    use thermsched_thermal::RcThermalSimulator;
+    use thermsched_thermal::{RcThermalSimulator, ThermalSimulator};
 
     #[test]
     fn sequential_schedule_is_safe_at_paper_limits() {

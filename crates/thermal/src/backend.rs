@@ -1,0 +1,84 @@
+//! Capability discovery over thermal simulators.
+//!
+//! [`ThermalSimulator`] describes *what* a simulator can compute;
+//! [`ThermalBackend`] additionally describes *how* it computes it, so that
+//! schedulers and facades can reason about a simulator they only know as a
+//! trait object: does it integrate the transient response or bound it with
+//! the steady state, and are from-ambient sessions served by the
+//! precomputed-operator fast path? The trait is object-safe — the scheduling
+//! stack in the `thermsched` core crate stores backends as
+//! `&dyn ThermalBackend` — and requires `Send + Sync` because every consumer
+//! fans work out across scoped threads.
+
+use crate::{SimulationFidelity, ThermalSimulator};
+
+/// A [`ThermalSimulator`] that can describe its own solution strategy.
+///
+/// Implementations must answer the capability queries consistently with what
+/// [`ThermalSimulator::simulate_session`] actually does; the conformance
+/// suite in the workspace root checks both library backends through
+/// `&dyn ThermalBackend`.
+///
+/// # Example
+///
+/// ```
+/// use thermsched_floorplan::library;
+/// use thermsched_thermal::{RcThermalSimulator, ThermalBackend};
+///
+/// # fn main() -> Result<(), thermsched_thermal::ThermalError> {
+/// let fp = library::alpha21364();
+/// let sim = RcThermalSimulator::from_floorplan(&fp)?;
+/// let backend: &dyn ThermalBackend = &sim;
+/// assert!(backend.supports_fast_path(), "fast path is the default");
+/// # Ok(())
+/// # }
+/// ```
+pub trait ThermalBackend: ThermalSimulator + Send + Sync {
+    /// How session maximum temperatures are evaluated: integrated transient
+    /// response, or the steady-state upper bound (the paper's
+    /// "modification 1").
+    fn fidelity(&self) -> SimulationFidelity;
+
+    /// Whether from-ambient constant-power session simulations are advanced
+    /// through the precomputed-operator fast path instead of the sequential
+    /// implicit-Euler reference loop. Backends that never integrate a
+    /// transient (e.g. steady-state-only models) return `false`.
+    fn supports_fast_path(&self) -> bool;
+
+    /// Short stable identifier for reports and baseline files.
+    fn backend_name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GridResolution, GridThermalSimulator, PackageConfig, RcThermalSimulator};
+    use thermsched_floorplan::library;
+
+    #[test]
+    fn trait_is_object_safe_and_both_backends_report_capabilities() {
+        let fp = library::alpha21364();
+        let rc = RcThermalSimulator::from_floorplan(&fp).unwrap();
+        let grid = GridThermalSimulator::new(
+            &fp,
+            &PackageConfig::default(),
+            GridResolution::new(24, 24).unwrap(),
+        )
+        .unwrap();
+        let backends: [&dyn ThermalBackend; 2] = [&rc, &grid];
+        assert!(backends[0].supports_fast_path());
+        assert_eq!(
+            ThermalBackend::fidelity(backends[0]),
+            SimulationFidelity::Transient
+        );
+        assert!(!backends[1].supports_fast_path());
+        assert_eq!(
+            ThermalBackend::fidelity(backends[1]),
+            SimulationFidelity::SteadyState
+        );
+        for b in backends {
+            assert_eq!(b.block_count(), fp.block_count());
+            assert!(!b.backend_name().is_empty());
+        }
+    }
+}

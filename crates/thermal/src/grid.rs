@@ -300,6 +300,22 @@ impl GridThermalSimulator {
     }
 }
 
+impl crate::ThermalBackend for GridThermalSimulator {
+    fn fidelity(&self) -> crate::SimulationFidelity {
+        // Modification 1 of the paper: the steady-state solution is the
+        // per-block maximum, an upper bound of the transient profile.
+        crate::SimulationFidelity::SteadyState
+    }
+
+    fn supports_fast_path(&self) -> bool {
+        false
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "grid-steady-state"
+    }
+}
+
 impl ThermalSimulator for GridThermalSimulator {
     fn block_count(&self) -> usize {
         self.block_count

@@ -20,13 +20,18 @@
 //! wraps them behind the [`ThermalSimulator`] trait consumed by the
 //! scheduler.
 //!
-//! # The two transient solver paths
+//! # The transient solver paths
 //!
-//! The transient solver offers two [`TransientMethod`]s, selected through
+//! The transient solver offers three [`TransientMethod`]s, selected through
 //! [`TransientConfig`]:
 //!
-//! * [`TransientMethod::ImplicitEuler`] (the default, and the reference
-//!   implementation) steps the recurrence
+//! * [`TransientMethod::Auto`] (the default) picks the fastest path that is
+//!   exact for each request: from-ambient constant-power sessions go
+//!   through the precomputed-operator fast path below, anything else falls
+//!   back to implicit-Euler stepping. Fast is the default; the reference
+//!   path is an explicit opt-in via [`TransientConfig::reference`].
+//! * [`TransientMethod::ImplicitEuler`] (the reference implementation)
+//!   steps the recurrence
 //!   `(C/Δt + G) · ΔT_{k+1} = C/Δt · ΔT_k + P` one time step at a time. It
 //!   is exact for *any* initial state and is the only path used by
 //!   [`TransientSolver::simulate`] when resuming from arbitrary
@@ -64,6 +69,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod error;
 pub mod grid;
 mod materials;
@@ -75,6 +81,7 @@ mod steady_state;
 mod temperatures;
 mod transient;
 
+pub use backend::ThermalBackend;
 pub use error::ThermalError;
 pub use grid::{GridResolution, GridThermalSimulator};
 pub use materials::Material;

@@ -117,7 +117,12 @@ pub struct RcThermalSimulator {
 
 impl RcThermalSimulator {
     /// Builds a simulator for a floorplan with the default package and
-    /// transient settings.
+    /// transient settings. The default transient method is
+    /// [`crate::TransientMethod::Auto`]: whole constant-power sessions are
+    /// advanced through the precomputed-operator fast path (`O(n³ · log k)`
+    /// instead of `k` sequential steps, exact for from-ambient sessions),
+    /// with automatic fallback to implicit-Euler stepping for simulations
+    /// from an arbitrary initial state.
     ///
     /// # Errors
     ///
@@ -131,15 +136,35 @@ impl RcThermalSimulator {
     }
 
     /// Builds a simulator like [`RcThermalSimulator::from_floorplan`] but
-    /// with the precomputed-operator transient fast path
-    /// ([`crate::TransientMethod::PrecomputedOperator`]), which advances
-    /// whole constant-power sessions in `O(n³ · log k)` instead of stepping
-    /// `k` times. Session results agree with the reference path to well
-    /// within 1e-6 °C.
+    /// with the sequential implicit-Euler reference path
+    /// ([`crate::TransientMethod::ImplicitEuler`]) for every request. The
+    /// equivalence suites compare the fast default against this
+    /// configuration; results agree to well within 1e-6 °C.
     ///
     /// # Errors
     ///
     /// Propagates model construction and factorisation errors.
+    pub fn reference_from_floorplan(floorplan: &Floorplan) -> Result<Self> {
+        Self::new(
+            floorplan,
+            &PackageConfig::default(),
+            TransientConfig::reference(),
+        )
+    }
+
+    /// Builds a simulator with the precomputed-operator transient fast path.
+    ///
+    /// The fast path has been the default since the `ThermalBackend`
+    /// redesign, so this is now a shim around the default construction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model construction and factorisation errors.
+    #[deprecated(
+        since = "0.1.0",
+        note = "the fast path is the default now; use `RcThermalSimulator::from_floorplan` \
+                (or `reference_from_floorplan` for the implicit-Euler reference)"
+    )]
     pub fn fast_from_floorplan(floorplan: &Floorplan) -> Result<Self> {
         Self::new(
             floorplan,
@@ -185,6 +210,25 @@ impl RcThermalSimulator {
     /// The configured fidelity.
     pub fn fidelity(&self) -> SimulationFidelity {
         self.fidelity
+    }
+
+    /// The transient method session simulations are served by.
+    pub fn transient_method(&self) -> crate::TransientMethod {
+        self.transient.method()
+    }
+}
+
+impl crate::ThermalBackend for RcThermalSimulator {
+    fn fidelity(&self) -> SimulationFidelity {
+        self.fidelity
+    }
+
+    fn supports_fast_path(&self) -> bool {
+        self.transient.method().uses_fast_path()
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "rc-compact"
     }
 }
 

@@ -11,9 +11,19 @@ use crate::{PowerMap, Result, Temperatures, ThermalError, ThermalNetwork};
 /// constant-power simulations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum TransientMethod {
-    /// Step the implicit-Euler recurrence one time step at a time. Exact for
-    /// any initial state and power history; this is the reference path.
+    /// Pick the fastest path that is exact for each request: from-ambient
+    /// constant-power simulations (the scheduler's usage pattern, where the
+    /// precomputed operator is provably exact — see
+    /// [`TransientSolver::simulate_from_ambient`]) go through the
+    /// precomputed-operator path, while simulations from an arbitrary
+    /// initial state fall back to sequential implicit-Euler stepping. This
+    /// is the default: fast wherever exactness is guaranteed, reference
+    /// behaviour everywhere else.
     #[default]
+    Auto,
+    /// Step the implicit-Euler recurrence one time step at a time for every
+    /// request. Exact for any initial state and power history; this is the
+    /// reference path the fast paths are validated against.
     ImplicitEuler,
     /// Precompute the dense step operator `A = (C/Δt + G)⁻¹ · (C/Δt)` once
     /// and advance whole sessions with `(Aᵏ, S_k)` built by repeated
@@ -21,8 +31,19 @@ pub enum TransientMethod {
     /// `O(n² · k)` with zero per-step allocation. Used by
     /// [`TransientSolver::simulate_from_ambient`] only, where it is exact
     /// (see the solver docs); [`TransientSolver::simulate`] from an
-    /// arbitrary initial state always steps sequentially.
+    /// arbitrary initial state always steps sequentially. Behaviourally
+    /// identical to [`TransientMethod::Auto`]; kept as the explicit opt-in
+    /// spelling from the release where the fast path was not yet the
+    /// default.
     PrecomputedOperator,
+}
+
+impl TransientMethod {
+    /// Whether this method serves from-ambient constant-power simulations
+    /// through the precomputed-operator fast path.
+    pub fn uses_fast_path(self) -> bool {
+        !matches!(self, TransientMethod::ImplicitEuler)
+    }
 }
 
 /// Configuration of the implicit-Euler transient integrator.
@@ -37,7 +58,9 @@ pub struct TransientConfig {
 impl Default for TransientConfig {
     fn default() -> Self {
         // Die-level thermal time constants are on the order of milliseconds;
-        // 1 ms resolves them while keeping second-long sessions cheap.
+        // 1 ms resolves them while keeping second-long sessions cheap. The
+        // default method is Auto: precomputed-operator fast path wherever it
+        // is exact, implicit-Euler stepping otherwise.
         TransientConfig {
             time_step: 1e-3,
             method: TransientMethod::default(),
@@ -46,7 +69,21 @@ impl Default for TransientConfig {
 }
 
 impl TransientConfig {
+    /// The default time step with the sequential implicit-Euler reference
+    /// path for every request (the configuration equivalence suites compare
+    /// the fast default against).
+    pub fn reference() -> Self {
+        TransientConfig {
+            method: TransientMethod::ImplicitEuler,
+            ..TransientConfig::default()
+        }
+    }
+
     /// The default time step with the precomputed-operator fast path.
+    ///
+    /// Since the fast path became the default ([`TransientMethod::Auto`])
+    /// this is equivalent to [`TransientConfig::default`]; it remains for
+    /// callers written against the opt-in era.
     pub fn fast() -> Self {
         TransientConfig {
             method: TransientMethod::PrecomputedOperator,
@@ -154,11 +191,10 @@ impl TransientSolver {
             lhs.add_to(i, i, c);
         }
         let factorisation = LuDecomposition::new(&lhs)?;
-        let step_matrix = match config.method {
-            TransientMethod::ImplicitEuler => None,
-            TransientMethod::PrecomputedOperator => Some(
-                factorisation.solve_matrix(&DenseMatrix::from_diagonal(&capacitance_over_dt))?,
-            ),
+        let step_matrix = if config.method.uses_fast_path() {
+            Some(factorisation.solve_matrix(&DenseMatrix::from_diagonal(&capacitance_over_dt))?)
+        } else {
+            None
         };
         Ok(TransientSolver {
             factorisation,
@@ -207,7 +243,7 @@ impl TransientSolver {
         power: &PowerMap,
         duration: f64,
     ) -> Result<TransientResult> {
-        if self.method == TransientMethod::PrecomputedOperator {
+        if self.method.uses_fast_path() {
             return self.simulate_with_operator(power, duration);
         }
         let initial = vec![self.ambient; self.node_count];
@@ -450,8 +486,9 @@ mod tests {
     #[test]
     fn fast_path_matches_reference_on_sessions() {
         let (net, fp) = setup();
-        let reference = TransientSolver::new(&net, TransientConfig::default()).unwrap();
+        let reference = TransientSolver::new(&net, TransientConfig::reference()).unwrap();
         let fast = TransientSolver::new(&net, TransientConfig::fast()).unwrap();
+        assert_eq!(reference.method(), TransientMethod::ImplicitEuler);
         assert_eq!(fast.method(), TransientMethod::PrecomputedOperator);
         let mut p = PowerMap::zeros(fp.block_count());
         p.set(fp.index_of("IntExec").unwrap(), 20.0).unwrap();
@@ -498,7 +535,7 @@ mod tests {
     #[test]
     fn fast_solver_still_steps_from_arbitrary_initial_state() {
         let (net, fp) = setup();
-        let reference = TransientSolver::new(&net, TransientConfig::default()).unwrap();
+        let reference = TransientSolver::new(&net, TransientConfig::reference()).unwrap();
         let fast = TransientSolver::new(&net, TransientConfig::fast()).unwrap();
         let mut p = PowerMap::zeros(fp.block_count());
         p.set(fp.index_of("FPMul").unwrap(), 10.0).unwrap();
@@ -510,6 +547,28 @@ mod tests {
             .simulate(&p, 0.2, warm.final_temperatures.node_temperatures())
             .unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn auto_is_the_default_and_matches_the_explicit_fast_path() {
+        assert_eq!(TransientMethod::default(), TransientMethod::Auto);
+        assert!(TransientMethod::Auto.uses_fast_path());
+        assert!(TransientMethod::PrecomputedOperator.uses_fast_path());
+        assert!(!TransientMethod::ImplicitEuler.uses_fast_path());
+        assert_eq!(
+            TransientConfig::reference().method,
+            TransientMethod::ImplicitEuler
+        );
+
+        let (net, fp) = setup();
+        let auto = TransientSolver::new(&net, TransientConfig::default()).unwrap();
+        let explicit = TransientSolver::new(&net, TransientConfig::fast()).unwrap();
+        assert_eq!(auto.method(), TransientMethod::Auto);
+        let mut p = PowerMap::zeros(fp.block_count());
+        p.set(fp.index_of("IntExec").unwrap(), 12.0).unwrap();
+        let a = auto.simulate_from_ambient(&p, 0.3).unwrap();
+        let e = explicit.simulate_from_ambient(&p, 0.3).unwrap();
+        assert_eq!(a, e, "Auto and PrecomputedOperator are the same path");
     }
 
     #[test]

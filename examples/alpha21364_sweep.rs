@@ -9,40 +9,49 @@
 //! cargo run --release --example alpha21364_sweep -- figure5 # Figure 5 subset
 //! ```
 
-use thermsched::{experiments, report};
+use thermsched::{report, Engine, SweepSpec};
 use thermsched_soc::library;
-use thermsched_thermal::RcThermalSimulator;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let figure5_only = std::env::args().any(|a| a == "figure5");
 
     let sut = library::alpha21364_sut();
-    let simulator = RcThermalSimulator::from_floorplan(sut.floorplan())?;
+    // One engine serves the whole grid; its shared session cache turns the
+    // overlap between sweep points (every phase-1 characterisation,
+    // recurring candidate sets) into lookups instead of simulations.
+    let engine = Engine::builder().sut(&sut).build()?;
 
     if figure5_only {
-        let points = experiments::figure5_sweep(&sut, &simulator)?;
-        println!("{}", report::render_figure5(&points));
+        let sweep = engine.sweep(&SweepSpec::figure5())?;
+        println!("{}", report::render_figure5(sweep.points()));
+        println!(
+            "cross-point cache hits: {} over {} points",
+            sweep.warm_cache_hits(),
+            sweep.len()
+        );
     } else {
-        let points = experiments::table1_sweep(
-            &sut,
-            &simulator,
-            &experiments::default_temperature_limits(),
-            &experiments::default_stc_limits(),
-        )?;
-        println!("{}", report::render_table1(&points));
+        let sweep = engine.sweep(&SweepSpec::table1())?;
+        println!("{}", report::render_table1(sweep.points()));
 
         // Summary statistics in the style of the paper's observations.
-        let max_reduction = points
+        let max_reduction = sweep
+            .points()
             .iter()
             .map(|p| p.schedule_length)
             .fold(f64::NEG_INFINITY, f64::max)
-            / points
+            / sweep
+                .points()
                 .iter()
                 .map(|p| p.schedule_length)
                 .fold(f64::INFINITY, f64::min);
         println!(
             "schedule-length spread across the sweep: {:.1}x (paper reports up to 3.5x)",
             max_reduction
+        );
+        println!(
+            "cross-point cache hits: {} over {} points",
+            sweep.warm_cache_hits(),
+            sweep.len()
         );
     }
     Ok(())

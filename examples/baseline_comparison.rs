@@ -8,17 +8,17 @@
 //! ```
 
 use thermsched::{
-    experiments, PowerConstrainedScheduler, ScheduleValidator, SchedulerConfig,
-    SequentialScheduler, ThermalAwareScheduler,
+    Engine, PowerConstrainedScheduler, SchedulerConfig, SequentialScheduler, SweepSpec,
 };
 use thermsched_soc::library;
-use thermsched_thermal::RcThermalSimulator;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sut = library::alpha21364_sut();
-    let simulator = RcThermalSimulator::from_floorplan(sut.floorplan())?;
-    let validator = ScheduleValidator::new(&sut, &simulator)?;
     let temperature_limit = 150.0;
+    let engine = Engine::builder()
+        .sut(&sut)
+        .config(SchedulerConfig::new(temperature_limit, 60.0)?)
+        .build()?;
 
     println!(
         "system: {} cores, total test power {:.1} W, limit {temperature_limit} C\n",
@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. Purely sequential (always safe, always longest).
     let sequential = SequentialScheduler::new().schedule(&sut);
-    let eval = validator.evaluate(&sequential)?;
+    let eval = engine.evaluate(&sequential)?;
     println!(
         "{:<34} {:>10.1} {:>10} {:>12.1} {:>11}",
         "sequential",
@@ -45,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Chip-level power-constrained scheduling at several budgets.
     for budget in [60.0, 90.0, 120.0] {
         let schedule = PowerConstrainedScheduler::new(budget)?.schedule(&sut)?;
-        let eval = validator.evaluate(&schedule)?;
+        let eval = engine.evaluate(&schedule)?;
         println!(
             "{:<34} {:>10.1} {:>10} {:>12.1} {:>11}",
             format!("power-constrained ({budget:.0} W)"),
@@ -56,10 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // 3. Thermal-aware scheduling at several STCL operating points.
+    // 3. Thermal-aware scheduling at several STCL operating points. All
+    //    three runs share the engine's session cache.
     for stcl in [30.0, 60.0, 100.0] {
-        let config = SchedulerConfig::new(temperature_limit, stcl)?;
-        let outcome = ThermalAwareScheduler::new(&sut, &simulator, config)?.schedule()?;
+        let outcome = engine.schedule_with(SchedulerConfig::new(temperature_limit, stcl)?)?;
         println!(
             "{:<34} {:>10.1} {:>10} {:>12.1} {:>11}",
             format!("thermal-aware (STCL {stcl:.0})"),
@@ -70,8 +70,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // 4. The matched-concurrency comparison used in EXPERIMENTS.md.
-    let cmp = experiments::baseline_comparison(&sut, &simulator, temperature_limit, 60.0)?;
+    // 4. The matched-concurrency comparison used in EXPERIMENTS.md: one
+    //    sweep point with a baseline comparison attached.
+    let report = engine.sweep(&SweepSpec::point(temperature_limit, 60.0).with_baseline())?;
+    let cmp = report.points()[0]
+        .baseline
+        .as_ref()
+        .expect("baseline requested");
     println!(
         "\nmatched-budget comparison (budget = hottest thermal-aware session power = {:.1} W):",
         cmp.power_budget

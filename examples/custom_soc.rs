@@ -1,5 +1,6 @@
 //! Scheduling a user-defined SoC: build a floorplan programmatically, attach
-//! test specifications, and compare two `STCL` operating points.
+//! test specifications, and compare two `STCL` operating points through one
+//! engine (the second run reuses the first run's cached simulations).
 //!
 //! Run with:
 //!
@@ -7,10 +8,9 @@
 //! cargo run --release --example custom_soc
 //! ```
 
-use thermsched::{SchedulerConfig, ThermalAwareScheduler};
+use thermsched::{Engine, SchedulerConfig};
 use thermsched_floorplan::FloorplanBuilder;
 use thermsched_soc::{SystemUnderTest, TestSpec};
-use thermsched_thermal::RcThermalSimulator;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A small heterogeneous SoC: two CPU clusters, a GPU, a DSP, a modem and
@@ -39,16 +39,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!("{sut}");
 
-    let simulator = RcThermalSimulator::from_floorplan(sut.floorplan())?;
+    // The default backend is built from the custom floorplan automatically.
+    let engine = Engine::builder().sut(&sut).build()?;
 
     for stcl in [25.0, 80.0] {
-        let config = SchedulerConfig::new(150.0, stcl)?;
-        let outcome = ThermalAwareScheduler::new(&sut, &simulator, config)?.schedule()?;
+        let outcome = engine.schedule_with(SchedulerConfig::new(150.0, stcl)?)?;
         println!(
-            "STCL = {stcl:>5.1}: length {:>4.1} s, effort {:>4.1} s, peak {:>6.1} C, sessions:",
+            "STCL = {stcl:>5.1}: length {:>4.1} s, effort {:>4.1} s, peak {:>6.1} C, \
+             {} warm cache hit(s), sessions:",
             outcome.schedule_length(),
             outcome.simulation_effort,
-            outcome.max_temperature
+            outcome.max_temperature,
+            outcome.warm_cache_hits
         );
         for (session, record) in outcome.schedule.iter().zip(&outcome.session_records) {
             let names: Vec<&str> = session

@@ -9,9 +9,8 @@
 //! cargo run --release --example motivational_hotspots
 //! ```
 
-use thermsched::{experiments, report, PowerConstrainedScheduler, ScheduleValidator};
+use thermsched::{experiments, report, Engine, PowerConstrainedScheduler};
 use thermsched_soc::library;
-use thermsched_thermal::RcThermalSimulator;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's comparison of the two hand-picked equal-power sessions.
@@ -19,11 +18,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", report::render_figure1(&figure1));
 
     // What an actual power-constrained scheduler would do on this system with
-    // the same 45 W budget — and how hot its sessions get.
+    // the same 45 W budget — and how hot its sessions get. The engine's
+    // `evaluate` drives the thermal validation of the foreign schedule.
     let sut = library::figure1_sut();
-    let simulator = RcThermalSimulator::from_floorplan(sut.floorplan())?;
+    let engine = Engine::builder().sut(&sut).build()?;
     let schedule = PowerConstrainedScheduler::new(45.0)?.schedule(&sut)?;
-    let evaluation = ScheduleValidator::new(&sut, &simulator)?.evaluate(&schedule)?;
+    let evaluation = engine.evaluate(&schedule)?;
     println!("power-constrained schedule under the same 45 W budget:");
     for session in &evaluation.sessions {
         let names: Vec<&str> = session

@@ -7,22 +7,27 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use thermsched::{SchedulerConfig, ThermalAwareScheduler};
+use thermsched::Engine;
 use thermsched_soc::library;
-use thermsched_thermal::RcThermalSimulator;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The system under test: a 15-core SoC with per-core test powers.
     let sut = library::alpha21364_sut();
     println!("{sut}");
 
-    // 2. A compact thermal simulator for its floorplan (the validation tool).
-    let simulator = RcThermalSimulator::from_floorplan(sut.floorplan())?;
+    // 2. The engine facade with default settings: an RC-compact thermal
+    //    backend whose precomputed-operator fast path is selected
+    //    automatically, TL = 165 C and STCL = 50 (the paper's mid-range
+    //    operating point), and a session cache that stays warm across runs.
+    let engine = Engine::builder().sut(&sut).build()?;
+    println!(
+        "backend: {} (fast path: {})\n",
+        engine.backend().backend_name(),
+        engine.backend().supports_fast_path()
+    );
 
-    // 3. The thermal-aware scheduler: TL = 165 C, STCL = 50.
-    let config = SchedulerConfig::new(165.0, 50.0)?;
-    let scheduler = ThermalAwareScheduler::new(&sut, &simulator, config)?;
-    let outcome = scheduler.schedule()?;
+    // 3. Generate the schedule.
+    let outcome = engine.schedule()?;
 
     // 4. Inspect the result.
     println!("{}", outcome.schedule);
@@ -50,5 +55,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             record.max_temperature
         );
     }
+
+    // 5. A repeat run hits the engine's warm session cache: same schedule,
+    //    no new simulations.
+    let warm = engine.schedule()?;
+    println!(
+        "\nrepeat run: {} of {} validations served from cache, \
+         {} simulations avoided through the engine's shared cache",
+        warm.cached_validations,
+        warm.session_count() + warm.discarded_sessions,
+        warm.warm_cache_hits
+    );
     Ok(())
 }

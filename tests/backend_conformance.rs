@@ -1,0 +1,165 @@
+//! Conformance suite for `dyn ThermalBackend`: every library backend must
+//! behave identically through the trait object — consistent geometry,
+//! consistent session results, honest capability discovery — and must drive
+//! the whole scheduling stack (scheduler, validator, engine) behind the
+//! erased type.
+
+use thermsched::{
+    CoreViolationPolicy, Engine, ScheduleValidator, SchedulerConfig, SequentialScheduler,
+    ThermalAwareScheduler,
+};
+use thermsched_soc::library;
+use thermsched_thermal::{
+    GridResolution, GridThermalSimulator, PackageConfig, PowerMap, RcThermalSimulator,
+    SimulationFidelity, ThermalBackend,
+};
+
+/// The three library backend configurations, type-erased.
+fn backends(sut: &thermsched_soc::SystemUnderTest) -> Vec<(&'static str, Box<dyn ThermalBackend>)> {
+    let fp = sut.floorplan();
+    vec![
+        (
+            "rc-fast-default",
+            Box::new(RcThermalSimulator::from_floorplan(fp).unwrap()) as Box<dyn ThermalBackend>,
+        ),
+        (
+            "rc-reference",
+            Box::new(RcThermalSimulator::reference_from_floorplan(fp).unwrap()),
+        ),
+        (
+            "grid-steady",
+            Box::new(
+                GridThermalSimulator::new(
+                    fp,
+                    &PackageConfig::default(),
+                    GridResolution::new(32, 32).unwrap(),
+                )
+                .unwrap(),
+            ),
+        ),
+    ]
+}
+
+#[test]
+fn every_backend_reports_consistent_geometry_and_capabilities() {
+    let sut = library::alpha21364_sut();
+    for (label, backend) in backends(&sut) {
+        let backend: &dyn ThermalBackend = backend.as_ref();
+        assert_eq!(backend.block_count(), sut.core_count(), "{label}");
+        assert_eq!(backend.ambient(), 45.0, "{label}");
+        assert!(!backend.backend_name().is_empty(), "{label}");
+        let (expect_fast, expect_fidelity) = match label {
+            "rc-fast-default" => (true, SimulationFidelity::Transient),
+            "rc-reference" => (false, SimulationFidelity::Transient),
+            "grid-steady" => (false, SimulationFidelity::SteadyState),
+            other => panic!("unexpected backend label {other}"),
+        };
+        assert_eq!(backend.supports_fast_path(), expect_fast, "{label}");
+        assert_eq!(backend.fidelity(), expect_fidelity, "{label}");
+    }
+}
+
+#[test]
+fn every_backend_validates_inputs_and_bounds_sessions_by_steady_state() {
+    let sut = library::alpha21364_sut();
+    for (label, backend) in backends(&sut) {
+        let backend: &dyn ThermalBackend = backend.as_ref();
+        let mut power = PowerMap::zeros(sut.core_count());
+        power.set(0, 15.0).unwrap();
+        power.set(7, 10.0).unwrap();
+
+        // Bad inputs are rejected through the trait object.
+        assert!(backend.simulate_session(&power, 0.0).is_err(), "{label}");
+        assert!(
+            backend.simulate_session(&power, f64::NAN).is_err(),
+            "{label}"
+        );
+        assert!(
+            backend.simulate_session(&PowerMap::zeros(2), 1.0).is_err(),
+            "{label}"
+        );
+
+        // A valid session heats the die and never exceeds its own
+        // steady-state upper bound.
+        let session = backend.simulate_session(&power, 1.0).unwrap();
+        assert_eq!(session.max_block_temperatures.len(), sut.core_count());
+        assert!(session.max_temperature() > backend.ambient(), "{label}");
+        let steady = backend.steady_state(&power).unwrap();
+        for block in 0..sut.core_count() {
+            assert!(
+                session.block_max_temperature(block) <= steady.block(block) + 1e-6,
+                "{label}: block {block} session max above steady bound"
+            );
+        }
+
+        // Determinism: an identical request reproduces the result exactly
+        // (the foundation of the shared session cache).
+        let again = backend.simulate_session(&power, 1.0).unwrap();
+        assert_eq!(session, again, "{label}");
+    }
+}
+
+#[test]
+fn scheduler_and_validator_run_behind_the_erased_type() {
+    let sut = library::alpha21364_sut();
+    for (label, backend) in backends(&sut) {
+        let backend: &dyn ThermalBackend = backend.as_ref();
+
+        // The validator evaluates a foreign schedule through `dyn`.
+        let sequential = SequentialScheduler::new().schedule(&sut);
+        let eval = ScheduleValidator::new(&sut, backend)
+            .unwrap()
+            .evaluate(&sequential)
+            .unwrap();
+        assert_eq!(eval.sessions.len(), sut.core_count(), "{label}");
+
+        // The full scheduler runs through `dyn` too. The grid backend's
+        // steady-state maxima are upper bounds well above the transient
+        // profile, so the conformance run raises the limit when a core
+        // exceeds it alone instead of assuming the RC calibration.
+        let config = SchedulerConfig::new(200.0, 60.0)
+            .unwrap()
+            .with_core_violation_policy(CoreViolationPolicy::RaiseLimit { margin: 5.0 });
+        let outcome = ThermalAwareScheduler::new(&sut, backend, config)
+            .unwrap()
+            .schedule()
+            .unwrap();
+        assert!(
+            outcome.schedule.covers_exactly_once(sut.core_count()),
+            "{label}"
+        );
+        assert!(
+            outcome.max_temperature < outcome.effective_temperature_limit,
+            "{label}"
+        );
+    }
+}
+
+#[test]
+fn engine_accepts_every_backend_and_stays_deterministic() {
+    let sut = library::alpha21364_sut();
+    for (label, backend) in backends(&sut) {
+        let backend: &dyn ThermalBackend = backend.as_ref();
+        let config = SchedulerConfig::new(200.0, 60.0)
+            .unwrap()
+            .with_core_violation_policy(CoreViolationPolicy::RaiseLimit { margin: 5.0 });
+        let engine = Engine::builder()
+            .sut(&sut)
+            .dyn_backend(backend)
+            .config(config)
+            .build()
+            .unwrap();
+        assert_eq!(
+            engine.backend().backend_name(),
+            backend.backend_name(),
+            "{label}"
+        );
+        let cold = engine.schedule().unwrap();
+        let warm = engine.schedule().unwrap();
+        assert_eq!(cold.schedule, warm.schedule, "{label}");
+        assert!(
+            warm.warm_cache_hits >= sut.core_count(),
+            "{label}: warm run must reuse phase-1 characterisations"
+        );
+    }
+}

@@ -1,9 +1,15 @@
 //! Integration tests of the experiment drivers: the paper's qualitative
-//! findings must hold on the reproduced system.
+//! findings must hold on the reproduced system, driven through the
+//! `Engine`/`SweepRunner` facade (with a legacy check that the deprecated
+//! free-function drivers still work).
 
-use thermsched::{experiments, report};
+use thermsched::{experiments, report, Engine, SweepSpec};
 use thermsched_soc::library;
 use thermsched_thermal::RcThermalSimulator;
+
+fn alpha_engine(sut: &thermsched_soc::SystemUnderTest) -> Engine<'_> {
+    Engine::builder().sut(sut).build().unwrap()
+}
 
 #[test]
 fn figure1_equal_power_sessions_have_very_different_peak_temperatures() {
@@ -32,8 +38,9 @@ fn figure1_equal_power_sessions_have_very_different_peak_temperatures() {
 #[test]
 fn figure5_trends_match_the_paper() {
     let sut = library::alpha21364_sut();
-    let sim = RcThermalSimulator::from_floorplan(sut.floorplan()).unwrap();
-    let points = experiments::figure5_sweep(&sut, &sim).unwrap();
+    let engine = alpha_engine(&sut);
+    let sweep = engine.sweep(&SweepSpec::figure5()).unwrap();
+    let points = sweep.points();
     assert_eq!(points.len(), 3 * 9);
 
     for &tl in &experiments::figure5_temperature_limits() {
@@ -78,7 +85,7 @@ fn figure5_trends_match_the_paper() {
         }
     }
 
-    let rendered = report::render_figure5(&points);
+    let rendered = report::render_figure5(points);
     assert!(rendered.contains("TL = 145 C"));
     assert!(rendered.contains("TL = 165 C"));
 }
@@ -88,11 +95,13 @@ fn table1_subset_shows_the_length_versus_effort_tradeoff() {
     // A reduced grid keeps the test quick while still exercising the trend
     // the full Table 1 bench reports.
     let sut = library::alpha21364_sut();
-    let sim = RcThermalSimulator::from_floorplan(sut.floorplan()).unwrap();
-    let points =
-        experiments::table1_sweep(&sut, &sim, &[150.0, 175.0], &[20.0, 60.0, 100.0]).unwrap();
+    let engine = alpha_engine(&sut);
+    let sweep = engine
+        .sweep(&SweepSpec::grid(&[150.0, 175.0], &[20.0, 60.0, 100.0]))
+        .unwrap();
+    let points = sweep.points();
     assert_eq!(points.len(), 6);
-    let rendered = report::render_table1(&points);
+    let rendered = report::render_table1(points);
     assert_eq!(rendered.lines().count(), 7);
 
     for pair in points.chunks(3) {
@@ -119,26 +128,69 @@ fn table1_subset_shows_the_length_versus_effort_tradeoff() {
 #[test]
 fn ablations_run_and_stay_thermally_safe() {
     let sut = library::alpha21364_sut();
-    let sim = RcThermalSimulator::from_floorplan(sut.floorplan()).unwrap();
-    let weight =
-        experiments::weight_factor_sweep(&sut, &sim, 160.0, 70.0, &[1.0, 1.1, 2.0]).unwrap();
-    let ordering = experiments::ordering_sweep(&sut, &sim, 160.0, 70.0).unwrap();
-    let model = experiments::model_options_sweep(&sut, &sim, 160.0, 70.0).unwrap();
-    for p in weight.iter().chain(&ordering).chain(&model) {
+    let engine = alpha_engine(&sut);
+    let weight = engine
+        .sweep(&SweepSpec::weight_ablation(160.0, 70.0, &[1.0, 1.1, 2.0]))
+        .unwrap();
+    let ordering = engine
+        .sweep(&SweepSpec::ordering_ablation(160.0, 70.0))
+        .unwrap();
+    let model = engine
+        .sweep(&SweepSpec::model_ablation(160.0, 70.0))
+        .unwrap();
+    for p in weight
+        .points()
+        .iter()
+        .chain(ordering.points())
+        .chain(model.points())
+    {
         assert!(p.max_temperature < 160.0, "{} violates the limit", p.label);
         assert!(p.schedule_length >= 1.0);
     }
-    let text = report::render_ablation("orderings", &ordering);
+    let ordering_points: Vec<thermsched::AblationPoint> = ordering
+        .into_points()
+        .into_iter()
+        .map(thermsched::AblationPoint::from)
+        .collect();
+    let text = report::render_ablation("orderings", &ordering_points);
     assert!(text.contains("AsGiven"));
 }
 
 #[test]
 fn baseline_comparison_reports_violations_for_the_power_only_scheduler() {
     let sut = library::alpha21364_sut();
-    let sim = RcThermalSimulator::from_floorplan(sut.floorplan()).unwrap();
-    let cmp = experiments::baseline_comparison(&sut, &sim, 150.0, 80.0).unwrap();
+    let engine = alpha_engine(&sut);
+    let sweep = engine
+        .sweep(&SweepSpec::point(150.0, 80.0).with_baseline())
+        .unwrap();
+    let cmp = sweep.points()[0].baseline.as_ref().unwrap();
     assert!(cmp.thermal_aware_max_temperature < 150.0);
     // Given the same per-session power allowance, the density-blind baseline
     // runs hotter than the thermal-aware schedule.
     assert!(cmp.power_constrained_max_temperature >= cmp.thermal_aware_max_temperature - 1e-9);
+}
+
+/// The deprecation contract at the integration level: the legacy
+/// free-function drivers keep compiling and produce the same numbers as the
+/// engine sweeps that replaced them.
+#[test]
+#[allow(deprecated)]
+fn legacy_sweep_drivers_still_match_the_engine() {
+    let sut = library::alpha21364_sut();
+    let sim = RcThermalSimulator::from_floorplan(sut.floorplan()).unwrap();
+    let engine = Engine::builder().sut(&sut).backend(&sim).build().unwrap();
+
+    let legacy = experiments::table1_sweep(&sut, &sim, &[160.0], &[30.0, 90.0]).unwrap();
+    let modern = engine
+        .sweep(&SweepSpec::grid(&[160.0], &[30.0, 90.0]))
+        .unwrap();
+    assert_eq!(legacy.len(), modern.len());
+    for (l, m) in legacy.iter().zip(modern.points()) {
+        assert_eq!(l.schedule_length, m.schedule_length);
+        assert_eq!(l.simulation_effort, m.simulation_effort);
+        assert_eq!(l.max_temperature, m.max_temperature);
+    }
+
+    let legacy_cmp = experiments::baseline_comparison(&sut, &sim, 150.0, 80.0).unwrap();
+    assert!(legacy_cmp.power_budget >= 1.0);
 }

@@ -1,10 +1,12 @@
 //! Property-based equivalence of the transient solver's precomputed-operator
-//! fast path against the sequential implicit-Euler reference, plus
-//! cache-correctness properties of the scheduler's session-result cache.
+//! fast path (the library default since the `ThermalBackend` redesign)
+//! against the sequential implicit-Euler reference, plus cache-correctness
+//! properties of the scheduler's session-result cache — at the solver level,
+//! the scheduler level, and through the `Engine` facade.
 
 use proptest::prelude::*;
 
-use thermsched::{SchedulerConfig, SessionCache, TestSession, ThermalAwareScheduler};
+use thermsched::{Engine, SchedulerConfig, SessionCache, TestSession, ThermalAwareScheduler};
 use thermsched_floorplan::{library as fp_library, Floorplan};
 use thermsched_soc::library;
 use thermsched_thermal::{
@@ -42,8 +44,9 @@ proptest! {
         duration in 0.004f64..1.6,
     ) {
         let fp = &library_floorplans()[fp_idx];
-        let reference = RcThermalSimulator::from_floorplan(fp).unwrap();
-        let fast = RcThermalSimulator::fast_from_floorplan(fp).unwrap();
+        let reference = RcThermalSimulator::reference_from_floorplan(fp).unwrap();
+        // Default construction selects the fast path automatically.
+        let fast = RcThermalSimulator::from_floorplan(fp).unwrap();
         let power =
             PowerMap::from_vec(levels[..fp.block_count()].to_vec()).unwrap();
 
@@ -113,7 +116,7 @@ proptest! {
         cores in proptest::collection::btree_set(0usize..15, 1..6),
     ) {
         let sut = library::alpha21364_sut();
-        let sim = RcThermalSimulator::fast_from_floorplan(sut.floorplan()).unwrap();
+        let sim = RcThermalSimulator::from_floorplan(sut.floorplan()).unwrap();
         let session = TestSession::new(cores.iter().copied(), &sut);
         let power = session.power_map(&sut).unwrap();
         let first = sim.simulate_session(&power, session.duration()).unwrap();
@@ -138,8 +141,8 @@ fn scheduler_outputs_are_identical_between_solver_paths() {
         (library::alpha21364_sut(), "alpha21364"),
         (library::figure1_sut(), "figure1"),
     ] {
-        let reference_sim = RcThermalSimulator::from_floorplan(sut.floorplan()).unwrap();
-        let fast_sim = RcThermalSimulator::fast_from_floorplan(sut.floorplan()).unwrap();
+        let reference_sim = RcThermalSimulator::reference_from_floorplan(sut.floorplan()).unwrap();
+        let fast_sim = RcThermalSimulator::from_floorplan(sut.floorplan()).unwrap();
         for (tl, stcl) in [(150.0, 40.0), (165.0, 50.0), (165.0, 90.0), (180.0, 70.0)] {
             let config = SchedulerConfig::new(tl, stcl).unwrap();
             let r = ThermalAwareScheduler::new(&sut, &reference_sim, config)
@@ -159,13 +162,60 @@ fn scheduler_outputs_are_identical_between_solver_paths() {
     }
 }
 
+/// The acceptance property of the redesign: `Engine::builder()` with default
+/// settings auto-selects the fast path on both library SUTs and produces
+/// schedules identical to the explicit implicit-Euler reference path — same
+/// session sets, same effort, and per-session temperatures within 1e-6 °C.
+#[test]
+fn default_engine_matches_a_reference_backend_engine() {
+    for (sut, label) in [
+        (library::alpha21364_sut(), "alpha21364"),
+        (library::figure1_sut(), "figure1"),
+    ] {
+        let fast_engine = Engine::builder().sut(&sut).build().unwrap();
+        assert!(
+            fast_engine.backend().supports_fast_path(),
+            "{label}: the default engine must auto-select the fast path"
+        );
+        let reference_sim = RcThermalSimulator::reference_from_floorplan(sut.floorplan()).unwrap();
+        let reference_engine = Engine::builder()
+            .sut(&sut)
+            .backend(&reference_sim)
+            .build()
+            .unwrap();
+        assert!(!reference_engine.backend().supports_fast_path());
+
+        for (tl, stcl) in [(150.0, 40.0), (165.0, 50.0), (165.0, 90.0), (180.0, 70.0)] {
+            let config = SchedulerConfig::new(tl, stcl).unwrap();
+            let f = fast_engine.schedule_with(config).unwrap();
+            let r = reference_engine.schedule_with(config).unwrap();
+            assert_eq!(f.schedule, r.schedule, "{label} TL={tl} STCL={stcl}");
+            assert_eq!(f.simulation_effort, r.simulation_effort, "{label}");
+            assert_eq!(f.discarded_sessions, r.discarded_sessions, "{label}");
+            assert!((f.max_temperature - r.max_temperature).abs() < 1e-6);
+            for (fr, rr) in f.session_records.iter().zip(&r.session_records) {
+                for (a, b) in fr
+                    .block_max_temperatures
+                    .iter()
+                    .zip(&rr.block_max_temperatures)
+                {
+                    assert!(
+                        (a - b).abs() < 1e-6,
+                        "{label} TL={tl} STCL={stcl}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Caching must not change the paper's simulation-effort accounting: every
 /// attempt — cached or simulated — accrues the full session duration, so the
 /// effort identity of the seed suite still holds even when cache hits occur.
 #[test]
 fn simulation_effort_is_unchanged_by_caching() {
     let sut = library::alpha21364_sut();
-    let sim = RcThermalSimulator::fast_from_floorplan(sut.floorplan()).unwrap();
+    let sim = RcThermalSimulator::from_floorplan(sut.floorplan()).unwrap();
     // weight_factor == 1.0 freezes the weights, so discarded candidates
     // recur identically and are guaranteed to be served from the cache.
     let config = SchedulerConfig::new(150.0, 90.0)
