@@ -4,26 +4,21 @@
 //! declaratively: build one [`crate::Engine`] per (system, backend) pair and
 //! run [`crate::SweepSpec`]s against it — the engine's shared session cache
 //! then serves the overlap between sweep points from memory. The free
-//! functions this module used to expose remain as thin deprecated wrappers
-//! for one release:
-//!
-//! | old call | new call |
-//! |---|---|
-//! | [`table1_sweep`] | `engine.sweep(&SweepSpec::grid(tls, stcls))` |
-//! | [`figure5_sweep`] | `engine.sweep(&SweepSpec::figure5())` |
-//! | [`table1_default`] | `engine.sweep(&SweepSpec::table1())` |
-//! | [`weight_factor_sweep`] | `SweepSpec::point(tl, stcl).with_variants(...)` |
-//! | [`ordering_sweep`] | `SweepSpec::point(tl, stcl).with_variants(...)` |
-//! | [`model_options_sweep`] | `SweepSpec::point(tl, stcl).with_variants(...)` |
-//! | [`baseline_comparison`] | `SweepSpec::point(tl, stcl).with_baseline()` |
+//! functions this module exposed before the redesign (`table1_sweep`,
+//! `figure5_sweep`, the three ablation sweeps, `baseline_comparison`) lived
+//! on as `#[deprecated]` wrappers for one release and have now been removed;
+//! the migration table in the [crate-level docs](crate) maps each old call
+//! to its `SweepSpec` equivalent.
 //!
 //! [`figure1`] (the motivational example) is not a sweep and stays a
-//! first-class driver.
+//! first-class driver, as do the grid helpers ([`default_temperature_limits`]
+//! and friends) and the row types ([`SweepPoint`], [`AblationPoint`],
+//! [`BaselineComparison`]) the sweeps report in.
 
 use thermsched_soc::{library, SystemUnderTest};
 use thermsched_thermal::ThermalBackend;
 
-use crate::{Engine, Result, ScheduleValidator, SweepSpec, TestSchedule, TestSession};
+use crate::{Result, ScheduleValidator, TestSchedule, TestSession};
 
 /// Default `TL` sweep of Table 1: 145 °C to 185 °C in 5 °C steps.
 pub fn default_temperature_limits() -> Vec<f64> {
@@ -159,66 +154,6 @@ pub struct SweepPoint {
     pub baseline: Option<BaselineComparison>,
 }
 
-/// Runs the thermal-aware scheduler over a grid of `TL × STCL` values on the
-/// given system, producing one [`SweepPoint`] per combination in row-major
-/// `(TL, STCL)` order.
-///
-/// # Errors
-///
-/// Propagates scheduler failures (which, for the library system and default
-/// limits, do not occur).
-#[deprecated(
-    since = "0.1.0",
-    note = "build an `Engine` and run `engine.sweep(&SweepSpec::grid(temperature_limits, \
-            stc_limits))` — the engine's shared cache makes repeated sweeps cheaper"
-)]
-pub fn table1_sweep<S: ThermalBackend>(
-    sut: &SystemUnderTest,
-    simulator: &S,
-    temperature_limits: &[f64],
-    stc_limits: &[f64],
-) -> Result<Vec<SweepPoint>> {
-    let engine = Engine::builder().sut(sut).backend(simulator).build()?;
-    Ok(engine
-        .sweep(&SweepSpec::grid(temperature_limits, stc_limits))?
-        .into_points())
-}
-
-/// Convenience wrapper for the Figure 5 subset of the sweep
-/// (`TL ∈ {145, 155, 165}`, `STCL ∈ {20..100}`).
-///
-/// # Errors
-///
-/// Propagates scheduler failures.
-#[deprecated(
-    since = "0.1.0",
-    note = "build an `Engine` and run `engine.sweep(&SweepSpec::figure5())`"
-)]
-pub fn figure5_sweep<S: ThermalBackend>(
-    sut: &SystemUnderTest,
-    simulator: &S,
-) -> Result<Vec<SweepPoint>> {
-    let engine = Engine::builder().sut(sut).backend(simulator).build()?;
-    Ok(engine.sweep(&SweepSpec::figure5())?.into_points())
-}
-
-/// Runs the full Table 1 sweep on the library Alpha-21364-like system with
-/// the default package.
-///
-/// # Errors
-///
-/// Propagates scheduler failures.
-#[deprecated(
-    since = "0.1.0",
-    note = "build an `Engine` over `library::alpha21364_sut()` and run \
-            `engine.sweep(&SweepSpec::table1())`"
-)]
-pub fn table1_default() -> Result<Vec<SweepPoint>> {
-    let sut = library::alpha21364_sut();
-    let engine = Engine::builder().sut(&sut).build()?;
-    Ok(engine.sweep(&SweepSpec::table1())?.into_points())
-}
-
 /// One row of an ablation sweep: a label plus the usual cost metrics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AblationPoint {
@@ -246,83 +181,6 @@ impl From<SweepPoint> for AblationPoint {
     }
 }
 
-fn ablation_sweep<S: ThermalBackend>(
-    sut: &SystemUnderTest,
-    simulator: &S,
-    spec: &SweepSpec,
-) -> Result<Vec<AblationPoint>> {
-    let engine = Engine::builder().sut(sut).backend(simulator).build()?;
-    Ok(engine
-        .sweep(spec)?
-        .into_points()
-        .into_iter()
-        .map(AblationPoint::from)
-        .collect())
-}
-
-/// A1 ablation: sensitivity of the algorithm to the violation weight factor
-/// (the paper uses 1.1).
-///
-/// # Errors
-///
-/// Propagates scheduler failures.
-#[deprecated(
-    since = "0.1.0",
-    note = "run `SweepSpec::point(tl, stcl).with_variants(...)` with one \
-            `SweepVariant::with_weight_factor` per factor through an `Engine`"
-)]
-pub fn weight_factor_sweep<S: ThermalBackend>(
-    sut: &SystemUnderTest,
-    simulator: &S,
-    temperature_limit: f64,
-    stc_limit: f64,
-    factors: &[f64],
-) -> Result<Vec<AblationPoint>> {
-    let spec = SweepSpec::weight_ablation(temperature_limit, stc_limit, factors);
-    ablation_sweep(sut, simulator, &spec)
-}
-
-/// A2 ablation: candidate-core ordering strategies.
-///
-/// # Errors
-///
-/// Propagates scheduler failures.
-#[deprecated(
-    since = "0.1.0",
-    note = "run `SweepSpec::point(tl, stcl).with_variants(...)` with one \
-            `SweepVariant::with_ordering` per `CoreOrdering` through an `Engine`"
-)]
-pub fn ordering_sweep<S: ThermalBackend>(
-    sut: &SystemUnderTest,
-    simulator: &S,
-    temperature_limit: f64,
-    stc_limit: f64,
-) -> Result<Vec<AblationPoint>> {
-    let spec = SweepSpec::ordering_ablation(temperature_limit, stc_limit);
-    ablation_sweep(sut, simulator, &spec)
-}
-
-/// A3 ablation: fidelity of the guidance session thermal model (the paper's
-/// modifications 2 and 3 toggled individually).
-///
-/// # Errors
-///
-/// Propagates scheduler failures.
-#[deprecated(
-    since = "0.1.0",
-    note = "run `SweepSpec::point(tl, stcl).with_variants(...)` with one \
-            `SweepVariant::with_session_model` per option set through an `Engine`"
-)]
-pub fn model_options_sweep<S: ThermalBackend>(
-    sut: &SystemUnderTest,
-    simulator: &S,
-    temperature_limit: f64,
-    stc_limit: f64,
-) -> Result<Vec<AblationPoint>> {
-    let spec = SweepSpec::model_ablation(temperature_limit, stc_limit);
-    ablation_sweep(sut, simulator, &spec)
-}
-
 /// Compares the thermal-aware scheduler against the chip-level
 /// power-constrained baseline at a matched concurrency level: the baseline's
 /// power budget is set to the largest committed session power of the
@@ -343,35 +201,10 @@ pub struct BaselineComparison {
     pub power_constrained_violations: usize,
 }
 
-/// Runs both schedulers on the same system and reports the comparison.
-///
-/// # Errors
-///
-/// Propagates scheduler and validation failures.
-#[deprecated(
-    since = "0.1.0",
-    note = "run `engine.sweep(&SweepSpec::point(tl, stcl).with_baseline())` and read the \
-            point's `baseline` field"
-)]
-pub fn baseline_comparison<S: ThermalBackend>(
-    sut: &SystemUnderTest,
-    simulator: &S,
-    temperature_limit: f64,
-    stc_limit: f64,
-) -> Result<BaselineComparison> {
-    let engine = Engine::builder().sut(sut).backend(simulator).build()?;
-    let report = engine.sweep(&SweepSpec::point(temperature_limit, stc_limit).with_baseline())?;
-    Ok(report
-        .into_points()
-        .remove(0)
-        .baseline
-        .expect("a sweep with compare_baseline attaches a comparison to every point"))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use thermsched_thermal::RcThermalSimulator;
+    use crate::{Engine, SweepSpec};
 
     #[test]
     fn figure1_reproduces_the_motivational_gap() {
@@ -451,43 +284,32 @@ mod tests {
         assert!(cmp.power_constrained_max_temperature + 1e-9 >= cmp.thermal_aware_max_temperature);
     }
 
-    /// The deprecation contract: every legacy driver still compiles and
-    /// produces the same numbers as the engine pipeline it now wraps.
+    /// The spec constructors cover what the removed legacy drivers did:
+    /// every ablation is expressible as a labelled variant sweep, and the
+    /// matched-budget baseline attaches per point.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_the_engine_pipeline() {
+    fn spec_driven_sweeps_replace_the_removed_legacy_drivers() {
         let sut = library::alpha21364_sut();
-        let simulator = RcThermalSimulator::from_floorplan(sut.floorplan()).unwrap();
-        let engine = Engine::builder()
-            .sut(&sut)
-            .backend(&simulator)
-            .build()
+        let engine = Engine::builder().sut(&sut).build().unwrap();
+
+        let models = engine
+            .sweep(&SweepSpec::model_ablation(165.0, 60.0))
             .unwrap();
-
-        let old = table1_sweep(&sut, &simulator, &[165.0], &[40.0, 80.0]).unwrap();
-        let new = engine
-            .sweep(&SweepSpec::grid(&[165.0], &[40.0, 80.0]))
-            .unwrap();
-        assert_eq!(old.len(), new.len());
-        for (o, n) in old.iter().zip(new.points()) {
-            assert_eq!(o.schedule_length, n.schedule_length);
-            assert_eq!(o.simulation_effort, n.simulation_effort);
-            assert_eq!(o.discarded_sessions, n.discarded_sessions);
-            assert_eq!(o.max_temperature, n.max_temperature);
-        }
-
-        let weights = weight_factor_sweep(&sut, &simulator, 165.0, 60.0, &[1.1, 1.5]).unwrap();
-        assert_eq!(weights.len(), 2);
-        assert_eq!(weights[0].label, "weight_factor=1.1");
-
-        let orderings = ordering_sweep(&sut, &simulator, 165.0, 60.0).unwrap();
-        assert_eq!(orderings.len(), 4);
-
-        let models = model_options_sweep(&sut, &simulator, 165.0, 60.0).unwrap();
         assert_eq!(models.len(), 3);
-        assert!(models[0].label.starts_with("paper"));
+        assert!(models.points()[0].label.starts_with("paper"));
 
-        let cmp = baseline_comparison(&sut, &simulator, 150.0, 70.0).unwrap();
-        assert!(cmp.power_budget > 0.0);
+        let weights = engine
+            .sweep(&SweepSpec::weight_ablation(165.0, 60.0, &[1.1, 1.5]))
+            .unwrap();
+        assert_eq!(weights.len(), 2);
+        assert_eq!(weights.points()[0].label, "weight_factor=1.1");
+
+        let points: Vec<AblationPoint> = weights
+            .into_points()
+            .into_iter()
+            .map(AblationPoint::from)
+            .collect();
+        assert_eq!(points[1].label, "weight_factor=1.5");
+        assert!(points[0].schedule_length >= 1.0);
     }
 }

@@ -61,20 +61,33 @@
 //!
 //! # Migrating from the pre-`Engine` API
 //!
-//! The old entry points still compile (with deprecation warnings) for one
-//! release. The mapping:
+//! The pre-`Engine` entry points were `#[deprecated]` for one release and
+//! have now been **removed** (along with `TransientMethod::PrecomputedOperator`,
+//! which was folded into the default `Auto`). Code still written against
+//! them maps as follows:
 //!
-//! | old call | new call |
+//! | removed call | replacement |
 //! |---|---|
 //! | `RcThermalSimulator::fast_from_floorplan(fp)` | `RcThermalSimulator::from_floorplan(fp)` (fast is the default; `reference_from_floorplan` opts into implicit Euler) |
-//! | `ThermalAwareScheduler::new(&sut, &sim, cfg)?.schedule()` | `Engine::builder().sut(&sut).backend(&sim).config(cfg).build()?.schedule()` |
+//! | `TransientConfig::fast()` / `TransientMethod::PrecomputedOperator` | `TransientConfig::default()` / `TransientMethod::Auto` (identical behaviour) |
+//! | `ThermalAwareScheduler::new(&sut, &sim, cfg)?.schedule()` | `Engine::builder().sut(&sut).backend(&sim).config(cfg).build()?.schedule()` (the scheduler itself remains public) |
 //! | `experiments::table1_sweep(&sut, &sim, tls, stcls)` | `engine.sweep(&SweepSpec::grid(tls, stcls))` |
 //! | `experiments::figure5_sweep(&sut, &sim)` | `engine.sweep(&SweepSpec::figure5())` |
-//! | `experiments::weight_factor_sweep(...)` | `engine.sweep(&SweepSpec::point(tl, stcl).with_variants(...))` |
-//! | `experiments::ordering_sweep(...)` | `engine.sweep(&SweepSpec::point(tl, stcl).with_variants(...))` |
-//! | `experiments::model_options_sweep(...)` | `engine.sweep(&SweepSpec::point(tl, stcl).with_variants(...))` |
+//! | `experiments::table1_default()` | `engine.sweep(&SweepSpec::table1())` |
+//! | `experiments::weight_factor_sweep(...)` | `engine.sweep(&SweepSpec::weight_ablation(tl, stcl, factors))` |
+//! | `experiments::ordering_sweep(...)` | `engine.sweep(&SweepSpec::ordering_ablation(tl, stcl))` |
+//! | `experiments::model_options_sweep(...)` | `engine.sweep(&SweepSpec::model_ablation(tl, stcl))` |
 //! | `experiments::baseline_comparison(...)` | `engine.sweep(&SweepSpec::point(tl, stcl).with_baseline())` |
 //! | `ScheduleValidator::new(&sut, &sim)?.evaluate(&schedule)` | `engine.evaluate(&schedule)` (the validator remains public) |
+//!
+//! # Scaling out
+//!
+//! For many scheduling runs over many systems, the `thermsched_service`
+//! crate layers a batch service on top of the engine: a seeded scenario
+//! corpus generator, a worker pool with per-worker engine reuse, and shared
+//! session stores ([`SessionStore`]) — either the single-lock
+//! [`MutexSessionStore`] or the N-way [`ShardedSessionCache`], selected
+//! through [`SessionCacheHandle::sharded`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -90,6 +103,7 @@ mod schedule;
 mod scheduler;
 mod session_cache;
 mod session_model;
+mod session_store;
 mod sweep;
 mod validator;
 mod weights;
@@ -99,10 +113,14 @@ pub use config::{CoreOrdering, CoreViolationPolicy, SchedulerConfig};
 pub use engine::{Engine, EngineBuilder};
 pub use error::ScheduleError;
 pub use experiments::{AblationPoint, BaselineComparison, SweepPoint};
+pub use parallel::NestedParallelismGuard;
 pub use schedule::{TestSchedule, TestSession};
 pub use scheduler::{ScheduleOutcome, SessionRecord, ThermalAwareScheduler};
-pub use session_cache::{SessionCache, SessionCacheHandle};
+pub use session_cache::SessionCache;
 pub use session_model::{SessionModelOptions, SessionThermalModel, DEFAULT_STC_SCALE};
+pub use session_store::{
+    MutexSessionStore, SessionCacheHandle, SessionStore, ShardedSessionCache, StoreStats,
+};
 pub use sweep::{SweepReport, SweepRunner, SweepSpec, SweepVariant};
 pub use validator::{ScheduleEvaluation, ScheduleValidator, SessionEvaluation};
 pub use weights::CoreWeights;

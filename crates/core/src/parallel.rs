@@ -10,6 +10,39 @@ thread_local! {
     static IN_PARALLEL_WORKER: Cell<bool> = const { Cell::new(false) };
 }
 
+/// Marks the current thread as an outer-level worker for the duration of the
+/// returned guard: every `parallel_map_ordered` call made on this thread runs
+/// sequentially instead of fanning out again. External worker pools (the
+/// `thermsched_service` runner) hold one per worker thread so that W workers
+/// × P phase-1 threads cannot oversubscribe a P-core machine.
+pub struct NestedParallelismGuard {
+    previous: bool,
+}
+
+impl NestedParallelismGuard {
+    /// Flags the current thread; the flag reverts when the guard drops.
+    pub fn enter() -> Self {
+        let previous = IN_PARALLEL_WORKER.with(Cell::get);
+        IN_PARALLEL_WORKER.with(|flag| flag.set(true));
+        NestedParallelismGuard { previous }
+    }
+}
+
+impl Drop for NestedParallelismGuard {
+    fn drop(&mut self) {
+        let previous = self.previous;
+        IN_PARALLEL_WORKER.with(|flag| flag.set(previous));
+    }
+}
+
+impl std::fmt::Debug for NestedParallelismGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NestedParallelismGuard")
+            .field("previous", &self.previous)
+            .finish()
+    }
+}
+
 /// Applies `f` to every item, fanning the work out across the machine with
 /// scoped threads, and returns the results in item order regardless of which
 /// thread computed them. Falls back to a plain sequential loop when only one
@@ -62,6 +95,24 @@ mod tests {
     fn handles_empty_and_singleton_inputs() {
         assert_eq!(parallel_map_ordered::<usize, usize, _>(&[], |i| i), vec![]);
         assert_eq!(parallel_map_ordered(&[7], |i| i + 1), vec![8]);
+    }
+
+    #[test]
+    fn guard_forces_sequential_execution_and_restores_on_drop() {
+        assert!(!IN_PARALLEL_WORKER.with(Cell::get));
+        {
+            let _guard = NestedParallelismGuard::enter();
+            assert!(IN_PARALLEL_WORKER.with(Cell::get));
+            // Nested guards restore the outer guard's state, not `false`.
+            {
+                let _inner = NestedParallelismGuard::enter();
+                assert!(IN_PARALLEL_WORKER.with(Cell::get));
+            }
+            assert!(IN_PARALLEL_WORKER.with(Cell::get));
+            let out = parallel_map_ordered(&[1usize, 2, 3], |i| i * 2);
+            assert_eq!(out, vec![2, 4, 6]);
+        }
+        assert!(!IN_PARALLEL_WORKER.with(Cell::get));
     }
 
     #[test]

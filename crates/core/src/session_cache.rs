@@ -1,7 +1,8 @@
-//! Caching of session thermal-validation results.
+//! Caching of session thermal-validation results (the per-run map; the
+//! shared, thread-safe stores live behind [`crate::SessionStore`] and
+//! [`crate::SessionCacheHandle`]).
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
 
 use thermsched_thermal::SessionThermalResult;
 
@@ -91,103 +92,6 @@ impl SessionCache {
     }
 }
 
-/// A cloneable, thread-safe handle to a [`SessionCache`] shared across
-/// scheduling runs.
-///
-/// A plain [`SessionCache`] lives for one `schedule()` call; the handle is
-/// the long-lived variant the [`crate::Engine`] owns, so that every sweep
-/// point reusing the same backend starts from a warm cache — a recurring
-/// candidate core set (and every phase-1 single-core characterisation) costs
-/// one lookup instead of one simulation. Cloning the handle clones the
-/// *handle*, not the cache: all clones see the same entries, which is how
-/// the engine threads the cache through the parallel sweep fan-out.
-///
-/// # Example
-///
-/// ```
-/// use thermsched::SessionCacheHandle;
-///
-/// let cache = SessionCacheHandle::new();
-/// let alias = cache.clone();
-/// assert!(alias.is_empty());
-/// ```
-#[derive(Debug, Clone, Default)]
-pub struct SessionCacheHandle {
-    inner: Arc<Mutex<SessionCache>>,
-}
-
-impl SessionCacheHandle {
-    /// Creates a handle to a fresh, empty cache.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Number of cached results.
-    ///
-    /// # Panics
-    ///
-    /// Panics if another holder of the handle panicked while the cache was
-    /// locked.
-    pub fn len(&self) -> usize {
-        self.inner.lock().expect("session cache lock").len()
-    }
-
-    /// Returns `true` if the cache holds no results.
-    ///
-    /// # Panics
-    ///
-    /// See [`SessionCacheHandle::len`].
-    pub fn is_empty(&self) -> bool {
-        self.inner.lock().expect("session cache lock").is_empty()
-    }
-
-    /// Returns a clone of the cached result for a key, if present. Cloning
-    /// keeps the lock hold time short and leaves the shared entry available
-    /// to other runs.
-    ///
-    /// # Panics
-    ///
-    /// See [`SessionCacheHandle::len`].
-    pub fn lookup(&self, key: &[usize]) -> Option<SessionThermalResult> {
-        self.inner
-            .lock()
-            .expect("session cache lock")
-            .get(key)
-            .cloned()
-    }
-
-    /// Stores a result unless the key is already cached (the simulators are
-    /// deterministic, so a racing duplicate is identical and the first write
-    /// wins).
-    ///
-    /// # Panics
-    ///
-    /// See [`SessionCacheHandle::len`].
-    pub fn store(&self, key: Vec<usize>, result: SessionThermalResult) {
-        let mut cache = self.inner.lock().expect("session cache lock");
-        if !cache.contains(&key) {
-            cache.insert(key, result);
-        }
-    }
-
-    /// Drops every cached result.
-    ///
-    /// # Panics
-    ///
-    /// See [`SessionCacheHandle::len`].
-    pub fn clear(&self) {
-        let mut cache = self.inner.lock().expect("session cache lock");
-        *cache = SessionCache::new();
-    }
-
-    /// Runs a batch operation under a single lock acquisition. The scheduler
-    /// uses this for phase-1 probing and publishing, where one lock round
-    /// trip per core would dominate the facade's overhead on small systems.
-    pub(crate) fn with_locked<R>(&self, f: impl FnOnce(&mut SessionCache) -> R) -> R {
-        f(&mut self.inner.lock().expect("session cache lock"))
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,26 +122,6 @@ mod tests {
         // A second simulation of the same set is deterministic, so the cache
         // entry matches what re-simulating would have produced.
         assert_eq!(cache.get(&[0, 4, 7][..]), Some(&result_for(&[0, 4, 7])));
-    }
-
-    #[test]
-    fn handle_clones_share_one_cache() {
-        let handle = SessionCacheHandle::new();
-        assert!(handle.is_empty());
-        let alias = handle.clone();
-        alias.store(vec![0, 4, 7], result_for(&[0, 4, 7]));
-        assert_eq!(handle.len(), 1);
-        assert_eq!(
-            handle.lookup(&[0, 4, 7]),
-            Some(result_for(&[0, 4, 7])),
-            "lookup through either alias sees the shared entry"
-        );
-        // First write wins; a duplicate store is a no-op.
-        alias.store(vec![0, 4, 7], result_for(&[1]));
-        assert_eq!(handle.lookup(&[0, 4, 7]), Some(result_for(&[0, 4, 7])));
-        handle.clear();
-        assert!(alias.is_empty());
-        assert_eq!(alias.lookup(&[0, 4, 7]), None);
     }
 
     #[test]

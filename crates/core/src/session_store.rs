@@ -1,0 +1,642 @@
+//! Shared session-result stores: the [`SessionStore`] trait and its two
+//! implementations, plus the [`SessionCacheHandle`] the rest of the stack
+//! holds.
+//!
+//! A [`crate::SessionCache`] is a plain per-run map. Sharing validated
+//! session results *across* runs — sweep points on one engine, or the many
+//! concurrent jobs of a `thermsched_service` batch — needs a thread-safe
+//! store. The original implementation was a single `Mutex<HashMap>`;
+//! [`MutexSessionStore`] keeps exactly that behaviour, while
+//! [`ShardedSessionCache`] splits the key space over N independently-locked
+//! shards so wide fan-outs do not serialise on one lock. Both implement
+//! [`SessionStore`], and [`SessionCacheHandle`] erases the choice behind an
+//! `Arc<dyn SessionStore>` so the engine, scheduler and service layers are
+//! store-agnostic.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, TryLockError};
+
+use thermsched_thermal::SessionThermalResult;
+
+use crate::SessionCache;
+
+/// Point-in-time usage counters of a [`SessionStore`].
+///
+/// All counters are monotone over the store's lifetime (a
+/// [`SessionStore::clear`] resets the *entries*, not the counters) and are
+/// maintained with relaxed atomics: totals are exact, but a reader racing
+/// concurrent writers may observe counters from slightly different instants.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Keys probed through `lookup`/`lookup_batch`.
+    pub lookups: u64,
+    /// Probes that found a cached result (the warm hits).
+    pub hits: u64,
+    /// Results actually inserted (first-write-wins duplicates excluded).
+    pub insertions: u64,
+    /// Lock acquisitions that found the target lock already held. For the
+    /// sharded store this counts per-shard contention; a well-sharded
+    /// workload keeps it near zero even under heavy concurrency.
+    pub contended_locks: u64,
+}
+
+impl StoreStats {
+    /// Fraction of lookups served from the store, in `[0, 1]`; `0.0` when no
+    /// lookup has happened yet.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// A thread-safe, shareable store of session thermal-validation results
+/// keyed by sorted core sets (see [`SessionCache::key`]).
+///
+/// Semantics every implementation must provide:
+///
+/// * **Determinism of content** — the simulators are deterministic, so the
+///   result stored under a key is a pure function of the key (for a fixed
+///   system and backend). First write wins; a racing duplicate insert is
+///   dropped, and either race outcome stores the same bytes.
+/// * **Batch operations** — [`SessionStore::lookup_batch`] and
+///   [`SessionStore::store_batch`] exist so callers with many keys (the
+///   scheduler's phase-1 probe and its end-of-run publication) pay one lock
+///   round trip per store — or per shard — instead of one per key.
+/// * **Panic tolerance** — a worker that panics while holding a store lock
+///   must not take the store down with it; implementations recover from
+///   mutex poisoning (entries are only ever whole, valid results).
+pub trait SessionStore: Send + Sync + fmt::Debug {
+    /// Short human-readable name (`"mutex"`, `"sharded(8)"`, ...).
+    fn name(&self) -> String;
+
+    /// Number of independently-locked shards (1 for unsharded stores).
+    fn shard_count(&self) -> usize;
+
+    /// Number of cached results.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if the store holds no results.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns a clone of the cached result for a key, if present.
+    fn lookup(&self, key: &[usize]) -> Option<SessionThermalResult>;
+
+    /// Looks up many keys, returning one slot per key in order. Counts one
+    /// lookup (and at most one hit) per key.
+    fn lookup_batch(&self, keys: &[Vec<usize>]) -> Vec<Option<SessionThermalResult>> {
+        keys.iter().map(|key| self.lookup(key)).collect()
+    }
+
+    /// Stores a result unless the key is already present (first write wins).
+    fn store(&self, key: Vec<usize>, result: SessionThermalResult);
+
+    /// Stores many results, batching lock acquisitions where the
+    /// implementation can. First write wins per key.
+    fn store_batch(&self, entries: Vec<(Vec<usize>, SessionThermalResult)>) {
+        for (key, result) in entries {
+            self.store(key, result);
+        }
+    }
+
+    /// Drops every cached result (usage counters are preserved).
+    fn clear(&self);
+
+    /// Usage counters accumulated so far.
+    fn stats(&self) -> StoreStats;
+}
+
+/// Shared atomic counter block used by both store implementations.
+#[derive(Debug, Default)]
+struct Counters {
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    insertions: AtomicU64,
+    contended_locks: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> StoreStats {
+        StoreStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            contended_locks: self.contended_locks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Locks a mutex, counting contention and recovering from poisoning: a
+/// panicked previous holder can only have left whole, valid entries behind
+/// (every mutation is a single map operation), so the store stays usable for
+/// the surviving workers — the panic isolation the service layer relies on.
+fn lock_counting<'m, T>(mutex: &'m Mutex<T>, counters: &Counters) -> MutexGuard<'m, T> {
+    match mutex.try_lock() {
+        Ok(guard) => guard,
+        Err(TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+        Err(TryLockError::WouldBlock) => {
+            counters.contended_locks.fetch_add(1, Ordering::Relaxed);
+            mutex.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+}
+
+/// The original single-lock shared store: one `Mutex` around one
+/// [`SessionCache`]. Simple, and still the right choice for narrow
+/// (sequential or low-concurrency) workloads; the service benchmarks compare
+/// it against [`ShardedSessionCache`].
+#[derive(Debug, Default)]
+pub struct MutexSessionStore {
+    entries: Mutex<SessionCache>,
+    counters: Counters,
+}
+
+impl MutexSessionStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SessionStore for MutexSessionStore {
+    fn name(&self) -> String {
+        "mutex".to_owned()
+    }
+
+    fn shard_count(&self) -> usize {
+        1
+    }
+
+    fn len(&self) -> usize {
+        lock_counting(&self.entries, &self.counters).len()
+    }
+
+    fn lookup(&self, key: &[usize]) -> Option<SessionThermalResult> {
+        self.counters.lookups.fetch_add(1, Ordering::Relaxed);
+        let found = lock_counting(&self.entries, &self.counters)
+            .get(key)
+            .cloned();
+        if found.is_some() {
+            self.counters.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    fn lookup_batch(&self, keys: &[Vec<usize>]) -> Vec<Option<SessionThermalResult>> {
+        self.counters
+            .lookups
+            .fetch_add(keys.len() as u64, Ordering::Relaxed);
+        let cache = lock_counting(&self.entries, &self.counters);
+        let found: Vec<Option<SessionThermalResult>> =
+            keys.iter().map(|key| cache.get(key).cloned()).collect();
+        drop(cache);
+        let hits = found.iter().filter(|slot| slot.is_some()).count() as u64;
+        self.counters.hits.fetch_add(hits, Ordering::Relaxed);
+        found
+    }
+
+    fn store(&self, key: Vec<usize>, result: SessionThermalResult) {
+        let mut cache = lock_counting(&self.entries, &self.counters);
+        if !cache.contains(&key) {
+            cache.insert(key, result);
+            self.counters.insertions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn store_batch(&self, entries: Vec<(Vec<usize>, SessionThermalResult)>) {
+        let mut inserted = 0u64;
+        let mut cache = lock_counting(&self.entries, &self.counters);
+        for (key, result) in entries {
+            if !cache.contains(&key) {
+                cache.insert(key, result);
+                inserted += 1;
+            }
+        }
+        drop(cache);
+        self.counters
+            .insertions
+            .fetch_add(inserted, Ordering::Relaxed);
+    }
+
+    fn clear(&self) {
+        *lock_counting(&self.entries, &self.counters) = SessionCache::new();
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.counters.snapshot()
+    }
+}
+
+/// An N-way sharded shared store: the key space is split by a deterministic
+/// hash over the core set, and each shard has its own lock, so concurrent
+/// workers touching different core sets do not serialise on one another.
+///
+/// Batch operations group their keys by shard and take each shard lock once,
+/// which keeps the scheduler's phase-1 probe and end-of-run publication at
+/// `O(shards)` lock round trips regardless of how many keys move.
+///
+/// # Example
+///
+/// ```
+/// use thermsched::{SessionStore, ShardedSessionCache};
+///
+/// let store = ShardedSessionCache::new(8);
+/// assert_eq!(store.shard_count(), 8);
+/// assert_eq!(store.name(), "sharded(8)");
+/// assert!(store.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct ShardedSessionCache {
+    shards: Vec<Mutex<SessionCache>>,
+    counters: Counters,
+}
+
+impl ShardedSessionCache {
+    /// Creates an empty store with `shards` independently-locked shards (a
+    /// requested count of zero is promoted to one).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        ShardedSessionCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(SessionCache::new()))
+                .collect(),
+            counters: Counters::default(),
+        }
+    }
+
+    /// Deterministic shard index for a key: FNV-1a over the core ids. The
+    /// hash must not vary between processes or runs (unlike
+    /// `std::collections::hash_map::RandomState`), because shard assignment
+    /// feeds the contention counters the benchmarks record.
+    fn shard_for(&self, key: &[usize]) -> usize {
+        // Word-at-a-time FNV-1a variant: one xor-multiply per core id. The
+        // shard hash runs on every store operation, so it must cost less
+        // than the map's own hashing, not more.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for &core in key {
+            hash = (hash ^ core as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Mix the high bits down: small sorted core sets differ mostly in
+        // low words, and modulo alone would waste the multiply's avalanche.
+        hash ^= hash >> 32;
+        (hash % self.shards.len() as u64) as usize
+    }
+}
+
+impl SessionStore for ShardedSessionCache {
+    fn name(&self) -> String {
+        format!("sharded({})", self.shards.len())
+    }
+
+    fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| lock_counting(shard, &self.counters).len())
+            .sum()
+    }
+
+    fn lookup(&self, key: &[usize]) -> Option<SessionThermalResult> {
+        self.counters.lookups.fetch_add(1, Ordering::Relaxed);
+        let shard = &self.shards[self.shard_for(key)];
+        let found = lock_counting(shard, &self.counters).get(key).cloned();
+        if found.is_some() {
+            self.counters.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    fn lookup_batch(&self, keys: &[Vec<usize>]) -> Vec<Option<SessionThermalResult>> {
+        self.counters
+            .lookups
+            .fetch_add(keys.len() as u64, Ordering::Relaxed);
+        // One pass computes each key's shard; the per-shard passes then take
+        // each populated shard lock exactly once. (No per-shard index lists:
+        // keeping batch operations allocation-lean matters — they run three
+        // times per scheduling job.)
+        let shard_of: Vec<usize> = keys.iter().map(|key| self.shard_for(key)).collect();
+        let mut found: Vec<Option<SessionThermalResult>> = vec![None; keys.len()];
+        let mut hits = 0u64;
+        for (s, shard) in self.shards.iter().enumerate() {
+            if !shard_of.contains(&s) {
+                continue;
+            }
+            let cache = lock_counting(shard, &self.counters);
+            for (i, key) in keys.iter().enumerate() {
+                if shard_of[i] == s {
+                    found[i] = cache.get(key).cloned();
+                    hits += u64::from(found[i].is_some());
+                }
+            }
+        }
+        self.counters.hits.fetch_add(hits, Ordering::Relaxed);
+        found
+    }
+
+    fn store(&self, key: Vec<usize>, result: SessionThermalResult) {
+        let shard = &self.shards[self.shard_for(&key)];
+        let mut cache = lock_counting(shard, &self.counters);
+        if !cache.contains(&key) {
+            cache.insert(key, result);
+            self.counters.insertions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn store_batch(&self, entries: Vec<(Vec<usize>, SessionThermalResult)>) {
+        // One pass computes each entry's shard; the per-shard passes then
+        // take each populated shard lock exactly once and move the matching
+        // entries out of their slots.
+        let shard_of: Vec<usize> = entries.iter().map(|(key, _)| self.shard_for(key)).collect();
+        let mut entries: Vec<Option<(Vec<usize>, SessionThermalResult)>> =
+            entries.into_iter().map(Some).collect();
+        let mut inserted = 0u64;
+        for (s, shard) in self.shards.iter().enumerate() {
+            if !shard_of.contains(&s) {
+                continue;
+            }
+            let mut cache = lock_counting(shard, &self.counters);
+            for (slot, _) in entries.iter_mut().zip(&shard_of).filter(|(_, &ks)| ks == s) {
+                let (key, result) = slot.take().expect("each entry moves out once");
+                if !cache.contains(&key) {
+                    cache.insert(key, result);
+                    inserted += 1;
+                }
+            }
+        }
+        self.counters
+            .insertions
+            .fetch_add(inserted, Ordering::Relaxed);
+    }
+
+    fn clear(&self) {
+        for shard in &self.shards {
+            *lock_counting(shard, &self.counters) = SessionCache::new();
+        }
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.counters.snapshot()
+    }
+}
+
+/// A cloneable, thread-safe handle to a shared [`SessionStore`].
+///
+/// A plain [`SessionCache`] lives for one `schedule()` call; the handle is
+/// the long-lived variant the [`crate::Engine`] owns, so that every run
+/// reusing the same backend starts from a warm cache. Cloning the handle
+/// clones the *handle*, not the store: all clones see the same entries,
+/// which is how the engine threads the cache through parallel sweeps and how
+/// the service layer shares one store between its workers.
+///
+/// The backing store defaults to a [`MutexSessionStore`];
+/// [`SessionCacheHandle::sharded`] selects a [`ShardedSessionCache`] and
+/// [`SessionCacheHandle::with_store`] accepts any custom implementation.
+///
+/// # Example
+///
+/// ```
+/// use thermsched::SessionCacheHandle;
+///
+/// let cache = SessionCacheHandle::sharded(4);
+/// let alias = cache.clone();
+/// assert!(alias.is_empty());
+/// assert_eq!(alias.shard_count(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SessionCacheHandle {
+    inner: Arc<dyn SessionStore>,
+}
+
+impl Default for SessionCacheHandle {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SessionCacheHandle {
+    /// Creates a handle to a fresh, empty single-lock store.
+    pub fn new() -> Self {
+        Self::with_store(Arc::new(MutexSessionStore::new()))
+    }
+
+    /// Creates a handle to a fresh, empty [`ShardedSessionCache`] with the
+    /// given shard count.
+    pub fn sharded(shards: usize) -> Self {
+        Self::with_store(Arc::new(ShardedSessionCache::new(shards)))
+    }
+
+    /// Wraps an existing store (share the `Arc` to alias it elsewhere).
+    pub fn with_store(store: Arc<dyn SessionStore>) -> Self {
+        SessionCacheHandle { inner: store }
+    }
+
+    /// Borrows the backing store.
+    pub fn backing_store(&self) -> &dyn SessionStore {
+        self.inner.as_ref()
+    }
+
+    /// Short name of the backing store (`"mutex"`, `"sharded(8)"`, ...).
+    pub fn store_name(&self) -> String {
+        self.inner.name()
+    }
+
+    /// Number of independently-locked shards of the backing store.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shard_count()
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Returns `true` if the store holds no results.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Returns a clone of the cached result for a key, if present. Cloning
+    /// keeps the lock hold time short and leaves the shared entry available
+    /// to other runs.
+    pub fn lookup(&self, key: &[usize]) -> Option<SessionThermalResult> {
+        self.inner.lookup(key)
+    }
+
+    /// Looks up many keys with batched lock acquisitions, returning one slot
+    /// per key in order.
+    pub fn lookup_batch(&self, keys: &[Vec<usize>]) -> Vec<Option<SessionThermalResult>> {
+        self.inner.lookup_batch(keys)
+    }
+
+    /// Stores a result unless the key is already cached (the simulators are
+    /// deterministic, so a racing duplicate is identical and the first write
+    /// wins).
+    pub fn store(&self, key: Vec<usize>, result: SessionThermalResult) {
+        self.inner.store(key, result);
+    }
+
+    /// Stores many results with batched lock acquisitions — the scheduler
+    /// publishes a whole run's fresh simulations through this at end-of-run
+    /// instead of paying a lock round trip per candidate.
+    pub fn store_batch(&self, entries: Vec<(Vec<usize>, SessionThermalResult)>) {
+        if !entries.is_empty() {
+            self.inner.store_batch(entries);
+        }
+    }
+
+    /// Drops every cached result.
+    pub fn clear(&self) {
+        self.inner.clear();
+    }
+
+    /// Usage counters of the backing store.
+    pub fn stats(&self) -> StoreStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thermsched_soc::library;
+    use thermsched_thermal::{RcThermalSimulator, ThermalSimulator};
+
+    fn result_for(cores: &[usize]) -> SessionThermalResult {
+        let sut = library::alpha21364_sut();
+        let sim = RcThermalSimulator::from_floorplan(sut.floorplan()).unwrap();
+        let session = crate::TestSession::new(cores.iter().copied(), &sut);
+        sim.simulate_session(&session.power_map(&sut).unwrap(), session.duration())
+            .unwrap()
+    }
+
+    fn stores() -> Vec<Arc<dyn SessionStore>> {
+        vec![
+            Arc::new(MutexSessionStore::new()),
+            Arc::new(ShardedSessionCache::new(1)),
+            Arc::new(ShardedSessionCache::new(7)),
+        ]
+    }
+
+    #[test]
+    fn every_store_round_trips_and_counts() {
+        let a = result_for(&[0, 4, 7]);
+        let b = result_for(&[1]);
+        for store in stores() {
+            assert!(store.is_empty(), "{}", store.name());
+            assert_eq!(store.lookup(&[0, 4, 7]), None);
+            store.store(vec![0, 4, 7], a.clone());
+            store.store(vec![1], b.clone());
+            // First write wins; a duplicate store is a no-op.
+            store.store(vec![0, 4, 7], b.clone());
+            assert_eq!(store.len(), 2, "{}", store.name());
+            assert_eq!(store.lookup(&[0, 4, 7]), Some(a.clone()));
+            assert_eq!(store.lookup(&[1]), Some(b.clone()));
+            let stats = store.stats();
+            assert_eq!(stats.lookups, 3);
+            assert_eq!(stats.hits, 2);
+            assert_eq!(stats.insertions, 2);
+            assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+            store.clear();
+            assert!(store.is_empty());
+            // Counters survive a clear.
+            assert_eq!(store.stats().insertions, 2);
+        }
+    }
+
+    #[test]
+    fn batch_operations_match_per_key_operations() {
+        let keys: Vec<Vec<usize>> = vec![vec![0], vec![1], vec![2, 3], vec![9, 11]];
+        let entries: Vec<(Vec<usize>, SessionThermalResult)> =
+            keys.iter().map(|k| (k.clone(), result_for(k))).collect();
+        for store in stores() {
+            let empty = store.lookup_batch(&keys);
+            assert!(empty.iter().all(Option::is_none));
+            // Duplicate keys inside one batch: first entry wins.
+            let mut with_dup = entries.clone();
+            with_dup.push((vec![0], result_for(&[1])));
+            store.store_batch(with_dup);
+            assert_eq!(
+                store.stats().insertions,
+                keys.len() as u64,
+                "{}",
+                store.name()
+            );
+            let found = store.lookup_batch(&keys);
+            for ((slot, key), (_, expected)) in found.iter().zip(&keys).zip(&entries) {
+                assert_eq!(slot.as_ref(), Some(expected), "key {key:?}");
+            }
+            assert_eq!(store.lookup(&[0]), Some(entries[0].1.clone()));
+        }
+    }
+
+    #[test]
+    fn sharding_is_deterministic_and_covers_all_shards() {
+        let store = ShardedSessionCache::new(8);
+        let mut used = [false; 8];
+        for core in 0..64 {
+            let shard = store.shard_for(&[core]);
+            assert_eq!(shard, store.shard_for(&[core]), "stable per key");
+            used[shard] = true;
+        }
+        assert!(
+            used.iter().filter(|&&u| u).count() >= 4,
+            "64 singleton keys should spread over at least half the shards"
+        );
+        // Zero shard requests are promoted to one.
+        assert_eq!(ShardedSessionCache::new(0).shard_count(), 1);
+    }
+
+    #[test]
+    fn handle_clones_share_one_store() {
+        for handle in [SessionCacheHandle::new(), SessionCacheHandle::sharded(4)] {
+            assert!(handle.is_empty());
+            let alias = handle.clone();
+            alias.store(vec![0, 4, 7], result_for(&[0, 4, 7]));
+            assert_eq!(handle.len(), 1);
+            assert_eq!(
+                handle.lookup(&[0, 4, 7]),
+                Some(result_for(&[0, 4, 7])),
+                "lookup through either alias sees the shared entry"
+            );
+            handle.clear();
+            assert!(alias.is_empty());
+            assert_eq!(alias.lookup(&[0, 4, 7]), None);
+        }
+    }
+
+    #[test]
+    fn handle_reports_its_backing_store() {
+        assert_eq!(SessionCacheHandle::new().store_name(), "mutex");
+        assert_eq!(SessionCacheHandle::new().shard_count(), 1);
+        let sharded = SessionCacheHandle::sharded(6);
+        assert_eq!(sharded.store_name(), "sharded(6)");
+        assert_eq!(sharded.shard_count(), 6);
+        assert_eq!(sharded.backing_store().shard_count(), 6);
+        let custom = SessionCacheHandle::with_store(Arc::new(MutexSessionStore::new()));
+        assert_eq!(custom.store_name(), "mutex");
+    }
+
+    #[test]
+    fn poisoned_locks_recover_instead_of_cascading() {
+        let store = Arc::new(MutexSessionStore::new());
+        store.store(vec![1], result_for(&[1]));
+        let poisoner = Arc::clone(&store);
+        // Poison the mutex by panicking while it is held.
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.entries.lock().unwrap();
+            panic!("deliberate poison");
+        })
+        .join();
+        assert_eq!(store.lookup(&[1]), Some(result_for(&[1])));
+        store.store(vec![2], result_for(&[2]));
+        assert_eq!(store.len(), 2);
+    }
+}

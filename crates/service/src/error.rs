@@ -1,0 +1,101 @@
+//! Error type of the batch-scheduling service layer.
+
+use std::error::Error;
+use std::fmt;
+
+use thermsched::ScheduleError;
+use thermsched_soc::SocError;
+
+/// Errors produced while building a corpus or running a batch.
+///
+/// Note that a *job* failing inside [`crate::ServiceRunner::run`] is not an
+/// error at this level: per-job failures (and panics) are isolated and
+/// reported in the job's [`crate::JobOutcome`] so one bad scenario cannot
+/// take down the batch. `ServiceError` covers the failures that make the
+/// batch itself meaningless — an invalid spec, or a scenario whose thermal
+/// model cannot even be constructed.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServiceError {
+    /// A corpus or runner parameter is empty or out of range.
+    InvalidSpec {
+        /// Name of the offending field.
+        field: &'static str,
+        /// What was wrong with it.
+        problem: &'static str,
+    },
+    /// Generating a system under test failed.
+    Soc(SocError),
+    /// Constructing a scenario's thermal backend or engine failed.
+    Schedule(ScheduleError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::InvalidSpec { field, problem } => {
+                write!(f, "invalid service specification: {field} {problem}")
+            }
+            ServiceError::Soc(e) => write!(f, "scenario generation failed: {e}"),
+            ServiceError::Schedule(e) => write!(f, "scenario setup failed: {e}"),
+        }
+    }
+}
+
+impl Error for ServiceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServiceError::InvalidSpec { .. } => None,
+            ServiceError::Soc(e) => Some(e),
+            ServiceError::Schedule(e) => Some(e),
+        }
+    }
+}
+
+impl From<SocError> for ServiceError {
+    fn from(e: SocError) -> Self {
+        ServiceError::Soc(e)
+    }
+}
+
+impl From<ScheduleError> for ServiceError {
+    fn from(e: ScheduleError) -> Self {
+        ServiceError::Schedule(e)
+    }
+}
+
+impl From<thermsched_thermal::ThermalError> for ServiceError {
+    fn from(e: thermsched_thermal::ThermalError) -> Self {
+        ServiceError::Schedule(ScheduleError::from(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_cover_every_variant() {
+        let spec = ServiceError::InvalidSpec {
+            field: "scenarios",
+            problem: "must be non-zero",
+        };
+        assert!(spec.to_string().contains("scenarios"));
+        assert!(spec.source().is_none());
+
+        let soc: ServiceError = SocError::InvalidGeneratorParameter {
+            name: "core_size_mm",
+            value: -1.0,
+        }
+        .into();
+        assert!(soc.to_string().contains("scenario generation"));
+        assert!(soc.source().is_some());
+
+        let sched: ServiceError = ScheduleError::MissingComponent {
+            component: "system under test",
+        }
+        .into();
+        assert!(sched.to_string().contains("scenario setup"));
+        assert!(sched.source().is_some());
+    }
+}

@@ -1,0 +1,67 @@
+//! Multi-tenant batch scheduling on top of the `thermsched` engine: generate
+//! a corpus of scenarios, drive hundreds of scheduling jobs through a worker
+//! pool, and aggregate the results.
+//!
+//! The paper schedules one system at a time; this crate is the service layer
+//! that turns the reproduction into a workload machine. It adds three
+//! pieces:
+//!
+//! 1. **Scenario corpus generation** ([`ScenarioSpec`] → [`Corpus`]): a
+//!    seed-driven family of systems under test (via
+//!    [`thermsched_soc::SocGenerator`]) crossed with an operating grid of
+//!    `TL × STCL` points and configuration variants. Fully deterministic:
+//!    the corpus is a pure function of the spec.
+//! 2. **A concurrent job runner** ([`ServiceRunner`]): scoped worker threads
+//!    drain one job queue, each worker reuses one [`thermsched::Engine`] per
+//!    scenario, per-job errors and panics are isolated into the job's
+//!    [`JobOutcome`], and all jobs of a scenario share one session store —
+//!    either the single-lock mutex store or the N-way
+//!    [`thermsched::ShardedSessionCache`] ([`StoreKind`]).
+//! 3. **An aggregated report** ([`ServiceReport`]): deterministic per-job
+//!    results (identical at any worker count) plus run statistics —
+//!    throughput, cache hit rates, shard contention ([`ServiceStats`]).
+//!
+//! # Example
+//!
+//! ```
+//! use thermsched_service::{ScenarioSpec, ServiceConfig, ServiceRunner, StoreKind};
+//!
+//! # fn main() -> Result<(), thermsched_service::ServiceError> {
+//! // Four 9..20-core systems, each scheduled at two STCL points.
+//! let corpus = ScenarioSpec {
+//!     scenarios: 4,
+//!     seed: 42,
+//!     ..ScenarioSpec::default()
+//! }
+//! .build()?;
+//!
+//! let runner = ServiceRunner::new(ServiceConfig {
+//!     workers: 4,
+//!     store: StoreKind::Sharded { shards: 8 },
+//! })?;
+//! let report = runner.run(&corpus)?;
+//!
+//! assert_eq!(report.stats().completed, 8);
+//! // Jobs of one scenario share phase-1 characterisations through the
+//! // scenario's store, so the batch sees warm cache hits.
+//! assert!(report.stats().warm_cache_hits > 0);
+//! print!("{}", report.render_summary());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod report;
+mod runner;
+mod scenario;
+
+pub use error::ServiceError;
+pub use report::{JobMetrics, JobOutcome, JobResult, ServiceReport, ServiceStats};
+pub use runner::{ServiceConfig, ServiceRunner, StoreKind};
+pub use scenario::{Corpus, JobSpec, Scenario, ScenarioSpec};
+
+/// Convenience result alias used throughout this crate.
+pub type Result<T, E = ServiceError> = std::result::Result<T, E>;

@@ -1,0 +1,355 @@
+//! Job results and the aggregated service report.
+//!
+//! The report is split along the determinism boundary on purpose:
+//!
+//! * [`JobResult`] (and [`ServiceReport::render_jobs`]) contain only values
+//!   that are pure functions of the corpus — the simulators are
+//!   deterministic, so schedule lengths, session counts, effort, discard
+//!   counts and temperatures are identical no matter how many workers ran
+//!   the batch or in which order the jobs interleaved. The service's
+//!   determinism contract (same corpus ⇒ byte-identical job results at any
+//!   worker count) is stated over exactly this part.
+//! * [`ServiceStats`] holds everything that legitimately depends on timing
+//!   and interleaving: wall clock, throughput, cache hit counts (whichever
+//!   of two jobs sharing a core-set key runs first pays the simulation) and
+//!   shard contention.
+
+use std::fmt::Write as _;
+
+use thermsched::{ScheduleOutcome, StoreStats};
+
+use crate::JobSpec;
+
+/// The deterministic metrics of one completed scheduling job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobMetrics {
+    /// Generated schedule length in seconds.
+    pub schedule_length: f64,
+    /// Number of test sessions in the schedule.
+    pub session_count: usize,
+    /// Simulation effort in seconds of simulated session time (the paper's
+    /// cost metric — attempts count whether served from cache or not).
+    pub simulation_effort: f64,
+    /// Simulated time spent in per-core characterisation (phase 1).
+    pub characterization_effort: f64,
+    /// Discarded (thermally violating) candidate sessions.
+    pub discarded_sessions: usize,
+    /// Hottest committed-session temperature (°C).
+    pub max_temperature: f64,
+    /// The temperature limit actually enforced (raised above the configured
+    /// one only under the `RaiseLimit` policy).
+    pub effective_temperature_limit: f64,
+}
+
+impl From<&ScheduleOutcome> for JobMetrics {
+    fn from(outcome: &ScheduleOutcome) -> Self {
+        JobMetrics {
+            schedule_length: outcome.schedule_length(),
+            session_count: outcome.session_count(),
+            simulation_effort: outcome.simulation_effort,
+            characterization_effort: outcome.characterization_effort,
+            discarded_sessions: outcome.discarded_sessions,
+            max_temperature: outcome.max_temperature,
+            effective_temperature_limit: outcome.effective_temperature_limit,
+        }
+    }
+}
+
+/// How one job ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome {
+    /// The run completed; deterministic metrics attached.
+    Completed(JobMetrics),
+    /// The scheduler returned an error (e.g. a core-level violation under
+    /// the failing policy, or an exhausted iteration budget).
+    Failed {
+        /// The scheduler error, rendered.
+        error: String,
+    },
+    /// The job panicked; the panic was caught and isolated to this job.
+    Panicked {
+        /// The panic payload, rendered.
+        message: String,
+    },
+}
+
+impl JobOutcome {
+    /// The metrics of a completed job, if it completed.
+    pub fn metrics(&self) -> Option<&JobMetrics> {
+        match self {
+            JobOutcome::Completed(metrics) => Some(metrics),
+            _ => None,
+        }
+    }
+}
+
+/// One job of the batch, resolved: its spec fields plus how it ended.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// Index of the job in [`crate::Corpus::jobs`] order.
+    pub index: usize,
+    /// Scenario index the job ran against.
+    pub scenario: usize,
+    /// Name of that scenario (`"s03-g4x4"`).
+    pub scenario_name: String,
+    /// Operating-point label from the [`JobSpec`].
+    pub label: String,
+    /// How the job ended.
+    pub outcome: JobOutcome,
+}
+
+impl JobResult {
+    pub(crate) fn new(
+        index: usize,
+        spec: &JobSpec,
+        scenario_name: &str,
+        outcome: JobOutcome,
+    ) -> Self {
+        JobResult {
+            index,
+            scenario: spec.scenario,
+            scenario_name: scenario_name.to_owned(),
+            label: spec.label.clone(),
+            outcome,
+        }
+    }
+}
+
+/// Timing- and interleaving-dependent aggregates of one batch run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceStats {
+    /// Worker threads the batch ran with.
+    pub workers: usize,
+    /// Name of the shared session store backing each scenario
+    /// (`"mutex"`, `"sharded(8)"`, ...).
+    pub store_name: String,
+    /// Shards per scenario store.
+    pub shard_count: usize,
+    /// Scenarios in the corpus.
+    pub scenario_count: usize,
+    /// Jobs executed.
+    pub job_count: usize,
+    /// Jobs that completed.
+    pub completed: usize,
+    /// Jobs that returned a scheduler error.
+    pub failed: usize,
+    /// Jobs that panicked (isolated).
+    pub panicked: usize,
+    /// Wall-clock duration of the batch in seconds.
+    pub wall_seconds: f64,
+    /// Jobs per wall-clock second.
+    pub jobs_per_second: f64,
+    /// Candidate validations served from any cache, summed over jobs.
+    pub cached_validations: usize,
+    /// Simulations avoided because another run had already published the
+    /// result to the scenario's shared store, summed over jobs.
+    pub warm_cache_hits: usize,
+    /// Usage counters summed over every scenario's shared store.
+    pub store: StoreStats,
+}
+
+/// The result of one [`crate::ServiceRunner::run`]: per-job results in
+/// deterministic corpus order, plus run statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceReport {
+    jobs: Vec<JobResult>,
+    stats: ServiceStats,
+}
+
+impl ServiceReport {
+    pub(crate) fn new(jobs: Vec<JobResult>, stats: ServiceStats) -> Self {
+        ServiceReport { jobs, stats }
+    }
+
+    /// Per-job results, in corpus job order (independent of which worker ran
+    /// what when).
+    pub fn jobs(&self) -> &[JobResult] {
+        &self.jobs
+    }
+
+    /// Run statistics (throughput, cache behaviour, failure counts).
+    pub fn stats(&self) -> &ServiceStats {
+        &self.stats
+    }
+
+    /// Hottest committed temperature over all completed jobs (°C);
+    /// `f64::NEG_INFINITY` if nothing completed.
+    pub fn max_temperature(&self) -> f64 {
+        self.jobs
+            .iter()
+            .filter_map(|job| job.outcome.metrics())
+            .map(|m| m.max_temperature)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Renders the deterministic per-job table: one line per job, byte
+    /// identical across worker counts for the same corpus.
+    pub fn render_jobs(&self) -> String {
+        let mut out = String::new();
+        for job in &self.jobs {
+            let _ = write!(
+                out,
+                "#{:03} {} {} | ",
+                job.index, job.scenario_name, job.label
+            );
+            match &job.outcome {
+                JobOutcome::Completed(m) => {
+                    let _ = writeln!(
+                        out,
+                        "len {:.3} s, sessions {}, effort {:.3} s, discarded {}, max {:.3} C",
+                        m.schedule_length,
+                        m.session_count,
+                        m.simulation_effort,
+                        m.discarded_sessions,
+                        m.max_temperature,
+                    );
+                }
+                JobOutcome::Failed { error } => {
+                    let _ = writeln!(out, "FAILED: {error}");
+                }
+                JobOutcome::Panicked { message } => {
+                    let _ = writeln!(out, "PANICKED: {message}");
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the aggregate summary (throughput, cache behaviour). This
+    /// part is timing-dependent by nature.
+    pub fn render_summary(&self) -> String {
+        let s = &self.stats;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "service report: {} jobs over {} scenarios, {} workers, {} store",
+            s.job_count, s.scenario_count, s.workers, s.store_name
+        );
+        let _ = writeln!(
+            out,
+            "  completed {}, failed {}, panicked {}",
+            s.completed, s.failed, s.panicked
+        );
+        let _ = writeln!(
+            out,
+            "  wall {:.3} s, {:.1} jobs/s",
+            s.wall_seconds, s.jobs_per_second
+        );
+        let _ = writeln!(
+            out,
+            "  shared store: {} lookups, {} hits ({:.1}% hit rate), {} insertions, \
+             {} contended locks",
+            s.store.lookups,
+            s.store.hits,
+            s.store.hit_rate() * 100.0,
+            s.store.insertions,
+            s.store.contended_locks
+        );
+        let _ = writeln!(
+            out,
+            "  warm cache hits {}, cached validations {}",
+            s.warm_cache_hits, s.cached_validations
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics() -> JobMetrics {
+        JobMetrics {
+            schedule_length: 6.0,
+            session_count: 6,
+            simulation_effort: 9.0,
+            characterization_effort: 12.0,
+            discarded_sessions: 3,
+            max_temperature: 151.25,
+            effective_temperature_limit: 165.0,
+        }
+    }
+
+    fn report() -> ServiceReport {
+        let jobs = vec![
+            JobResult {
+                index: 0,
+                scenario: 0,
+                scenario_name: "s00-g3x3".to_owned(),
+                label: "TL=165 STCL=40 wf=1.1 AsGiven".to_owned(),
+                outcome: JobOutcome::Completed(metrics()),
+            },
+            JobResult {
+                index: 1,
+                scenario: 1,
+                scenario_name: "s01-g4x3".to_owned(),
+                label: "TL=165 STCL=80 wf=1.1 AsGiven".to_owned(),
+                outcome: JobOutcome::Failed {
+                    error: "iteration budget exhausted".to_owned(),
+                },
+            },
+        ];
+        let stats = ServiceStats {
+            workers: 4,
+            store_name: "sharded(8)".to_owned(),
+            shard_count: 8,
+            scenario_count: 2,
+            job_count: 2,
+            completed: 1,
+            failed: 1,
+            panicked: 0,
+            wall_seconds: 0.5,
+            jobs_per_second: 4.0,
+            cached_validations: 3,
+            warm_cache_hits: 2,
+            store: StoreStats {
+                lookups: 10,
+                hits: 2,
+                insertions: 8,
+                contended_locks: 1,
+            },
+        };
+        ServiceReport::new(jobs, stats)
+    }
+
+    #[test]
+    fn job_table_lists_every_job_with_its_outcome() {
+        let r = report();
+        let table = r.render_jobs();
+        assert!(table.contains("#000 s00-g3x3"));
+        assert!(table.contains("len 6.000 s, sessions 6"));
+        assert!(table.contains("max 151.250 C"));
+        assert!(table.contains("#001 s01-g4x3"));
+        assert!(table.contains("FAILED: iteration budget exhausted"));
+        assert_eq!(table.lines().count(), 2);
+    }
+
+    #[test]
+    fn summary_reports_throughput_and_cache_behaviour() {
+        let r = report();
+        let summary = r.render_summary();
+        assert!(summary.contains("2 jobs over 2 scenarios, 4 workers, sharded(8) store"));
+        assert!(summary.contains("completed 1, failed 1, panicked 0"));
+        assert!(summary.contains("4.0 jobs/s"));
+        assert!(summary.contains("20.0% hit rate"));
+        assert!(summary.contains("1 contended locks"));
+        assert_eq!(r.max_temperature(), 151.25);
+        assert_eq!(r.jobs().len(), 2);
+        assert_eq!(r.stats().shard_count, 8);
+    }
+
+    #[test]
+    fn outcome_metrics_accessor_distinguishes_variants() {
+        assert!(JobOutcome::Completed(metrics()).metrics().is_some());
+        assert!(JobOutcome::Failed {
+            error: "e".to_owned()
+        }
+        .metrics()
+        .is_none());
+        assert!(JobOutcome::Panicked {
+            message: "p".to_owned()
+        }
+        .metrics()
+        .is_none());
+    }
+}

@@ -1,0 +1,500 @@
+//! The concurrent batch runner: a job queue drained by a pool of scoped
+//! worker threads with per-worker engine reuse and per-job panic isolation.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+use thermsched::{Engine, NestedParallelismGuard, ScheduleOutcome, SessionCacheHandle, StoreStats};
+use thermsched_thermal::RcThermalSimulator;
+
+use crate::{
+    Corpus, JobOutcome, JobResult, JobSpec, Result, Scenario, ServiceError, ServiceReport,
+    ServiceStats,
+};
+
+/// Which shared [`thermsched::SessionStore`] backs each scenario's session
+/// cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreKind {
+    /// One `Mutex` around one map — the pre-service store, kept as the
+    /// baseline the throughput benchmarks compare against.
+    Mutex,
+    /// An N-way sharded store ([`thermsched::ShardedSessionCache`]); wide
+    /// worker pools stop serialising on a single lock.
+    Sharded {
+        /// Number of independently-locked shards.
+        shards: usize,
+    },
+}
+
+impl StoreKind {
+    fn handle(self) -> SessionCacheHandle {
+        match self {
+            StoreKind::Mutex => SessionCacheHandle::new(),
+            StoreKind::Sharded { shards } => SessionCacheHandle::sharded(shards),
+        }
+    }
+
+    /// Short name matching `SessionStore::name` of the store [`Self::handle`]
+    /// builds (`"mutex"`, `"sharded(8)"`).
+    pub fn name(self) -> String {
+        match self {
+            StoreKind::Mutex => "mutex".to_owned(),
+            StoreKind::Sharded { shards } => format!("sharded({})", shards.max(1)),
+        }
+    }
+
+    /// Shards of the store [`Self::handle`] builds.
+    pub fn shard_count(self) -> usize {
+        match self {
+            StoreKind::Mutex => 1,
+            StoreKind::Sharded { shards } => shards.max(1),
+        }
+    }
+}
+
+/// Configuration of a [`ServiceRunner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Worker threads draining the job queue.
+    pub workers: usize,
+    /// Shared session store every scenario's jobs publish to and read from.
+    pub store: StoreKind,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            store: StoreKind::Sharded { shards: 8 },
+        }
+    }
+}
+
+/// Drives a [`Corpus`] through a pool of worker threads.
+///
+/// Execution model:
+///
+/// * Jobs are drained from one atomic queue head, so workers stay busy
+///   regardless of how job costs vary across scenarios.
+/// * Each worker reuses one [`Engine`] per scenario it touches (the engine
+///   prebuilds the guidance model; rebuilding it per job would dominate
+///   small runs), and every engine of a scenario shares that scenario's
+///   session store — cross-job cache hits on identical core-set keys are
+///   the service's main leverage.
+/// * A job that returns an error or panics is isolated: the outcome is
+///   recorded as [`JobOutcome::Failed`] / [`JobOutcome::Panicked`] and the
+///   batch continues (the shared stores recover from lock poisoning).
+/// * Results are reported in corpus job order whatever the interleaving,
+///   and every per-job metric is a pure function of the corpus — see
+///   [`crate::report`] for the determinism boundary.
+///
+/// # Example
+///
+/// ```
+/// use thermsched_service::{ScenarioSpec, ServiceConfig, ServiceRunner, StoreKind};
+///
+/// # fn main() -> Result<(), thermsched_service::ServiceError> {
+/// let corpus = ScenarioSpec {
+///     scenarios: 2,
+///     ..ScenarioSpec::default()
+/// }
+/// .build()?;
+/// let runner = ServiceRunner::new(ServiceConfig {
+///     workers: 2,
+///     store: StoreKind::Sharded { shards: 4 },
+/// })?;
+/// let report = runner.run(&corpus)?;
+/// assert_eq!(report.jobs().len(), corpus.jobs().len());
+/// assert_eq!(report.stats().completed, corpus.jobs().len());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceRunner {
+    config: ServiceConfig,
+}
+
+impl ServiceRunner {
+    /// Creates a runner.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::InvalidSpec`] for zero workers or zero shards.
+    pub fn new(config: ServiceConfig) -> Result<Self> {
+        if config.workers == 0 {
+            return Err(ServiceError::InvalidSpec {
+                field: "workers",
+                problem: "must be at least 1",
+            });
+        }
+        if let StoreKind::Sharded { shards: 0 } = config.store {
+            return Err(ServiceError::InvalidSpec {
+                field: "shards",
+                problem: "must be at least 1",
+            });
+        }
+        Ok(ServiceRunner { config })
+    }
+
+    /// The configuration this runner uses.
+    pub fn config(&self) -> ServiceConfig {
+        self.config
+    }
+
+    /// Runs every job of the corpus and aggregates the report.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Schedule`] if a scenario's thermal backend cannot be
+    /// constructed (per-job scheduling failures are *not* errors here; they
+    /// are isolated into the job's [`JobOutcome`]).
+    pub fn run(&self, corpus: &Corpus) -> Result<ServiceReport> {
+        // Backends are built up front, once per scenario: every worker
+        // borrows them, and construction cost (one LU factorisation each)
+        // is not worth paying per worker.
+        let backends = corpus
+            .scenarios()
+            .iter()
+            .map(|scenario| RcThermalSimulator::from_floorplan(scenario.sut.floorplan()))
+            .collect::<std::result::Result<Vec<_>, _>>()?;
+        let caches: Vec<SessionCacheHandle> = corpus
+            .scenarios()
+            .iter()
+            .map(|_| self.config.store.handle())
+            .collect();
+
+        let jobs = corpus.jobs();
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<Option<JobResult>>> = Mutex::new(vec![None; jobs.len()]);
+        let warm_cache_hits = AtomicUsize::new(0);
+        let cached_validations = AtomicUsize::new(0);
+
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..self.config.workers.min(jobs.len()).max(1) {
+                scope.spawn(|| {
+                    // Inner phase-1 fan-outs run sequentially on this thread:
+                    // the pool is the parallelism, W workers × P phase-1
+                    // threads would oversubscribe the machine.
+                    let _guard = NestedParallelismGuard::enter();
+                    let mut engines: HashMap<usize, Engine<'_>> = HashMap::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = jobs.get(index) else { break };
+                        let scenario = &corpus.scenarios()[job.scenario];
+                        let (outcome, accounting) = run_job(
+                            job,
+                            scenario,
+                            &backends[job.scenario],
+                            &caches[job.scenario],
+                            &mut engines,
+                        );
+                        // Order-dependent cache accounting goes to the stats
+                        // side of the report, never into per-job results.
+                        warm_cache_hits.fetch_add(accounting.warm_cache_hits, Ordering::Relaxed);
+                        cached_validations
+                            .fetch_add(accounting.cached_validations, Ordering::Relaxed);
+                        let mut slots = results.lock().unwrap_or_else(PoisonError::into_inner);
+                        slots[index] = Some(JobResult::new(index, job, &scenario.name, outcome));
+                    }
+                });
+            }
+        });
+        let wall_seconds = started.elapsed().as_secs_f64();
+
+        let jobs_done: Vec<JobResult> = results
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+            .into_iter()
+            .map(|slot| slot.expect("every job index is claimed exactly once"))
+            .collect();
+
+        let mut store = StoreStats::default();
+        for cache in &caches {
+            let s = cache.stats();
+            store.lookups += s.lookups;
+            store.hits += s.hits;
+            store.insertions += s.insertions;
+            store.contended_locks += s.contended_locks;
+        }
+        let completed = jobs_done
+            .iter()
+            .filter(|j| matches!(j.outcome, JobOutcome::Completed(_)))
+            .count();
+        let failed = jobs_done
+            .iter()
+            .filter(|j| matches!(j.outcome, JobOutcome::Failed { .. }))
+            .count();
+        let panicked = jobs_done.len() - completed - failed;
+        let stats = ServiceStats {
+            workers: self.config.workers,
+            store_name: self.config.store.name(),
+            shard_count: self.config.store.shard_count(),
+            scenario_count: corpus.scenarios().len(),
+            job_count: jobs_done.len(),
+            completed,
+            failed,
+            panicked,
+            wall_seconds,
+            jobs_per_second: jobs_done.len() as f64 / wall_seconds.max(1e-9),
+            cached_validations: cached_validations.load(Ordering::Relaxed),
+            warm_cache_hits: warm_cache_hits.load(Ordering::Relaxed),
+            store,
+        };
+        Ok(ServiceReport::new(jobs_done, stats))
+    }
+}
+
+/// Order-dependent cache accounting of one job: a job served from a store
+/// warmed by whichever job happened to run first reports hits the first
+/// runner does not, so these never enter the deterministic per-job results.
+#[derive(Debug, Clone, Copy, Default)]
+struct CacheAccounting {
+    warm_cache_hits: usize,
+    cached_validations: usize,
+}
+
+/// Executes one job on this worker, reusing (or building) the worker's
+/// engine for the job's scenario, and isolating errors and panics into the
+/// returned [`JobOutcome`].
+fn run_job<'a>(
+    job: &JobSpec,
+    scenario: &'a Scenario,
+    backend: &'a RcThermalSimulator,
+    cache: &SessionCacheHandle,
+    engines: &mut HashMap<usize, Engine<'a>>,
+) -> (JobOutcome, CacheAccounting) {
+    let engine = match engines.entry(job.scenario) {
+        Entry::Occupied(entry) => entry.into_mut(),
+        Entry::Vacant(entry) => {
+            let built = Engine::builder()
+                .sut(&scenario.sut)
+                .backend(backend)
+                .cache(cache.clone())
+                .build();
+            match built {
+                Ok(engine) => entry.insert(engine),
+                Err(error) => {
+                    return (
+                        JobOutcome::Failed {
+                            error: error.to_string(),
+                        },
+                        CacheAccounting::default(),
+                    )
+                }
+            }
+        }
+    };
+    isolate(|| engine.schedule_with(job.config))
+}
+
+/// Runs a scheduling closure with panic isolation, mapping the three ways it
+/// can end onto [`JobOutcome`] and splitting off the order-dependent cache
+/// accounting.
+fn isolate(
+    run: impl FnOnce() -> thermsched::Result<ScheduleOutcome>,
+) -> (JobOutcome, CacheAccounting) {
+    match std::panic::catch_unwind(AssertUnwindSafe(run)) {
+        Ok(Ok(outcome)) => (
+            JobOutcome::Completed((&outcome).into()),
+            CacheAccounting {
+                warm_cache_hits: outcome.warm_cache_hits,
+                cached_validations: outcome.cached_validations,
+            },
+        ),
+        Ok(Err(error)) => (
+            JobOutcome::Failed {
+                error: error.to_string(),
+            },
+            CacheAccounting::default(),
+        ),
+        Err(payload) => (
+            JobOutcome::Panicked {
+                message: panic_message(payload.as_ref()),
+            },
+            CacheAccounting::default(),
+        ),
+    }
+}
+
+/// Renders a caught panic payload (panics carry `&str` or `String` in
+/// practice; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScenarioSpec;
+
+    fn small_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            scenarios: 3,
+            seed: 11,
+            ..ScenarioSpec::default()
+        }
+    }
+
+    #[test]
+    fn worker_count_and_store_do_not_change_job_results() {
+        let corpus = small_spec().build().unwrap();
+        let reference = ServiceRunner::new(ServiceConfig {
+            workers: 1,
+            store: StoreKind::Mutex,
+        })
+        .unwrap()
+        .run(&corpus)
+        .unwrap();
+        assert_eq!(reference.stats().completed, corpus.jobs().len());
+        for (workers, store) in [
+            (3, StoreKind::Mutex),
+            (1, StoreKind::Sharded { shards: 4 }),
+            (3, StoreKind::Sharded { shards: 4 }),
+        ] {
+            let report = ServiceRunner::new(ServiceConfig { workers, store })
+                .unwrap()
+                .run(&corpus)
+                .unwrap();
+            assert_eq!(
+                report.jobs(),
+                reference.jobs(),
+                "{workers} workers, {store:?}"
+            );
+            assert_eq!(report.render_jobs(), reference.render_jobs());
+        }
+    }
+
+    #[test]
+    fn jobs_of_one_scenario_share_the_scenario_store() {
+        // Two STCL points per scenario: the second job of each scenario
+        // reuses at least the phase-1 characterisations of the first.
+        let corpus = small_spec().build().unwrap();
+        let report = ServiceRunner::new(ServiceConfig {
+            workers: 1,
+            store: StoreKind::Sharded { shards: 8 },
+        })
+        .unwrap()
+        .run(&corpus)
+        .unwrap();
+        assert!(
+            report.stats().warm_cache_hits >= corpus.total_cores(),
+            "every scenario's second job must at least reuse phase 1: {} < {}",
+            report.stats().warm_cache_hits,
+            corpus.total_cores()
+        );
+        assert!(report.stats().store.hits >= report.stats().warm_cache_hits as u64);
+        assert_eq!(report.stats().shard_count, 8);
+        assert_eq!(report.stats().store_name, "sharded(8)");
+        assert!(report.stats().jobs_per_second > 0.0);
+    }
+
+    #[test]
+    fn core_level_violations_are_isolated_per_job() {
+        // TL = 60 C with ambient 45 C: every generated core violates alone,
+        // and the failing policy turns each job into a Failed outcome
+        // without aborting the batch.
+        let corpus = ScenarioSpec {
+            temperature_limits: vec![60.0],
+            raise_limit_margin: None,
+            ..small_spec()
+        }
+        .build()
+        .unwrap();
+        let report = ServiceRunner::new(ServiceConfig {
+            workers: 2,
+            store: StoreKind::Sharded { shards: 2 },
+        })
+        .unwrap()
+        .run(&corpus)
+        .unwrap();
+        assert_eq!(report.stats().failed, corpus.jobs().len());
+        assert_eq!(report.stats().completed, 0);
+        for job in report.jobs() {
+            match &job.outcome {
+                JobOutcome::Failed { error } => assert!(
+                    error.contains("tested alone"),
+                    "unexpected failure: {error}"
+                ),
+                other => panic!("expected Failed, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn isolate_catches_panics_and_maps_errors() {
+        let (outcome, accounting) = isolate(|| panic!("boom"));
+        assert_eq!(
+            outcome,
+            JobOutcome::Panicked {
+                message: "boom".to_owned()
+            }
+        );
+        assert_eq!(accounting.warm_cache_hits, 0);
+
+        let label = "label".to_owned();
+        let (outcome, _) = isolate(move || panic!("formatted {label}"));
+        assert_eq!(
+            outcome,
+            JobOutcome::Panicked {
+                message: "formatted label".to_owned()
+            }
+        );
+
+        let (outcome, _) = isolate(|| {
+            Err(thermsched::ScheduleError::MissingComponent {
+                component: "backend",
+            })
+        });
+        assert!(matches!(outcome, JobOutcome::Failed { .. }));
+    }
+
+    #[test]
+    fn store_kind_names_match_their_handles() {
+        for kind in [
+            StoreKind::Mutex,
+            StoreKind::Sharded { shards: 1 },
+            StoreKind::Sharded { shards: 8 },
+        ] {
+            assert_eq!(kind.name(), kind.handle().store_name());
+            assert_eq!(kind.shard_count(), kind.handle().shard_count());
+        }
+    }
+
+    #[test]
+    fn invalid_runner_configurations_are_rejected() {
+        assert!(matches!(
+            ServiceRunner::new(ServiceConfig {
+                workers: 0,
+                store: StoreKind::Mutex,
+            }),
+            Err(ServiceError::InvalidSpec {
+                field: "workers",
+                ..
+            })
+        ));
+        assert!(matches!(
+            ServiceRunner::new(ServiceConfig {
+                workers: 1,
+                store: StoreKind::Sharded { shards: 0 },
+            }),
+            Err(ServiceError::InvalidSpec {
+                field: "shards",
+                ..
+            })
+        ));
+        let runner = ServiceRunner::new(ServiceConfig::default()).unwrap();
+        assert!(runner.config().workers >= 1);
+    }
+}

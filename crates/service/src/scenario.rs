@@ -1,0 +1,355 @@
+//! Deterministic, seed-driven generation of scenario corpora.
+//!
+//! The paper evaluates two fixed systems; a service that is supposed to
+//! handle "as many scenarios as you can imagine" needs a workload to prove
+//! it on. A [`ScenarioSpec`] describes a family of systems (grid shapes,
+//! power-density and test-time ranges, all driven by one seed through
+//! [`thermsched_soc::SocGenerator`]) crossed with an operating grid
+//! (`TL × STCL` plus weight-factor / ordering variants), and
+//! [`ScenarioSpec::build`] expands it into a [`Corpus`]: concrete systems
+//! under test plus one [`JobSpec`] per (scenario, operating point). The
+//! expansion is a pure function of the spec — same spec, same corpus, byte
+//! for byte — which is what makes the service's determinism contract
+//! testable.
+
+use thermsched::{CoreOrdering, CoreViolationPolicy, SchedulerConfig};
+use thermsched_soc::{GeneratorConfig, SocGenerator, SystemUnderTest};
+
+use crate::{Result, ServiceError};
+
+/// Specification of a scenario corpus: how many systems to generate, what
+/// they look like, and which operating points to schedule each one at.
+///
+/// # Example
+///
+/// ```
+/// use thermsched_service::ScenarioSpec;
+///
+/// # fn main() -> Result<(), thermsched_service::ServiceError> {
+/// let corpus = ScenarioSpec {
+///     scenarios: 4,
+///     seed: 7,
+///     ..ScenarioSpec::default()
+/// }
+/// .build()?;
+/// assert_eq!(corpus.scenarios().len(), 4);
+/// // Default operating grid: 1 TL × 2 STCLs per scenario.
+/// assert_eq!(corpus.jobs().len(), 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Master seed; every scenario derives its own generator seed from this.
+    pub seed: u64,
+    /// Number of systems under test to generate.
+    pub scenarios: usize,
+    /// Grid shapes `(columns, rows)` cycled over the scenarios.
+    pub grid_shapes: Vec<(usize, usize)>,
+    /// Core edge length in millimetres.
+    pub core_size_mm: f64,
+    /// Test power density range in W/mm² (min, max).
+    pub power_density: (f64, f64),
+    /// Core test time range in seconds (min, max).
+    pub test_time: (f64, f64),
+    /// Temperature limits (`TL`, °C) every scenario is scheduled at.
+    pub temperature_limits: Vec<f64>,
+    /// Session thermal characteristic limits (`STCL`) crossed with the
+    /// temperature limits.
+    pub stc_limits: Vec<f64>,
+    /// Violation weight factors cycled over the jobs.
+    pub weight_factors: Vec<f64>,
+    /// Candidate-core orderings cycled over the jobs.
+    pub orderings: Vec<CoreOrdering>,
+    /// Margin (°C) for the `RaiseLimit` core-violation policy, or `None` to
+    /// fail jobs whose hottest core violates `TL` alone. Generated systems
+    /// span a wide power-density range, so the service defaults to raising —
+    /// a batch should report hot scenarios, not abort on them.
+    pub raise_limit_margin: Option<f64>,
+}
+
+impl Default for ScenarioSpec {
+    fn default() -> Self {
+        ScenarioSpec {
+            seed: 2005,
+            scenarios: 8,
+            grid_shapes: vec![(3, 3), (4, 3), (4, 4), (5, 4)],
+            core_size_mm: 4.0,
+            power_density: (0.2, 1.2),
+            test_time: (1.0, 1.0),
+            // Tight enough that candidate sessions violate and get
+            // discarded on hot scenarios — the adaptive-weight and
+            // cache-reuse machinery is part of the workload, not idle.
+            temperature_limits: vec![120.0],
+            stc_limits: vec![30.0, 60.0],
+            weight_factors: vec![1.1],
+            orderings: vec![CoreOrdering::AsGiven],
+            raise_limit_margin: Some(5.0),
+        }
+    }
+}
+
+impl ScenarioSpec {
+    /// Number of jobs the spec expands to.
+    pub fn job_count(&self) -> usize {
+        self.scenarios * self.temperature_limits.len() * self.stc_limits.len()
+    }
+
+    /// Expands the spec into a concrete, fully deterministic corpus.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServiceError::InvalidSpec`] if a list field is empty or a count is
+    ///   zero.
+    /// * [`ServiceError::Soc`] for generator parameters out of range.
+    /// * [`ServiceError::Schedule`] for operating points that do not form a
+    ///   valid [`SchedulerConfig`].
+    pub fn build(&self) -> Result<Corpus> {
+        self.validate()?;
+        let mut scenarios = Vec::with_capacity(self.scenarios);
+        for index in 0..self.scenarios {
+            let (columns, rows) = self.grid_shapes[index % self.grid_shapes.len()];
+            let config = GeneratorConfig {
+                grid_columns: columns,
+                grid_rows: rows,
+                core_size_mm: self.core_size_mm,
+                min_power_density: self.power_density.0,
+                max_power_density: self.power_density.1,
+                min_test_time: self.test_time.0,
+                max_test_time: self.test_time.1,
+            };
+            let seed = derive_seed(self.seed, index as u64);
+            let sut = SocGenerator::new(seed, config)?.generate()?;
+            scenarios.push(Scenario {
+                name: format!("s{index:02}-g{columns}x{rows}"),
+                seed,
+                sut,
+            });
+        }
+
+        let policy = match self.raise_limit_margin {
+            Some(margin) => CoreViolationPolicy::RaiseLimit { margin },
+            None => CoreViolationPolicy::Fail,
+        };
+        let mut jobs = Vec::with_capacity(self.job_count());
+        for scenario in 0..self.scenarios {
+            for &tl in &self.temperature_limits {
+                for &stcl in &self.stc_limits {
+                    let index = jobs.len();
+                    let weight_factor = self.weight_factors[index % self.weight_factors.len()];
+                    let ordering = self.orderings[index % self.orderings.len()];
+                    let config = SchedulerConfig::new(tl, stcl)?
+                        .with_weight_factor(weight_factor)
+                        .with_ordering(ordering)
+                        .with_core_violation_policy(policy);
+                    jobs.push(JobSpec {
+                        scenario,
+                        label: format!("TL={tl} STCL={stcl} wf={weight_factor} {ordering:?}"),
+                        config,
+                    });
+                }
+            }
+        }
+        Ok(Corpus { scenarios, jobs })
+    }
+
+    fn validate(&self) -> Result<()> {
+        let non_empty: [(&'static str, bool); 6] = [
+            ("scenarios", self.scenarios > 0),
+            ("grid_shapes", !self.grid_shapes.is_empty()),
+            ("temperature_limits", !self.temperature_limits.is_empty()),
+            ("stc_limits", !self.stc_limits.is_empty()),
+            ("weight_factors", !self.weight_factors.is_empty()),
+            ("orderings", !self.orderings.is_empty()),
+        ];
+        for (field, ok) in non_empty {
+            if !ok {
+                return Err(ServiceError::InvalidSpec {
+                    field,
+                    problem: "must be non-empty",
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// SplitMix64 mix of the master seed and a scenario index, so neighbouring
+/// scenarios get statistically unrelated generator streams.
+fn derive_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(index.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One generated system under test of a corpus.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Stable human-readable name (`"s03-g4x4"`).
+    pub name: String,
+    /// The derived generator seed that produced this scenario.
+    pub seed: u64,
+    /// The generated system under test.
+    pub sut: SystemUnderTest,
+}
+
+/// One scheduling job: a scenario index into the corpus plus the full
+/// configuration the run uses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Index into [`Corpus::scenarios`].
+    pub scenario: usize,
+    /// Human-readable operating-point label.
+    pub label: String,
+    /// The scheduler configuration of this run.
+    pub config: SchedulerConfig,
+}
+
+/// A fully expanded corpus: the generated systems and the jobs to run over
+/// them, both in deterministic spec order.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    scenarios: Vec<Scenario>,
+    jobs: Vec<JobSpec>,
+}
+
+impl Corpus {
+    /// The generated scenarios, in generation order.
+    pub fn scenarios(&self) -> &[Scenario] {
+        &self.scenarios
+    }
+
+    /// The jobs, in deterministic scenario-major order.
+    pub fn jobs(&self) -> &[JobSpec] {
+        &self.jobs
+    }
+
+    /// Total core count over all scenarios (a proxy for corpus size).
+    pub fn total_cores(&self) -> usize {
+        self.scenarios.iter().map(|s| s.sut.core_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_builds_a_deterministic_corpus() {
+        let spec = ScenarioSpec::default();
+        let a = spec.build().unwrap();
+        let b = spec.build().unwrap();
+        assert_eq!(a.scenarios().len(), 8);
+        assert_eq!(a.jobs().len(), spec.job_count());
+        assert!(a.total_cores() > 0);
+        for (x, y) in a.scenarios().iter().zip(b.scenarios()) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.seed, y.seed);
+            for (sx, sy) in x.sut.test_specs().iter().zip(y.sut.test_specs()) {
+                assert_eq!(sx.test_power(), sy.test_power());
+                assert_eq!(sx.test_time(), sy.test_time());
+            }
+        }
+        assert_eq!(a.jobs(), b.jobs());
+    }
+
+    #[test]
+    fn scenarios_cycle_grid_shapes_and_differ_in_powers() {
+        let corpus = ScenarioSpec {
+            scenarios: 5,
+            ..ScenarioSpec::default()
+        }
+        .build()
+        .unwrap();
+        let s = corpus.scenarios();
+        assert_eq!(s[0].sut.core_count(), 9);
+        assert_eq!(s[1].sut.core_count(), 12);
+        assert_eq!(s[2].sut.core_count(), 16);
+        assert_eq!(s[3].sut.core_count(), 20);
+        assert_eq!(s[4].sut.core_count(), 9, "shapes cycle");
+        assert_eq!(s[4].name, "s04-g3x3");
+        // Same shape, different seed: the power assignment must differ.
+        let same = s[0]
+            .sut
+            .test_specs()
+            .iter()
+            .zip(s[4].sut.test_specs())
+            .all(|(x, y)| (x.test_power() - y.test_power()).abs() < 1e-12);
+        assert!(!same);
+    }
+
+    #[test]
+    fn jobs_cross_scenarios_with_the_operating_grid() {
+        let spec = ScenarioSpec {
+            scenarios: 2,
+            temperature_limits: vec![155.0, 165.0],
+            stc_limits: vec![30.0],
+            weight_factors: vec![1.1, 1.5],
+            ..ScenarioSpec::default()
+        };
+        let corpus = spec.build().unwrap();
+        assert_eq!(corpus.jobs().len(), 4);
+        assert_eq!(corpus.jobs()[0].scenario, 0);
+        assert_eq!(corpus.jobs()[3].scenario, 1);
+        assert_eq!(corpus.jobs()[0].config.temperature_limit, 155.0);
+        assert_eq!(corpus.jobs()[0].config.weight_factor, 1.1);
+        assert_eq!(corpus.jobs()[1].config.weight_factor, 1.5, "factors cycle");
+        assert!(corpus.jobs()[0].label.contains("TL=155"));
+    }
+
+    #[test]
+    fn empty_fields_are_rejected_by_name() {
+        for (field, spec) in [
+            (
+                "scenarios",
+                ScenarioSpec {
+                    scenarios: 0,
+                    ..ScenarioSpec::default()
+                },
+            ),
+            (
+                "stc_limits",
+                ScenarioSpec {
+                    stc_limits: vec![],
+                    ..ScenarioSpec::default()
+                },
+            ),
+            (
+                "orderings",
+                ScenarioSpec {
+                    orderings: vec![],
+                    ..ScenarioSpec::default()
+                },
+            ),
+        ] {
+            match spec.build() {
+                Err(ServiceError::InvalidSpec { field: f, .. }) => assert_eq!(f, field),
+                other => panic!("expected InvalidSpec for {field}, got {other:?}"),
+            }
+        }
+        // Generator-level validation propagates as Soc errors.
+        let bad = ScenarioSpec {
+            core_size_mm: -1.0,
+            ..ScenarioSpec::default()
+        };
+        assert!(matches!(bad.build(), Err(ServiceError::Soc(_))));
+        // Operating-point validation propagates as Schedule errors.
+        let bad = ScenarioSpec {
+            temperature_limits: vec![-10.0],
+            ..ScenarioSpec::default()
+        };
+        assert!(matches!(bad.build(), Err(ServiceError::Schedule(_))));
+    }
+
+    #[test]
+    fn derived_seeds_are_spread() {
+        let seeds: Vec<u64> = (0..16).map(|i| derive_seed(1, i)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len());
+    }
+}

@@ -22,32 +22,29 @@
 //!
 //! # The transient solver paths
 //!
-//! The transient solver offers three [`TransientMethod`]s, selected through
+//! The transient solver offers two [`TransientMethod`]s, selected through
 //! [`TransientConfig`]:
 //!
 //! * [`TransientMethod::Auto`] (the default) picks the fastest path that is
-//!   exact for each request: from-ambient constant-power sessions go
-//!   through the precomputed-operator fast path below, anything else falls
-//!   back to implicit-Euler stepping. Fast is the default; the reference
-//!   path is an explicit opt-in via [`TransientConfig::reference`].
-//! * [`TransientMethod::ImplicitEuler`] (the reference implementation)
-//!   steps the recurrence
+//!   exact for each request. From-ambient constant-power sessions — the
+//!   scheduler's exact usage pattern — go through the precomputed-operator
+//!   fast path: the dense step operator `A = (C/Δt + G)⁻¹ · (C/Δt)` is
+//!   built once and a whole `k`-step session advances through
+//!   `(Aᵏ, S_k = I + A + … + Aᵏ⁻¹)` assembled by repeated squaring, with
+//!   the powered operator cached per step count, so a session costs
+//!   `O(n³ · log k)` (amortised: one solve plus one matrix–vector product)
+//!   instead of `O(n² · k)` with zero per-step allocation. From ambient the
+//!   path is *exact* for the per-block maxima too: the implicit-Euler
+//!   iterates rise monotonically (non-negative `A` and power), so the
+//!   interval maximum equals the final temperature. Anything else falls
+//!   back to implicit-Euler stepping.
+//! * [`TransientMethod::ImplicitEuler`] (the reference implementation,
+//!   opt-in via [`TransientConfig::reference`]) steps the recurrence
 //!   `(C/Δt + G) · ΔT_{k+1} = C/Δt · ΔT_k + P` one time step at a time. It
 //!   is exact for *any* initial state and is the only path used by
 //!   [`TransientSolver::simulate`] when resuming from arbitrary
-//!   temperatures.
-//! * [`TransientMethod::PrecomputedOperator`] precomputes the dense step
-//!   operator `A = (C/Δt + G)⁻¹ · (C/Δt)` once and advances a whole
-//!   `k`-step session through `(Aᵏ, S_k = I + A + … + Aᵏ⁻¹)` built by
-//!   repeated squaring, caching the powered operator per step count. A
-//!   session then costs `O(n³ · log k)` (amortised: one solve plus one
-//!   matrix–vector product) instead of `O(n² · k)`, with zero per-step
-//!   allocation. It applies to from-ambient, constant-power simulations —
-//!   the scheduler's exact usage pattern — where it is *exact* for the
-//!   per-block maxima too: from ambient the implicit-Euler iterates rise
-//!   monotonically (non-negative `A` and power), so the interval maximum
-//!   equals the final temperature. Both paths agree to well within
-//!   1e-6 °C; a property suite in the workspace root enforces this.
+//!   temperatures. Both paths agree to well within 1e-6 °C; a property
+//!   suite in the workspace root enforces this.
 //!
 //! # Example
 //!

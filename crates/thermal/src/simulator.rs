@@ -152,27 +152,6 @@ impl RcThermalSimulator {
         )
     }
 
-    /// Builds a simulator with the precomputed-operator transient fast path.
-    ///
-    /// The fast path has been the default since the `ThermalBackend`
-    /// redesign, so this is now a shim around the default construction.
-    ///
-    /// # Errors
-    ///
-    /// Propagates model construction and factorisation errors.
-    #[deprecated(
-        since = "0.1.0",
-        note = "the fast path is the default now; use `RcThermalSimulator::from_floorplan` \
-                (or `reference_from_floorplan` for the implicit-Euler reference)"
-    )]
-    pub fn fast_from_floorplan(floorplan: &Floorplan) -> Result<Self> {
-        Self::new(
-            floorplan,
-            &PackageConfig::default(),
-            TransientConfig::fast(),
-        )
-    }
-
     /// Builds a simulator with explicit package and transient configuration.
     ///
     /// # Errors

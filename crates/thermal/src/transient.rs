@@ -9,33 +9,28 @@ use crate::{PowerMap, Result, Temperatures, ThermalError, ThermalNetwork};
 
 /// Which transient solution path the solver uses for from-ambient
 /// constant-power simulations.
+///
+/// The opt-in-era `PrecomputedOperator` variant (behaviourally identical to
+/// [`TransientMethod::Auto`]) has been folded into `Auto` and removed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum TransientMethod {
     /// Pick the fastest path that is exact for each request: from-ambient
     /// constant-power simulations (the scheduler's usage pattern, where the
     /// precomputed operator is provably exact — see
     /// [`TransientSolver::simulate_from_ambient`]) go through the
-    /// precomputed-operator path, while simulations from an arbitrary
-    /// initial state fall back to sequential implicit-Euler stepping. This
-    /// is the default: fast wherever exactness is guaranteed, reference
-    /// behaviour everywhere else.
+    /// precomputed-operator path — the dense step operator
+    /// `A = (C/Δt + G)⁻¹ · (C/Δt)` is built once and whole sessions advance
+    /// through `(Aᵏ, S_k)` powers assembled by repeated squaring, so a
+    /// `k`-step session costs `O(n³ · log k)` instead of `O(n² · k)` — while
+    /// simulations from an arbitrary initial state fall back to sequential
+    /// implicit-Euler stepping. This is the default: fast wherever exactness
+    /// is guaranteed, reference behaviour everywhere else.
     #[default]
     Auto,
     /// Step the implicit-Euler recurrence one time step at a time for every
     /// request. Exact for any initial state and power history; this is the
-    /// reference path the fast paths are validated against.
+    /// reference path the fast path is validated against.
     ImplicitEuler,
-    /// Precompute the dense step operator `A = (C/Δt + G)⁻¹ · (C/Δt)` once
-    /// and advance whole sessions with `(Aᵏ, S_k)` built by repeated
-    /// squaring, so a `k`-step session costs `O(n³ · log k)` instead of
-    /// `O(n² · k)` with zero per-step allocation. Used by
-    /// [`TransientSolver::simulate_from_ambient`] only, where it is exact
-    /// (see the solver docs); [`TransientSolver::simulate`] from an
-    /// arbitrary initial state always steps sequentially. Behaviourally
-    /// identical to [`TransientMethod::Auto`]; kept as the explicit opt-in
-    /// spelling from the release where the fast path was not yet the
-    /// default.
-    PrecomputedOperator,
 }
 
 impl TransientMethod {
@@ -75,18 +70,6 @@ impl TransientConfig {
     pub fn reference() -> Self {
         TransientConfig {
             method: TransientMethod::ImplicitEuler,
-            ..TransientConfig::default()
-        }
-    }
-
-    /// The default time step with the precomputed-operator fast path.
-    ///
-    /// Since the fast path became the default ([`TransientMethod::Auto`])
-    /// this is equivalent to [`TransientConfig::default`]; it remains for
-    /// callers written against the opt-in era.
-    pub fn fast() -> Self {
-        TransientConfig {
-            method: TransientMethod::PrecomputedOperator,
             ..TransientConfig::default()
         }
     }
@@ -226,7 +209,7 @@ impl TransientSolver {
 
     /// Simulates `duration` seconds starting from a uniform ambient die.
     ///
-    /// With [`TransientMethod::PrecomputedOperator`] the whole interval is
+    /// With [`TransientMethod::Auto`] the whole interval is
     /// advanced in one application of the `k`-step operator. That is exact
     /// here (and only here): starting from ambient, the temperature-rise
     /// state is zero, the step matrix `A` and the per-step increment
@@ -487,9 +470,9 @@ mod tests {
     fn fast_path_matches_reference_on_sessions() {
         let (net, fp) = setup();
         let reference = TransientSolver::new(&net, TransientConfig::reference()).unwrap();
-        let fast = TransientSolver::new(&net, TransientConfig::fast()).unwrap();
+        let fast = TransientSolver::new(&net, TransientConfig::default()).unwrap();
         assert_eq!(reference.method(), TransientMethod::ImplicitEuler);
-        assert_eq!(fast.method(), TransientMethod::PrecomputedOperator);
+        assert_eq!(fast.method(), TransientMethod::Auto);
         let mut p = PowerMap::zeros(fp.block_count());
         p.set(fp.index_of("IntExec").unwrap(), 20.0).unwrap();
         p.set(fp.index_of("Bpred").unwrap(), 8.0).unwrap();
@@ -523,7 +506,7 @@ mod tests {
     #[test]
     fn fast_path_validates_inputs_like_the_reference() {
         let (net, fp) = setup();
-        let fast = TransientSolver::new(&net, TransientConfig::fast()).unwrap();
+        let fast = TransientSolver::new(&net, TransientConfig::default()).unwrap();
         let p = PowerMap::zeros(fp.block_count());
         assert!(fast.simulate_from_ambient(&p, 0.0).is_err());
         assert!(fast.simulate_from_ambient(&p, f64::NAN).is_err());
@@ -536,7 +519,7 @@ mod tests {
     fn fast_solver_still_steps_from_arbitrary_initial_state() {
         let (net, fp) = setup();
         let reference = TransientSolver::new(&net, TransientConfig::reference()).unwrap();
-        let fast = TransientSolver::new(&net, TransientConfig::fast()).unwrap();
+        let fast = TransientSolver::new(&net, TransientConfig::default()).unwrap();
         let mut p = PowerMap::zeros(fp.block_count());
         p.set(fp.index_of("FPMul").unwrap(), 10.0).unwrap();
         let warm = reference.simulate_from_ambient(&p, 0.2).unwrap();
@@ -550,25 +533,18 @@ mod tests {
     }
 
     #[test]
-    fn auto_is_the_default_and_matches_the_explicit_fast_path() {
+    fn auto_is_the_default_and_selects_the_fast_path() {
         assert_eq!(TransientMethod::default(), TransientMethod::Auto);
         assert!(TransientMethod::Auto.uses_fast_path());
-        assert!(TransientMethod::PrecomputedOperator.uses_fast_path());
         assert!(!TransientMethod::ImplicitEuler.uses_fast_path());
         assert_eq!(
             TransientConfig::reference().method,
             TransientMethod::ImplicitEuler
         );
 
-        let (net, fp) = setup();
+        let (net, _) = setup();
         let auto = TransientSolver::new(&net, TransientConfig::default()).unwrap();
-        let explicit = TransientSolver::new(&net, TransientConfig::fast()).unwrap();
         assert_eq!(auto.method(), TransientMethod::Auto);
-        let mut p = PowerMap::zeros(fp.block_count());
-        p.set(fp.index_of("IntExec").unwrap(), 12.0).unwrap();
-        let a = auto.simulate_from_ambient(&p, 0.3).unwrap();
-        let e = explicit.simulate_from_ambient(&p, 0.3).unwrap();
-        assert_eq!(a, e, "Auto and PrecomputedOperator are the same path");
     }
 
     #[test]

@@ -60,3 +60,8 @@ fn baseline_comparison_runs() {
 fn alpha21364_sweep_runs() {
     assert_example_succeeds("alpha21364_sweep", "STCL");
 }
+
+#[test]
+fn batch_corpus_runs() {
+    assert_example_succeeds("batch_corpus", "service report");
+}

@@ -170,27 +170,27 @@ fn baseline_comparison_reports_violations_for_the_power_only_scheduler() {
     assert!(cmp.power_constrained_max_temperature >= cmp.thermal_aware_max_temperature - 1e-9);
 }
 
-/// The deprecation contract at the integration level: the legacy
-/// free-function drivers keep compiling and produce the same numbers as the
-/// engine sweeps that replaced them.
+/// The removal contract: the ablation spec constructors reproduce what the
+/// removed legacy free-function drivers did, through one engine.
 #[test]
-#[allow(deprecated)]
-fn legacy_sweep_drivers_still_match_the_engine() {
+fn spec_constructors_cover_the_removed_legacy_drivers() {
     let sut = library::alpha21364_sut();
     let sim = RcThermalSimulator::from_floorplan(sut.floorplan()).unwrap();
     let engine = Engine::builder().sut(&sut).backend(&sim).build().unwrap();
 
-    let legacy = experiments::table1_sweep(&sut, &sim, &[160.0], &[30.0, 90.0]).unwrap();
-    let modern = engine
+    let grid = engine
         .sweep(&SweepSpec::grid(&[160.0], &[30.0, 90.0]))
         .unwrap();
-    assert_eq!(legacy.len(), modern.len());
-    for (l, m) in legacy.iter().zip(modern.points()) {
-        assert_eq!(l.schedule_length, m.schedule_length);
-        assert_eq!(l.simulation_effort, m.simulation_effort);
-        assert_eq!(l.max_temperature, m.max_temperature);
-    }
+    assert_eq!(grid.len(), 2);
 
-    let legacy_cmp = experiments::baseline_comparison(&sut, &sim, 150.0, 80.0).unwrap();
-    assert!(legacy_cmp.power_budget >= 1.0);
+    let orderings = engine
+        .sweep(&SweepSpec::ordering_ablation(165.0, 60.0))
+        .unwrap();
+    assert_eq!(orderings.len(), 4);
+
+    let cmp_sweep = engine
+        .sweep(&SweepSpec::point(150.0, 80.0).with_baseline())
+        .unwrap();
+    let cmp = cmp_sweep.points()[0].baseline.as_ref().unwrap();
+    assert!(cmp.power_budget >= 1.0);
 }

@@ -1,0 +1,172 @@
+//! Concurrency and determinism contract of the batch-scheduling service:
+//!
+//! * the same seeded corpus must produce byte-identical per-job results at
+//!   1, 4 and 8 workers, with either session store backing the scenarios;
+//! * the `ShardedSessionCache` must behave exactly like the single-lock
+//!   `MutexSessionStore` under a multi-threaded hammer (same final
+//!   contents, first write wins per key), without locks poisoning out from
+//!   under surviving threads.
+
+use std::sync::Arc;
+
+use thermsched::{MutexSessionStore, SessionStore, ShardedSessionCache};
+use thermsched_service::{
+    JobOutcome, ScenarioSpec, ServiceConfig, ServiceReport, ServiceRunner, StoreKind,
+};
+use thermsched_thermal::{SessionThermalResult, Temperatures};
+
+fn corpus_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        seed: 777,
+        scenarios: 6,
+        stc_limits: vec![40.0, 80.0],
+        ..ScenarioSpec::default()
+    }
+}
+
+fn run(workers: usize, store: StoreKind) -> ServiceReport {
+    let corpus = corpus_spec().build().expect("spec is valid");
+    ServiceRunner::new(ServiceConfig { workers, store })
+        .expect("config is valid")
+        .run(&corpus)
+        .expect("batch runs")
+}
+
+#[test]
+fn per_job_results_are_byte_identical_across_worker_counts_and_stores() {
+    let reference = run(1, StoreKind::Mutex);
+    assert_eq!(
+        reference.stats().completed,
+        reference.stats().job_count,
+        "the default corpus must complete everywhere:\n{}",
+        reference.render_jobs()
+    );
+    let reference_table = reference.render_jobs();
+    assert!(!reference_table.is_empty());
+
+    for workers in [4, 8] {
+        for store in [StoreKind::Mutex, StoreKind::Sharded { shards: 8 }] {
+            let report = run(workers, store);
+            assert_eq!(
+                report.jobs(),
+                reference.jobs(),
+                "{workers} workers over {store:?} changed a job result"
+            );
+            assert_eq!(report.render_jobs(), reference_table);
+            assert_eq!(report.stats().workers, workers);
+        }
+    }
+}
+
+#[test]
+fn completed_jobs_respect_their_effective_temperature_limits() {
+    let report = run(4, StoreKind::Sharded { shards: 8 });
+    for job in report.jobs() {
+        match &job.outcome {
+            JobOutcome::Completed(metrics) => {
+                assert!(
+                    metrics.max_temperature < metrics.effective_temperature_limit,
+                    "{}: {:.2} C >= {:.2} C",
+                    job.label,
+                    metrics.max_temperature,
+                    metrics.effective_temperature_limit
+                );
+                assert!(metrics.schedule_length >= 1.0);
+                assert!(metrics.simulation_effort >= metrics.schedule_length - 1e-9);
+            }
+            other => panic!("{}: unexpected outcome {other:?}", job.label),
+        }
+    }
+}
+
+/// A synthetic, key-deterministic session result: every field is a pure
+/// function of the key, so any interleaving of racing writers must leave the
+/// same value behind under first-write-wins.
+fn result_for_key(key: &[usize]) -> SessionThermalResult {
+    let tag = key.iter().fold(7.0, |acc, &core| acc + core as f64);
+    SessionThermalResult {
+        max_block_temperatures: key.iter().map(|&core| 45.0 + core as f64 + tag).collect(),
+        final_temperatures: Temperatures::new(vec![45.0 + tag; key.len().max(1)], key.len()),
+        duration: 1.0,
+    }
+}
+
+/// The key universe of the stress test: small sets over 32 cores, so
+/// concurrent threads collide on keys constantly.
+fn stress_keys() -> Vec<Vec<usize>> {
+    let mut keys = Vec::new();
+    for a in 0..32 {
+        keys.push(vec![a]);
+        keys.push(vec![a, (a + 5) % 32]);
+        keys.push(vec![a, (a + 3) % 32, (a + 11) % 32]);
+    }
+    keys.iter_mut().for_each(|k| k.sort_unstable());
+    keys
+}
+
+#[test]
+fn sharded_store_matches_the_mutex_store_under_a_scoped_thread_hammer() {
+    let sharded = Arc::new(ShardedSessionCache::new(8));
+    let mutex = Arc::new(MutexSessionStore::new());
+    let keys = stress_keys();
+    let threads = 8;
+    let rounds = 30;
+
+    for store in [
+        Arc::clone(&sharded) as Arc<dyn SessionStore>,
+        Arc::clone(&mutex) as Arc<dyn SessionStore>,
+    ] {
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let store = Arc::clone(&store);
+                let keys = &keys;
+                scope.spawn(move || {
+                    for round in 0..rounds {
+                        // Each thread walks the key space at its own stride,
+                        // mixing single ops with batched ones.
+                        for (i, key) in keys.iter().enumerate() {
+                            let slot = (i + t * 7 + round * 13) % 4;
+                            match slot {
+                                0 => store.store(key.clone(), result_for_key(key)),
+                                1 => {
+                                    if let Some(found) = store.lookup(key) {
+                                        assert_eq!(found, result_for_key(key));
+                                    }
+                                }
+                                2 => {
+                                    let batch: Vec<_> = keys[i..(i + 5).min(keys.len())]
+                                        .iter()
+                                        .map(|k| (k.clone(), result_for_key(k)))
+                                        .collect();
+                                    store.store_batch(batch);
+                                }
+                                _ => {
+                                    let probe: Vec<Vec<usize>> =
+                                        keys[i..(i + 5).min(keys.len())].to_vec();
+                                    for (k, found) in probe.iter().zip(store.lookup_batch(&probe)) {
+                                        if let Some(found) = found {
+                                            assert_eq!(found, result_for_key(k));
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    // Every key was stored at least once on every store; the two stores must
+    // agree entry for entry with the deterministic expectation.
+    assert_eq!(sharded.len(), keys.len());
+    assert_eq!(mutex.len(), keys.len());
+    for key in &keys {
+        let expected = result_for_key(key);
+        assert_eq!(sharded.lookup(key), Some(expected.clone()), "key {key:?}");
+        assert_eq!(mutex.lookup(key), Some(expected), "key {key:?}");
+    }
+    // Insertions are first-write-wins exact on both stores.
+    assert_eq!(sharded.stats().insertions, keys.len() as u64);
+    assert_eq!(mutex.stats().insertions, keys.len() as u64);
+}
