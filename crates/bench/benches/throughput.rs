@@ -33,7 +33,12 @@ fn corpus() -> Corpus {
 }
 
 fn runner(workers: usize, store: StoreKind) -> ServiceRunner {
-    ServiceRunner::new(ServiceConfig { workers, store }).expect("bench config is valid")
+    ServiceRunner::new(ServiceConfig {
+        workers,
+        store,
+        ..ServiceConfig::default()
+    })
+    .expect("bench config is valid")
 }
 
 /// One measured sample of a configuration: (jobs per second, cache hit rate,

@@ -356,8 +356,27 @@ mod tests {
         )
         .unwrap();
         let engine = Engine::builder().sut(&sut).backend(&grid).build().unwrap();
-        assert!(!engine.backend().supports_fast_path());
-        assert_eq!(engine.backend().fidelity(), SimulationFidelity::SteadyState);
+        // The grid backend is full fidelity by default since it gained its
+        // transient path; the steady-state upper-bound model is opt-in.
+        assert!(engine.backend().supports_fast_path());
+        assert_eq!(engine.backend().fidelity(), SimulationFidelity::Transient);
+        let steady = GridThermalSimulator::new(
+            sut.floorplan(),
+            &PackageConfig::default(),
+            GridResolution::new(24, 24).unwrap(),
+        )
+        .unwrap()
+        .with_fidelity(SimulationFidelity::SteadyState);
+        let steady_engine = Engine::builder()
+            .sut(&sut)
+            .backend(&steady)
+            .build()
+            .unwrap();
+        assert!(!steady_engine.backend().supports_fast_path());
+        assert_eq!(
+            steady_engine.backend().fidelity(),
+            SimulationFidelity::SteadyState
+        );
         // The facade validates arbitrary schedules through the grid too.
         let schedule = crate::SequentialScheduler::new().schedule(&sut);
         let eval = engine.evaluate(&schedule).unwrap();

@@ -80,6 +80,13 @@
 //! | `experiments::baseline_comparison(...)` | `engine.sweep(&SweepSpec::point(tl, stcl).with_baseline())` |
 //! | `ScheduleValidator::new(&sut, &sim)?.evaluate(&schedule)` | `engine.evaluate(&schedule)` (the validator remains public) |
 //!
+//! Code that passed a `GridThermalSimulator` to any of these entry points
+//! should also note that since PR 5 the grid backend defaults to its
+//! **full-fidelity transient path** (`fidelity() == Transient`,
+//! `backend_name() == "grid-transient"`); the previous steady-state
+//! upper-bound behaviour is one call away via
+//! `.with_fidelity(SimulationFidelity::SteadyState)`.
+//!
 //! # Scaling out
 //!
 //! For many scheduling runs over many systems, the `thermsched_service`
@@ -97,6 +104,7 @@ mod config;
 mod engine;
 mod error;
 pub mod experiments;
+mod operator_cache;
 mod parallel;
 pub mod report;
 mod schedule;
@@ -113,6 +121,7 @@ pub use config::{CoreOrdering, CoreViolationPolicy, SchedulerConfig};
 pub use engine::{Engine, EngineBuilder};
 pub use error::ScheduleError;
 pub use experiments::{AblationPoint, BaselineComparison, SweepPoint};
+pub use operator_cache::{OperatorCacheHandle, OperatorCacheStats, OperatorKey};
 pub use parallel::NestedParallelismGuard;
 pub use schedule::{TestSchedule, TestSession};
 pub use scheduler::{ScheduleOutcome, SessionRecord, ThermalAwareScheduler};

@@ -625,6 +625,75 @@ mod tests {
     }
 
     #[test]
+    fn poisoned_shard_recovers_and_leaves_other_shards_untouched() {
+        let store = Arc::new(ShardedSessionCache::new(4));
+        let key = vec![0usize];
+        let shard = store.shard_for(&key);
+        store.store(key.clone(), result_for(&[0]));
+        // A second key landing in the *same* shard, to exercise writes
+        // through the recovered lock. Keys must stay valid core sets of the
+        // 15-core fixture system.
+        let sibling = (1usize..15)
+            .map(|core| vec![core])
+            .chain((1usize..15).map(|core| vec![0, core]))
+            .find(|k| store.shard_for(k) == shard)
+            .expect("some small core set shares the shard");
+        // Poison exactly that shard by panicking while its lock is held.
+        let poisoner = Arc::clone(&store);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.shards[shard].lock().unwrap();
+            panic!("deliberate poison");
+        })
+        .join();
+        // Reads and writes through the poisoned shard recover.
+        assert_eq!(store.lookup(&key), Some(result_for(&[0])));
+        store.store(sibling.clone(), result_for(&sibling));
+        assert_eq!(store.lookup(&sibling), Some(result_for(&sibling)));
+        assert_eq!(store.len(), 2);
+        // Batch operations traverse the poisoned shard too.
+        let keys = vec![key.clone(), sibling.clone()];
+        let found = store.lookup_batch(&keys);
+        assert!(found.iter().all(Option::is_some));
+        store.store_batch(vec![(vec![0, 1, 2], result_for(&[0, 1, 2]))]);
+        assert_eq!(store.len(), 3);
+        // And a clear through the recovered lock leaves a usable store.
+        store.clear();
+        assert!(store.is_empty());
+        store.store(key.clone(), result_for(&[0]));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn contended_shard_locks_are_counted() {
+        let store = Arc::new(ShardedSessionCache::new(2));
+        let key = vec![3usize];
+        let shard = store.shard_for(&key);
+        assert_eq!(store.stats().contended_locks, 0);
+        // Hold the shard lock on this thread; the worker's lookup then
+        // provably finds it held. `lock_counting` bumps the contention
+        // counter *before* blocking on the lock, so waiting for the counter
+        // to tick while still holding the guard is race-free — no sleeps,
+        // no timing assumptions.
+        let guard = store.shards[shard].lock().unwrap();
+        let worker_store = Arc::clone(&store);
+        let worker_key = key.clone();
+        let worker = std::thread::spawn(move || worker_store.lookup(&worker_key));
+        while store.stats().contended_locks == 0 {
+            std::thread::yield_now();
+        }
+        drop(guard);
+        assert_eq!(worker.join().unwrap(), None);
+        assert!(
+            store.stats().contended_locks >= 1,
+            "contended lookup must be counted"
+        );
+        // An uncontended lookup afterwards adds nothing.
+        let before = store.stats().contended_locks;
+        let _ = store.lookup(&key);
+        assert_eq!(store.stats().contended_locks, before);
+    }
+
+    #[test]
     fn poisoned_locks_recover_instead_of_cascading() {
         let store = Arc::new(MutexSessionStore::new());
         store.store(vec![1], result_for(&[1]));

@@ -17,6 +17,10 @@
 //! * [`AffineStepOperator`] — the `k`-step operator of an affine recurrence,
 //!   built by repeated squaring (the transient solver's fast path).
 //! * [`CsrMatrix`] — compressed-sparse-row matrix for larger grids.
+//! * [`BandedCholesky`] — direct factorisation of SPD banded systems (the
+//!   grid models), with `O(n · b)` allocation-free repeated solves.
+//! * [`ImplicitStepOperator`] — the factorised implicit-Euler stepping
+//!   matrix `C/Δt + G` of a sparse network (the grid transient path).
 //! * [`ConjugateGradient`] and [`GaussSeidel`] — iterative solvers.
 //!
 //! The factorisations additionally expose allocation-free `solve_into`
@@ -43,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod banded;
 mod cg;
 mod cholesky;
 mod dense;
@@ -53,6 +58,7 @@ mod sparse;
 mod step_operator;
 mod vector;
 
+pub use banded::{BandedCholesky, ImplicitStepOperator};
 pub use cg::{ConjugateGradient, IterativeSolution};
 pub use cholesky::CholeskyDecomposition;
 pub use dense::DenseMatrix;

@@ -38,6 +38,7 @@
 //! let runner = ServiceRunner::new(ServiceConfig {
 //!     workers: 4,
 //!     store: StoreKind::Sharded { shards: 8 },
+//!     ..ServiceConfig::default()
 //! })?;
 //! let report = runner.run(&corpus)?;
 //!
@@ -60,7 +61,7 @@ mod scenario;
 
 pub use error::ServiceError;
 pub use report::{JobMetrics, JobOutcome, JobResult, ServiceReport, ServiceStats};
-pub use runner::{ServiceConfig, ServiceRunner, StoreKind};
+pub use runner::{BackendKind, ServiceConfig, ServiceRunner, StoreKind};
 pub use scenario::{Corpus, JobSpec, Scenario, ScenarioSpec};
 
 /// Convenience result alias used throughout this crate.

@@ -16,7 +16,7 @@
 
 use std::fmt::Write as _;
 
-use thermsched::{ScheduleOutcome, StoreStats};
+use thermsched::{OperatorCacheStats, ScheduleOutcome, StoreStats};
 
 use crate::JobSpec;
 
@@ -125,6 +125,18 @@ pub struct ServiceStats {
     pub store_name: String,
     /// Shards per scenario store.
     pub shard_count: usize,
+    /// Label of the thermal backend kind validating every job
+    /// (`"rc-compact"`, `"grid-transient(4)"`).
+    pub backend_name: String,
+    /// Whether same-shape scenarios shared backend instances through the
+    /// run's operator cache.
+    pub operator_cache_enabled: bool,
+    /// Operator-cache counters of the run's backend-construction pass.
+    /// Backends are built sequentially before the workers start, so unlike
+    /// the session-store counters these are a deterministic function of the
+    /// corpus: `misses` counts distinct (backend, shape, core-size) keys
+    /// and `hits` the scenarios that reused one.
+    pub operator_cache: OperatorCacheStats,
     /// Scenarios in the corpus.
     pub scenario_count: usize,
     /// Jobs executed.
@@ -222,8 +234,8 @@ impl ServiceReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "service report: {} jobs over {} scenarios, {} workers, {} store",
-            s.job_count, s.scenario_count, s.workers, s.store_name
+            "service report: {} jobs over {} scenarios, {} workers, {} store, {} backend",
+            s.job_count, s.scenario_count, s.workers, s.store_name, s.backend_name
         );
         let _ = writeln!(
             out,
@@ -250,6 +262,15 @@ impl ServiceReport {
             "  warm cache hits {}, cached validations {}",
             s.warm_cache_hits, s.cached_validations
         );
+        if s.operator_cache_enabled {
+            let _ = writeln!(
+                out,
+                "  operator cache: {} backends built, {} scenarios reusing one",
+                s.operator_cache.misses, s.operator_cache.hits
+            );
+        } else {
+            let _ = writeln!(out, "  operator cache: off");
+        }
         out
     }
 }
@@ -293,6 +314,9 @@ mod tests {
             workers: 4,
             store_name: "sharded(8)".to_owned(),
             shard_count: 8,
+            backend_name: "rc-compact".to_owned(),
+            operator_cache_enabled: true,
+            operator_cache: OperatorCacheStats { hits: 1, misses: 1 },
             scenario_count: 2,
             job_count: 2,
             completed: 1,
@@ -328,7 +352,9 @@ mod tests {
     fn summary_reports_throughput_and_cache_behaviour() {
         let r = report();
         let summary = r.render_summary();
-        assert!(summary.contains("2 jobs over 2 scenarios, 4 workers, sharded(8) store"));
+        assert!(summary
+            .contains("2 jobs over 2 scenarios, 4 workers, sharded(8) store, rc-compact backend"));
+        assert!(summary.contains("operator cache: 1 backends built, 1 scenarios reusing one"));
         assert!(summary.contains("completed 1, failed 1, panicked 0"));
         assert!(summary.contains("4.0 jobs/s"));
         assert!(summary.contains("20.0% hit rate"));

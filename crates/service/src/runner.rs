@@ -5,16 +5,81 @@ use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
-use thermsched::{Engine, NestedParallelismGuard, ScheduleOutcome, SessionCacheHandle, StoreStats};
-use thermsched_thermal::RcThermalSimulator;
+use thermsched::{
+    Engine, NestedParallelismGuard, OperatorCacheHandle, OperatorKey, ScheduleOutcome,
+    SessionCacheHandle, StoreStats,
+};
+use thermsched_thermal::{
+    GridResolution, GridThermalSimulator, PackageConfig, RcThermalSimulator, ThermalBackend,
+};
 
 use crate::{
     Corpus, JobOutcome, JobResult, JobSpec, Result, Scenario, ServiceError, ServiceReport,
     ServiceStats,
 };
+
+/// Which thermal backend validates every job of a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// The block-level RC-compact simulator with the precomputed-operator
+    /// fast transient path — one node per core, the service default.
+    #[default]
+    RcCompact,
+    /// The fine-grained grid simulator on its full-fidelity transient path:
+    /// each core is resolved into `cells_per_core × cells_per_core` thermal
+    /// cells and sessions integrate the cell network with implicit Euler
+    /// over a banded factorisation shared via the operator cache.
+    GridTransient {
+        /// Cells per core edge; a scenario on a `c × r` core grid runs at
+        /// grid resolution `(c · cells_per_core) × (r · cells_per_core)`.
+        cells_per_core: usize,
+    },
+}
+
+impl BackendKind {
+    /// Short label for reports (`"rc-compact"`, `"grid-transient(4)"`).
+    pub fn label(self) -> String {
+        match self {
+            BackendKind::RcCompact => "rc-compact".to_owned(),
+            BackendKind::GridTransient { cells_per_core } => {
+                format!("grid-transient({cells_per_core})")
+            }
+        }
+    }
+
+    /// The operator-cache identity of this kind over one scenario: backend
+    /// kind, grid shape and core size — everything backend construction
+    /// depends on (the package and transient configuration are the library
+    /// defaults for every scenario). Public so external measurement and
+    /// tooling share the runner's exact key instead of reimplementing it.
+    pub fn key(self, scenario: &Scenario) -> OperatorKey {
+        OperatorKey::new(self.label(), scenario.grid.0, scenario.grid.1)
+            .with_detail(format!("core={:.6}mm", scenario.core_size_mm))
+    }
+
+    /// Builds the backend for one scenario.
+    fn build(self, scenario: &Scenario) -> Result<Arc<dyn ThermalBackend>> {
+        match self {
+            BackendKind::RcCompact => Ok(Arc::new(RcThermalSimulator::from_floorplan(
+                scenario.sut.floorplan(),
+            )?)),
+            BackendKind::GridTransient { cells_per_core } => {
+                let resolution = GridResolution::new(
+                    scenario.grid.0 * cells_per_core,
+                    scenario.grid.1 * cells_per_core,
+                )?;
+                Ok(Arc::new(GridThermalSimulator::new(
+                    scenario.sut.floorplan(),
+                    &PackageConfig::default(),
+                    resolution,
+                )?))
+            }
+        }
+    }
+}
 
 /// Which shared [`thermsched::SessionStore`] backs each scenario's session
 /// cache.
@@ -64,6 +129,15 @@ pub struct ServiceConfig {
     pub workers: usize,
     /// Shared session store every scenario's jobs publish to and read from.
     pub store: StoreKind,
+    /// Thermal backend validating every job.
+    pub backend: BackendKind,
+    /// Whether scenarios sharing a grid shape share one backend instance
+    /// (and therefore its factorisations) through the run's
+    /// [`OperatorCacheHandle`]. Exact — same-shape scenarios have identical
+    /// floorplans, so the shared operator is bit-for-bit the one a private
+    /// build would produce — and on by default; the benchmarks record the
+    /// off configuration for comparison.
+    pub operator_cache: bool,
 }
 
 impl Default for ServiceConfig {
@@ -71,6 +145,8 @@ impl Default for ServiceConfig {
         ServiceConfig {
             workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
             store: StoreKind::Sharded { shards: 8 },
+            backend: BackendKind::default(),
+            operator_cache: true,
         }
     }
 }
@@ -107,6 +183,7 @@ impl Default for ServiceConfig {
 /// let runner = ServiceRunner::new(ServiceConfig {
 ///     workers: 2,
 ///     store: StoreKind::Sharded { shards: 4 },
+///     ..ServiceConfig::default()
 /// })?;
 /// let report = runner.run(&corpus)?;
 /// assert_eq!(report.jobs().len(), corpus.jobs().len());
@@ -138,6 +215,12 @@ impl ServiceRunner {
                 problem: "must be at least 1",
             });
         }
+        if let BackendKind::GridTransient { cells_per_core: 0 } = config.backend {
+            return Err(ServiceError::InvalidSpec {
+                field: "cells_per_core",
+                problem: "must be at least 1",
+            });
+        }
         Ok(ServiceRunner { config })
     }
 
@@ -155,13 +238,25 @@ impl ServiceRunner {
     /// are isolated into the job's [`JobOutcome`]).
     pub fn run(&self, corpus: &Corpus) -> Result<ServiceReport> {
         // Backends are built up front, once per scenario: every worker
-        // borrows them, and construction cost (one LU factorisation each)
-        // is not worth paying per worker.
+        // borrows them, and construction cost (a factorisation each) is not
+        // worth paying per worker. With the operator cache on, same-shape
+        // scenarios additionally collapse onto one shared instance — the
+        // build loop is sequential, so the hit/miss counters are a
+        // deterministic function of the corpus.
+        let operator_cache = OperatorCacheHandle::new();
         let backends = corpus
             .scenarios()
             .iter()
-            .map(|scenario| RcThermalSimulator::from_floorplan(scenario.sut.floorplan()))
-            .collect::<std::result::Result<Vec<_>, _>>()?;
+            .map(|scenario| {
+                if self.config.operator_cache {
+                    operator_cache.get_or_try_build(self.config.backend.key(scenario), || {
+                        self.config.backend.build(scenario)
+                    })
+                } else {
+                    self.config.backend.build(scenario)
+                }
+            })
+            .collect::<Result<Vec<Arc<dyn ThermalBackend>>>>()?;
         let caches: Vec<SessionCacheHandle> = corpus
             .scenarios()
             .iter()
@@ -190,7 +285,7 @@ impl ServiceRunner {
                         let (outcome, accounting) = run_job(
                             job,
                             scenario,
-                            &backends[job.scenario],
+                            backends[job.scenario].as_ref(),
                             &caches[job.scenario],
                             &mut engines,
                         );
@@ -235,6 +330,9 @@ impl ServiceRunner {
             workers: self.config.workers,
             store_name: self.config.store.name(),
             shard_count: self.config.store.shard_count(),
+            backend_name: self.config.backend.label(),
+            operator_cache_enabled: self.config.operator_cache,
+            operator_cache: operator_cache.stats(),
             scenario_count: corpus.scenarios().len(),
             job_count: jobs_done.len(),
             completed,
@@ -265,7 +363,7 @@ struct CacheAccounting {
 fn run_job<'a>(
     job: &JobSpec,
     scenario: &'a Scenario,
-    backend: &'a RcThermalSimulator,
+    backend: &'a dyn ThermalBackend,
     cache: &SessionCacheHandle,
     engines: &mut HashMap<usize, Engine<'a>>,
 ) -> (JobOutcome, CacheAccounting) {
@@ -274,7 +372,7 @@ fn run_job<'a>(
         Entry::Vacant(entry) => {
             let built = Engine::builder()
                 .sut(&scenario.sut)
-                .backend(backend)
+                .dyn_backend(backend)
                 .cache(cache.clone())
                 .build();
             match built {
@@ -353,6 +451,7 @@ mod tests {
         let reference = ServiceRunner::new(ServiceConfig {
             workers: 1,
             store: StoreKind::Mutex,
+            ..ServiceConfig::default()
         })
         .unwrap()
         .run(&corpus)
@@ -363,10 +462,14 @@ mod tests {
             (1, StoreKind::Sharded { shards: 4 }),
             (3, StoreKind::Sharded { shards: 4 }),
         ] {
-            let report = ServiceRunner::new(ServiceConfig { workers, store })
-                .unwrap()
-                .run(&corpus)
-                .unwrap();
+            let report = ServiceRunner::new(ServiceConfig {
+                workers,
+                store,
+                ..ServiceConfig::default()
+            })
+            .unwrap()
+            .run(&corpus)
+            .unwrap();
             assert_eq!(
                 report.jobs(),
                 reference.jobs(),
@@ -384,6 +487,7 @@ mod tests {
         let report = ServiceRunner::new(ServiceConfig {
             workers: 1,
             store: StoreKind::Sharded { shards: 8 },
+            ..ServiceConfig::default()
         })
         .unwrap()
         .run(&corpus)
@@ -415,6 +519,7 @@ mod tests {
         let report = ServiceRunner::new(ServiceConfig {
             workers: 2,
             store: StoreKind::Sharded { shards: 2 },
+            ..ServiceConfig::default()
         })
         .unwrap()
         .run(&corpus)
@@ -461,6 +566,99 @@ mod tests {
     }
 
     #[test]
+    fn operator_cache_collapses_same_shape_scenarios_without_changing_results() {
+        // Every scenario shares one grid shape: maximal reuse — one build,
+        // scenarios-1 hits, and the counters are deterministic because the
+        // backend pass runs before the workers start.
+        let spec = ScenarioSpec {
+            scenarios: 4,
+            grid_shapes: vec![(3, 3)],
+            stc_limits: vec![40.0],
+            ..small_spec()
+        };
+        let corpus = spec.build().unwrap();
+        let cached = ServiceRunner::new(ServiceConfig {
+            workers: 2,
+            operator_cache: true,
+            ..ServiceConfig::default()
+        })
+        .unwrap()
+        .run(&corpus)
+        .unwrap();
+        assert!(cached.stats().operator_cache_enabled);
+        assert_eq!(cached.stats().operator_cache.misses, 1);
+        assert_eq!(cached.stats().operator_cache.hits, 3);
+        assert_eq!(cached.stats().backend_name, "rc-compact");
+
+        // Shared operators are exact: switching the cache off changes
+        // nothing about the per-job results.
+        let private = ServiceRunner::new(ServiceConfig {
+            workers: 2,
+            operator_cache: false,
+            ..ServiceConfig::default()
+        })
+        .unwrap()
+        .run(&corpus)
+        .unwrap();
+        assert!(!private.stats().operator_cache_enabled);
+        assert_eq!(private.stats().operator_cache, Default::default());
+        assert_eq!(cached.jobs(), private.jobs());
+        assert_eq!(cached.render_jobs(), private.render_jobs());
+        assert!(private.render_summary().contains("operator cache: off"));
+    }
+
+    #[test]
+    fn mixed_shapes_build_one_backend_per_shape() {
+        let corpus = ScenarioSpec {
+            scenarios: 5,
+            grid_shapes: vec![(3, 3), (4, 3)],
+            stc_limits: vec![40.0],
+            ..small_spec()
+        }
+        .build()
+        .unwrap();
+        let report = ServiceRunner::new(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        })
+        .unwrap()
+        .run(&corpus)
+        .unwrap();
+        // Shapes cycle (3,3), (4,3), (3,3), (4,3), (3,3): two builds.
+        assert_eq!(report.stats().operator_cache.misses, 2);
+        assert_eq!(report.stats().operator_cache.hits, 3);
+    }
+
+    #[test]
+    fn grid_transient_backend_drives_a_batch_end_to_end() {
+        let corpus = ScenarioSpec {
+            scenarios: 2,
+            grid_shapes: vec![(3, 3)],
+            stc_limits: vec![40.0],
+            ..small_spec()
+        }
+        .build()
+        .unwrap();
+        let report = ServiceRunner::new(ServiceConfig {
+            workers: 2,
+            backend: BackendKind::GridTransient { cells_per_core: 3 },
+            ..ServiceConfig::default()
+        })
+        .unwrap()
+        .run(&corpus)
+        .unwrap();
+        assert_eq!(report.stats().completed, corpus.jobs().len());
+        assert_eq!(report.stats().backend_name, "grid-transient(3)");
+        assert_eq!(report.stats().operator_cache.misses, 1);
+        assert_eq!(report.stats().operator_cache.hits, 1);
+        for job in report.jobs() {
+            let metrics = job.outcome.metrics().expect("grid jobs complete");
+            assert!(metrics.max_temperature > 45.0);
+            assert!(metrics.max_temperature < metrics.effective_temperature_limit);
+        }
+    }
+
+    #[test]
     fn store_kind_names_match_their_handles() {
         for kind in [
             StoreKind::Mutex,
@@ -478,6 +676,7 @@ mod tests {
             ServiceRunner::new(ServiceConfig {
                 workers: 0,
                 store: StoreKind::Mutex,
+                ..ServiceConfig::default()
             }),
             Err(ServiceError::InvalidSpec {
                 field: "workers",
@@ -488,13 +687,26 @@ mod tests {
             ServiceRunner::new(ServiceConfig {
                 workers: 1,
                 store: StoreKind::Sharded { shards: 0 },
+                ..ServiceConfig::default()
             }),
             Err(ServiceError::InvalidSpec {
                 field: "shards",
                 ..
             })
         ));
+        assert!(matches!(
+            ServiceRunner::new(ServiceConfig {
+                backend: BackendKind::GridTransient { cells_per_core: 0 },
+                ..ServiceConfig::default()
+            }),
+            Err(ServiceError::InvalidSpec {
+                field: "cells_per_core",
+                ..
+            })
+        ));
         let runner = ServiceRunner::new(ServiceConfig::default()).unwrap();
         assert!(runner.config().workers >= 1);
+        assert_eq!(runner.config().backend, BackendKind::RcCompact);
+        assert!(runner.config().operator_cache);
     }
 }

@@ -123,6 +123,8 @@ impl ScenarioSpec {
             scenarios.push(Scenario {
                 name: format!("s{index:02}-g{columns}x{rows}"),
                 seed,
+                grid: (columns, rows),
+                core_size_mm: self.core_size_mm,
                 sut,
             });
         }
@@ -192,6 +194,13 @@ pub struct Scenario {
     pub name: String,
     /// The derived generator seed that produced this scenario.
     pub seed: u64,
+    /// Grid shape `(columns, rows)` of the generated floorplan. Scenarios
+    /// sharing a shape (and core size) share an *identical* floorplan —
+    /// only power assignments differ — which is what makes the service's
+    /// cross-scenario operator cache exact.
+    pub grid: (usize, usize),
+    /// Core edge length in millimetres.
+    pub core_size_mm: f64,
     /// The generated system under test.
     pub sut: SystemUnderTest,
 }
@@ -342,6 +351,68 @@ mod tests {
             ..ScenarioSpec::default()
         };
         assert!(matches!(bad.build(), Err(ServiceError::Schedule(_))));
+    }
+
+    #[test]
+    fn empty_grid_shape_range_is_rejected_by_name() {
+        let spec = ScenarioSpec {
+            grid_shapes: vec![],
+            ..ScenarioSpec::default()
+        };
+        match spec.build() {
+            Err(ServiceError::InvalidSpec { field, .. }) => assert_eq!(field, "grid_shapes"),
+            other => panic!("expected InvalidSpec for grid_shapes, got {other:?}"),
+        }
+        // A shape range with a zero dimension fails at the generator level.
+        let spec = ScenarioSpec {
+            grid_shapes: vec![(0, 3)],
+            ..ScenarioSpec::default()
+        };
+        assert!(matches!(spec.build(), Err(ServiceError::Soc(_))));
+    }
+
+    #[test]
+    fn single_job_corpus_expands_deterministically() {
+        let spec = ScenarioSpec {
+            scenarios: 1,
+            grid_shapes: vec![(3, 3)],
+            temperature_limits: vec![165.0],
+            stc_limits: vec![45.0],
+            ..ScenarioSpec::default()
+        };
+        assert_eq!(spec.job_count(), 1);
+        let a = spec.build().unwrap();
+        let b = spec.build().unwrap();
+        assert_eq!(a.scenarios().len(), 1);
+        assert_eq!(a.jobs().len(), 1);
+        assert_eq!(a.jobs()[0].scenario, 0);
+        assert_eq!(a.jobs(), b.jobs());
+        assert_eq!(a.scenarios()[0].grid, (3, 3));
+        assert_eq!(a.scenarios()[0].core_size_mm, spec.core_size_mm);
+        assert_eq!(a.scenarios()[0].seed, b.scenarios()[0].seed);
+    }
+
+    #[test]
+    fn single_shape_corpus_shares_one_floorplan_across_scenarios() {
+        // The operator cache's exactness precondition: same shape (and core
+        // size) means an *identical* floorplan — only powers differ.
+        let corpus = ScenarioSpec {
+            scenarios: 4,
+            grid_shapes: vec![(4, 3)],
+            ..ScenarioSpec::default()
+        }
+        .build()
+        .unwrap();
+        let reference = corpus.scenarios()[0].sut.floorplan();
+        for scenario in &corpus.scenarios()[1..] {
+            assert_eq!(scenario.grid, (4, 3));
+            let fp = scenario.sut.floorplan();
+            assert_eq!(fp.block_count(), reference.block_count());
+            for (a, b) in fp.blocks().iter().zip(reference.blocks()) {
+                assert_eq!(a.name(), b.name());
+                assert_eq!(a.rect(), b.rect());
+            }
+        }
     }
 
     #[test]

@@ -65,17 +65,28 @@ mod tests {
             GridResolution::new(24, 24).unwrap(),
         )
         .unwrap();
-        let backends: [&dyn ThermalBackend; 2] = [&rc, &grid];
-        assert!(backends[0].supports_fast_path());
+        let grid_steady = GridThermalSimulator::new(
+            &fp,
+            &PackageConfig::default(),
+            GridResolution::new(24, 24).unwrap(),
+        )
+        .unwrap()
+        .with_fidelity(SimulationFidelity::SteadyState);
+        let backends: [&dyn ThermalBackend; 3] = [&rc, &grid, &grid_steady];
+        // Both default backends are full fidelity with a fast path.
+        for b in &backends[..2] {
+            assert!(b.supports_fast_path());
+            assert_eq!(ThermalBackend::fidelity(*b), SimulationFidelity::Transient);
+        }
+        // The steady-state grid is the modification-1 upper-bound model: no
+        // transient is ever integrated, so no fast path either.
+        assert!(!backends[2].supports_fast_path());
         assert_eq!(
-            ThermalBackend::fidelity(backends[0]),
-            SimulationFidelity::Transient
-        );
-        assert!(!backends[1].supports_fast_path());
-        assert_eq!(
-            ThermalBackend::fidelity(backends[1]),
+            ThermalBackend::fidelity(backends[2]),
             SimulationFidelity::SteadyState
         );
+        assert_eq!(backends[1].backend_name(), "grid-transient");
+        assert_eq!(backends[2].backend_name(), "grid-steady-state");
         for b in backends {
             assert_eq!(b.block_count(), fp.block_count());
             assert!(!b.backend_name().is_empty());

@@ -5,21 +5,26 @@
 //! for validation — also offers a *grid mode* in which the die is discretised
 //! into a regular mesh of thermal cells, which resolves intra-block gradients
 //! and the exact geometry of hot-spot formation. This module provides the
-//! equivalent: a steady-state grid model assembled as a sparse system and
-//! solved with the conjugate-gradient solver from `thermsched-linalg`.
+//! equivalent.
 //!
-//! The grid model is intentionally steady-state only: the paper's
-//! modification 1 uses steady-state temperatures as upper bounds of the
-//! transient session profile, and the scheduler consumes the model through
-//! the same [`ThermalSimulator`] trait as the block-level simulator, so the
-//! two can be swapped to study guidance-vs-validation fidelity.
+//! The grid model solves both fidelities. Its steady state (the paper's
+//! modification 1 upper bound) is assembled as a sparse system and solved
+//! directly through a banded Cholesky factorisation of the conductance
+//! matrix, built once at construction; its transient response integrates the same
+//! network with per-cell die capacitances through an implicit-Euler
+//! recurrence whose stepping matrix `C/Δt + G` is factorised exactly once
+//! per (grid shape, Δt) by [`thermsched_linalg::BandedCholesky`] — every
+//! step is then one allocation-free `O(n · b)` banded solve. The scheduler
+//! consumes the model through the same [`ThermalSimulator`] trait as the
+//! block-level simulator, so the two can be swapped to study
+//! guidance-vs-validation fidelity at either granularity.
 
 use thermsched_floorplan::{BlockId, Floorplan};
-use thermsched_linalg::{ConjugateGradient, CsrMatrix, Triplet};
+use thermsched_linalg::{BandedCholesky, CsrMatrix, ImplicitStepOperator, Triplet};
 
 use crate::{
-    PackageConfig, PowerMap, Result, SessionThermalResult, Temperatures, ThermalError,
-    ThermalSimulator,
+    PackageConfig, PowerMap, Result, SessionThermalResult, SimulationFidelity, Temperatures,
+    ThermalError, ThermalSimulator, TransientConfig, TransientMethod, TransientResult,
 };
 
 /// Resolution of the thermal grid.
@@ -68,7 +73,7 @@ impl GridResolution {
     }
 }
 
-/// Steady-state grid thermal simulator.
+/// Fine-grained grid thermal simulator.
 ///
 /// The die bounding box is divided into `columns × rows` cells. Each cell is
 /// coupled laterally to its four neighbours through the silicon sheet
@@ -76,6 +81,23 @@ impl GridResolution {
 /// interface and (area-apportioned) package resistance. Cell powers are the
 /// block powers spread uniformly over the cells whose centres fall inside the
 /// block.
+///
+/// Sessions are evaluated at the configured [`SimulationFidelity`]:
+///
+/// * [`SimulationFidelity::Transient`] (the default) integrates the cell
+///   network `C · dΔT/dt = P − G · ΔT` with implicit Euler, where each
+///   cell's capacitance is the die material's heat capacity over the cell
+///   volume and the package is treated as a quasi-static resistance (its
+///   own time constants are seconds-scale and only *delay* heating, so the
+///   approximation is conservative). The stepping matrix is factorised
+///   once at construction; with [`TransientMethod::Auto`] a from-ambient
+///   constant-power session skips per-step maximum tracking entirely,
+///   because the implicit-Euler iterates rise monotonically from rest (the
+///   stepping matrix is an M-matrix and cell powers are non-negative), so
+///   the per-block session maximum provably equals the final value.
+/// * [`SimulationFidelity::SteadyState`] reports the steady-state solution
+///   as the per-block maximum — the paper's "modification 1" upper bound,
+///   selected via [`GridThermalSimulator::with_fidelity`].
 ///
 /// # Example
 ///
@@ -96,19 +118,25 @@ impl GridResolution {
 #[derive(Debug)]
 pub struct GridThermalSimulator {
     resolution: GridResolution,
-    /// Sparse conductance matrix over grid cells (W/K).
-    conductance: CsrMatrix,
     /// For each cell, the floorplan block covering its centre (if any).
     cell_block: Vec<Option<BlockId>>,
     /// For each block, the indices of its cells.
     block_cells: Vec<Vec<usize>>,
     block_count: usize,
     ambient: f64,
-    solver: ConjugateGradient,
+    /// Factorised steady-state conductance matrix `G` over the cells.
+    steady: BandedCholesky,
+    /// Factorised implicit-Euler stepping matrix `C/Δt + G` over the cells.
+    step: ImplicitStepOperator,
+    time_step: f64,
+    method: TransientMethod,
+    fidelity: SimulationFidelity,
 }
 
 impl GridThermalSimulator {
-    /// Builds the grid model for a floorplan, package and resolution.
+    /// Builds the grid model for a floorplan, package and resolution, with
+    /// the default transient configuration ([`TransientConfig::default`]:
+    /// 1 ms steps, [`TransientMethod::Auto`]) and transient fidelity.
     ///
     /// # Errors
     ///
@@ -120,7 +148,29 @@ impl GridThermalSimulator {
         package: &PackageConfig,
         resolution: GridResolution,
     ) -> Result<Self> {
+        Self::with_config(floorplan, package, resolution, TransientConfig::default())
+    }
+
+    /// Builds the grid model with an explicit transient configuration (time
+    /// step and solution path for from-ambient sessions).
+    ///
+    /// # Errors
+    ///
+    /// * [`ThermalError::InvalidDuration`] if the time step is non-positive
+    ///   or non-finite.
+    /// * See [`GridThermalSimulator::new`] for the remaining cases.
+    pub fn with_config(
+        floorplan: &Floorplan,
+        package: &PackageConfig,
+        resolution: GridResolution,
+        transient: TransientConfig,
+    ) -> Result<Self> {
         package.validate()?;
+        if !(transient.time_step > 0.0 && transient.time_step.is_finite()) {
+            return Err(ThermalError::InvalidDuration {
+                value: transient.time_step,
+            });
+        }
         let bounds = floorplan.bounds();
         let nx = resolution.columns;
         let ny = resolution.rows;
@@ -228,15 +278,52 @@ impl GridThermalSimulator {
         let conductance =
             CsrMatrix::from_triplets(resolution.cell_count(), resolution.cell_count(), &triplets)?;
 
+        // Per-cell thermal capacitance: die material heat capacity over the
+        // cell volume. The package stack is treated as quasi-static
+        // resistance (see the type-level docs).
+        let cell_capacitance = package.die_material.volumetric_heat_capacity * cell_area * t_die;
+        let capacitance = vec![cell_capacitance; resolution.cell_count()];
+        let step = ImplicitStepOperator::new(&conductance, &capacitance, transient.time_step)?;
+        // Factor the steady-state system too: G is SPD and banded just like
+        // the stepping matrix, so every steady solve is one O(n·b) pass
+        // instead of tens of conjugate-gradient matrix sweeps.
+        let steady = BandedCholesky::new(&conductance)?;
+
         Ok(GridThermalSimulator {
             resolution,
-            conductance,
             cell_block,
             block_cells,
             block_count: floorplan.block_count(),
             ambient: package.ambient,
-            solver: ConjugateGradient::new().with_tolerance(1e-9),
+            steady,
+            step,
+            time_step: transient.time_step,
+            method: transient.method,
+            fidelity: SimulationFidelity::default(),
         })
+    }
+
+    /// Selects how session maxima are computed: the full transient
+    /// integration (default) or the steady-state upper bound.
+    #[must_use]
+    pub fn with_fidelity(mut self, fidelity: SimulationFidelity) -> Self {
+        self.fidelity = fidelity;
+        self
+    }
+
+    /// The configured fidelity.
+    pub fn fidelity(&self) -> SimulationFidelity {
+        self.fidelity
+    }
+
+    /// The transient integration time step in seconds.
+    pub fn time_step(&self) -> f64 {
+        self.time_step
+    }
+
+    /// The transient method from-ambient session simulations are served by.
+    pub fn transient_method(&self) -> TransientMethod {
+        self.method
     }
 
     /// The grid resolution.
@@ -265,8 +352,111 @@ impl GridThermalSimulator {
     ///
     /// * [`ThermalError::PowerLengthMismatch`] if the power map does not cover
     ///   the floorplan's blocks.
-    /// * [`ThermalError::Solver`] if the conjugate-gradient solve fails.
+    /// * [`ThermalError::Solver`] if the banded solve fails.
     pub fn cell_temperatures(&self, power: &PowerMap) -> Result<Vec<f64>> {
+        let rhs = self.cell_power_vector(power)?;
+        let solution = self.steady.solve(&rhs)?;
+        Ok(solution.iter().map(|dt| dt + self.ambient).collect())
+    }
+
+    /// Cell temperatures (°C) after integrating `duration` seconds of
+    /// constant power from a uniformly ambient die with implicit Euler.
+    ///
+    /// # Errors
+    ///
+    /// * [`ThermalError::PowerLengthMismatch`] if the power map does not
+    ///   cover the floorplan's blocks.
+    /// * [`ThermalError::InvalidDuration`] if `duration` is non-positive or
+    ///   non-finite.
+    pub fn transient_cell_temperatures(&self, power: &PowerMap, duration: f64) -> Result<Vec<f64>> {
+        let (cells, _, _) = self.integrate_from_ambient(power, duration, false)?;
+        Ok(cells)
+    }
+
+    /// Integrates `duration` seconds of constant power from a uniformly
+    /// ambient die and reduces the cell response to per-block results, the
+    /// grid counterpart of [`crate::TransientSolver::simulate_from_ambient`].
+    ///
+    /// With [`TransientMethod::Auto`] the per-step maximum tracking is
+    /// skipped: from rest under constant non-negative power the
+    /// implicit-Euler iterates rise monotonically (the stepping matrix
+    /// `C/Δt + G` is an M-matrix, so its inverse is element-wise
+    /// non-negative), hence the interval maximum of every cell equals its
+    /// final value exactly. [`TransientMethod::ImplicitEuler`] tracks the
+    /// running maximum every step — the reference the fast path is
+    /// validated against.
+    ///
+    /// # Errors
+    ///
+    /// See [`GridThermalSimulator::transient_cell_temperatures`].
+    pub fn transient(&self, power: &PowerMap, duration: f64) -> Result<TransientResult> {
+        let track_maxima = !self.method.uses_fast_path();
+        let (final_cells, max_cells, steps) =
+            self.integrate_from_ambient(power, duration, track_maxima)?;
+        let means: Vec<f64> = self
+            .block_cells
+            .iter()
+            .map(|ids| ids.iter().map(|&c| final_cells[c]).sum::<f64>() / ids.len() as f64)
+            .collect();
+        Ok(TransientResult {
+            // On the fast path max == final by the monotone-rise argument.
+            max_block_temperatures: self.block_maxima(max_cells.as_deref().unwrap_or(&final_cells)),
+            final_temperatures: Temperatures::new(means, self.block_count),
+            steps,
+            duration,
+        })
+    }
+
+    /// The implicit-Euler integration loop shared by the transient entry
+    /// points. Returns the final absolute cell temperatures, the per-cell
+    /// running maxima (when `track_maxima` is set), and the step count.
+    #[allow(clippy::type_complexity)]
+    fn integrate_from_ambient(
+        &self,
+        power: &PowerMap,
+        duration: f64,
+        track_maxima: bool,
+    ) -> Result<(Vec<f64>, Option<Vec<f64>>, usize)> {
+        if !(duration > 0.0 && duration.is_finite()) {
+            return Err(ThermalError::InvalidDuration { value: duration });
+        }
+        let p = self.cell_power_vector(power)?;
+        let n = self.cell_count();
+        let steps = (duration / self.time_step).ceil().max(1.0) as usize;
+
+        // State is the temperature rise over ambient; buffers are allocated
+        // once here and the step loop itself is allocation-free.
+        let mut rise = vec![0.0; n];
+        let mut next = vec![0.0; n];
+        let mut scratch = vec![0.0; n];
+        if !track_maxima {
+            // Fast path: from-ambient iterates rise monotonically, so no
+            // per-step maxima are needed — the whole run is the operator's
+            // canned from-rest advance.
+            self.step
+                .advance_from_rest_into(&p, steps, &mut rise, &mut next, &mut scratch)?;
+            let final_cells: Vec<f64> = rise.iter().map(|r| r + self.ambient).collect();
+            return Ok((final_cells, None, steps));
+        }
+        // Reference path: track the per-cell running maximum every step.
+        let mut max_rise = vec![0.0; n];
+        for _ in 0..steps {
+            self.step.step_into(&rise, &p, &mut next, &mut scratch)?;
+            std::mem::swap(&mut rise, &mut next);
+            for (m, &r) in max_rise.iter_mut().zip(&rise) {
+                if r > *m {
+                    *m = r;
+                }
+            }
+        }
+
+        let final_cells: Vec<f64> = rise.iter().map(|r| r + self.ambient).collect();
+        let max_cells: Vec<f64> = max_rise.iter().map(|r| r + self.ambient).collect();
+        Ok((final_cells, Some(max_cells), steps))
+    }
+
+    /// Spreads the per-block power map uniformly over each block's cells.
+    fn cell_power_vector(&self, power: &PowerMap) -> Result<Vec<f64>> {
         if power.block_count() != self.block_count {
             return Err(ThermalError::PowerLengthMismatch {
                 expected: self.block_count,
@@ -283,8 +473,7 @@ impl GridThermalSimulator {
                 }
             }
         }
-        let solution = self.solver.solve(&self.conductance, &rhs)?;
-        Ok(solution.x.iter().map(|dt| dt + self.ambient).collect())
+        Ok(rhs)
     }
 
     /// Reduces cell temperatures to per-block maxima.
@@ -302,17 +491,21 @@ impl GridThermalSimulator {
 
 impl crate::ThermalBackend for GridThermalSimulator {
     fn fidelity(&self) -> crate::SimulationFidelity {
-        // Modification 1 of the paper: the steady-state solution is the
-        // per-block maximum, an upper bound of the transient profile.
-        crate::SimulationFidelity::SteadyState
+        self.fidelity
     }
 
     fn supports_fast_path(&self) -> bool {
-        false
+        // From-ambient constant-power sessions skip max tracking through the
+        // monotone-rise argument and run on the precomputed banded
+        // factorisation; a steady-state-fidelity grid never integrates.
+        self.fidelity == SimulationFidelity::Transient && self.method.uses_fast_path()
     }
 
     fn backend_name(&self) -> &'static str {
-        "grid-steady-state"
+        match self.fidelity {
+            SimulationFidelity::Transient => "grid-transient",
+            SimulationFidelity::SteadyState => "grid-steady-state",
+        }
     }
 }
 
@@ -326,23 +519,35 @@ impl ThermalSimulator for GridThermalSimulator {
     }
 
     fn simulate_session(&self, power: &PowerMap, duration: f64) -> Result<SessionThermalResult> {
-        if !(duration > 0.0 && duration.is_finite()) {
-            return Err(ThermalError::InvalidDuration { value: duration });
+        match self.fidelity {
+            SimulationFidelity::Transient => {
+                let r = self.transient(power, duration)?;
+                Ok(SessionThermalResult {
+                    max_block_temperatures: r.max_block_temperatures,
+                    final_temperatures: r.final_temperatures,
+                    duration,
+                })
+            }
+            SimulationFidelity::SteadyState => {
+                if !(duration > 0.0 && duration.is_finite()) {
+                    return Err(ThermalError::InvalidDuration { value: duration });
+                }
+                let cells = self.cell_temperatures(power)?;
+                let max_block_temperatures = self.block_maxima(&cells);
+                // Report per-block mean temperature as the "final" value;
+                // the maxima already capture the hot spots.
+                let means: Vec<f64> = self
+                    .block_cells
+                    .iter()
+                    .map(|ids| ids.iter().map(|&c| cells[c]).sum::<f64>() / ids.len() as f64)
+                    .collect();
+                Ok(SessionThermalResult {
+                    max_block_temperatures,
+                    final_temperatures: Temperatures::new(means, self.block_count),
+                    duration,
+                })
+            }
         }
-        let cells = self.cell_temperatures(power)?;
-        let max_block_temperatures = self.block_maxima(&cells);
-        // Report per-block mean temperature as the "final" value; the maxima
-        // already capture the hot spots.
-        let means: Vec<f64> = self
-            .block_cells
-            .iter()
-            .map(|ids| ids.iter().map(|&c| cells[c]).sum::<f64>() / ids.len() as f64)
-            .collect();
-        Ok(SessionThermalResult {
-            max_block_temperatures,
-            final_temperatures: Temperatures::new(means, self.block_count),
-            duration,
-        })
     }
 
     fn steady_state(&self, power: &PowerMap) -> Result<Temperatures> {
@@ -499,6 +704,131 @@ mod tests {
         assert_eq!(session.max_block_temperatures.len(), fp.block_count());
         assert!(sim.simulate_session(&p, 0.0).is_err());
         assert!(sim.simulate_session(&PowerMap::zeros(3), 1.0).is_err());
+    }
+
+    #[test]
+    fn transient_session_is_bounded_by_its_steady_state() {
+        let (sim, fp) = grid_sim(16);
+        let mut p = PowerMap::zeros(fp.block_count());
+        p.set(fp.index_of("IntExec").unwrap(), 18.0).unwrap();
+        p.set(fp.index_of("Dcache").unwrap(), 12.0).unwrap();
+        let steady = sim.steady_state(&p).unwrap();
+        let mut previous = vec![sim.ambient(); fp.block_count()];
+        for duration in [0.01, 0.05, 0.25, 1.0] {
+            let session = sim.simulate_session(&p, duration).unwrap();
+            for (block, prev) in previous.iter_mut().enumerate() {
+                let t = session.block_max_temperature(block);
+                assert!(
+                    t <= steady.block(block) + 1e-6,
+                    "block {block} at {duration}s: {t} above steady {}",
+                    steady.block(block)
+                );
+                assert!(
+                    t + 1e-9 >= *prev,
+                    "block {block}: transient must rise with session length"
+                );
+                *prev = t;
+            }
+        }
+    }
+
+    #[test]
+    fn transient_fast_path_matches_the_reference_exactly() {
+        let fp = library::alpha21364();
+        let resolution = GridResolution::new(16, 16).unwrap();
+        let fast = GridThermalSimulator::new(&fp, &PackageConfig::default(), resolution).unwrap();
+        let reference = GridThermalSimulator::with_config(
+            &fp,
+            &PackageConfig::default(),
+            resolution,
+            crate::TransientConfig::reference(),
+        )
+        .unwrap();
+        assert_eq!(fast.transient_method(), TransientMethod::Auto);
+        assert_eq!(reference.transient_method(), TransientMethod::ImplicitEuler);
+        let mut p = PowerMap::zeros(fp.block_count());
+        p.set(fp.index_of("FPMul").unwrap(), 14.0).unwrap();
+        p.set(fp.index_of("Bpred").unwrap(), 6.0).unwrap();
+        for duration in [0.003, 0.04, 0.3] {
+            let f = fast.transient(&p, duration).unwrap();
+            let r = reference.transient(&p, duration).unwrap();
+            assert_eq!(f.steps, r.steps);
+            // From ambient the monotone-rise argument makes the two paths
+            // bit-identical: skipping max tracking loses nothing.
+            assert_eq!(f.max_block_temperatures, r.max_block_temperatures);
+            assert_eq!(f.final_temperatures, r.final_temperatures);
+        }
+    }
+
+    #[test]
+    fn long_transient_sessions_converge_to_the_steady_state() {
+        let fp = library::alpha21364();
+        let sim = GridThermalSimulator::with_config(
+            &fp,
+            &PackageConfig::default(),
+            GridResolution::new(16, 16).unwrap(),
+            crate::TransientConfig {
+                time_step: 5e-3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(sim.time_step(), 5e-3);
+        let mut p = PowerMap::zeros(fp.block_count());
+        p.set(fp.index_of("IntExec").unwrap(), 20.0).unwrap();
+        let steady = sim.cell_temperatures(&p).unwrap();
+        let settled = sim.transient_cell_temperatures(&p, 2.0).unwrap();
+        for (t, s) in settled.iter().zip(&steady) {
+            let rise = (s - sim.ambient()).abs().max(1.0);
+            assert!(
+                (t - s).abs() < 5e-3 * rise,
+                "cell should be settled: {t} vs {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn fidelity_selects_the_session_evaluation() {
+        use crate::ThermalBackend;
+        let (sim, fp) = grid_sim(16);
+        assert_eq!(sim.fidelity(), SimulationFidelity::Transient);
+        assert!(sim.supports_fast_path());
+        assert_eq!(ThermalBackend::backend_name(&sim), "grid-transient");
+        let mut p = PowerMap::zeros(fp.block_count());
+        p.set(fp.index_of("IntExec").unwrap(), 15.0).unwrap();
+        let transient = sim.simulate_session(&p, 0.05).unwrap();
+        let sim = sim.with_fidelity(SimulationFidelity::SteadyState);
+        assert!(!sim.supports_fast_path());
+        assert_eq!(ThermalBackend::backend_name(&sim), "grid-steady-state");
+        let steady = sim.simulate_session(&p, 0.05).unwrap();
+        // The short transient sits strictly below the steady upper bound.
+        assert!(transient.max_temperature() < steady.max_temperature());
+        // Steady-fidelity sessions reproduce the steady-state solution.
+        let direct = sim.steady_state(&p).unwrap();
+        for block in 0..fp.block_count() {
+            assert!((steady.block_max_temperature(block) - direct.block(block)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transient_entry_points_validate_inputs() {
+        let (sim, fp) = grid_sim(16);
+        let p = PowerMap::zeros(fp.block_count());
+        assert!(sim.transient(&p, 0.0).is_err());
+        assert!(sim.transient(&p, f64::NAN).is_err());
+        assert!(sim.transient(&PowerMap::zeros(3), 1.0).is_err());
+        assert!(sim.transient_cell_temperatures(&p, -1.0).is_err());
+        let bad = crate::TransientConfig {
+            time_step: 0.0,
+            ..Default::default()
+        };
+        assert!(GridThermalSimulator::with_config(
+            &library::alpha21364(),
+            &PackageConfig::default(),
+            GridResolution::new(16, 16).unwrap(),
+            bad,
+        )
+        .is_err());
     }
 
     #[test]

@@ -28,6 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let runner = ServiceRunner::new(ServiceConfig {
         workers: 4,
         store: StoreKind::Sharded { shards: 8 },
+        ..ServiceConfig::default()
     })?;
     let report = runner.run(&corpus)?;
 

@@ -2,7 +2,10 @@
 //! behave identically through the trait object — consistent geometry,
 //! consistent session results, honest capability discovery — and must drive
 //! the whole scheduling stack (scheduler, validator, engine) behind the
-//! erased type.
+//! erased type. Since the grid model gained its transient path, the suite
+//! exercises the transient evaluation on *both* simulators (RC fast and
+//! reference, grid fast and reference) plus the steady-state upper-bound
+//! variants of each.
 
 use thermsched::{
     CoreViolationPolicy, Engine, ScheduleValidator, SchedulerConfig, SequentialScheduler,
@@ -11,10 +14,36 @@ use thermsched::{
 use thermsched_soc::library;
 use thermsched_thermal::{
     GridResolution, GridThermalSimulator, PackageConfig, PowerMap, RcThermalSimulator,
-    SimulationFidelity, ThermalBackend,
+    SimulationFidelity, ThermalBackend, TransientConfig,
 };
 
-/// The three library backend configurations, type-erased.
+/// Grid configuration used throughout: fine enough for every Alpha block to
+/// own cells, coarse steps so full scheduler runs stay cheap in debug
+/// builds (the transient path is exact at any step size; only resolution in
+/// time changes).
+fn grid(
+    fp: &thermsched_floorplan::Floorplan,
+    fidelity: SimulationFidelity,
+    config: TransientConfig,
+) -> GridThermalSimulator {
+    GridThermalSimulator::with_config(
+        fp,
+        &PackageConfig::default(),
+        GridResolution::new(16, 16).unwrap(),
+        config,
+    )
+    .unwrap()
+    .with_fidelity(fidelity)
+}
+
+fn coarse_steps() -> TransientConfig {
+    TransientConfig {
+        time_step: 1e-2,
+        ..TransientConfig::default()
+    }
+}
+
+/// The library backend configurations, type-erased.
 fn backends(sut: &thermsched_soc::SystemUnderTest) -> Vec<(&'static str, Box<dyn ThermalBackend>)> {
     let fp = sut.floorplan();
     vec![
@@ -27,15 +56,23 @@ fn backends(sut: &thermsched_soc::SystemUnderTest) -> Vec<(&'static str, Box<dyn
             Box::new(RcThermalSimulator::reference_from_floorplan(fp).unwrap()),
         ),
         (
+            "grid-transient",
+            Box::new(grid(fp, SimulationFidelity::Transient, coarse_steps())),
+        ),
+        (
+            "grid-reference",
+            Box::new(grid(
+                fp,
+                SimulationFidelity::Transient,
+                TransientConfig {
+                    time_step: 1e-2,
+                    ..TransientConfig::reference()
+                },
+            )),
+        ),
+        (
             "grid-steady",
-            Box::new(
-                GridThermalSimulator::new(
-                    fp,
-                    &PackageConfig::default(),
-                    GridResolution::new(32, 32).unwrap(),
-                )
-                .unwrap(),
-            ),
+            Box::new(grid(fp, SimulationFidelity::SteadyState, coarse_steps())),
         ),
     ]
 }
@@ -51,6 +88,8 @@ fn every_backend_reports_consistent_geometry_and_capabilities() {
         let (expect_fast, expect_fidelity) = match label {
             "rc-fast-default" => (true, SimulationFidelity::Transient),
             "rc-reference" => (false, SimulationFidelity::Transient),
+            "grid-transient" => (true, SimulationFidelity::Transient),
+            "grid-reference" => (false, SimulationFidelity::Transient),
             "grid-steady" => (false, SimulationFidelity::SteadyState),
             other => panic!("unexpected backend label {other}"),
         };
@@ -100,6 +139,58 @@ fn every_backend_validates_inputs_and_bounds_sessions_by_steady_state() {
 }
 
 #[test]
+fn transient_backends_grow_monotonically_with_session_length() {
+    // The transient evaluation, exercised through `dyn` on both simulator
+    // families: longer from-ambient constant-power sessions can only get
+    // hotter, and the fast and reference paths of each family agree.
+    let sut = library::alpha21364_sut();
+    let mut power = PowerMap::zeros(sut.core_count());
+    power.set(3, 12.0).unwrap();
+    power.set(11, 9.0).unwrap();
+    let all = backends(&sut);
+    for (label, backend) in &all {
+        if backend.fidelity() != SimulationFidelity::Transient {
+            continue;
+        }
+        let backend: &dyn ThermalBackend = backend.as_ref();
+        let mut previous = backend.ambient();
+        for duration in [0.02, 0.1, 0.5] {
+            let t = backend.simulate_session(&power, duration).unwrap();
+            assert!(
+                t.max_temperature() + 1e-9 >= previous,
+                "{label}: session max fell as the session grew"
+            );
+            previous = t.max_temperature();
+        }
+    }
+    for pair in [
+        ["rc-fast-default", "rc-reference"],
+        ["grid-transient", "grid-reference"],
+    ] {
+        let find = |name: &str| {
+            all.iter()
+                .find(|(label, _)| *label == name)
+                .map(|(_, b)| b.as_ref())
+                .unwrap()
+        };
+        let fast = find(pair[0]).simulate_session(&power, 0.5).unwrap();
+        let reference = find(pair[1]).simulate_session(&power, 0.5).unwrap();
+        for (a, b) in fast
+            .max_block_temperatures
+            .iter()
+            .zip(&reference.max_block_temperatures)
+        {
+            assert!(
+                (a - b).abs() < 1e-6,
+                "{} vs {}: fast and reference paths disagree ({a} vs {b})",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+}
+
+#[test]
 fn scheduler_and_validator_run_behind_the_erased_type() {
     let sut = library::alpha21364_sut();
     for (label, backend) in backends(&sut) {
@@ -114,9 +205,10 @@ fn scheduler_and_validator_run_behind_the_erased_type() {
         assert_eq!(eval.sessions.len(), sut.core_count(), "{label}");
 
         // The full scheduler runs through `dyn` too. The grid backend's
-        // steady-state maxima are upper bounds well above the transient
-        // profile, so the conformance run raises the limit when a core
-        // exceeds it alone instead of assuming the RC calibration.
+        // maxima sit above the RC calibration (finer hot spots; and in
+        // steady fidelity they are upper bounds), so the conformance run
+        // raises the limit when a core exceeds it alone instead of assuming
+        // the RC calibration.
         let config = SchedulerConfig::new(200.0, 60.0)
             .unwrap()
             .with_core_violation_policy(CoreViolationPolicy::RaiseLimit { margin: 5.0 });

@@ -180,14 +180,22 @@ fn figure1_system_schedules_separate_hot_cores() {
 fn scheduler_accepts_the_grid_simulator_as_validator() {
     // The scheduler is generic over `ThermalSimulator`; the fine-grained grid
     // model (HotSpot's "grid mode" analogue) can replace the block-level RC
-    // model as the validating simulator.
-    use thermsched_thermal::{GridResolution, GridThermalSimulator, PackageConfig};
+    // model as the validating simulator — since PR 5 on its full-fidelity
+    // transient path (coarse 10 ms steps keep the debug-build run cheap; the
+    // path is exact at any step size).
+    use thermsched_thermal::{
+        GridResolution, GridThermalSimulator, PackageConfig, TransientConfig,
+    };
 
     let sut = library::alpha21364_sut();
-    let grid = GridThermalSimulator::new(
+    let grid = GridThermalSimulator::with_config(
         sut.floorplan(),
         &PackageConfig::default(),
-        GridResolution::new(32, 32).unwrap(),
+        GridResolution::new(16, 16).unwrap(),
+        TransientConfig {
+            time_step: 1e-2,
+            ..TransientConfig::default()
+        },
     )
     .unwrap();
     let config = SchedulerConfig::new(170.0, 60.0).unwrap();

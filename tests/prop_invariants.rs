@@ -6,7 +6,10 @@ use thermsched::{CoreWeights, SchedulerConfig, SessionThermalModel, ThermalAware
 use thermsched_floorplan::{library as fp_library, Block, Floorplan};
 use thermsched_linalg::{CholeskyDecomposition, DenseMatrix, LuDecomposition};
 use thermsched_soc::{SystemUnderTest, TestSpec};
-use thermsched_thermal::{PackageConfig, PowerMap, RcThermalSimulator, ThermalSimulator};
+use thermsched_thermal::{
+    GridResolution, GridThermalSimulator, PackageConfig, PowerMap, RcThermalSimulator,
+    ThermalSimulator, TransientConfig,
+};
 
 /// Strategy: a diagonally dominant symmetric positive-definite matrix.
 fn spd_matrix(n: usize) -> impl Strategy<Value = DenseMatrix> {
@@ -133,6 +136,48 @@ proptest! {
 proptest! {
     // Smaller case count: each case builds a floorplan and simulator.
     #![proptest_config(ProptestConfig::with_cases(12).with_rng_seed(PINNED_RNG_SEED))]
+
+    #[test]
+    fn grid_transient_rises_monotonically_and_converges_to_steady_state(
+        watts in 2.0f64..12.0,
+        block in 0usize..9,
+    ) {
+        // Under constant power from ambient the grid transient is
+        // monotonically non-decreasing in session length, and it converges
+        // to `steady_state()` as the session grows (the implicit-Euler
+        // fixed point IS the steady state; the grid's slowest time constant
+        // is tens of milliseconds, so 2.4 s is deep in the settled regime).
+        let fp = fp_library::uniform_grid(3, 3, 4.0);
+        let sim = GridThermalSimulator::with_config(
+            &fp,
+            &PackageConfig::default(),
+            GridResolution::new(9, 9).unwrap(),
+            TransientConfig { time_step: 2e-2, ..TransientConfig::default() },
+        ).unwrap();
+        let mut p = PowerMap::zeros(9);
+        p.set(block, watts).unwrap();
+        let steady = sim.steady_state(&p).unwrap();
+        let mut previous = [sim.ambient(); 9];
+        for duration in [0.05, 0.2, 0.8, 2.4] {
+            let session = sim.simulate_session(&p, duration).unwrap();
+            for (b, prev) in previous.iter_mut().enumerate() {
+                let t = session.block_max_temperature(b);
+                prop_assert!(t + 1e-9 >= *prev, "block {b} fell at {duration}s");
+                prop_assert!(t <= steady.block(b) + 1e-6, "block {b} above steady bound");
+                *prev = t;
+            }
+        }
+        let long = sim.simulate_session(&p, 2.4).unwrap();
+        for b in 0..9 {
+            let rise = (steady.block(b) - sim.ambient()).abs().max(0.5);
+            prop_assert!(
+                (long.block_max_temperature(b) - steady.block(b)).abs() < 0.02 * rise,
+                "block {b} not converged: {} vs steady {}",
+                long.block_max_temperature(b),
+                steady.block(b)
+            );
+        }
+    }
 
     #[test]
     fn two_block_systems_never_overheat_when_tested_sequentially(

@@ -26,10 +26,14 @@ fn corpus_spec() -> ScenarioSpec {
 
 fn run(workers: usize, store: StoreKind) -> ServiceReport {
     let corpus = corpus_spec().build().expect("spec is valid");
-    ServiceRunner::new(ServiceConfig { workers, store })
-        .expect("config is valid")
-        .run(&corpus)
-        .expect("batch runs")
+    ServiceRunner::new(ServiceConfig {
+        workers,
+        store,
+        ..ServiceConfig::default()
+    })
+    .expect("config is valid")
+    .run(&corpus)
+    .expect("batch runs")
 }
 
 #[test]
