@@ -45,6 +45,7 @@ fn config(operator_cache: bool) -> ServiceConfig {
         store: StoreKind::Sharded { shards: 8 },
         backend: BackendKind::GridTransient { cells_per_core: 4 },
         operator_cache,
+        batch_same_shape: true,
     }
 }
 

@@ -87,6 +87,20 @@
 //! upper-bound behaviour is one call away via
 //! `.with_fidelity(SimulationFidelity::SteadyState)`.
 //!
+//! PR 6 adds `TransientMethod::Adi` (Peaceman–Rachford alternating
+//! directions, `O(n)` per step, for 96×96+ cell grids) next to the existing
+//! `Auto` and `ImplicitEuler` variants. This is purely additive: `Auto`
+//! remains the default and no existing configuration changes meaning. Two
+//! consequences for exhaustive matches and capability checks:
+//!
+//! * code matching on `TransientMethod` exhaustively gains an arm
+//!   (`TransientMethod::Adi`, selected via
+//!   `TransientConfig::with_method`); the grid backend then reports
+//!   `backend_name() == "grid-transient-adi"`;
+//! * `uses_fast_path()` (and therefore `supports_fast_path()`) is `false`
+//!   for ADI — its iterates are not provably monotone, so session maxima
+//!   are tracked per step rather than read off the final state.
+//!
 //! # Scaling out
 //!
 //! For many scheduling runs over many systems, the `thermsched_service`

@@ -14,6 +14,19 @@
 
 use crate::{Block, Floorplan};
 
+/// Minimum and maximum of a value set, or `None` when it is empty.
+///
+/// The library's spread checks (block areas, power densities) used to fold
+/// with `f64::INFINITY` / `0.0` seeds, which silently produce an
+/// infinite-ratio "spread" for an empty slice; this helper makes the empty
+/// case unrepresentable instead of sentinel-valued.
+pub fn value_spread(values: impl IntoIterator<Item = f64>) -> Option<(f64, f64)> {
+    values.into_iter().fold(None, |acc, v| match acc {
+        None => Some((v, v)),
+        Some((lo, hi)) => Some((lo.min(v), hi.max(v))),
+    })
+}
+
 /// The 15-block Alpha-21364-like floorplan used by the paper's experimental
 /// evaluation (Section 4).
 ///
@@ -149,11 +162,19 @@ mod tests {
     #[test]
     fn alpha21364_has_wide_area_spread() {
         let fp = alpha21364();
-        let areas: Vec<f64> = fp.blocks().iter().map(|b| b.area_mm2()).collect();
-        let max = areas.iter().cloned().fold(0.0, f64::max);
-        let min = areas.iter().cloned().fold(f64::INFINITY, f64::min);
+        let areas = fp.blocks().iter().map(|b| b.area_mm2());
+        let (min, max) = value_spread(areas).expect("floorplan has blocks");
         // Paper relies on a large power-density spread; area spread of >10x.
         assert!(max / min > 10.0, "area spread too small: {min} .. {max}");
+    }
+
+    #[test]
+    fn value_spread_of_an_empty_set_is_none_not_an_infinite_sentinel() {
+        // Regression: the old INFINITY/0.0 fold seeds turned an empty slice
+        // into an infinite spread that vacuously passed ratio checks.
+        assert_eq!(value_spread([]), None);
+        assert_eq!(value_spread([2.5]), Some((2.5, 2.5)));
+        assert_eq!(value_spread([3.0, -1.0, 2.0]), Some((-1.0, 3.0)));
     }
 
     #[test]

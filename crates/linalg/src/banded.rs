@@ -170,6 +170,14 @@ impl BandedCholesky {
     /// alias but no scratch buffer is needed. Cost is `O(n · b)` per call —
     /// the hot-loop variant used by [`ImplicitStepOperator::step_into`].
     ///
+    /// Both substitution sweeps traverse the factor's band rows
+    /// *contiguously*: the backward sweep is written in column-oriented
+    /// (saxpy) form, so `Lᵀ` is applied through the same cache-friendly row
+    /// slices as `L` instead of striding down a column of band storage. The
+    /// per-element accumulation order is exactly the per-column order of
+    /// [`BandedCholesky::solve_mat_into`], which is what makes the multi-RHS
+    /// path bit-identical to repeated single solves.
+    ///
     /// # Errors
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if `rhs` or `out` has a
@@ -190,7 +198,8 @@ impl BandedCholesky {
         }
         let b = self.bandwidth;
         let width = b + 1;
-        // Forward: L · y = rhs.
+        // Forward: L · y = rhs. One dot product of the band row against the
+        // already-solved prefix per row, accumulated in ascending-j order.
         for i in 0..n {
             let mut sum = rhs[i];
             let lo = i.saturating_sub(b);
@@ -200,17 +209,188 @@ impl BandedCholesky {
             }
             out[i] = sum / self.bands[i * width + b];
         }
-        // Backward: Lᵀ · x = y. Column i of Lᵀ is row i of L.
+        // Backward: Lᵀ · x = y in column-oriented form — once x[i] is known,
+        // its contribution `L[i][j] · x[i]` is swept out of every pending
+        // y[j] through the contiguous band row i (an axpy), instead of each
+        // x[i] gathering its own strided column of Lᵀ.
         for i in (0..n).rev() {
-            let mut sum = out[i];
-            let hi = (i + b).min(n - 1);
-            for (offset, &x) in out[(i + 1)..=hi].iter().enumerate() {
-                let j = i + 1 + offset;
-                sum -= self.bands[j * width + (b - (j - i))] * x;
+            let xi = out[i] / self.bands[i * width + b];
+            out[i] = xi;
+            let lo = i.saturating_sub(b);
+            let row = &self.bands[i * width + (b - (i - lo))..i * width + b];
+            for (l, y) in row.iter().zip(&mut out[lo..i]) {
+                *y -= l * xi;
             }
-            out[i] = sum / self.bands[i * width + b];
         }
         Ok(())
+    }
+
+    /// Solves `A · X = B` for a column-blocked right-hand-side matrix: `rhs`
+    /// and `out` hold `dim × columns` values in row-major layout
+    /// (`rhs[i * columns + c]` is row `i` of column `c`), so the `columns`
+    /// systems advance through one pass over the factor instead of
+    /// re-traversing the band per right-hand side.
+    ///
+    /// The inner kernel is register-blocked four lanes wide: each block of
+    /// four columns runs the whole forward/backward substitution with its
+    /// partial sums held in four independent register accumulators, so one
+    /// pass over the factor advances four systems and the per-row working
+    /// set never round-trips through memory (the naive lane-axpy form
+    /// re-reads and re-writes every lane for every band coefficient, which
+    /// measures no faster than repeated single solves). Lanes of a row are
+    /// independent, so the blocking cannot change any lane's result: per
+    /// column the accumulation order is identical to
+    /// [`BandedCholesky::solve_into`], making this **bit-identical** to
+    /// `columns` single solves — the property suite enforces it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `columns` is zero or
+    /// either slice has a length other than `self.dim() * columns`.
+    pub fn solve_mat_into(&self, rhs: &[f64], out: &mut [f64], columns: usize) -> Result<()> {
+        let n = self.dim;
+        if columns == 0 {
+            return Err(LinalgError::DimensionMismatch {
+                expected: 1,
+                found: 0,
+                context: "BandedCholesky::solve_mat_into columns",
+            });
+        }
+        for (len, context) in [
+            (rhs.len(), "BandedCholesky::solve_mat_into rhs"),
+            (out.len(), "BandedCholesky::solve_mat_into out"),
+        ] {
+            if len != n * columns {
+                return Err(LinalgError::DimensionMismatch {
+                    expected: n * columns,
+                    found: len,
+                    context,
+                });
+            }
+        }
+        let mut c0 = 0;
+        while c0 + 4 <= columns {
+            self.solve_lanes4(rhs, out, columns, c0);
+            c0 += 4;
+        }
+        for c in c0..columns {
+            self.solve_lane(rhs, out, columns, c);
+        }
+        Ok(())
+    }
+
+    /// Solves lanes `c0..c0 + 4` of the row-major `dim × k` system with the
+    /// four partial sums in register accumulators. Per lane the operation
+    /// order matches [`BandedCholesky::solve_into`] exactly.
+    fn solve_lanes4(&self, rhs: &[f64], out: &mut [f64], k: usize, c0: usize) {
+        let n = self.dim;
+        let b = self.bandwidth;
+        let width = b + 1;
+        // Forward: L · Y = B. The four accumulators are independent
+        // dependency chains fed by one contiguous band-row stream.
+        for i in 0..n {
+            let lo = i.saturating_sub(b);
+            let band_row = &self.bands[i * width + (b - (i - lo))..i * width + b];
+            let r = i * k + c0;
+            let mut acc = [rhs[r], rhs[r + 1], rhs[r + 2], rhs[r + 3]];
+            for (l, j) in band_row.iter().zip(lo..i) {
+                let y = &out[j * k + c0..j * k + c0 + 4];
+                acc[0] -= l * y[0];
+                acc[1] -= l * y[1];
+                acc[2] -= l * y[2];
+                acc[3] -= l * y[3];
+            }
+            let diag = self.bands[i * width + b];
+            let row = &mut out[r..r + 4];
+            row[0] = acc[0] / diag;
+            row[1] = acc[1] / diag;
+            row[2] = acc[2] / diag;
+            row[3] = acc[3] / diag;
+        }
+        // Backward: Lᵀ · X = Y in the same column-oriented sweep as
+        // `solve_into` — once a row's four x values are known (and kept in
+        // registers), their contributions sweep out of every pending row.
+        for i in (0..n).rev() {
+            let lo = i.saturating_sub(b);
+            let band_row = &self.bands[i * width + (b - (i - lo))..i * width + b];
+            let diag = self.bands[i * width + b];
+            let r = i * k + c0;
+            let x = [
+                out[r] / diag,
+                out[r + 1] / diag,
+                out[r + 2] / diag,
+                out[r + 3] / diag,
+            ];
+            out[r..r + 4].copy_from_slice(&x);
+            for (l, j) in band_row.iter().zip(lo..i) {
+                let y = &mut out[j * k + c0..j * k + c0 + 4];
+                y[0] -= l * x[0];
+                y[1] -= l * x[1];
+                y[2] -= l * x[2];
+                y[3] -= l * x[3];
+            }
+        }
+    }
+
+    /// Solves the single strided lane `c` of the row-major `dim × k` system
+    /// — the remainder path of [`BandedCholesky::solve_mat_into`], with the
+    /// operation order of [`BandedCholesky::solve_into`].
+    fn solve_lane(&self, rhs: &[f64], out: &mut [f64], k: usize, c: usize) {
+        let n = self.dim;
+        let b = self.bandwidth;
+        let width = b + 1;
+        for i in 0..n {
+            let lo = i.saturating_sub(b);
+            let band_row = &self.bands[i * width + (b - (i - lo))..i * width + b];
+            let mut sum = rhs[i * k + c];
+            for (l, j) in band_row.iter().zip(lo..i) {
+                sum -= l * out[j * k + c];
+            }
+            out[i * k + c] = sum / self.bands[i * width + b];
+        }
+        for i in (0..n).rev() {
+            let lo = i.saturating_sub(b);
+            let band_row = &self.bands[i * width + (b - (i - lo))..i * width + b];
+            let xi = out[i * k + c] / self.bands[i * width + b];
+            out[i * k + c] = xi;
+            for (l, j) in band_row.iter().zip(lo..i) {
+                out[j * k + c] -= l * xi;
+            }
+        }
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`BandedCholesky::solve_mat_into`].
+    ///
+    /// # Errors
+    ///
+    /// See [`BandedCholesky::solve_mat_into`].
+    pub fn solve_mat(&self, rhs: &[f64], columns: usize) -> Result<Vec<f64>> {
+        let mut out = vec![0.0; rhs.len()];
+        self.solve_mat_into(rhs, &mut out, columns)?;
+        Ok(out)
+    }
+}
+
+/// `dst[c] -= coef * src[c]` over all lanes, manually unrolled four wide.
+///
+/// The pinned toolchain is stable (no `std::simd`), so the 4-lane blocks are
+/// spelled out by hand; each lane is an independent dependency chain, which
+/// is what lets the optimiser keep four fused multiply-subtracts in flight.
+/// Per lane the operation is a single `-=`, so unrolling cannot change any
+/// lane's result.
+#[inline]
+pub(crate) fn axpy_neg(coef: f64, src: &[f64], dst: &mut [f64]) {
+    let mut d = dst.chunks_exact_mut(4);
+    let mut s = src.chunks_exact(4);
+    for (d4, s4) in (&mut d).zip(&mut s) {
+        d4[0] -= coef * s4[0];
+        d4[1] -= coef * s4[1];
+        d4[2] -= coef * s4[2];
+        d4[3] -= coef * s4[3];
+    }
+    for (dr, sr) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *dr -= coef * *sr;
     }
 }
 
@@ -372,6 +552,88 @@ impl ImplicitStepOperator {
         state.iter_mut().for_each(|s| *s = 0.0);
         for _ in 0..steps {
             self.step_into(state, power, next, scratch)?;
+            std::mem::swap(state, next);
+        }
+        Ok(())
+    }
+
+    /// Multi-RHS variant of [`ImplicitStepOperator::step_into`]: advances
+    /// `columns` independent states one implicit-Euler step in a single
+    /// matrix-matrix pass. All four buffers are `dim × columns` row-major
+    /// matrices (`state[i * columns + c]` is node `i` of lane `c`). Because
+    /// the stamped right-hand side is elementwise per lane and
+    /// [`BandedCholesky::solve_mat_into`] is bit-identical per column to the
+    /// single solve, the result of lane `c` equals a standalone `step_into`
+    /// on that lane, bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `columns` is zero or any
+    /// slice has a length other than `self.dim() * columns`.
+    pub fn step_mat_into(
+        &self,
+        state: &[f64],
+        power: &[f64],
+        next: &mut [f64],
+        scratch: &mut [f64],
+        columns: usize,
+    ) -> Result<()> {
+        let n = self.dim();
+        if columns == 0 {
+            return Err(LinalgError::DimensionMismatch {
+                expected: 1,
+                found: 0,
+                context: "ImplicitStepOperator::step_mat_into columns",
+            });
+        }
+        for (len, context) in [
+            (state.len(), "ImplicitStepOperator::step_mat_into state"),
+            (power.len(), "ImplicitStepOperator::step_mat_into power"),
+            (scratch.len(), "ImplicitStepOperator::step_mat_into scratch"),
+            (next.len(), "ImplicitStepOperator::step_mat_into next"),
+        ] {
+            if len != n * columns {
+                return Err(LinalgError::DimensionMismatch {
+                    expected: n * columns,
+                    found: len,
+                    context,
+                });
+            }
+        }
+        for (i, &c) in self.capacitance_over_dt.iter().enumerate() {
+            let row = i * columns..(i + 1) * columns;
+            for ((s, &x), &p) in scratch[row.clone()]
+                .iter_mut()
+                .zip(&state[row.clone()])
+                .zip(&power[row])
+            {
+                *s = c * x + p;
+            }
+        }
+        self.factorisation.solve_mat_into(scratch, next, columns)
+    }
+
+    /// Multi-RHS variant of [`ImplicitStepOperator::advance_from_rest_into`]:
+    /// drives `columns` lanes from rest under their own constant per-lane
+    /// `power` columns for `steps` steps. `state` holds the final `dim ×
+    /// columns` matrix on return; per lane the trajectory is bit-identical
+    /// to a standalone [`ImplicitStepOperator::advance_from_rest_into`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ImplicitStepOperator::step_mat_into`].
+    pub fn advance_many_from_rest_into(
+        &self,
+        power: &[f64],
+        steps: usize,
+        state: &mut Vec<f64>,
+        next: &mut Vec<f64>,
+        scratch: &mut [f64],
+        columns: usize,
+    ) -> Result<()> {
+        state.iter_mut().for_each(|s| *s = 0.0);
+        for _ in 0..steps {
+            self.step_mat_into(state, power, next, scratch, columns)?;
             std::mem::swap(state, next);
         }
         Ok(())
@@ -558,6 +820,92 @@ mod tests {
             }
             std::mem::swap(&mut state, &mut next);
         }
+    }
+
+    #[test]
+    fn multi_rhs_solve_is_bit_identical_to_repeated_single_solves() {
+        let a = grid_matrix(6, 5);
+        let chol = BandedCholesky::new(&a).unwrap();
+        let n = chol.dim();
+        // Column counts straddling the 4-lane unroll boundary, including the
+        // degenerate single-column case.
+        for k in [1usize, 3, 4, 5, 8, 11] {
+            let rhs: Vec<f64> = (0..n * k)
+                .map(|i| (i as f64 * 0.31).sin() * 4.0 + 0.5)
+                .collect();
+            let mat = chol.solve_mat(&rhs, k).unwrap();
+            let mut single_rhs = vec![0.0; n];
+            let mut single_out = vec![0.0; n];
+            for c in 0..k {
+                for i in 0..n {
+                    single_rhs[i] = rhs[i * k + c];
+                }
+                chol.solve_into(&single_rhs, &mut single_out).unwrap();
+                for i in 0..n {
+                    assert_eq!(
+                        mat[i * k + c],
+                        single_out[i],
+                        "lane {c} row {i} diverged from the single solve"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_rhs_steps_are_bit_identical_to_per_lane_stepping() {
+        let a = grid_matrix(4, 4);
+        let op = ImplicitStepOperator::new(&a, &[0.2; 16], 0.05).unwrap();
+        let n = op.dim();
+        let k = 6;
+        let powers: Vec<f64> = (0..n * k).map(|i| 0.3 + (i % 7) as f64 * 0.4).collect();
+        let steps = 40;
+
+        let mut state = vec![0.0; n * k];
+        let mut next = vec![0.0; n * k];
+        let mut scratch = vec![0.0; n * k];
+        op.advance_many_from_rest_into(&powers, steps, &mut state, &mut next, &mut scratch, k)
+            .unwrap();
+
+        let mut lane_power = vec![0.0; n];
+        let mut lane_state = vec![0.0; n];
+        let mut lane_next = vec![0.0; n];
+        let mut lane_scratch = vec![0.0; n];
+        for c in 0..k {
+            for i in 0..n {
+                lane_power[i] = powers[i * k + c];
+            }
+            op.advance_from_rest_into(
+                &lane_power,
+                steps,
+                &mut lane_state,
+                &mut lane_next,
+                &mut lane_scratch,
+            )
+            .unwrap();
+            for i in 0..n {
+                assert_eq!(state[i * k + c], lane_state[i], "lane {c} node {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_rhs_entry_points_reject_malformed_shapes() {
+        let a = grid_matrix(3, 3);
+        let chol = BandedCholesky::new(&a).unwrap();
+        let mut out = vec![0.0; 18];
+        assert!(chol.solve_mat_into(&[0.0; 18], &mut out, 0).is_err());
+        assert!(chol.solve_mat_into(&[0.0; 17], &mut out, 2).is_err());
+        assert!(chol.solve_mat_into(&[0.0; 18], &mut out[..17], 2).is_err());
+        let op = ImplicitStepOperator::new(&a, &[1.0; 9], 0.1).unwrap();
+        let mut next = vec![0.0; 18];
+        let mut scratch = vec![0.0; 18];
+        assert!(op
+            .step_mat_into(&[0.0; 18], &[0.0; 18], &mut next, &mut scratch, 0)
+            .is_err());
+        assert!(op
+            .step_mat_into(&[0.0; 9], &[0.0; 18], &mut next, &mut scratch, 2)
+            .is_err());
     }
 
     #[test]

@@ -201,7 +201,7 @@ impl DenseMatrix {
         }
         for (i, yi) in out.iter_mut().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            *yi = row.iter().zip(x).map(|(a, b)| a * b).sum();
+            *yi = dot4(row, x);
         }
         Ok(())
     }
@@ -321,6 +321,33 @@ impl DenseMatrix {
             data: self.data.iter().map(|x| x * alpha).collect(),
         }
     }
+}
+
+/// Dot product with four independent accumulator chains, manually unrolled.
+///
+/// The naive zipped `.sum()` is one serial dependency chain of adds, so each
+/// fused multiply-add waits on the previous one. Splitting the reduction over
+/// four partial sums lets the optimiser keep four chains in flight (the
+/// pinned stable toolchain has no `std::simd`, so the lanes are spelled out
+/// by hand). This reassociates the floating-point sum, which is fine for the
+/// dense operator paths: their consumers pin results with tolerance bands,
+/// not bit-exactness — the bit-exact contracts all live on the banded side.
+#[inline]
+fn dot4(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = [0.0f64; 4];
+    let mut a4 = a.chunks_exact(4);
+    let mut b4 = b.chunks_exact(4);
+    for (x, y) in (&mut a4).zip(&mut b4) {
+        acc[0] += x[0] * y[0];
+        acc[1] += x[1] * y[1];
+        acc[2] += x[2] * y[2];
+        acc[3] += x[3] * y[3];
+    }
+    let mut tail = 0.0;
+    for (x, y) in a4.remainder().iter().zip(b4.remainder()) {
+        tail += x * y;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
 }
 
 impl fmt::Display for DenseMatrix {

@@ -156,6 +156,10 @@ pub struct ServiceStats {
     /// Simulations avoided because another run had already published the
     /// result to the scenario's shared store, summed over jobs.
     pub warm_cache_hits: usize,
+    /// Characterisation sessions published by the same-shape batcher before
+    /// the workers started (0 when batching is disabled or the backend kind
+    /// does not batch).
+    pub prewarmed_sessions: usize,
     /// Usage counters summed over every scenario's shared store.
     pub store: StoreStats,
 }
@@ -184,14 +188,18 @@ impl ServiceReport {
         &self.stats
     }
 
-    /// Hottest committed temperature over all completed jobs (°C);
-    /// `f64::NEG_INFINITY` if nothing completed.
-    pub fn max_temperature(&self) -> f64 {
+    /// Hottest committed temperature over all completed jobs (°C), or
+    /// `None` when no job completed. (This used to return the
+    /// `f64::NEG_INFINITY` fold sentinel for an empty report, which leaked
+    /// into renderings as `-inf C`.)
+    pub fn max_temperature(&self) -> Option<f64> {
         self.jobs
             .iter()
             .filter_map(|job| job.outcome.metrics())
             .map(|m| m.max_temperature)
-            .fold(f64::NEG_INFINITY, f64::max)
+            .fold(None, |acc: Option<f64>, t| {
+                Some(acc.map_or(t, |a| a.max(t)))
+            })
     }
 
     /// Renders the deterministic per-job table: one line per job, byte
@@ -257,10 +265,18 @@ impl ServiceReport {
             s.store.insertions,
             s.store.contended_locks
         );
+        match self.max_temperature() {
+            Some(t) => {
+                let _ = writeln!(out, "  hottest committed temperature {t:.3} C");
+            }
+            None => {
+                let _ = writeln!(out, "  hottest committed temperature n/a");
+            }
+        }
         let _ = writeln!(
             out,
-            "  warm cache hits {}, cached validations {}",
-            s.warm_cache_hits, s.cached_validations
+            "  warm cache hits {}, cached validations {}, prewarmed sessions {}",
+            s.warm_cache_hits, s.cached_validations, s.prewarmed_sessions
         );
         if s.operator_cache_enabled {
             let _ = writeln!(
@@ -326,6 +342,7 @@ mod tests {
             jobs_per_second: 4.0,
             cached_validations: 3,
             warm_cache_hits: 2,
+            prewarmed_sessions: 5,
             store: StoreStats {
                 lookups: 10,
                 hits: 2,
@@ -359,9 +376,33 @@ mod tests {
         assert!(summary.contains("4.0 jobs/s"));
         assert!(summary.contains("20.0% hit rate"));
         assert!(summary.contains("1 contended locks"));
-        assert_eq!(r.max_temperature(), 151.25);
+        assert!(summary.contains("hottest committed temperature 151.250 C"));
+        assert!(summary.contains("prewarmed sessions 5"));
+        assert_eq!(r.max_temperature(), Some(151.25));
         assert_eq!(r.jobs().len(), 2);
         assert_eq!(r.stats().shard_count, 8);
+    }
+
+    #[test]
+    fn empty_and_all_failed_reports_have_no_max_temperature() {
+        // Regression: the old NEG_INFINITY fold sentinel leaked "-inf C"
+        // into summaries of reports where nothing completed.
+        let base = report();
+        let empty = ServiceReport::new(Vec::new(), base.stats().clone());
+        assert_eq!(empty.max_temperature(), None);
+        assert!(empty
+            .render_summary()
+            .contains("hottest committed temperature n/a"));
+        let failed_only: Vec<JobResult> = base
+            .jobs()
+            .iter()
+            .filter(|j| j.outcome.metrics().is_none())
+            .cloned()
+            .collect();
+        assert!(!failed_only.is_empty());
+        let failed = ServiceReport::new(failed_only, base.stats().clone());
+        assert_eq!(failed.max_temperature(), None);
+        assert!(!failed.render_summary().contains("-inf"));
     }
 
     #[test]

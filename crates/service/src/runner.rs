@@ -8,12 +8,14 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
+use thermsched::TestSession;
 use thermsched::{
     Engine, NestedParallelismGuard, OperatorCacheHandle, OperatorKey, ScheduleOutcome,
     SessionCacheHandle, StoreStats,
 };
 use thermsched_thermal::{
-    GridResolution, GridThermalSimulator, PackageConfig, RcThermalSimulator, ThermalBackend,
+    GridResolution, GridThermalSimulator, PackageConfig, PowerMap, RcThermalSimulator,
+    SessionThermalResult, ThermalBackend, TransientConfig, TransientMethod,
 };
 
 use crate::{
@@ -22,7 +24,7 @@ use crate::{
 };
 
 /// Which thermal backend validates every job of a batch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum BackendKind {
     /// The block-level RC-compact simulator with the precomputed-operator
     /// fast transient path — one node per core, the service default.
@@ -37,27 +39,68 @@ pub enum BackendKind {
         /// grid resolution `(c · cells_per_core) × (r · cells_per_core)`.
         cells_per_core: usize,
     },
+    /// The grid simulator on the Peaceman–Rachford ADI path
+    /// ([`TransientMethod::Adi`]): `O(n)` per step through shared
+    /// tridiagonal sweeps instead of `O(n · b)` banded solves, for
+    /// resolutions where the banded factorisation stops being affordable.
+    /// Session maxima are tracked per step (ADI iterates are not provably
+    /// monotone), so this kind never uses the fast path or the multi-RHS
+    /// batcher — its leverage is per-step cost at high resolution.
+    GridAdi {
+        /// Cells per core edge, as for [`BackendKind::GridTransient`].
+        cells_per_core: usize,
+        /// Integration step in seconds (part of the operator-cache key: two
+        /// ADI backends with different steps never alias).
+        time_step: f64,
+    },
 }
 
 impl BackendKind {
-    /// Short label for reports (`"rc-compact"`, `"grid-transient(4)"`).
+    /// Short label for reports (`"rc-compact"`, `"grid-transient(4)"`,
+    /// `"grid-adi(4)"`).
     pub fn label(self) -> String {
         match self {
             BackendKind::RcCompact => "rc-compact".to_owned(),
             BackendKind::GridTransient { cells_per_core } => {
                 format!("grid-transient({cells_per_core})")
             }
+            BackendKind::GridAdi { cells_per_core, .. } => {
+                format!("grid-adi({cells_per_core})")
+            }
+        }
+    }
+
+    /// The transient configuration this kind builds its backend with — used
+    /// by both [`BackendKind::key`] and the builder, so the cache key can
+    /// never drift from what construction actually depends on.
+    fn transient_config(self) -> TransientConfig {
+        match self {
+            BackendKind::RcCompact | BackendKind::GridTransient { .. } => {
+                TransientConfig::default()
+            }
+            BackendKind::GridAdi { time_step, .. } => TransientConfig {
+                time_step,
+                method: TransientMethod::Adi,
+            },
         }
     }
 
     /// The operator-cache identity of this kind over one scenario: backend
-    /// kind, grid shape and core size — everything backend construction
-    /// depends on (the package and transient configuration are the library
-    /// defaults for every scenario). Public so external measurement and
-    /// tooling share the runner's exact key instead of reimplementing it.
+    /// kind, grid shape, core size, and the transient configuration (time
+    /// step and method) — everything backend construction depends on. The
+    /// time step enters as its exact bit pattern, so two backends sharing a
+    /// floorplan shape but differing in Δt (or method, or `cells_per_core`,
+    /// which the label carries) can never alias one cache entry. Public so
+    /// external measurement and tooling share the runner's exact key instead
+    /// of reimplementing it.
     pub fn key(self, scenario: &Scenario) -> OperatorKey {
-        OperatorKey::new(self.label(), scenario.grid.0, scenario.grid.1)
-            .with_detail(format!("core={:.6}mm", scenario.core_size_mm))
+        let transient = self.transient_config();
+        OperatorKey::new(self.label(), scenario.grid.0, scenario.grid.1).with_detail(format!(
+            "core={:.6}mm;dt=0x{:016x};method={:?}",
+            scenario.core_size_mm,
+            transient.time_step.to_bits(),
+            transient.method,
+        ))
     }
 
     /// Builds the backend for one scenario.
@@ -66,18 +109,30 @@ impl BackendKind {
             BackendKind::RcCompact => Ok(Arc::new(RcThermalSimulator::from_floorplan(
                 scenario.sut.floorplan(),
             )?)),
-            BackendKind::GridTransient { cells_per_core } => {
+            BackendKind::GridTransient { cells_per_core }
+            | BackendKind::GridAdi { cells_per_core, .. } => {
                 let resolution = GridResolution::new(
                     scenario.grid.0 * cells_per_core,
                     scenario.grid.1 * cells_per_core,
                 )?;
-                Ok(Arc::new(GridThermalSimulator::new(
+                Ok(Arc::new(GridThermalSimulator::with_config(
                     scenario.sut.floorplan(),
                     &PackageConfig::default(),
                     resolution,
+                    self.transient_config(),
                 )?))
             }
         }
+    }
+
+    /// Whether this kind's backend batches same-duration sessions through
+    /// the multi-RHS banded fast path — the gate for the runner's
+    /// same-shape prewarmer. Kinds whose batched path would just be a
+    /// sequential loop (rc-compact's precomputed operator, ADI's tracked
+    /// stepping) opt out: prewarming them would serialise work the worker
+    /// pool otherwise spreads.
+    fn batches_sessions(self) -> bool {
+        matches!(self, BackendKind::GridTransient { .. })
     }
 }
 
@@ -123,7 +178,7 @@ impl StoreKind {
 }
 
 /// Configuration of a [`ServiceRunner`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServiceConfig {
     /// Worker threads draining the job queue.
     pub workers: usize,
@@ -138,6 +193,15 @@ pub struct ServiceConfig {
     /// build would produce — and on by default; the benchmarks record the
     /// off configuration for comparison.
     pub operator_cache: bool,
+    /// Whether the runner prewarms the session stores by batching same-shape
+    /// phase-1 work: queued jobs are grouped by [`BackendKind::key`], their
+    /// single-core characterisation sessions collected into one column-blocked
+    /// right-hand-side matrix per (key, duration) group, and advanced through
+    /// the backend's multi-RHS solve in one matrix-matrix pass. Exact — the
+    /// multi-RHS kernels are bit-identical per lane to the single solves, so
+    /// per-job results do not change — and on by default. Only engaged for
+    /// backends that actually batch ([`BackendKind::GridTransient`]).
+    pub batch_same_shape: bool,
 }
 
 impl Default for ServiceConfig {
@@ -147,6 +211,7 @@ impl Default for ServiceConfig {
             store: StoreKind::Sharded { shards: 8 },
             backend: BackendKind::default(),
             operator_cache: true,
+            batch_same_shape: true,
         }
     }
 }
@@ -215,11 +280,25 @@ impl ServiceRunner {
                 problem: "must be at least 1",
             });
         }
-        if let BackendKind::GridTransient { cells_per_core: 0 } = config.backend {
-            return Err(ServiceError::InvalidSpec {
-                field: "cells_per_core",
-                problem: "must be at least 1",
-            });
+        match config.backend {
+            BackendKind::GridTransient { cells_per_core: 0 }
+            | BackendKind::GridAdi {
+                cells_per_core: 0, ..
+            } => {
+                return Err(ServiceError::InvalidSpec {
+                    field: "cells_per_core",
+                    problem: "must be at least 1",
+                });
+            }
+            BackendKind::GridAdi { time_step, .. }
+                if !(time_step > 0.0 && time_step.is_finite()) =>
+            {
+                return Err(ServiceError::InvalidSpec {
+                    field: "time_step",
+                    problem: "must be positive and finite",
+                });
+            }
+            _ => {}
         }
         Ok(ServiceRunner { config })
     }
@@ -262,6 +341,16 @@ impl ServiceRunner {
             .iter()
             .map(|_| self.config.store.handle())
             .collect();
+
+        // Same-shape batching: advance all queued phase-1 characterisation
+        // sessions of one operator key as a single multi-RHS pass and
+        // publish them to the scenarios' stores before the workers start.
+        // Bit-identical to the per-job path, so only throughput changes.
+        let prewarmed_sessions = if self.config.batch_same_shape {
+            self.prewarm_same_shape(corpus, &backends, &caches)
+        } else {
+            0
+        };
 
         let jobs = corpus.jobs();
         let next = AtomicUsize::new(0);
@@ -342,9 +431,86 @@ impl ServiceRunner {
             jobs_per_second: jobs_done.len() as f64 / wall_seconds.max(1e-9),
             cached_validations: cached_validations.load(Ordering::Relaxed),
             warm_cache_hits: warm_cache_hits.load(Ordering::Relaxed),
+            prewarmed_sessions,
             store,
         };
         Ok(ServiceReport::new(jobs_done, stats))
+    }
+
+    /// Groups the corpus's phase-1 characterisation lanes — one (scenario,
+    /// core) single-core session each — by operator key and session
+    /// duration, advances each group through the shared backend's multi-RHS
+    /// batch, and publishes the results to the scenarios' session stores.
+    /// Returns the number of prewarmed lanes.
+    ///
+    /// The grouping and iteration order are deterministic (sorted by key,
+    /// then corpus order within a group), the per-lane results are
+    /// bit-identical to what the scheduler's own phase 1 would compute, and
+    /// a group that fails to simulate is simply skipped — its jobs compute
+    /// phase 1 themselves and surface the error through the normal per-job
+    /// path.
+    fn prewarm_same_shape(
+        &self,
+        corpus: &Corpus,
+        backends: &[Arc<dyn ThermalBackend>],
+        caches: &[SessionCacheHandle],
+    ) -> usize {
+        if !self.config.backend.batches_sessions() {
+            return 0;
+        }
+        // Lanes grouped by (operator key, duration bits): scenarios sharing
+        // a key share one bit-identical backend, and only equal-duration
+        // sessions can share a multi-RHS advance (the step count is a
+        // function of the duration).
+        type PrewarmGroups = std::collections::BTreeMap<(String, u64), Vec<(usize, usize, f64)>>;
+        let mut groups = PrewarmGroups::new();
+        for (index, scenario) in corpus.scenarios().iter().enumerate() {
+            let key = self.config.backend.key(scenario).to_string();
+            for core in 0..scenario.sut.core_count() {
+                let session = TestSession::new([core], &scenario.sut);
+                let duration = session.duration();
+                groups
+                    .entry((key.clone(), duration.to_bits()))
+                    .or_default()
+                    .push((index, core, duration));
+            }
+        }
+        let mut prewarmed = 0;
+        for ((_, _), lanes) in groups {
+            let duration = lanes[0].2;
+            let powers: std::result::Result<Vec<PowerMap>, _> = lanes
+                .iter()
+                .map(|&(scenario, core, _)| {
+                    TestSession::new([core], &corpus.scenarios()[scenario].sut)
+                        .power_map(&corpus.scenarios()[scenario].sut)
+                })
+                .collect();
+            let Ok(powers) = powers else { continue };
+            // All scenarios of a key group share one bit-identical backend
+            // (the operator cache collapses them when enabled; private
+            // builds are deterministic replicas when not), so the group's
+            // first backend serves every lane.
+            let backend = backends[lanes[0].0].as_ref();
+            let Ok(results) = backend.simulate_sessions(&powers, duration) else {
+                continue;
+            };
+            let mut per_scenario: HashMap<usize, Vec<(Vec<usize>, SessionThermalResult)>> =
+                HashMap::new();
+            for (&(scenario, core, _), result) in lanes.iter().zip(results) {
+                per_scenario
+                    .entry(scenario)
+                    .or_default()
+                    .push((vec![core], result));
+            }
+            prewarmed += lanes.len();
+            let mut scenarios: Vec<usize> = per_scenario.keys().copied().collect();
+            scenarios.sort_unstable();
+            for scenario in scenarios {
+                let batch = per_scenario.remove(&scenario).expect("key just listed");
+                caches[scenario].store_batch(batch);
+            }
+        }
+        prewarmed
     }
 }
 
@@ -659,6 +825,82 @@ mod tests {
     }
 
     #[test]
+    fn grid_adi_backend_drives_a_batch_end_to_end() {
+        let corpus = ScenarioSpec {
+            scenarios: 2,
+            grid_shapes: vec![(3, 3)],
+            stc_limits: vec![40.0],
+            ..small_spec()
+        }
+        .build()
+        .unwrap();
+        let report = ServiceRunner::new(ServiceConfig {
+            workers: 2,
+            backend: BackendKind::GridAdi {
+                cells_per_core: 3,
+                time_step: 1e-3,
+            },
+            ..ServiceConfig::default()
+        })
+        .unwrap()
+        .run(&corpus)
+        .unwrap();
+        assert_eq!(report.stats().completed, corpus.jobs().len());
+        assert_eq!(report.stats().backend_name, "grid-adi(3)");
+        // ADI never batches (no multi-RHS banded path), so the prewarmer
+        // must stay out of the way even with batching enabled.
+        assert_eq!(report.stats().prewarmed_sessions, 0);
+        for job in report.jobs() {
+            let metrics = job.outcome.metrics().expect("adi jobs complete");
+            assert!(metrics.max_temperature > 45.0);
+            assert!(metrics.max_temperature < metrics.effective_temperature_limit);
+        }
+    }
+
+    #[test]
+    fn same_shape_batcher_prewarms_without_changing_results() {
+        let corpus = ScenarioSpec {
+            scenarios: 2,
+            grid_shapes: vec![(3, 3)],
+            stc_limits: vec![40.0],
+            ..small_spec()
+        }
+        .build()
+        .unwrap();
+        let batched = ServiceRunner::new(ServiceConfig {
+            workers: 2,
+            backend: BackendKind::GridTransient { cells_per_core: 3 },
+            batch_same_shape: true,
+            ..ServiceConfig::default()
+        })
+        .unwrap()
+        .run(&corpus)
+        .unwrap();
+        let sequential = ServiceRunner::new(ServiceConfig {
+            workers: 2,
+            backend: BackendKind::GridTransient { cells_per_core: 3 },
+            batch_same_shape: false,
+            ..ServiceConfig::default()
+        })
+        .unwrap()
+        .run(&corpus)
+        .unwrap();
+        // Multi-RHS prewarming is a throughput change only: the per-job
+        // results are bit-identical to the unbatched run.
+        assert_eq!(batched.jobs(), sequential.jobs());
+        assert_eq!(batched.render_jobs(), sequential.render_jobs());
+        assert_eq!(
+            batched.stats().prewarmed_sessions,
+            corpus.total_cores(),
+            "every per-core characterisation session should be prewarmed"
+        );
+        assert_eq!(sequential.stats().prewarmed_sessions, 0);
+        // Prewarmed singleton sessions turn every phase-1 probe into a
+        // warm hit.
+        assert!(batched.stats().warm_cache_hits >= sequential.stats().warm_cache_hits);
+    }
+
+    #[test]
     fn store_kind_names_match_their_handles() {
         for kind in [
             StoreKind::Mutex,
@@ -704,6 +946,34 @@ mod tests {
                 ..
             })
         ));
+        assert!(matches!(
+            ServiceRunner::new(ServiceConfig {
+                backend: BackendKind::GridAdi {
+                    cells_per_core: 0,
+                    time_step: 1e-3,
+                },
+                ..ServiceConfig::default()
+            }),
+            Err(ServiceError::InvalidSpec {
+                field: "cells_per_core",
+                ..
+            })
+        ));
+        for bad_dt in [0.0, -1e-3, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                ServiceRunner::new(ServiceConfig {
+                    backend: BackendKind::GridAdi {
+                        cells_per_core: 3,
+                        time_step: bad_dt,
+                    },
+                    ..ServiceConfig::default()
+                }),
+                Err(ServiceError::InvalidSpec {
+                    field: "time_step",
+                    ..
+                })
+            ));
+        }
         let runner = ServiceRunner::new(ServiceConfig::default()).unwrap();
         assert!(runner.config().workers >= 1);
         assert_eq!(runner.config().backend, BackendKind::RcCompact);

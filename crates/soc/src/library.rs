@@ -151,13 +151,13 @@ mod tests {
     fn alpha_power_densities_span_a_wide_range() {
         // Datapath blocks must be far denser than the caches so that
         // power-density (not power) drives the schedule, as in the paper.
+        // `value_spread` (rather than INFINITY-seeded folds) guarantees the
+        // check cannot pass vacuously on an empty core set.
         let sut = alpha21364_sut();
-        let densities: Vec<f64> = (0..sut.core_count())
-            .map(|i| sut.test_power_density(i))
-            .collect();
-        let max = densities.iter().cloned().fold(0.0, f64::max);
-        let min = densities.iter().cloned().fold(f64::INFINITY, f64::min);
+        let densities = (0..sut.core_count()).map(|i| sut.test_power_density(i));
+        let (min, max) = floorplan_library::value_spread(densities).expect("sut has cores");
         assert!(max / min > 3.0, "density spread too small: {min} .. {max}");
+        assert_eq!(floorplan_library::value_spread((0..0).map(|_| 0.0)), None);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! `&dyn ThermalBackend` — and requires `Send + Sync` because every consumer
 //! fans work out across scoped threads.
 
-use crate::{SimulationFidelity, ThermalSimulator};
+use crate::{PowerMap, Result, SessionThermalResult, SimulationFidelity, ThermalSimulator};
 
 /// A [`ThermalSimulator`] that can describe its own solution strategy.
 ///
@@ -47,6 +47,32 @@ pub trait ThermalBackend: ThermalSimulator + Send + Sync {
 
     /// Short stable identifier for reports and baseline files.
     fn backend_name(&self) -> &'static str;
+
+    /// Simulates many sessions of the same `duration` under per-session
+    /// constant power maps.
+    ///
+    /// The default implementation is a sequential loop over
+    /// [`ThermalSimulator::simulate_session`]; backends with a multi-RHS
+    /// fast path (the grid simulator's column-blocked banded solves)
+    /// override it to advance all sessions in one matrix-matrix pass.
+    /// Overrides must return results identical to the sequential loop —
+    /// batching is a throughput contract, never an accuracy trade — so
+    /// callers may batch freely wherever same-shape work queues up.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`ThermalSimulator::simulate_session`] returns for the
+    /// failing session.
+    fn simulate_sessions(
+        &self,
+        powers: &[PowerMap],
+        duration: f64,
+    ) -> Result<Vec<SessionThermalResult>> {
+        powers
+            .iter()
+            .map(|p| self.simulate_session(p, duration))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -90,6 +116,21 @@ mod tests {
         for b in backends {
             assert_eq!(b.block_count(), fp.block_count());
             assert!(!b.backend_name().is_empty());
+        }
+        // Batched sessions match the sequential loop bit for bit through the
+        // trait object, for both the default implementation (rc) and the
+        // grid's multi-RHS override.
+        let mut powers = Vec::new();
+        for block in [0usize, 3, 7] {
+            let mut p = PowerMap::zeros(fp.block_count());
+            p.set(block, 9.0 + block as f64).unwrap();
+            powers.push(p);
+        }
+        for b in backends {
+            let batched = b.simulate_sessions(&powers, 0.25).unwrap();
+            for (p, batch) in powers.iter().zip(&batched) {
+                assert_eq!(batch, &b.simulate_session(p, 0.25).unwrap());
+            }
         }
     }
 }

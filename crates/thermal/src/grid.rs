@@ -20,7 +20,9 @@
 //! guidance-vs-validation fidelity at either granularity.
 
 use thermsched_floorplan::{BlockId, Floorplan};
-use thermsched_linalg::{BandedCholesky, CsrMatrix, ImplicitStepOperator, Triplet};
+use thermsched_linalg::{
+    AdiStepOperator, BandedCholesky, CsrMatrix, ImplicitStepOperator, Triplet,
+};
 
 use crate::{
     PackageConfig, PowerMap, Result, SessionThermalResult, SimulationFidelity, Temperatures,
@@ -126,11 +128,23 @@ pub struct GridThermalSimulator {
     ambient: f64,
     /// Factorised steady-state conductance matrix `G` over the cells.
     steady: BandedCholesky,
-    /// Factorised implicit-Euler stepping matrix `C/Δt + G` over the cells.
-    step: ImplicitStepOperator,
+    /// The transient stepping engine selected by the configured
+    /// [`TransientMethod`].
+    stepper: GridStepper,
     time_step: f64,
     method: TransientMethod,
     fidelity: SimulationFidelity,
+}
+
+/// Transient stepping engine behind [`GridThermalSimulator`]: the banded
+/// implicit-Euler factorisation (reference and fast paths) or the
+/// Peaceman–Rachford ADI splitting ([`TransientMethod::Adi`], which skips
+/// the `O(n · b²)` banded stepping factorisation entirely — only the two
+/// shared tridiagonal factors are built).
+#[derive(Debug)]
+enum GridStepper {
+    Banded(ImplicitStepOperator),
+    Adi(AdiStepOperator),
 }
 
 impl GridThermalSimulator {
@@ -282,8 +296,29 @@ impl GridThermalSimulator {
         // cell volume. The package stack is treated as quasi-static
         // resistance (see the type-level docs).
         let cell_capacitance = package.die_material.volumetric_heat_capacity * cell_area * t_die;
-        let capacitance = vec![cell_capacitance; resolution.cell_count()];
-        let step = ImplicitStepOperator::new(&conductance, &capacitance, transient.time_step)?;
+        let stepper = match transient.method {
+            // ADI splits G along its Kronecker factors: only two shared
+            // tridiagonal factorisations are built, never the O(n·b²)
+            // banded stepping matrix — the saving that makes 128×128+
+            // resolutions affordable.
+            TransientMethod::Adi => GridStepper::Adi(AdiStepOperator::new(
+                nx,
+                ny,
+                g_lat_x,
+                g_lat_y,
+                g_vertical,
+                cell_capacitance,
+                transient.time_step,
+            )?),
+            TransientMethod::Auto | TransientMethod::ImplicitEuler => {
+                let capacitance = vec![cell_capacitance; resolution.cell_count()];
+                GridStepper::Banded(ImplicitStepOperator::new(
+                    &conductance,
+                    &capacitance,
+                    transient.time_step,
+                )?)
+            }
+        };
         // Factor the steady-state system too: G is SPD and banded just like
         // the stepping matrix, so every steady solve is one O(n·b) pass
         // instead of tens of conjugate-gradient matrix sweeps.
@@ -296,7 +331,7 @@ impl GridThermalSimulator {
             block_count: floorplan.block_count(),
             ambient: package.ambient,
             steady,
-            step,
+            stepper,
             time_step: transient.time_step,
             method: transient.method,
             fidelity: SimulationFidelity::default(),
@@ -430,18 +465,28 @@ impl GridThermalSimulator {
         let mut next = vec![0.0; n];
         let mut scratch = vec![0.0; n];
         if !track_maxima {
-            // Fast path: from-ambient iterates rise monotonically, so no
-            // per-step maxima are needed — the whole run is the operator's
-            // canned from-rest advance.
-            self.step
-                .advance_from_rest_into(&p, steps, &mut rise, &mut next, &mut scratch)?;
+            // Fast path: no per-step maxima are needed — the whole run is
+            // the stepper's canned from-rest advance. (For the banded
+            // stepper this is justified by the monotone-rise argument; ADI
+            // reaches here only from entry points that want final values.)
+            match &self.stepper {
+                GridStepper::Banded(op) => {
+                    op.advance_from_rest_into(&p, steps, &mut rise, &mut next, &mut scratch)?;
+                }
+                GridStepper::Adi(op) => {
+                    op.advance_from_rest_into(&p, steps, &mut rise, &mut next, &mut scratch)?;
+                }
+            }
             let final_cells: Vec<f64> = rise.iter().map(|r| r + self.ambient).collect();
             return Ok((final_cells, None, steps));
         }
         // Reference path: track the per-cell running maximum every step.
         let mut max_rise = vec![0.0; n];
         for _ in 0..steps {
-            self.step.step_into(&rise, &p, &mut next, &mut scratch)?;
+            match &self.stepper {
+                GridStepper::Banded(op) => op.step_into(&rise, &p, &mut next, &mut scratch)?,
+                GridStepper::Adi(op) => op.step_into(&rise, &p, &mut next, &mut scratch)?,
+            }
             std::mem::swap(&mut rise, &mut next);
             for (m, &r) in max_rise.iter_mut().zip(&rise) {
                 if r > *m {
@@ -487,6 +532,89 @@ impl GridThermalSimulator {
             })
             .collect()
     }
+
+    /// Builds a session result from the final absolute cell temperatures of
+    /// a fast-path run — the same reductions, in the same order, as the
+    /// single-session path, so batched lanes stay bit-identical to it.
+    fn session_from_final_cells(&self, final_cells: &[f64], duration: f64) -> SessionThermalResult {
+        let means: Vec<f64> = self
+            .block_cells
+            .iter()
+            .map(|ids| ids.iter().map(|&c| final_cells[c]).sum::<f64>() / ids.len() as f64)
+            .collect();
+        SessionThermalResult {
+            max_block_temperatures: self.block_maxima(final_cells),
+            final_temperatures: Temperatures::new(means, self.block_count),
+            duration,
+        }
+    }
+
+    /// Simulates many same-duration sessions in one multi-RHS pass over the
+    /// banded factorisation: the per-lane power vectors become the columns
+    /// of one `n × k` right-hand-side matrix and the whole batch advances
+    /// through [`ImplicitStepOperator::advance_many_from_rest_into`] — one
+    /// traversal of the factor per step instead of `k`.
+    ///
+    /// Only the banded fast path batches (from-ambient constant-power
+    /// transients with no per-step maximum tracking); every other
+    /// configuration — steady-state fidelity, the implicit-Euler reference,
+    /// ADI — falls back to sequential [`ThermalSimulator::simulate_session`]
+    /// calls. Because the multi-RHS kernels are bit-identical per column to
+    /// the single-RHS solve, each lane's result is **bit-identical** to its
+    /// standalone simulation either way; batching is purely a throughput
+    /// knob.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ThermalSimulator::simulate_session`] on any
+    /// lane.
+    pub fn simulate_sessions_batched(
+        &self,
+        powers: &[PowerMap],
+        duration: f64,
+    ) -> Result<Vec<SessionThermalResult>> {
+        let k = powers.len();
+        let op = match &self.stepper {
+            GridStepper::Banded(op)
+                if k > 1
+                    && self.fidelity == SimulationFidelity::Transient
+                    && self.method.uses_fast_path() =>
+            {
+                op
+            }
+            _ => {
+                return powers
+                    .iter()
+                    .map(|p| self.simulate_session(p, duration))
+                    .collect();
+            }
+        };
+        if !(duration > 0.0 && duration.is_finite()) {
+            return Err(ThermalError::InvalidDuration { value: duration });
+        }
+        let n = self.cell_count();
+        let steps = (duration / self.time_step).ceil().max(1.0) as usize;
+        let mut p_mat = vec![0.0; n * k];
+        for (c, power) in powers.iter().enumerate() {
+            let p = self.cell_power_vector(power)?;
+            for (i, v) in p.into_iter().enumerate() {
+                p_mat[i * k + c] = v;
+            }
+        }
+        let mut state = vec![0.0; n * k];
+        let mut next = vec![0.0; n * k];
+        let mut scratch = vec![0.0; n * k];
+        op.advance_many_from_rest_into(&p_mat, steps, &mut state, &mut next, &mut scratch, k)?;
+        let mut lane = vec![0.0; n];
+        let mut out = Vec::with_capacity(k);
+        for c in 0..k {
+            for (i, cell) in lane.iter_mut().enumerate() {
+                *cell = state[i * k + c] + self.ambient;
+            }
+            out.push(self.session_from_final_cells(&lane, duration));
+        }
+        Ok(out)
+    }
 }
 
 impl crate::ThermalBackend for GridThermalSimulator {
@@ -502,10 +630,19 @@ impl crate::ThermalBackend for GridThermalSimulator {
     }
 
     fn backend_name(&self) -> &'static str {
-        match self.fidelity {
-            SimulationFidelity::Transient => "grid-transient",
-            SimulationFidelity::SteadyState => "grid-steady-state",
+        match (self.fidelity, self.method) {
+            (SimulationFidelity::Transient, TransientMethod::Adi) => "grid-transient-adi",
+            (SimulationFidelity::Transient, _) => "grid-transient",
+            (SimulationFidelity::SteadyState, _) => "grid-steady-state",
         }
+    }
+
+    fn simulate_sessions(
+        &self,
+        powers: &[PowerMap],
+        duration: f64,
+    ) -> Result<Vec<SessionThermalResult>> {
+        self.simulate_sessions_batched(powers, duration)
     }
 }
 
@@ -829,6 +966,106 @@ mod tests {
             bad,
         )
         .is_err());
+    }
+
+    #[test]
+    fn batched_sessions_are_bit_identical_to_sequential_sessions() {
+        let (sim, fp) = grid_sim(16);
+        // Lane counts straddling the 4-lane unroll boundary.
+        for lanes in [2usize, 5, 9] {
+            let powers: Vec<PowerMap> = (0..lanes)
+                .map(|lane| {
+                    let mut p = PowerMap::zeros(fp.block_count());
+                    p.set(lane % fp.block_count(), 6.0 + lane as f64 * 1.3)
+                        .unwrap();
+                    p.set((lane + 4) % fp.block_count(), 3.5).unwrap();
+                    p
+                })
+                .collect();
+            let batched = sim.simulate_sessions_batched(&powers, 0.08).unwrap();
+            assert_eq!(batched.len(), lanes);
+            for (power, batch) in powers.iter().zip(&batched) {
+                assert_eq!(batch, &sim.simulate_session(power, 0.08).unwrap());
+            }
+        }
+        // Non-batching configurations fall back to the sequential loop and
+        // still agree with themselves.
+        let reference = GridThermalSimulator::with_config(
+            &fp,
+            &PackageConfig::default(),
+            GridResolution::new(16, 16).unwrap(),
+            crate::TransientConfig::reference(),
+        )
+        .unwrap();
+        let powers: Vec<PowerMap> = (0..3)
+            .map(|lane| {
+                let mut p = PowerMap::zeros(fp.block_count());
+                p.set(lane, 8.0).unwrap();
+                p
+            })
+            .collect();
+        let batched = reference.simulate_sessions_batched(&powers, 0.05).unwrap();
+        for (power, batch) in powers.iter().zip(&batched) {
+            assert_eq!(batch, &reference.simulate_session(power, 0.05).unwrap());
+        }
+    }
+
+    #[test]
+    fn adi_method_tracks_the_banded_reference_within_a_band() {
+        use crate::ThermalBackend;
+        let fp = library::alpha21364();
+        let resolution = GridResolution::new(16, 16).unwrap();
+        let config = crate::TransientConfig {
+            time_step: 2e-3,
+            ..Default::default()
+        };
+        let banded =
+            GridThermalSimulator::with_config(&fp, &PackageConfig::default(), resolution, config)
+                .unwrap();
+        let adi = GridThermalSimulator::with_config(
+            &fp,
+            &PackageConfig::default(),
+            resolution,
+            config.with_method(TransientMethod::Adi),
+        )
+        .unwrap();
+        assert_eq!(adi.transient_method(), TransientMethod::Adi);
+        assert_eq!(ThermalBackend::backend_name(&adi), "grid-transient-adi");
+        assert!(!adi.supports_fast_path(), "ADI maxima are tracked per step");
+
+        let mut p = PowerMap::zeros(fp.block_count());
+        p.set(fp.index_of("IntExec").unwrap(), 18.0).unwrap();
+        p.set(fp.index_of("FPMul").unwrap(), 9.0).unwrap();
+        // Mid-transient: the schemes differ O(Δt); every block stays within
+        // 5% of the *peak* rise (splitting error shows up most, relatively,
+        // on far-field blocks whose own rise is still tiny).
+        for duration in [0.02, 0.1, 0.5] {
+            let b = banded.simulate_session(&p, duration).unwrap();
+            let a = adi.simulate_session(&p, duration).unwrap();
+            let peak_rise = (0..fp.block_count())
+                .map(|block| b.block_max_temperature(block) - banded.ambient())
+                .fold(0.0f64, f64::max);
+            for block in 0..fp.block_count() {
+                let rise_b = b.block_max_temperature(block) - banded.ambient();
+                let rise_a = a.block_max_temperature(block) - adi.ambient();
+                assert!(
+                    (rise_a - rise_b).abs() <= 0.05 * peak_rise,
+                    "block {block} at {duration}s: adi rise {rise_a} vs banded {rise_b} \
+                     (peak {peak_rise})"
+                );
+            }
+        }
+        // Deep in the settled regime both land on the same steady state.
+        let b = banded.simulate_session(&p, 3.0).unwrap();
+        let a = adi.simulate_session(&p, 3.0).unwrap();
+        for block in 0..fp.block_count() {
+            let rise = (b.block_max_temperature(block) - banded.ambient()).max(1.0);
+            assert!(
+                (a.block_max_temperature(block) - b.block_max_temperature(block)).abs()
+                    < 0.01 * rise,
+                "block {block}: steady limits diverged"
+            );
+        }
     }
 
     #[test]

@@ -31,13 +31,25 @@ pub enum TransientMethod {
     /// request. Exact for any initial state and power history; this is the
     /// reference path the fast path is validated against.
     ImplicitEuler,
+    /// Peaceman–Rachford alternating-direction-implicit stepping
+    /// ([`thermsched_linalg::AdiStepOperator`]): the structure-exploiting
+    /// path for grid-structured networks, `O(n)` per step via shared
+    /// tridiagonal sweeps instead of `O(n · b)` banded solves — the knob
+    /// that makes 128×128+ die resolutions affordable. Only the grid
+    /// simulator has the Kronecker structure ADI splits; the dense RC
+    /// solver treats this method as the sequential implicit-Euler
+    /// reference (no structure to exploit, and no precomputed-operator
+    /// fast path either, since ADI iterates are not provably monotone).
+    Adi,
 }
 
 impl TransientMethod {
     /// Whether this method serves from-ambient constant-power simulations
-    /// through the precomputed-operator fast path.
+    /// through the precomputed-operator fast path. ADI opts out: its
+    /// iterates are not provably monotone from rest, so session maxima are
+    /// tracked step by step instead of read off the final state.
     pub fn uses_fast_path(self) -> bool {
-        !matches!(self, TransientMethod::ImplicitEuler)
+        !matches!(self, TransientMethod::ImplicitEuler | TransientMethod::Adi)
     }
 }
 
@@ -537,6 +549,7 @@ mod tests {
         assert_eq!(TransientMethod::default(), TransientMethod::Auto);
         assert!(TransientMethod::Auto.uses_fast_path());
         assert!(!TransientMethod::ImplicitEuler.uses_fast_path());
+        assert!(!TransientMethod::Adi.uses_fast_path());
         assert_eq!(
             TransientConfig::reference().method,
             TransientMethod::ImplicitEuler

@@ -36,9 +36,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // the summary carries the timing- and cache-dependent aggregates.
     print!("{}", report.render_jobs());
     print!("{}", report.render_summary());
-    println!(
-        "hottest committed session anywhere in the batch: {:.1} C",
-        report.max_temperature()
-    );
+    match report.max_temperature() {
+        Some(t) => println!("hottest committed session anywhere in the batch: {t:.1} C"),
+        None => println!("hottest committed session anywhere in the batch: n/a"),
+    }
     Ok(())
 }

@@ -20,13 +20,20 @@
 //!    backend instance across same-shape scenarios must leave the service's
 //!    per-job results byte-identical at any worker count, for both backend
 //!    kinds.
+//! 4. **ADI vs banded** — the Peaceman–Rachford stepper is a different
+//!    `O(Δt)` discretisation of the same cell network, so per session every
+//!    block must track the banded implicit-Euler reference within a
+//!    documented fraction of that session's peak rise.
+//! 5. **Operator-key distinctness** — backend kinds that build different
+//!    operators (different time step, method or cells-per-core) must never
+//!    alias one operator-cache entry.
 
 use thermsched::{ScheduleValidator, SequentialScheduler, TestSchedule};
 use thermsched_service::{BackendKind, ScenarioSpec, ServiceConfig, ServiceRunner, StoreKind};
 use thermsched_soc::{library, SystemUnderTest};
 use thermsched_thermal::{
     GridResolution, GridThermalSimulator, PackageConfig, RcThermalSimulator, SimulationFidelity,
-    ThermalBackend, ThermalSimulator, TransientConfig,
+    ThermalBackend, ThermalSimulator, TransientConfig, TransientMethod,
 };
 
 /// Documented RC-vs-grid tolerance: the factor band on the temperature rise
@@ -195,6 +202,116 @@ fn long_sessions_converge_toward_each_backends_steady_state() {
     }
 }
 
+/// Documented ADI-vs-banded tolerance: per session, every block's maximum
+/// must sit within this fraction of the *session's peak rise* of the banded
+/// reference. The two steppers discretise the same network with the same
+/// `O(Δt)` order, but split the operator differently, so they differ by a
+/// small fraction of the dominant excursion — never by a fraction of every
+/// block's own (possibly tiny) far-field rise.
+const ADI_BANDED_PEAK_RISE_BAND: f64 = 0.05;
+
+#[test]
+fn adi_grid_tracks_the_banded_grid_within_the_documented_band() {
+    let sut = library::alpha21364_sut();
+    let banded = grid_backend(&sut, SimulationFidelity::Transient);
+    let adi = GridThermalSimulator::with_config(
+        sut.floorplan(),
+        &PackageConfig::default(),
+        GridResolution::new(16, 16).unwrap(),
+        coarse().with_method(TransientMethod::Adi),
+    )
+    .unwrap();
+    assert_eq!(ThermalBackend::backend_name(&adi), "grid-transient-adi");
+    assert!(!adi.supports_fast_path(), "ADI maxima are tracked per step");
+    let backends: [&dyn ThermalBackend; 2] = [&banded, &adi];
+    let schedule = shared_schedule(&sut);
+
+    let evals: Vec<_> = backends
+        .iter()
+        .map(|backend| {
+            ScheduleValidator::new(&sut, *backend)
+                .unwrap()
+                .evaluate(&schedule)
+                .unwrap()
+        })
+        .collect();
+    let ambient = banded.ambient();
+    for (e_banded, e_adi) in evals[0].sessions.iter().zip(&evals[1].sessions) {
+        assert_eq!(e_banded.cores, e_adi.cores);
+        let peak_rise = e_banded
+            .block_max_temperatures
+            .iter()
+            .map(|t| t - ambient)
+            .fold(0.0, f64::max);
+        assert!(peak_rise > 0.0);
+        for (block, (tb, ta)) in e_banded
+            .block_max_temperatures
+            .iter()
+            .zip(&e_adi.block_max_temperatures)
+            .enumerate()
+        {
+            assert!(
+                (ta - tb).abs() <= ADI_BANDED_PEAK_RISE_BAND * peak_rise,
+                "session {:?} block {block}: adi {ta:.4} vs banded {tb:.4} \
+                 (peak rise {peak_rise:.4})",
+                e_banded.cores
+            );
+        }
+    }
+}
+
+#[test]
+fn operator_keys_cannot_alias_backends_differing_in_step_or_resolution() {
+    // Satellite of the PR-6 bugfix sweep: the operator-cache key must carry
+    // *everything* backend construction depends on. Two kinds differing only
+    // in Δt (down to the last bit), in method, or in cells-per-core build
+    // different operators and must never share a cache entry.
+    let corpus = ScenarioSpec {
+        seed: 7,
+        scenarios: 1,
+        grid_shapes: vec![(3, 3)],
+        stc_limits: vec![40.0],
+        ..ScenarioSpec::default()
+    }
+    .build()
+    .unwrap();
+    let scenario = &corpus.scenarios()[0];
+    let kinds = [
+        BackendKind::RcCompact,
+        BackendKind::GridTransient { cells_per_core: 3 },
+        BackendKind::GridTransient { cells_per_core: 4 },
+        BackendKind::GridAdi {
+            cells_per_core: 3,
+            time_step: 1e-3,
+        },
+        BackendKind::GridAdi {
+            cells_per_core: 3,
+            time_step: 1e-2,
+        },
+        BackendKind::GridAdi {
+            cells_per_core: 3,
+            // One ulp away from 1e-3: a rounded decimal rendering would
+            // collapse this onto the key above.
+            time_step: f64::from_bits(1e-3_f64.to_bits() + 1),
+        },
+        BackendKind::GridAdi {
+            cells_per_core: 4,
+            time_step: 1e-3,
+        },
+    ];
+    let keys: Vec<String> = kinds
+        .iter()
+        .map(|kind| kind.key(scenario).to_string())
+        .collect();
+    let unique: std::collections::HashSet<&String> = keys.iter().collect();
+    assert_eq!(unique.len(), kinds.len(), "operator keys alias: {keys:#?}");
+    // The key is a pure function of (kind, scenario): recomputing it must
+    // reproduce the same entry, else caching would never hit at all.
+    for (kind, key) in kinds.iter().zip(&keys) {
+        assert_eq!(&kind.key(scenario).to_string(), key);
+    }
+}
+
 #[test]
 fn operator_cache_results_are_worker_count_invariant() {
     // Every scenario shares one grid shape — maximal operator-cache reuse —
@@ -218,6 +335,7 @@ fn operator_cache_results_are_worker_count_invariant() {
                 store: StoreKind::Sharded { shards: 4 },
                 backend,
                 operator_cache: true,
+                batch_same_shape: true,
             })
             .unwrap()
             .run(&corpus)

@@ -4,7 +4,9 @@ use proptest::prelude::*;
 
 use thermsched::{CoreWeights, SchedulerConfig, SessionThermalModel, ThermalAwareScheduler};
 use thermsched_floorplan::{library as fp_library, Block, Floorplan};
-use thermsched_linalg::{CholeskyDecomposition, DenseMatrix, LuDecomposition};
+use thermsched_linalg::{
+    BandedCholesky, CholeskyDecomposition, CsrMatrix, DenseMatrix, LuDecomposition, Triplet,
+};
 use thermsched_soc::{SystemUnderTest, TestSpec};
 use thermsched_thermal::{
     GridResolution, GridThermalSimulator, PackageConfig, PowerMap, RcThermalSimulator,
@@ -27,6 +29,29 @@ fn spd_matrix(n: usize) -> impl Strategy<Value = DenseMatrix> {
             m.set(i, i, off + 1.0 + vals[i * n + i].abs());
         }
         m
+    })
+}
+
+/// Strategy: a diagonally dominant SPD matrix with the given half bandwidth,
+/// in sparse (CSR) form, for the banded Cholesky path.
+fn banded_spd(n: usize, bandwidth: usize) -> impl Strategy<Value = CsrMatrix> {
+    proptest::collection::vec(-1.0f64..1.0, n * (bandwidth + 1)).prop_map(move |vals| {
+        let mut triplets = Vec::new();
+        let mut diag = vec![1.0f64; n];
+        for i in 0..n {
+            for d in 1..=bandwidth.min(n - 1 - i) {
+                let v = vals[i * (bandwidth + 1) + d];
+                triplets.push(Triplet::new(i, i + d, v));
+                triplets.push(Triplet::new(i + d, i, v));
+                diag[i] += v.abs();
+                diag[i + d] += v.abs();
+            }
+            diag[i] += vals[i * (bandwidth + 1)].abs();
+        }
+        for (i, d) in diag.into_iter().enumerate() {
+            triplets.push(Triplet::new(i, i, d));
+        }
+        CsrMatrix::from_triplets(n, n, &triplets).unwrap()
     })
 }
 
@@ -58,6 +83,27 @@ proptest! {
         let ax = a.mul_vec(&x1).unwrap();
         for (r, s) in ax.iter().zip(&b) {
             prop_assert!((r - s).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn multi_rhs_banded_solves_are_bit_identical_to_repeated_single_solves(
+        a in banded_spd(17, 3),
+        rhs in proptest::collection::vec(-25.0f64..25.0, 17 * 5),
+    ) {
+        // The PR-6 throughput contract: the column-blocked multi-RHS kernel
+        // is the *same arithmetic* as N independent solves — identical
+        // operation order per column — so the results match bit for bit,
+        // not just within a tolerance. `rhs` is row-major 17 x 5.
+        let chol = BandedCholesky::new(&a).unwrap();
+        let (n, k) = (17, 5);
+        let batched = chol.solve_mat(&rhs, k).unwrap();
+        for c in 0..k {
+            let column: Vec<f64> = (0..n).map(|i| rhs[i * k + c]).collect();
+            let single = chol.solve(&column).unwrap();
+            for i in 0..n {
+                prop_assert_eq!(batched[i * k + c].to_bits(), single[i].to_bits());
+            }
         }
     }
 

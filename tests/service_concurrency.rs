@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use thermsched::{MutexSessionStore, SessionStore, ShardedSessionCache};
 use thermsched_service::{
-    JobOutcome, ScenarioSpec, ServiceConfig, ServiceReport, ServiceRunner, StoreKind,
+    BackendKind, JobOutcome, ScenarioSpec, ServiceConfig, ServiceReport, ServiceRunner, StoreKind,
 };
 use thermsched_thermal::{SessionThermalResult, Temperatures};
 
@@ -59,6 +59,58 @@ fn per_job_results_are_byte_identical_across_worker_counts_and_stores() {
             assert_eq!(report.render_jobs(), reference_table);
             assert_eq!(report.stats().workers, workers);
         }
+    }
+}
+
+#[test]
+fn shard_count_is_invariant_with_the_same_shape_batcher_active() {
+    // PR-6 invariant: the prewarmer publishes multi-RHS results through the
+    // same `store_batch` contract the workers use, so the shard layout of
+    // the `ShardedSessionCache` must stay irrelevant to job results while
+    // batching is on — and turning batching off must not matter either.
+    let corpus = ScenarioSpec {
+        seed: 777,
+        scenarios: 3,
+        grid_shapes: vec![(3, 3)],
+        stc_limits: vec![40.0, 80.0],
+        ..ScenarioSpec::default()
+    }
+    .build()
+    .expect("spec is valid");
+    let run = |shards: usize, batch: bool| {
+        ServiceRunner::new(ServiceConfig {
+            workers: 4,
+            store: if shards == 0 {
+                StoreKind::Mutex
+            } else {
+                StoreKind::Sharded { shards }
+            },
+            backend: BackendKind::GridTransient { cells_per_core: 3 },
+            batch_same_shape: batch,
+            ..ServiceConfig::default()
+        })
+        .expect("config is valid")
+        .run(&corpus)
+        .expect("batch runs")
+    };
+    let reference = run(0, true);
+    assert_eq!(reference.stats().completed, reference.stats().job_count);
+    assert_eq!(
+        reference.stats().prewarmed_sessions,
+        corpus.total_cores(),
+        "the batcher must prewarm every per-core characterisation"
+    );
+    for shards in [1, 2, 8, 32] {
+        let batched = run(shards, true);
+        assert_eq!(
+            batched.jobs(),
+            reference.jobs(),
+            "{shards} shards changed a job result with batching on"
+        );
+        assert_eq!(batched.stats().prewarmed_sessions, corpus.total_cores());
+        let unbatched = run(shards, false);
+        assert_eq!(unbatched.jobs(), reference.jobs());
+        assert_eq!(unbatched.stats().prewarmed_sessions, 0);
     }
 }
 
