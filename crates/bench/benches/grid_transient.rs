@@ -46,6 +46,7 @@ fn config(operator_cache: bool) -> ServiceConfig {
         backend: BackendKind::GridTransient { cells_per_core: 4 },
         operator_cache,
         batch_same_shape: true,
+        ..ServiceConfig::default()
     }
 }
 

@@ -20,9 +20,9 @@ use thermsched_soc::SystemUnderTest;
 use thermsched_thermal::{PackageConfig, RcThermalSimulator, ThermalBackend, TransientConfig};
 
 use crate::{
-    Result, ScheduleError, ScheduleEvaluation, ScheduleOutcome, ScheduleValidator, SchedulerConfig,
-    SessionCacheHandle, SessionThermalModel, SweepReport, SweepRunner, SweepSpec, TestSchedule,
-    ThermalAwareScheduler,
+    Result, ScheduleCheckpoint, ScheduleError, ScheduleEvaluation, ScheduleOutcome,
+    ScheduleValidator, SchedulerConfig, SessionCacheHandle, SessionThermalModel, SweepReport,
+    SweepRunner, SweepSpec, TestSchedule, ThermalAwareScheduler,
 };
 
 /// The backend an engine drives: borrowed from the caller or owned by the
@@ -132,21 +132,46 @@ impl<'a> Engine<'a> {
     ///
     /// See [`ThermalAwareScheduler::schedule`].
     pub fn schedule_with(&self, config: SchedulerConfig) -> Result<ScheduleOutcome> {
+        self.scheduler_for(config)?.schedule_with_cache(&self.cache)
+    }
+
+    /// Like [`Engine::schedule_with`], but consulting a cooperative
+    /// [`ScheduleCheckpoint`] at every scheduling checkpoint — the hook a
+    /// service uses to enforce deadline budgets and cancellation on runs it
+    /// dispatched. An interrupted run returns
+    /// [`ScheduleError::Interrupted`] after publishing everything it
+    /// simulated to the engine's cache.
+    ///
+    /// # Errors
+    ///
+    /// See [`ThermalAwareScheduler::schedule_with_cache_and_checkpoint`].
+    pub fn schedule_with_checkpoint(
+        &self,
+        config: SchedulerConfig,
+        checkpoint: &dyn ScheduleCheckpoint,
+    ) -> Result<ScheduleOutcome> {
+        self.scheduler_for(config)?
+            .schedule_with_cache_and_checkpoint(&self.cache, checkpoint)
+    }
+
+    fn scheduler_for<'s>(
+        &'s self,
+        config: SchedulerConfig,
+    ) -> Result<ThermalAwareScheduler<'s, dyn ThermalBackend + 's>> {
         // The guidance model depends only on the session-model options (and
         // the floorplan/package, which are fixed per engine); lend the
         // prebuilt model unless a run overrides those options.
-        let scheduler = if config.session_model == self.config.session_model {
+        if config.session_model == self.config.session_model {
             ThermalAwareScheduler::with_model_ref(
                 self.sut,
                 self.backend.as_dyn(),
                 config,
                 &self.model,
-            )?
+            )
         } else {
             let model = SessionThermalModel::new(self.sut, &self.package, config.session_model)?;
-            ThermalAwareScheduler::with_model(self.sut, self.backend.as_dyn(), config, model)?
-        };
-        scheduler.schedule_with_cache(&self.cache)
+            ThermalAwareScheduler::with_model(self.sut, self.backend.as_dyn(), config, model)
+        }
     }
 
     /// Thermally evaluates an arbitrary schedule (e.g. a baseline
@@ -413,6 +438,34 @@ mod tests {
             warm.warm_cache_hits > 0,
             "second engine must see the first engine's results"
         );
+    }
+
+    #[test]
+    fn schedule_with_checkpoint_enforces_effort_budgets() {
+        use crate::{EffortBudget, InterruptReason};
+
+        let sut = library::alpha21364_sut();
+        let engine = Engine::builder().sut(&sut).build().unwrap();
+        let config = engine.config();
+        // Phase 1 alone costs 15 simulated seconds here, so a 1 s budget
+        // interrupts before any phase-2 simulation runs.
+        let err = engine
+            .schedule_with_checkpoint(config, &EffortBudget::new(1.0))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ScheduleError::Interrupted {
+                reason: InterruptReason::DeadlineExceeded { .. },
+                ..
+            }
+        ));
+        // The interrupted run still warmed the engine's cache.
+        assert!(!engine.cache().is_empty());
+        // A generous budget reproduces the unconstrained schedule.
+        let constrained = engine
+            .schedule_with_checkpoint(config, &EffortBudget::new(1e9))
+            .unwrap();
+        assert_eq!(constrained.schedule, engine.schedule().unwrap().schedule);
     }
 
     #[test]

@@ -6,6 +6,8 @@ use std::fmt;
 use thermsched_soc::SocError;
 use thermsched_thermal::ThermalError;
 
+use crate::checkpoint::InterruptReason;
+
 /// Errors produced while generating or validating test schedules.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -58,6 +60,17 @@ pub enum ScheduleError {
         /// Name of the missing component.
         component: &'static str,
     },
+    /// A [`crate::ScheduleCheckpoint`] interrupted the run before it
+    /// completed. Everything the run had already simulated was flushed to
+    /// the shared session store (when one was attached), so retrying or
+    /// resuming never re-pays that work.
+    Interrupted {
+        /// Why the checkpoint stopped the run.
+        reason: InterruptReason,
+        /// Simulated effort (characterisation plus validation, in simulated
+        /// seconds) spent when the run stopped.
+        spent_effort: f64,
+    },
     /// An underlying thermal simulation failed.
     Thermal(ThermalError),
     /// The system-under-test description is malformed.
@@ -92,6 +105,13 @@ impl fmt::Display for ScheduleError {
             ScheduleError::MissingComponent { component } => {
                 write!(f, "builder is missing a required component: {component}")
             }
+            ScheduleError::Interrupted {
+                reason,
+                spent_effort,
+            } => write!(
+                f,
+                "scheduling run interrupted after {spent_effort} simulated seconds: {reason}"
+            ),
             ScheduleError::Thermal(e) => write!(f, "thermal simulation failed: {e}"),
             ScheduleError::Soc(e) => write!(f, "system description error: {e}"),
         }
@@ -139,6 +159,15 @@ mod tests {
 
         let e: ScheduleError = SocError::UnknownCore { name: "x".into() }.into();
         assert!(matches!(e, ScheduleError::Soc(_)));
+
+        let e = ScheduleError::Interrupted {
+            reason: InterruptReason::DeadlineExceeded { budget: 40.0 },
+            spent_effort: 41.5,
+        };
+        let text = e.to_string();
+        assert!(text.contains("interrupted"));
+        assert!(text.contains("41.5"));
+        assert!(text.contains("40"));
     }
 
     #[test]

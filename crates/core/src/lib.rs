@@ -114,6 +114,7 @@
 #![warn(missing_docs)]
 
 mod baseline;
+mod checkpoint;
 mod config;
 mod engine;
 mod error;
@@ -131,6 +132,7 @@ mod validator;
 mod weights;
 
 pub use baseline::{PackingOrder, PowerConstrainedScheduler, SequentialScheduler};
+pub use checkpoint::{EffortBudget, InterruptReason, ScheduleCheckpoint, ScheduleProgress};
 pub use config::{CoreOrdering, CoreViolationPolicy, SchedulerConfig};
 pub use engine::{Engine, EngineBuilder};
 pub use error::ScheduleError;

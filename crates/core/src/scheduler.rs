@@ -4,8 +4,9 @@ use thermsched_soc::SystemUnderTest;
 use thermsched_thermal::{PackageConfig, SessionThermalResult, ThermalBackend};
 
 use crate::{
-    CoreOrdering, CoreViolationPolicy, CoreWeights, Result, ScheduleError, SchedulerConfig,
-    SessionCache, SessionCacheHandle, SessionThermalModel, TestSchedule, TestSession,
+    CoreOrdering, CoreViolationPolicy, CoreWeights, Result, ScheduleCheckpoint, ScheduleError,
+    ScheduleProgress, SchedulerConfig, SessionCache, SessionCacheHandle, SessionThermalModel,
+    TestSchedule, TestSession,
 };
 
 /// The thermal-validation results that admitted one committed session into
@@ -305,7 +306,7 @@ impl<'a, S: ThermalBackend + ?Sized> ThermalAwareScheduler<'a, S> {
     ///   runs out before every core is scheduled.
     /// * [`ScheduleError::Thermal`] if a validating simulation fails.
     pub fn schedule(&self) -> Result<ScheduleOutcome> {
-        self.run(None)
+        self.run(None, None)
     }
 
     /// Like [`ThermalAwareScheduler::schedule`], but backed by a shared
@@ -329,10 +330,46 @@ impl<'a, S: ThermalBackend + ?Sized> ThermalAwareScheduler<'a, S> {
     ///
     /// See [`ThermalAwareScheduler::schedule`].
     pub fn schedule_with_cache(&self, shared: &SessionCacheHandle) -> Result<ScheduleOutcome> {
-        self.run(Some(shared))
+        self.run(Some(shared), None)
     }
 
-    fn run(&self, shared: Option<&SessionCacheHandle>) -> Result<ScheduleOutcome> {
+    /// Like [`ThermalAwareScheduler::schedule_with_cache`], but consulting a
+    /// cooperative [`ScheduleCheckpoint`] after phase-1 characterisation and
+    /// before every phase-2 iteration. When the checkpoint breaks, the run
+    /// stops before its next simulation and returns
+    /// [`ScheduleError::Interrupted`] — *after* flushing everything it
+    /// already simulated to the shared store, exactly like a failing run.
+    ///
+    /// # Errors
+    ///
+    /// See [`ThermalAwareScheduler::schedule`], plus
+    /// [`ScheduleError::Interrupted`] when the checkpoint fires.
+    pub fn schedule_with_cache_and_checkpoint(
+        &self,
+        shared: &SessionCacheHandle,
+        checkpoint: &dyn ScheduleCheckpoint,
+    ) -> Result<ScheduleOutcome> {
+        self.run(Some(shared), Some(checkpoint))
+    }
+
+    /// Like [`ThermalAwareScheduler::schedule`], but consulting a
+    /// cooperative [`ScheduleCheckpoint`] (no shared cache).
+    ///
+    /// # Errors
+    ///
+    /// See [`ThermalAwareScheduler::schedule_with_cache_and_checkpoint`].
+    pub fn schedule_with_checkpoint(
+        &self,
+        checkpoint: &dyn ScheduleCheckpoint,
+    ) -> Result<ScheduleOutcome> {
+        self.run(None, Some(checkpoint))
+    }
+
+    fn run(
+        &self,
+        shared: Option<&SessionCacheHandle>,
+        checkpoint: Option<&dyn ScheduleCheckpoint>,
+    ) -> Result<ScheduleOutcome> {
         let n = self.sut.core_count();
         let mut warm_cache_hits = 0usize;
 
@@ -406,6 +443,26 @@ impl<'a, S: ThermalBackend + ?Sized> ThermalAwareScheduler<'a, S> {
 
         let generation: Result<()> = (|| {
             while !available.is_empty() {
+                // Cooperative checkpoint: consulted before every simulation
+                // batch with a purely simulated-domain snapshot (the first
+                // call, right after phase 1, sees zero iterations and zero
+                // validation effort). Interrupting here — inside the closure
+                // — still flushes `pending_publish` below, so an interrupted
+                // run leaves the shared store as warm as a failed one.
+                if let Some(checkpoint) = checkpoint {
+                    let progress = ScheduleProgress {
+                        iterations,
+                        committed_sessions: schedule.session_count(),
+                        simulation_effort,
+                        characterization_effort,
+                    };
+                    if let std::ops::ControlFlow::Break(reason) = checkpoint.check(&progress) {
+                        return Err(ScheduleError::Interrupted {
+                            reason,
+                            spent_effort: progress.spent_effort(),
+                        });
+                    }
+                }
                 iterations += 1;
                 if iterations > self.config.max_iterations {
                     return Err(ScheduleError::IterationBudgetExhausted {
@@ -855,6 +912,78 @@ mod tests {
         assert!(
             cache.len() > sut.core_count(),
             "expected phase-1 singletons plus the phase-2 candidate, got {}",
+            cache.len()
+        );
+    }
+
+    #[test]
+    fn checkpoint_budget_interrupts_deterministically() {
+        use crate::{EffortBudget, InterruptReason};
+
+        let (sut, sim) = setup();
+        let config = SchedulerConfig::new(165.0, 50.0).unwrap();
+        let scheduler = ThermalAwareScheduler::new(&sut, &sim, config).unwrap();
+        let full = scheduler.schedule().unwrap();
+        let total = full.simulation_effort + full.characterization_effort;
+
+        // A budget beyond the full run's effort never fires and changes
+        // nothing about the outcome.
+        let cache = SessionCacheHandle::new();
+        let outcome = scheduler
+            .schedule_with_cache_and_checkpoint(&cache, &EffortBudget::new(total + 1.0))
+            .unwrap();
+        assert_eq!(outcome.schedule, full.schedule);
+        assert_eq!(outcome.simulation_effort, full.simulation_effort);
+
+        // A budget below the phase-1 cost fires before the first phase-2
+        // simulation; the spent effort is exactly the characterisation pass
+        // (15 cores × 1 s), deterministically.
+        let err = scheduler
+            .schedule_with_checkpoint(&EffortBudget::new(1.0))
+            .unwrap_err();
+        match err {
+            ScheduleError::Interrupted {
+                reason,
+                spent_effort,
+            } => {
+                assert_eq!(reason, InterruptReason::DeadlineExceeded { budget: 1.0 });
+                assert_eq!(spent_effort, 15.0);
+            }
+            other => panic!("expected an interrupted run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interrupted_runs_flush_their_simulations() {
+        use crate::InterruptReason;
+        use std::ops::ControlFlow;
+
+        let (sut, sim) = setup();
+        let config = SchedulerConfig::new(165.0, 50.0).unwrap();
+        let scheduler = ThermalAwareScheduler::new(&sut, &sim, config).unwrap();
+        let cache = SessionCacheHandle::new();
+        let after_one_iteration = |p: &ScheduleProgress| {
+            if p.iterations >= 1 {
+                ControlFlow::Break(InterruptReason::Cancelled)
+            } else {
+                ControlFlow::Continue(())
+            }
+        };
+        let err = scheduler
+            .schedule_with_cache_and_checkpoint(&cache, &after_one_iteration)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ScheduleError::Interrupted {
+                reason: InterruptReason::Cancelled,
+                ..
+            }
+        ));
+        // The cancelled run characterised every core and validated one
+        // candidate; all of it must reach the shared store.
+        assert!(
+            cache.len() > sut.core_count(),
+            "expected phase-1 singletons plus the first phase-2 candidate, got {}",
             cache.len()
         );
     }

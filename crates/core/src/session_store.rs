@@ -109,6 +109,30 @@ pub trait SessionStore: Send + Sync + fmt::Debug {
 
     /// Usage counters accumulated so far.
     fn stats(&self) -> StoreStats;
+
+    /// Fault-injection hook: deliberately poisons the lock guarding shard
+    /// `shard % shard_count` by panicking a throwaway thread while it holds
+    /// the lock. Entries are untouched — the store must keep serving them
+    /// through the recovered lock (the panic-tolerance contract above), and
+    /// this hook exists precisely so harnesses can prove that recovery
+    /// without reaching into store internals. Implementations without
+    /// interior locks may ignore the call (the default is a no-op).
+    fn poison_shard(&self, shard: usize) {
+        let _ = shard;
+    }
+}
+
+/// Poisons a mutex by panicking a scoped throwaway thread while it holds the
+/// lock. Used by the stores' [`SessionStore::poison_shard`] fault hooks.
+fn poison_lock(mutex: &Mutex<SessionCache>) {
+    std::thread::scope(|scope| {
+        let _ = scope
+            .spawn(|| {
+                let _guard = mutex.lock().unwrap_or_else(PoisonError::into_inner);
+                panic!("injected store poison");
+            })
+            .join();
+    });
 }
 
 /// Shared atomic counter block used by both store implementations.
@@ -229,6 +253,10 @@ impl SessionStore for MutexSessionStore {
 
     fn stats(&self) -> StoreStats {
         self.counters.snapshot()
+    }
+
+    fn poison_shard(&self, _shard: usize) {
+        poison_lock(&self.entries);
     }
 }
 
@@ -385,6 +413,10 @@ impl SessionStore for ShardedSessionCache {
     fn stats(&self) -> StoreStats {
         self.counters.snapshot()
     }
+
+    fn poison_shard(&self, shard: usize) {
+        poison_lock(&self.shards[shard % self.shards.len()]);
+    }
 }
 
 /// A cloneable, thread-safe handle to a shared [`SessionStore`].
@@ -500,6 +532,13 @@ impl SessionCacheHandle {
     /// Usage counters of the backing store.
     pub fn stats(&self) -> StoreStats {
         self.inner.stats()
+    }
+
+    /// Fault-injection hook: poisons one shard lock of the backing store
+    /// (see [`SessionStore::poison_shard`]). Harnesses use this to prove
+    /// that scheduling keeps working through a poisoned store.
+    pub fn poison_shard(&self, shard: usize) {
+        self.inner.poison_shard(shard);
     }
 }
 
@@ -691,6 +730,33 @@ mod tests {
         let before = store.stats().contended_locks;
         let _ = store.lookup(&key);
         assert_eq!(store.stats().contended_locks, before);
+    }
+
+    #[test]
+    fn poison_shard_hook_poisons_without_losing_entries() {
+        // The public fault hook must behave exactly like the hand-rolled
+        // poisoning above: entries survive, reads and writes recover.
+        for store in stores() {
+            store.store(vec![2], result_for(&[2]));
+            for shard in 0..store.shard_count() {
+                store.poison_shard(shard);
+            }
+            // Out-of-range shard indices wrap instead of panicking.
+            store.poison_shard(store.shard_count() + 5);
+            assert_eq!(
+                store.lookup(&[2]),
+                Some(result_for(&[2])),
+                "{}",
+                store.name()
+            );
+            store.store(vec![3], result_for(&[3]));
+            assert_eq!(store.len(), 2);
+        }
+        // And through the handle.
+        let handle = SessionCacheHandle::sharded(3);
+        handle.store(vec![5], result_for(&[5]));
+        handle.poison_shard(1);
+        assert_eq!(handle.lookup(&[5]), Some(result_for(&[5])));
     }
 
     #[test]

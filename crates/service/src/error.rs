@@ -6,6 +6,8 @@ use std::fmt;
 use thermsched::ScheduleError;
 use thermsched_soc::SocError;
 
+use crate::fault::FaultKind;
+
 /// Errors produced while building a corpus or running a batch.
 ///
 /// Note that a *job* failing inside [`crate::ServiceRunner::run`] is not an
@@ -28,6 +30,36 @@ pub enum ServiceError {
     Soc(SocError),
     /// Constructing a scenario's thermal backend or engine failed.
     Schedule(ScheduleError),
+    /// A fault deliberately injected by the configured
+    /// [`crate::FaultPlan`] — the only *retryable* error, standing in for
+    /// transient infrastructure failures.
+    Injected {
+        /// Kind of injected fault.
+        kind: FaultKind,
+        /// Index of the job the fault hit.
+        job: u64,
+        /// 1-based attempt the fault hit.
+        attempt: u32,
+    },
+}
+
+impl ServiceError {
+    /// Whether retrying the same work can plausibly succeed.
+    ///
+    /// Only injected faults are retryable: they model transient
+    /// infrastructure failures that a later attempt escapes (the fault plan
+    /// draws independently per attempt). Everything else the service can
+    /// fail with — invalid specs, scenario generation, backend construction,
+    /// and real scheduler errors — is a deterministic function of the input
+    /// and would only reproduce on retry.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ServiceError::Injected { .. } => true,
+            ServiceError::InvalidSpec { .. } | ServiceError::Soc(_) | ServiceError::Schedule(_) => {
+                false
+            }
+        }
+    }
 }
 
 impl fmt::Display for ServiceError {
@@ -38,6 +70,9 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::Soc(e) => write!(f, "scenario generation failed: {e}"),
             ServiceError::Schedule(e) => write!(f, "scenario setup failed: {e}"),
+            ServiceError::Injected { kind, job, attempt } => {
+                write!(f, "injected {kind} fault on job {job} attempt {attempt}")
+            }
         }
     }
 }
@@ -45,7 +80,7 @@ impl fmt::Display for ServiceError {
 impl Error for ServiceError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            ServiceError::InvalidSpec { .. } => None,
+            ServiceError::InvalidSpec { .. } | ServiceError::Injected { .. } => None,
             ServiceError::Soc(e) => Some(e),
             ServiceError::Schedule(e) => Some(e),
         }
@@ -97,5 +132,47 @@ mod tests {
         .into();
         assert!(sched.to_string().contains("scenario setup"));
         assert!(sched.source().is_some());
+
+        let injected = ServiceError::Injected {
+            kind: FaultKind::Error,
+            job: 7,
+            attempt: 2,
+        };
+        assert!(injected.to_string().contains("injected error fault"));
+        assert!(injected.to_string().contains("job 7"));
+        assert!(injected.source().is_none());
+    }
+
+    #[test]
+    fn only_injected_faults_are_retryable() {
+        // Every variant is covered here: a new variant must take a stance
+        // on retryability to keep this test compiling meaningfully.
+        assert!(!ServiceError::InvalidSpec {
+            field: "workers",
+            problem: "must be non-zero",
+        }
+        .is_retryable());
+        assert!(!ServiceError::Soc(SocError::InvalidGeneratorParameter {
+            name: "core_size_mm",
+            value: -1.0,
+        })
+        .is_retryable());
+        assert!(!ServiceError::Schedule(ScheduleError::MissingComponent {
+            component: "system under test",
+        })
+        .is_retryable());
+        for kind in [
+            FaultKind::Panic,
+            FaultKind::Error,
+            FaultKind::Delay,
+            FaultKind::PoisonStore,
+        ] {
+            assert!(ServiceError::Injected {
+                kind,
+                job: 0,
+                attempt: 1,
+            }
+            .is_retryable());
+        }
     }
 }

@@ -19,7 +19,15 @@
 //!    [`thermsched::ShardedSessionCache`] ([`StoreKind`]).
 //! 3. **An aggregated report** ([`ServiceReport`]): deterministic per-job
 //!    results (identical at any worker count) plus run statistics —
-//!    throughput, cache hit rates, shard contention ([`ServiceStats`]).
+//!    throughput, cache hit rates, shard contention, latency percentiles
+//!    ([`ServiceStats`]).
+//! 4. **A streaming front-end with first-class failure handling**
+//!    ([`Frontend`]): a long-lived submission API over the same execution
+//!    machinery — bounded ingress queue with priority admission control and
+//!    load shedding, per-submission [`JobHandle`]s, seeded deterministic
+//!    fault injection and retries ([`FaultPlan`], [`RetryPolicy`]),
+//!    effort-budget deadlines enforced at the scheduler's cooperative
+//!    checkpoints, and graceful drain ([`Frontend::drain`]).
 //!
 //! # Example
 //!
@@ -55,12 +63,18 @@
 #![warn(missing_docs)]
 
 mod error;
+mod fault;
+mod frontend;
 mod report;
 mod runner;
 mod scenario;
 
 pub use error::ServiceError;
-pub use report::{JobMetrics, JobOutcome, JobResult, ServiceReport, ServiceStats};
+pub use fault::{ClockKind, FaultKind, FaultPlan, RetryPolicy};
+pub use frontend::{
+    DrainReport, Frontend, FrontendConfig, JobHandle, Priority, Rejected, ShedCause, Submission,
+};
+pub use report::{JobMetrics, JobOutcome, JobResult, LatencyStats, ServiceReport, ServiceStats};
 pub use runner::{BackendKind, ServiceConfig, ServiceRunner, StoreKind};
 pub use scenario::{Corpus, JobSpec, Scenario, ScenarioSpec};
 

@@ -18,6 +18,7 @@ use std::fmt::Write as _;
 
 use thermsched::{OperatorCacheStats, ScheduleOutcome, StoreStats};
 
+use crate::frontend::{Rejected, ShedCause};
 use crate::JobSpec;
 
 /// The deterministic metrics of one completed scheduling job.
@@ -39,6 +40,9 @@ pub struct JobMetrics {
     /// The temperature limit actually enforced (raised above the configured
     /// one only under the `RaiseLimit` policy).
     pub effective_temperature_limit: f64,
+    /// Attempts this job took, including the successful one (1 without
+    /// retries; larger only when injected faults were retried away).
+    pub attempts: u32,
 }
 
 impl From<&ScheduleOutcome> for JobMetrics {
@@ -51,6 +55,7 @@ impl From<&ScheduleOutcome> for JobMetrics {
             discarded_sessions: outcome.discarded_sessions,
             max_temperature: outcome.max_temperature,
             effective_temperature_limit: outcome.effective_temperature_limit,
+            attempts: 1,
         }
     }
 }
@@ -65,12 +70,38 @@ pub enum JobOutcome {
     Failed {
         /// The scheduler error, rendered.
         error: String,
+        /// Whether the error was classified retryable
+        /// ([`crate::ServiceError::is_retryable`]); a retryable terminal
+        /// failure means the retry budget was exhausted.
+        retryable: bool,
+        /// Attempts spent before giving up (1 without retries).
+        attempts: u32,
     },
     /// The job panicked; the panic was caught and isolated to this job.
     Panicked {
         /// The panic payload, rendered.
         message: String,
+        /// Attempts spent before giving up (1 without retries).
+        attempts: u32,
     },
+    /// The job's effort-budget deadline expired at a scheduling checkpoint.
+    ///
+    /// Deadlines are measured in *simulated* seconds of thermal-model
+    /// effort, not wall clock, so this outcome is as deterministic as a
+    /// completed one. A `budget` of `0.0` marks a job cancelled in flight
+    /// by [`crate::Frontend::drain`].
+    DeadlineExceeded {
+        /// Simulated effort spent when the deadline fired.
+        spent_effort: f64,
+        /// The effort budget that was exceeded (0.0 = drain cancellation).
+        budget: f64,
+        /// Attempts spent, including the one that hit the deadline.
+        attempts: u32,
+    },
+    /// The job was admitted but dropped from the queue before running.
+    Shed(ShedCause),
+    /// The job was refused at submission and never entered the queue.
+    Rejected(Rejected),
 }
 
 impl JobOutcome {
@@ -79,6 +110,58 @@ impl JobOutcome {
         match self {
             JobOutcome::Completed(metrics) => Some(metrics),
             _ => None,
+        }
+    }
+
+    /// Attempts the job consumed (0 for jobs that never ran: shed or
+    /// rejected work).
+    pub fn attempts(&self) -> u32 {
+        match self {
+            JobOutcome::Completed(m) => m.attempts,
+            JobOutcome::Failed { attempts, .. }
+            | JobOutcome::Panicked { attempts, .. }
+            | JobOutcome::DeadlineExceeded { attempts, .. } => *attempts,
+            JobOutcome::Shed(_) | JobOutcome::Rejected(_) => 0,
+        }
+    }
+}
+
+/// Latency percentiles over the resolved jobs of one run, nearest-rank.
+///
+/// Under [`crate::ClockKind::Wall`] these are wall-clock submission-to-
+/// resolution times and belong firmly on the timing-dependent side of the
+/// report; under [`crate::ClockKind::Virtual`] they aggregate the
+/// deterministic virtual seconds accrued by injected delays and backoffs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencyStats {
+    /// Latency samples aggregated (resolved jobs).
+    pub samples: usize,
+    /// Median latency in seconds.
+    pub p50_seconds: f64,
+    /// 99th-percentile latency in seconds.
+    pub p99_seconds: f64,
+    /// Worst latency in seconds.
+    pub max_seconds: f64,
+}
+
+impl LatencyStats {
+    /// Nearest-rank percentiles of `samples` (seconds). Empty input yields
+    /// the all-zero stats.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let rank = |p: f64| {
+            let idx = (p * sorted.len() as f64).ceil() as usize;
+            sorted[idx.clamp(1, sorted.len()) - 1]
+        };
+        LatencyStats {
+            samples: sorted.len(),
+            p50_seconds: rank(0.50),
+            p99_seconds: rank(0.99),
+            max_seconds: sorted[sorted.len() - 1],
         }
     }
 }
@@ -147,6 +230,21 @@ pub struct ServiceStats {
     pub failed: usize,
     /// Jobs that panicked (isolated).
     pub panicked: usize,
+    /// Jobs whose effort-budget deadline fired (including drain
+    /// cancellations).
+    pub deadline_exceeded: usize,
+    /// Jobs shed from the queue before running (admission displacement or
+    /// drain).
+    pub shed: usize,
+    /// Submissions rejected outright (never queued).
+    pub rejected: usize,
+    /// Retry attempts beyond each job's first, summed over the run.
+    pub retried_attempts: usize,
+    /// Faults fired by the configured [`crate::FaultPlan`].
+    pub injected_faults: usize,
+    /// Latency percentiles over resolved jobs (all-zero when no latency was
+    /// recorded, e.g. for direct [`crate::ServiceRunner::run`] batches).
+    pub latency: LatencyStats,
     /// Wall-clock duration of the batch in seconds.
     pub wall_seconds: f64,
     /// Jobs per wall-clock second.
@@ -224,11 +322,37 @@ impl ServiceReport {
                         m.max_temperature,
                     );
                 }
-                JobOutcome::Failed { error } => {
-                    let _ = writeln!(out, "FAILED: {error}");
+                JobOutcome::Failed {
+                    error, attempts, ..
+                } => {
+                    if *attempts > 1 {
+                        let _ = writeln!(out, "FAILED after {attempts} attempts: {error}");
+                    } else {
+                        let _ = writeln!(out, "FAILED: {error}");
+                    }
                 }
-                JobOutcome::Panicked { message } => {
-                    let _ = writeln!(out, "PANICKED: {message}");
+                JobOutcome::Panicked { message, attempts } => {
+                    if *attempts > 1 {
+                        let _ = writeln!(out, "PANICKED after {attempts} attempts: {message}");
+                    } else {
+                        let _ = writeln!(out, "PANICKED: {message}");
+                    }
+                }
+                JobOutcome::DeadlineExceeded {
+                    spent_effort,
+                    budget,
+                    ..
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "DEADLINE EXCEEDED: spent {spent_effort:.3} s of {budget:.3} s budget"
+                    );
+                }
+                JobOutcome::Shed(cause) => {
+                    let _ = writeln!(out, "SHED: {cause}");
+                }
+                JobOutcome::Rejected(rejection) => {
+                    let _ = writeln!(out, "REJECTED: {rejection}");
                 }
             }
         }
@@ -238,7 +362,21 @@ impl ServiceReport {
     /// Renders the aggregate summary (throughput, cache behaviour). This
     /// part is timing-dependent by nature.
     pub fn render_summary(&self) -> String {
-        let s = &self.stats;
+        self.stats
+            .render_with_max_temperature(self.max_temperature())
+    }
+}
+
+impl ServiceStats {
+    /// Renders the aggregate summary on its own — what a
+    /// [`crate::DrainReport`] prints, where no per-job table (and thus no
+    /// hottest temperature) is attached.
+    pub fn render(&self) -> String {
+        self.render_with_max_temperature(None)
+    }
+
+    pub(crate) fn render_with_max_temperature(&self, max_temperature: Option<f64>) -> String {
+        let s = self;
         let mut out = String::new();
         let _ = writeln!(
             out,
@@ -250,11 +388,29 @@ impl ServiceReport {
             "  completed {}, failed {}, panicked {}",
             s.completed, s.failed, s.panicked
         );
+        if s.deadline_exceeded + s.shed + s.rejected + s.retried_attempts + s.injected_faults > 0 {
+            let _ = writeln!(
+                out,
+                "  deadline exceeded {}, shed {}, rejected {}, retried attempts {}, \
+                 injected faults {}",
+                s.deadline_exceeded, s.shed, s.rejected, s.retried_attempts, s.injected_faults
+            );
+        }
         let _ = writeln!(
             out,
             "  wall {:.3} s, {:.1} jobs/s",
             s.wall_seconds, s.jobs_per_second
         );
+        if s.latency.samples > 0 {
+            let _ = writeln!(
+                out,
+                "  latency p50 {:.6} s, p99 {:.6} s, max {:.6} s over {} jobs",
+                s.latency.p50_seconds,
+                s.latency.p99_seconds,
+                s.latency.max_seconds,
+                s.latency.samples
+            );
+        }
         let _ = writeln!(
             out,
             "  shared store: {} lookups, {} hits ({:.1}% hit rate), {} insertions, \
@@ -265,7 +421,7 @@ impl ServiceReport {
             s.store.insertions,
             s.store.contended_locks
         );
-        match self.max_temperature() {
+        match max_temperature {
             Some(t) => {
                 let _ = writeln!(out, "  hottest committed temperature {t:.3} C");
             }
@@ -304,6 +460,7 @@ mod tests {
             discarded_sessions: 3,
             max_temperature: 151.25,
             effective_temperature_limit: 165.0,
+            attempts: 1,
         }
     }
 
@@ -323,6 +480,8 @@ mod tests {
                 label: "TL=165 STCL=80 wf=1.1 AsGiven".to_owned(),
                 outcome: JobOutcome::Failed {
                     error: "iteration budget exhausted".to_owned(),
+                    retryable: false,
+                    attempts: 1,
                 },
             },
         ];
@@ -338,6 +497,12 @@ mod tests {
             completed: 1,
             failed: 1,
             panicked: 0,
+            deadline_exceeded: 0,
+            shed: 0,
+            rejected: 0,
+            retried_attempts: 0,
+            injected_faults: 0,
+            latency: LatencyStats::default(),
             wall_seconds: 0.5,
             jobs_per_second: 4.0,
             cached_validations: 3,
@@ -409,14 +574,115 @@ mod tests {
     fn outcome_metrics_accessor_distinguishes_variants() {
         assert!(JobOutcome::Completed(metrics()).metrics().is_some());
         assert!(JobOutcome::Failed {
-            error: "e".to_owned()
+            error: "e".to_owned(),
+            retryable: true,
+            attempts: 3,
         }
         .metrics()
         .is_none());
         assert!(JobOutcome::Panicked {
-            message: "p".to_owned()
+            message: "p".to_owned(),
+            attempts: 1,
         }
         .metrics()
         .is_none());
+        assert!(JobOutcome::Shed(ShedCause::Drained).metrics().is_none());
+        assert_eq!(JobOutcome::Completed(metrics()).attempts(), 1);
+        assert_eq!(
+            JobOutcome::DeadlineExceeded {
+                spent_effort: 3.0,
+                budget: 2.0,
+                attempts: 2,
+            }
+            .attempts(),
+            2
+        );
+        assert_eq!(JobOutcome::Shed(ShedCause::Displaced).attempts(), 0);
+    }
+
+    #[test]
+    fn robustness_outcomes_render_distinct_job_lines() {
+        let base = report();
+        let mk = |index, outcome| JobResult {
+            index,
+            scenario: 0,
+            scenario_name: "s00-g3x3".to_owned(),
+            label: "TL=165".to_owned(),
+            outcome,
+        };
+        let jobs = vec![
+            mk(
+                0,
+                JobOutcome::Failed {
+                    error: "injected".to_owned(),
+                    retryable: true,
+                    attempts: 3,
+                },
+            ),
+            mk(
+                1,
+                JobOutcome::Panicked {
+                    message: "boom".to_owned(),
+                    attempts: 2,
+                },
+            ),
+            mk(
+                2,
+                JobOutcome::DeadlineExceeded {
+                    spent_effort: 12.5,
+                    budget: 10.0,
+                    attempts: 1,
+                },
+            ),
+            mk(3, JobOutcome::Shed(ShedCause::Displaced)),
+            mk(4, JobOutcome::Rejected(Rejected::QueueFull { capacity: 2 })),
+        ];
+        let table = ServiceReport::new(jobs, base.stats().clone()).render_jobs();
+        assert!(table.contains("FAILED after 3 attempts: injected"));
+        assert!(table.contains("PANICKED after 2 attempts: boom"));
+        assert!(table.contains("DEADLINE EXCEEDED: spent 12.500 s of 10.000 s budget"));
+        assert!(table.contains("SHED: displaced by a higher-priority submission"));
+        assert!(table.contains("REJECTED: ingress queue full (capacity 2)"));
+    }
+
+    #[test]
+    fn summary_reports_robustness_counters_and_latency_when_present() {
+        let base = report();
+        // The quiet run's summary stays byte-compatible: no robustness or
+        // latency lines appear when every counter is zero.
+        assert!(!base.render_summary().contains("latency"));
+        assert!(!base.render_summary().contains("deadline exceeded"));
+        let mut stats = base.stats().clone();
+        stats.deadline_exceeded = 1;
+        stats.shed = 2;
+        stats.rejected = 3;
+        stats.retried_attempts = 4;
+        stats.injected_faults = 5;
+        stats.latency = LatencyStats::from_samples(&[0.25, 0.5, 1.0]);
+        let summary = ServiceReport::new(base.jobs().to_vec(), stats).render_summary();
+        assert!(summary.contains(
+            "deadline exceeded 1, shed 2, rejected 3, retried attempts 4, injected faults 5"
+        ));
+        assert!(summary.contains("latency p50 0.500000 s, p99 1.000000 s, max 1.000000 s"));
+    }
+
+    #[test]
+    fn latency_percentiles_use_nearest_rank() {
+        assert_eq!(LatencyStats::from_samples(&[]), LatencyStats::default());
+        let one = LatencyStats::from_samples(&[2.0]);
+        assert_eq!(
+            (one.samples, one.p50_seconds, one.p99_seconds),
+            (1, 2.0, 2.0)
+        );
+        let samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        let stats = LatencyStats::from_samples(&samples);
+        assert_eq!(stats.samples, 100);
+        assert_eq!(stats.p50_seconds, 50.0);
+        assert_eq!(stats.p99_seconds, 99.0);
+        assert_eq!(stats.max_seconds, 100.0);
+        // Order independence: percentiles are over the sorted samples.
+        let mut reversed = samples.clone();
+        reversed.reverse();
+        assert_eq!(LatencyStats::from_samples(&reversed), stats);
     }
 }

@@ -3,24 +3,27 @@
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::ops::ControlFlow;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
 use thermsched::TestSession;
 use thermsched::{
-    Engine, NestedParallelismGuard, OperatorCacheHandle, OperatorKey, ScheduleOutcome,
-    SessionCacheHandle, StoreStats,
+    Engine, InterruptReason, NestedParallelismGuard, OperatorCacheHandle, OperatorKey,
+    ScheduleCheckpoint, ScheduleError, ScheduleOutcome, ScheduleProgress, SessionCacheHandle,
+    StoreStats,
 };
 use thermsched_thermal::{
     GridResolution, GridThermalSimulator, PackageConfig, PowerMap, RcThermalSimulator,
     SessionThermalResult, ThermalBackend, TransientConfig, TransientMethod,
 };
 
+use crate::report::LatencyStats;
 use crate::{
-    Corpus, JobOutcome, JobResult, JobSpec, Result, Scenario, ServiceError, ServiceReport,
-    ServiceStats,
+    ClockKind, Corpus, FaultKind, FaultPlan, JobOutcome, JobResult, JobSpec, Result, RetryPolicy,
+    Scenario, ServiceError, ServiceReport, ServiceStats,
 };
 
 /// Which thermal backend validates every job of a batch.
@@ -152,7 +155,7 @@ pub enum StoreKind {
 }
 
 impl StoreKind {
-    fn handle(self) -> SessionCacheHandle {
+    pub(crate) fn handle(self) -> SessionCacheHandle {
         match self {
             StoreKind::Mutex => SessionCacheHandle::new(),
             StoreKind::Sharded { shards } => SessionCacheHandle::sharded(shards),
@@ -202,6 +205,25 @@ pub struct ServiceConfig {
     /// per-job results do not change — and on by default. Only engaged for
     /// backends that actually batch ([`BackendKind::GridTransient`]).
     pub batch_same_shape: bool,
+    /// Deterministic fault-injection plan (inert by default): seeded per
+    /// (job, attempt) panics, retryable errors, delays and store poisoning.
+    pub faults: FaultPlan,
+    /// Retry policy for retryable outcomes (disabled by default): seeded
+    /// exponential backoff, attempt accounting in
+    /// [`crate::JobMetrics::attempts`].
+    pub retry: RetryPolicy,
+    /// Clock injected delays, backoffs and latency run against. The default
+    /// [`ClockKind::Wall`] sleeps and measures real time;
+    /// [`ClockKind::Virtual`] accrues deterministic virtual seconds instead,
+    /// which is what fault-injection tests run under.
+    pub clock: ClockKind,
+    /// Default per-job effort budget in *simulated* seconds, enforced at
+    /// the scheduler's cooperative checkpoints: a job whose spent thermal
+    /// effort exceeds the budget ends as [`JobOutcome::DeadlineExceeded`].
+    /// Effort is a pure function of the corpus, so deadline outcomes are as
+    /// deterministic as completed ones. `None` (the default) disables
+    /// deadlines; [`crate::Submission::deadline_effort`] overrides per job.
+    pub deadline_effort: Option<f64>,
 }
 
 impl Default for ServiceConfig {
@@ -212,7 +234,55 @@ impl Default for ServiceConfig {
             backend: BackendKind::default(),
             operator_cache: true,
             batch_same_shape: true,
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::disabled(),
+            clock: ClockKind::Wall,
+            deadline_effort: None,
         }
+    }
+}
+
+impl ServiceConfig {
+    /// Validates every field; shared by [`ServiceRunner::new`] and the
+    /// streaming [`crate::Frontend`].
+    pub(crate) fn validate(&self) -> Result<()> {
+        if let StoreKind::Sharded { shards: 0 } = self.store {
+            return Err(ServiceError::InvalidSpec {
+                field: "shards",
+                problem: "must be at least 1",
+            });
+        }
+        match self.backend {
+            BackendKind::GridTransient { cells_per_core: 0 }
+            | BackendKind::GridAdi {
+                cells_per_core: 0, ..
+            } => {
+                return Err(ServiceError::InvalidSpec {
+                    field: "cells_per_core",
+                    problem: "must be at least 1",
+                });
+            }
+            BackendKind::GridAdi { time_step, .. }
+                if !(time_step > 0.0 && time_step.is_finite()) =>
+            {
+                return Err(ServiceError::InvalidSpec {
+                    field: "time_step",
+                    problem: "must be positive and finite",
+                });
+            }
+            _ => {}
+        }
+        self.faults.validate()?;
+        self.retry.validate()?;
+        if let Some(budget) = self.deadline_effort {
+            if !(budget > 0.0 && budget.is_finite()) {
+                return Err(ServiceError::InvalidSpec {
+                    field: "deadline_effort",
+                    problem: "must be positive and finite",
+                });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -266,7 +336,8 @@ impl ServiceRunner {
     ///
     /// # Errors
     ///
-    /// [`ServiceError::InvalidSpec`] for zero workers or zero shards.
+    /// [`ServiceError::InvalidSpec`] for zero workers or zero shards, and
+    /// for out-of-range fault, retry or deadline parameters.
     pub fn new(config: ServiceConfig) -> Result<Self> {
         if config.workers == 0 {
             return Err(ServiceError::InvalidSpec {
@@ -274,32 +345,7 @@ impl ServiceRunner {
                 problem: "must be at least 1",
             });
         }
-        if let StoreKind::Sharded { shards: 0 } = config.store {
-            return Err(ServiceError::InvalidSpec {
-                field: "shards",
-                problem: "must be at least 1",
-            });
-        }
-        match config.backend {
-            BackendKind::GridTransient { cells_per_core: 0 }
-            | BackendKind::GridAdi {
-                cells_per_core: 0, ..
-            } => {
-                return Err(ServiceError::InvalidSpec {
-                    field: "cells_per_core",
-                    problem: "must be at least 1",
-                });
-            }
-            BackendKind::GridAdi { time_step, .. }
-                if !(time_step > 0.0 && time_step.is_finite()) =>
-            {
-                return Err(ServiceError::InvalidSpec {
-                    field: "time_step",
-                    problem: "must be positive and finite",
-                });
-            }
-            _ => {}
-        }
+        config.validate()?;
         Ok(ServiceRunner { config })
     }
 
@@ -323,19 +369,7 @@ impl ServiceRunner {
         // build loop is sequential, so the hit/miss counters are a
         // deterministic function of the corpus.
         let operator_cache = OperatorCacheHandle::new();
-        let backends = corpus
-            .scenarios()
-            .iter()
-            .map(|scenario| {
-                if self.config.operator_cache {
-                    operator_cache.get_or_try_build(self.config.backend.key(scenario), || {
-                        self.config.backend.build(scenario)
-                    })
-                } else {
-                    self.config.backend.build(scenario)
-                }
-            })
-            .collect::<Result<Vec<Arc<dyn ThermalBackend>>>>()?;
+        let backends = build_backends(&self.config, corpus, &operator_cache)?;
         let caches: Vec<SessionCacheHandle> = corpus
             .scenarios()
             .iter()
@@ -347,7 +381,7 @@ impl ServiceRunner {
         // publish them to the scenarios' stores before the workers start.
         // Bit-identical to the per-job path, so only throughput changes.
         let prewarmed_sessions = if self.config.batch_same_shape {
-            self.prewarm_same_shape(corpus, &backends, &caches)
+            prewarm_same_shape(&self.config, corpus, &backends, &caches)
         } else {
             0
         };
@@ -355,8 +389,11 @@ impl ServiceRunner {
         let jobs = corpus.jobs();
         let next = AtomicUsize::new(0);
         let results: Mutex<Vec<Option<JobResult>>> = Mutex::new(vec![None; jobs.len()]);
+        let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(jobs.len()));
         let warm_cache_hits = AtomicUsize::new(0);
         let cached_validations = AtomicUsize::new(0);
+        let injected_faults = AtomicUsize::new(0);
+        let retried_attempts = AtomicUsize::new(0);
 
         let started = Instant::now();
         std::thread::scope(|scope| {
@@ -371,20 +408,48 @@ impl ServiceRunner {
                         let index = next.fetch_add(1, Ordering::Relaxed);
                         let Some(job) = jobs.get(index) else { break };
                         let scenario = &corpus.scenarios()[job.scenario];
-                        let (outcome, accounting) = run_job(
-                            job,
-                            scenario,
-                            backends[job.scenario].as_ref(),
-                            &caches[job.scenario],
+                        let job_started = Instant::now();
+                        let execution = execute_job(
+                            &JobContext {
+                                job,
+                                job_index: index as u64,
+                                scenario,
+                                backend: backends[job.scenario].as_ref(),
+                                cache: &caches[job.scenario],
+                                faults: self.config.faults,
+                                retry: self.config.retry,
+                                clock: self.config.clock,
+                                deadline_effort: self.config.deadline_effort,
+                                cancel: None,
+                            },
                             &mut engines,
                         );
                         // Order-dependent cache accounting goes to the stats
                         // side of the report, never into per-job results.
-                        warm_cache_hits.fetch_add(accounting.warm_cache_hits, Ordering::Relaxed);
+                        warm_cache_hits
+                            .fetch_add(execution.accounting.warm_cache_hits, Ordering::Relaxed);
                         cached_validations
-                            .fetch_add(accounting.cached_validations, Ordering::Relaxed);
+                            .fetch_add(execution.accounting.cached_validations, Ordering::Relaxed);
+                        injected_faults.fetch_add(execution.injected_faults, Ordering::Relaxed);
+                        retried_attempts.fetch_add(
+                            execution.attempts.saturating_sub(1) as usize,
+                            Ordering::Relaxed,
+                        );
+                        let latency = match self.config.clock {
+                            ClockKind::Wall => job_started.elapsed().as_secs_f64(),
+                            ClockKind::Virtual => execution.virtual_seconds,
+                        };
+                        latencies
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .push(latency);
                         let mut slots = results.lock().unwrap_or_else(PoisonError::into_inner);
-                        slots[index] = Some(JobResult::new(index, job, &scenario.name, outcome));
+                        slots[index] = Some(JobResult::new(
+                            index,
+                            job,
+                            &scenario.name,
+                            execution.outcome,
+                        ));
                     }
                 });
             }
@@ -397,6 +462,11 @@ impl ServiceRunner {
             .into_iter()
             .map(|slot| slot.expect("every job index is claimed exactly once"))
             .collect();
+        let latency = LatencyStats::from_samples(
+            &latencies
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
 
         let mut store = StoreStats::default();
         for cache in &caches {
@@ -414,7 +484,14 @@ impl ServiceRunner {
             .iter()
             .filter(|j| matches!(j.outcome, JobOutcome::Failed { .. }))
             .count();
-        let panicked = jobs_done.len() - completed - failed;
+        let deadline_exceeded = jobs_done
+            .iter()
+            .filter(|j| matches!(j.outcome, JobOutcome::DeadlineExceeded { .. }))
+            .count();
+        let panicked = jobs_done
+            .iter()
+            .filter(|j| matches!(j.outcome, JobOutcome::Panicked { .. }))
+            .count();
         let stats = ServiceStats {
             workers: self.config.workers,
             store_name: self.config.store.name(),
@@ -427,6 +504,12 @@ impl ServiceRunner {
             completed,
             failed,
             panicked,
+            deadline_exceeded,
+            shed: 0,
+            rejected: 0,
+            retried_attempts: retried_attempts.load(Ordering::Relaxed),
+            injected_faults: injected_faults.load(Ordering::Relaxed),
+            latency,
             wall_seconds,
             jobs_per_second: jobs_done.len() as f64 / wall_seconds.max(1e-9),
             cached_validations: cached_validations.load(Ordering::Relaxed),
@@ -436,110 +519,284 @@ impl ServiceRunner {
         };
         Ok(ServiceReport::new(jobs_done, stats))
     }
+}
 
-    /// Groups the corpus's phase-1 characterisation lanes — one (scenario,
-    /// core) single-core session each — by operator key and session
-    /// duration, advances each group through the shared backend's multi-RHS
-    /// batch, and publishes the results to the scenarios' session stores.
-    /// Returns the number of prewarmed lanes.
-    ///
-    /// The grouping and iteration order are deterministic (sorted by key,
-    /// then corpus order within a group), the per-lane results are
-    /// bit-identical to what the scheduler's own phase 1 would compute, and
-    /// a group that fails to simulate is simply skipped — its jobs compute
-    /// phase 1 themselves and surface the error through the normal per-job
-    /// path.
-    fn prewarm_same_shape(
-        &self,
-        corpus: &Corpus,
-        backends: &[Arc<dyn ThermalBackend>],
-        caches: &[SessionCacheHandle],
-    ) -> usize {
-        if !self.config.backend.batches_sessions() {
-            return 0;
-        }
-        // Lanes grouped by (operator key, duration bits): scenarios sharing
-        // a key share one bit-identical backend, and only equal-duration
-        // sessions can share a multi-RHS advance (the step count is a
-        // function of the duration).
-        type PrewarmGroups = std::collections::BTreeMap<(String, u64), Vec<(usize, usize, f64)>>;
-        let mut groups = PrewarmGroups::new();
-        for (index, scenario) in corpus.scenarios().iter().enumerate() {
-            let key = self.config.backend.key(scenario).to_string();
-            for core in 0..scenario.sut.core_count() {
-                let session = TestSession::new([core], &scenario.sut);
-                let duration = session.duration();
-                groups
-                    .entry((key.clone(), duration.to_bits()))
-                    .or_default()
-                    .push((index, core, duration));
-            }
-        }
-        let mut prewarmed = 0;
-        for ((_, _), lanes) in groups {
-            let duration = lanes[0].2;
-            let powers: std::result::Result<Vec<PowerMap>, _> = lanes
-                .iter()
-                .map(|&(scenario, core, _)| {
-                    TestSession::new([core], &corpus.scenarios()[scenario].sut)
-                        .power_map(&corpus.scenarios()[scenario].sut)
+/// Builds one thermal backend per scenario, sequentially (so the operator
+/// cache's hit/miss counters stay a deterministic function of the corpus),
+/// collapsing same-key scenarios onto shared instances when the cache is
+/// enabled. Shared by [`ServiceRunner::run`] and the streaming
+/// [`crate::Frontend`].
+pub(crate) fn build_backends(
+    config: &ServiceConfig,
+    corpus: &Corpus,
+    operator_cache: &OperatorCacheHandle,
+) -> Result<Vec<Arc<dyn ThermalBackend>>> {
+    corpus
+        .scenarios()
+        .iter()
+        .map(|scenario| {
+            if config.operator_cache {
+                operator_cache.get_or_try_build(config.backend.key(scenario), || {
+                    config.backend.build(scenario)
                 })
-                .collect();
-            let Ok(powers) = powers else { continue };
-            // All scenarios of a key group share one bit-identical backend
-            // (the operator cache collapses them when enabled; private
-            // builds are deterministic replicas when not), so the group's
-            // first backend serves every lane.
-            let backend = backends[lanes[0].0].as_ref();
-            let Ok(results) = backend.simulate_sessions(&powers, duration) else {
-                continue;
-            };
-            let mut per_scenario: HashMap<usize, Vec<(Vec<usize>, SessionThermalResult)>> =
-                HashMap::new();
-            for (&(scenario, core, _), result) in lanes.iter().zip(results) {
-                per_scenario
-                    .entry(scenario)
-                    .or_default()
-                    .push((vec![core], result));
+            } else {
+                config.backend.build(scenario)
             }
-            prewarmed += lanes.len();
-            let mut scenarios: Vec<usize> = per_scenario.keys().copied().collect();
-            scenarios.sort_unstable();
-            for scenario in scenarios {
-                let batch = per_scenario.remove(&scenario).expect("key just listed");
-                caches[scenario].store_batch(batch);
-            }
-        }
-        prewarmed
+        })
+        .collect()
+}
+
+/// Groups the corpus's phase-1 characterisation lanes — one (scenario,
+/// core) single-core session each — by operator key and session
+/// duration, advances each group through the shared backend's multi-RHS
+/// batch, and publishes the results to the scenarios' session stores.
+/// Returns the number of prewarmed lanes. Shared by [`ServiceRunner::run`]
+/// and the streaming [`crate::Frontend`].
+///
+/// The grouping and iteration order are deterministic (sorted by key,
+/// then corpus order within a group), the per-lane results are
+/// bit-identical to what the scheduler's own phase 1 would compute, and
+/// a group that fails to simulate is simply skipped — its jobs compute
+/// phase 1 themselves and surface the error through the normal per-job
+/// path.
+pub(crate) fn prewarm_same_shape(
+    config: &ServiceConfig,
+    corpus: &Corpus,
+    backends: &[Arc<dyn ThermalBackend>],
+    caches: &[SessionCacheHandle],
+) -> usize {
+    if !config.backend.batches_sessions() {
+        return 0;
     }
+    // Lanes grouped by (operator key, duration bits): scenarios sharing
+    // a key share one bit-identical backend, and only equal-duration
+    // sessions can share a multi-RHS advance (the step count is a
+    // function of the duration).
+    type PrewarmGroups = std::collections::BTreeMap<(String, u64), Vec<(usize, usize, f64)>>;
+    let mut groups = PrewarmGroups::new();
+    for (index, scenario) in corpus.scenarios().iter().enumerate() {
+        let key = config.backend.key(scenario).to_string();
+        for core in 0..scenario.sut.core_count() {
+            let session = TestSession::new([core], &scenario.sut);
+            let duration = session.duration();
+            groups
+                .entry((key.clone(), duration.to_bits()))
+                .or_default()
+                .push((index, core, duration));
+        }
+    }
+    let mut prewarmed = 0;
+    for ((_, _), lanes) in groups {
+        let duration = lanes[0].2;
+        let powers: std::result::Result<Vec<PowerMap>, _> = lanes
+            .iter()
+            .map(|&(scenario, core, _)| {
+                TestSession::new([core], &corpus.scenarios()[scenario].sut)
+                    .power_map(&corpus.scenarios()[scenario].sut)
+            })
+            .collect();
+        let Ok(powers) = powers else { continue };
+        // All scenarios of a key group share one bit-identical backend
+        // (the operator cache collapses them when enabled; private
+        // builds are deterministic replicas when not), so the group's
+        // first backend serves every lane.
+        let backend = backends[lanes[0].0].as_ref();
+        let Ok(results) = backend.simulate_sessions(&powers, duration) else {
+            continue;
+        };
+        let mut per_scenario: HashMap<usize, Vec<(Vec<usize>, SessionThermalResult)>> =
+            HashMap::new();
+        for (&(scenario, core, _), result) in lanes.iter().zip(results) {
+            per_scenario
+                .entry(scenario)
+                .or_default()
+                .push((vec![core], result));
+        }
+        prewarmed += lanes.len();
+        let mut scenarios: Vec<usize> = per_scenario.keys().copied().collect();
+        scenarios.sort_unstable();
+        for scenario in scenarios {
+            let batch = per_scenario.remove(&scenario).expect("key just listed");
+            caches[scenario].store_batch(batch);
+        }
+    }
+    prewarmed
 }
 
 /// Order-dependent cache accounting of one job: a job served from a store
 /// warmed by whichever job happened to run first reports hits the first
 /// runner does not, so these never enter the deterministic per-job results.
 #[derive(Debug, Clone, Copy, Default)]
-struct CacheAccounting {
-    warm_cache_hits: usize,
-    cached_validations: usize,
+pub(crate) struct CacheAccounting {
+    pub(crate) warm_cache_hits: usize,
+    pub(crate) cached_validations: usize,
 }
 
-/// Executes one job on this worker, reusing (or building) the worker's
-/// engine for the job's scenario, and isolating errors and panics into the
-/// returned [`JobOutcome`].
-fn run_job<'a>(
-    job: &JobSpec,
-    scenario: &'a Scenario,
-    backend: &'a dyn ThermalBackend,
-    cache: &SessionCacheHandle,
+/// Everything one job execution needs, shared by the batch runner's worker
+/// loop and the streaming [`crate::Frontend`]'s workers.
+///
+/// Two lifetimes on purpose: `'a` is what the worker's cached engines
+/// borrow (scenario, backend, cache — these outlive the whole worker
+/// loop), `'j` the per-job data that only lives for one dispatch (the
+/// frontend owns its `JobSpec` per submission).
+pub(crate) struct JobContext<'a, 'j> {
+    pub(crate) job: &'j JobSpec,
+    /// Index of the job in the fault plan's hash space (corpus order for
+    /// batches, submission order for the frontend).
+    pub(crate) job_index: u64,
+    pub(crate) scenario: &'a Scenario,
+    pub(crate) backend: &'a dyn ThermalBackend,
+    pub(crate) cache: &'a SessionCacheHandle,
+    pub(crate) faults: FaultPlan,
+    pub(crate) retry: RetryPolicy,
+    pub(crate) clock: ClockKind,
+    /// Effective effort budget of this job (per-submission override already
+    /// applied by the caller).
+    pub(crate) deadline_effort: Option<f64>,
+    /// Drain cancellation flag: when set, the next scheduling checkpoint
+    /// interrupts the run ([`InterruptReason::Cancelled`]).
+    pub(crate) cancel: Option<&'j AtomicBool>,
+}
+
+/// How one job execution ended, with its side accounting.
+pub(crate) struct JobExecution {
+    pub(crate) outcome: JobOutcome,
+    pub(crate) accounting: CacheAccounting,
+    pub(crate) attempts: u32,
+    pub(crate) injected_faults: usize,
+    /// Seconds accrued by injected delays and retry backoffs under
+    /// [`ClockKind::Virtual`] (0.0 under the wall clock, which sleeps
+    /// instead).
+    pub(crate) virtual_seconds: f64,
+}
+
+/// Checkpoint installed into the scheduler for jobs with a deadline or a
+/// drain-cancellation flag. The budget is compared against *simulated*
+/// effort, so deadline interrupts are deterministic; cancellation is the one
+/// deliberately non-deterministic interrupt (it answers to a drain deadline,
+/// and is reported as such).
+struct JobCheckpoint<'c> {
+    budget: Option<f64>,
+    cancel: Option<&'c AtomicBool>,
+}
+
+impl ScheduleCheckpoint for JobCheckpoint<'_> {
+    fn check(&self, progress: &ScheduleProgress) -> ControlFlow<InterruptReason> {
+        if let Some(cancel) = self.cancel {
+            if cancel.load(Ordering::Relaxed) {
+                return ControlFlow::Break(InterruptReason::Cancelled);
+            }
+        }
+        if let Some(budget) = self.budget {
+            if progress.spent_effort() > budget {
+                return ControlFlow::Break(InterruptReason::DeadlineExceeded { budget });
+            }
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+/// Executes one job with fault injection, deadline checkpoints and retries:
+/// the shared attempt loop behind both [`ServiceRunner::run`] and the
+/// streaming [`crate::Frontend`].
+///
+/// Per attempt, the fault plan is consulted first: an injected panic goes
+/// through the worker's real `catch_unwind` path, an injected error becomes
+/// a retryable [`JobOutcome::Failed`], and an injected delay advances the
+/// clock before the attempt runs. Store poisoning happens once, before the
+/// first attempt. Retries are granted only to outcomes that are retryable
+/// under [`ServiceError::is_retryable`] — injected faults — because real
+/// scheduler errors, panics and deadline interrupts are deterministic
+/// functions of the corpus and would only reproduce. The attempt count is
+/// stamped into the final outcome.
+pub(crate) fn execute_job<'a>(
+    ctx: &JobContext<'a, '_>,
+    engines: &mut HashMap<usize, Engine<'a>>,
+) -> JobExecution {
+    let mut injected_faults = 0;
+    let mut virtual_seconds = 0.0;
+    if let Some(shard) = ctx.faults.poison_target(ctx.job_index) {
+        injected_faults += 1;
+        ctx.cache.poison_shard(shard);
+    }
+    let mut attempt = 0u32;
+    let (outcome, accounting) = loop {
+        attempt += 1;
+        let fault = ctx.faults.fault_for(ctx.job_index, attempt);
+        let (outcome, accounting) = match fault {
+            Some(FaultKind::Panic) => {
+                injected_faults += 1;
+                let message = ServiceError::Injected {
+                    kind: FaultKind::Panic,
+                    job: ctx.job_index,
+                    attempt,
+                }
+                .to_string();
+                isolate(move || -> thermsched::Result<ScheduleOutcome> { panic!("{message}") })
+            }
+            Some(FaultKind::Error) => {
+                injected_faults += 1;
+                let error = ServiceError::Injected {
+                    kind: FaultKind::Error,
+                    job: ctx.job_index,
+                    attempt,
+                };
+                (
+                    JobOutcome::Failed {
+                        error: error.to_string(),
+                        retryable: error.is_retryable(),
+                        attempts: attempt,
+                    },
+                    CacheAccounting::default(),
+                )
+            }
+            Some(FaultKind::Delay) => {
+                injected_faults += 1;
+                advance_clock(ctx.clock, ctx.faults.delay_seconds, &mut virtual_seconds);
+                run_attempt(ctx, engines)
+            }
+            Some(FaultKind::PoisonStore) | None => run_attempt(ctx, engines),
+        };
+        // Injected panics are the one retryable panic shape: we know this
+        // attempt's panic was ours. Real panics stay terminal.
+        let retryable = match &outcome {
+            JobOutcome::Failed { retryable, .. } => *retryable,
+            JobOutcome::Panicked { .. } => matches!(fault, Some(FaultKind::Panic)),
+            _ => false,
+        };
+        if retryable && attempt < ctx.retry.max_attempts {
+            advance_clock(
+                ctx.clock,
+                ctx.retry.backoff_seconds(ctx.job_index, attempt + 1),
+                &mut virtual_seconds,
+            );
+            continue;
+        }
+        break (outcome, accounting);
+    };
+    JobExecution {
+        outcome: stamp_attempts(outcome, attempt),
+        accounting,
+        attempts: attempt,
+        injected_faults,
+        virtual_seconds,
+    }
+}
+
+/// Runs one attempt: reuses (or builds) the worker's engine for the job's
+/// scenario and schedules under panic isolation, with a checkpoint installed
+/// when the job has a deadline or a cancellation flag.
+fn run_attempt<'a>(
+    ctx: &JobContext<'a, '_>,
     engines: &mut HashMap<usize, Engine<'a>>,
 ) -> (JobOutcome, CacheAccounting) {
-    let engine = match engines.entry(job.scenario) {
+    let engine = match engines.entry(ctx.job.scenario) {
         Entry::Occupied(entry) => entry.into_mut(),
         Entry::Vacant(entry) => {
             let built = Engine::builder()
-                .sut(&scenario.sut)
-                .dyn_backend(backend)
-                .cache(cache.clone())
+                .sut(&ctx.scenario.sut)
+                .dyn_backend(ctx.backend)
+                .cache(ctx.cache.clone())
                 .build();
             match built {
                 Ok(engine) => entry.insert(engine),
@@ -547,6 +804,8 @@ fn run_job<'a>(
                     return (
                         JobOutcome::Failed {
                             error: error.to_string(),
+                            retryable: false,
+                            attempts: 1,
                         },
                         CacheAccounting::default(),
                     )
@@ -554,12 +813,64 @@ fn run_job<'a>(
             }
         }
     };
-    isolate(|| engine.schedule_with(job.config))
+    if ctx.deadline_effort.is_some() || ctx.cancel.is_some() {
+        let checkpoint = JobCheckpoint {
+            budget: ctx.deadline_effort,
+            cancel: ctx.cancel,
+        };
+        isolate(|| engine.schedule_with_checkpoint(ctx.job.config, &checkpoint))
+    } else {
+        isolate(|| engine.schedule_with(ctx.job.config))
+    }
 }
 
-/// Runs a scheduling closure with panic isolation, mapping the three ways it
-/// can end onto [`JobOutcome`] and splitting off the order-dependent cache
-/// accounting.
+/// Advances the configured clock by `seconds`: sleeps under the wall clock,
+/// accrues deterministic virtual time otherwise.
+fn advance_clock(clock: ClockKind, seconds: f64, virtual_seconds: &mut f64) {
+    match clock {
+        ClockKind::Wall => {
+            if seconds > 0.0 {
+                std::thread::sleep(std::time::Duration::from_secs_f64(seconds));
+            }
+        }
+        ClockKind::Virtual => *virtual_seconds += seconds,
+    }
+}
+
+/// Stamps the attempt count into a final outcome (shed/rejected outcomes
+/// never pass through here — they never ran).
+fn stamp_attempts(outcome: JobOutcome, attempts: u32) -> JobOutcome {
+    match outcome {
+        JobOutcome::Completed(mut metrics) => {
+            metrics.attempts = attempts;
+            JobOutcome::Completed(metrics)
+        }
+        JobOutcome::Failed {
+            error, retryable, ..
+        } => JobOutcome::Failed {
+            error,
+            retryable,
+            attempts,
+        },
+        JobOutcome::Panicked { message, .. } => JobOutcome::Panicked { message, attempts },
+        JobOutcome::DeadlineExceeded {
+            spent_effort,
+            budget,
+            ..
+        } => JobOutcome::DeadlineExceeded {
+            spent_effort,
+            budget,
+            attempts,
+        },
+        other => other,
+    }
+}
+
+/// Runs a scheduling closure with panic isolation, mapping the ways it can
+/// end onto [`JobOutcome`] and splitting off the order-dependent cache
+/// accounting. Checkpoint interrupts become
+/// [`JobOutcome::DeadlineExceeded`]; a drain cancellation is reported as a
+/// zero budget.
 fn isolate(
     run: impl FnOnce() -> thermsched::Result<ScheduleOutcome>,
 ) -> (JobOutcome, CacheAccounting) {
@@ -571,31 +882,77 @@ fn isolate(
                 cached_validations: outcome.cached_validations,
             },
         ),
+        Ok(Err(ScheduleError::Interrupted {
+            reason,
+            spent_effort,
+        })) => {
+            let budget = match reason {
+                InterruptReason::DeadlineExceeded { budget } => budget,
+                InterruptReason::Cancelled => 0.0,
+            };
+            (
+                JobOutcome::DeadlineExceeded {
+                    spent_effort,
+                    budget,
+                    attempts: 1,
+                },
+                CacheAccounting::default(),
+            )
+        }
         Ok(Err(error)) => (
             JobOutcome::Failed {
                 error: error.to_string(),
+                retryable: false,
+                attempts: 1,
             },
             CacheAccounting::default(),
         ),
         Err(payload) => (
             JobOutcome::Panicked {
                 message: panic_message(payload.as_ref()),
+                attempts: 1,
             },
             CacheAccounting::default(),
         ),
     }
 }
 
-/// Renders a caught panic payload (panics carry `&str` or `String` in
-/// practice; anything else gets a placeholder).
+/// Renders a caught panic payload.
+///
+/// `panic!("...")` payloads carry `&str` or `String` and are rendered
+/// verbatim. `std::panic::panic_any` payloads are probed further: boxed
+/// error objects (`Box<dyn Error + Send (+ Sync)>`) render through their
+/// `Display`, and a table of well-known primitive payload types renders the
+/// value with its type name. Anything else keeps the historical
+/// `"non-string panic payload"` text, now with the payload's `TypeId`
+/// appended so distinct opaque payloads stay distinguishable in reports.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_owned()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_owned()
+        return (*s).to_owned();
     }
+    if let Some(s) = payload.downcast_ref::<String>() {
+        return s.clone();
+    }
+    if let Some(e) = payload.downcast_ref::<Box<dyn std::error::Error + Send + Sync>>() {
+        return format!("error payload: {e}");
+    }
+    if let Some(e) = payload.downcast_ref::<Box<dyn std::error::Error + Send>>() {
+        return format!("error payload: {e}");
+    }
+    macro_rules! probe {
+        ($($ty:ty),* $(,)?) => {
+            $(
+                if let Some(value) = payload.downcast_ref::<$ty>() {
+                    return format!(
+                        "non-string panic payload: {} = {value:?}",
+                        stringify!($ty)
+                    );
+                }
+            )*
+        };
+    }
+    probe!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize, f32, f64, bool, char);
+    format!("non-string panic payload (type id {:?})", payload.type_id())
 }
 
 #[cfg(test)]
@@ -694,7 +1051,7 @@ mod tests {
         assert_eq!(report.stats().completed, 0);
         for job in report.jobs() {
             match &job.outcome {
-                JobOutcome::Failed { error } => assert!(
+                JobOutcome::Failed { error, .. } => assert!(
                     error.contains("tested alone"),
                     "unexpected failure: {error}"
                 ),
@@ -709,7 +1066,8 @@ mod tests {
         assert_eq!(
             outcome,
             JobOutcome::Panicked {
-                message: "boom".to_owned()
+                message: "boom".to_owned(),
+                attempts: 1,
             }
         );
         assert_eq!(accounting.warm_cache_hits, 0);
@@ -719,7 +1077,8 @@ mod tests {
         assert_eq!(
             outcome,
             JobOutcome::Panicked {
-                message: "formatted label".to_owned()
+                message: "formatted label".to_owned(),
+                attempts: 1,
             }
         );
 
@@ -728,7 +1087,95 @@ mod tests {
                 component: "backend",
             })
         });
-        assert!(matches!(outcome, JobOutcome::Failed { .. }));
+        assert!(matches!(
+            outcome,
+            JobOutcome::Failed {
+                retryable: false,
+                ..
+            }
+        ));
+
+        // A checkpoint interrupt maps onto the deadline outcome, with a
+        // cancellation reported as a zero budget.
+        let (outcome, _) = isolate(|| {
+            Err(thermsched::ScheduleError::Interrupted {
+                reason: InterruptReason::DeadlineExceeded { budget: 4.0 },
+                spent_effort: 5.5,
+            })
+        });
+        assert_eq!(
+            outcome,
+            JobOutcome::DeadlineExceeded {
+                spent_effort: 5.5,
+                budget: 4.0,
+                attempts: 1,
+            }
+        );
+        let (outcome, _) = isolate(|| {
+            Err(thermsched::ScheduleError::Interrupted {
+                reason: InterruptReason::Cancelled,
+                spent_effort: 2.0,
+            })
+        });
+        assert!(matches!(
+            outcome,
+            JobOutcome::DeadlineExceeded { budget, .. } if budget == 0.0
+        ));
+    }
+
+    #[test]
+    fn panic_message_renders_error_and_typed_payloads() {
+        // The two string shapes `panic!` produces.
+        assert_eq!(panic_message(&"literal"), "literal");
+        assert_eq!(panic_message(&"owned".to_owned()), "owned");
+
+        // `panic_any` with boxed error objects renders their Display,
+        // whether or not the box is Sync.
+        let sync_err: Box<dyn std::error::Error + Send + Sync> = Box::new(ServiceError::Injected {
+            kind: FaultKind::Panic,
+            job: 3,
+            attempt: 1,
+        });
+        assert_eq!(
+            panic_message(&sync_err),
+            "error payload: injected panic fault on job 3 attempt 1"
+        );
+        let send_err: Box<dyn std::error::Error + Send> =
+            Box::new(thermsched::ScheduleError::MissingComponent {
+                component: "backend",
+            });
+        assert!(panic_message(&send_err).starts_with("error payload:"));
+
+        // Well-known primitive payloads are named and rendered; the old
+        // code collapsed all of these to "non-string panic payload".
+        assert_eq!(panic_message(&42i32), "non-string panic payload: i32 = 42");
+        assert_eq!(
+            panic_message(&7usize),
+            "non-string panic payload: usize = 7"
+        );
+        assert_eq!(
+            panic_message(&1.5f64),
+            "non-string panic payload: f64 = 1.5"
+        );
+        assert_eq!(
+            panic_message(&true),
+            "non-string panic payload: bool = true"
+        );
+
+        // Opaque payloads keep the historical prefix but gain the TypeId.
+        struct Opaque;
+        let message = panic_message(&Opaque);
+        assert!(message.starts_with("non-string panic payload (type id"));
+
+        // End to end: a panic_any payload travels through isolate.
+        let (outcome, _) = isolate(|| std::panic::panic_any(42i32));
+        assert_eq!(
+            outcome,
+            JobOutcome::Panicked {
+                message: "non-string panic payload: i32 = 42".to_owned(),
+                attempts: 1,
+            }
+        );
     }
 
     #[test]
@@ -974,9 +1421,194 @@ mod tests {
                 })
             ));
         }
+        assert!(matches!(
+            ServiceRunner::new(ServiceConfig {
+                faults: FaultPlan {
+                    panic_rate: 2.0,
+                    ..FaultPlan::none()
+                },
+                ..ServiceConfig::default()
+            }),
+            Err(ServiceError::InvalidSpec {
+                field: "panic_rate",
+                ..
+            })
+        ));
+        assert!(matches!(
+            ServiceRunner::new(ServiceConfig {
+                retry: RetryPolicy {
+                    max_attempts: 0,
+                    ..RetryPolicy::disabled()
+                },
+                ..ServiceConfig::default()
+            }),
+            Err(ServiceError::InvalidSpec {
+                field: "max_attempts",
+                ..
+            })
+        ));
+        for bad_budget in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                ServiceRunner::new(ServiceConfig {
+                    deadline_effort: Some(bad_budget),
+                    ..ServiceConfig::default()
+                }),
+                Err(ServiceError::InvalidSpec {
+                    field: "deadline_effort",
+                    ..
+                })
+            ));
+        }
         let runner = ServiceRunner::new(ServiceConfig::default()).unwrap();
         assert!(runner.config().workers >= 1);
         assert_eq!(runner.config().backend, BackendKind::RcCompact);
         assert!(runner.config().operator_cache);
+        assert!(!runner.config().faults.is_active());
+        assert_eq!(runner.config().retry.max_attempts, 1);
+        assert_eq!(runner.config().clock, ClockKind::Wall);
+        assert_eq!(runner.config().deadline_effort, None);
+    }
+
+    #[test]
+    fn injected_faults_retry_deterministically_under_virtual_clock() {
+        let corpus = ScenarioSpec {
+            scenarios: 2,
+            ..small_spec()
+        }
+        .build()
+        .unwrap();
+        let config = ServiceConfig {
+            workers: 1,
+            faults: FaultPlan {
+                seed: 21,
+                error_rate: 0.6,
+                ..FaultPlan::none()
+            },
+            retry: RetryPolicy::retries(4),
+            clock: ClockKind::Virtual,
+            ..ServiceConfig::default()
+        };
+        let reference = ServiceRunner::new(config).unwrap().run(&corpus).unwrap();
+        let wide = ServiceRunner::new(ServiceConfig {
+            workers: 3,
+            ..config
+        })
+        .unwrap()
+        .run(&corpus)
+        .unwrap();
+        // Faults and retries are keyed by (seed, job, attempt), so the
+        // per-job results — including attempt counts — stay byte-identical
+        // across worker counts.
+        assert_eq!(reference.jobs(), wide.jobs());
+        assert_eq!(reference.render_jobs(), wide.render_jobs());
+        assert!(reference.stats().injected_faults > 0);
+        assert_eq!(
+            reference.stats().injected_faults,
+            wide.stats().injected_faults
+        );
+        assert_eq!(
+            reference.stats().retried_attempts,
+            wide.stats().retried_attempts
+        );
+        assert!(
+            reference.stats().retried_attempts > 0,
+            "a 0.6 error rate must force at least one retry"
+        );
+        assert!(
+            reference
+                .jobs()
+                .iter()
+                .any(|job| job.outcome.attempts() > 1),
+            "attempt accounting must surface in the outcomes"
+        );
+        assert!(
+            reference.stats().completed > 0,
+            "retries must rescue at least one faulted job"
+        );
+        // Virtual latency (injected backoff time) is deterministic too.
+        assert_eq!(reference.stats().latency, wide.stats().latency);
+    }
+
+    #[test]
+    fn deadline_effort_budgets_produce_deterministic_deadline_outcomes() {
+        let corpus = ScenarioSpec {
+            scenarios: 2,
+            ..small_spec()
+        }
+        .build()
+        .unwrap();
+        // A 1-simulated-second budget is below any scenario's phase-1
+        // characterisation effort, so every job interrupts at its first
+        // checkpoint.
+        let config = ServiceConfig {
+            workers: 2,
+            deadline_effort: Some(1.0),
+            ..ServiceConfig::default()
+        };
+        let report = ServiceRunner::new(config).unwrap().run(&corpus).unwrap();
+        assert_eq!(report.stats().deadline_exceeded, corpus.jobs().len());
+        assert_eq!(report.stats().completed, 0);
+        for job in report.jobs() {
+            match &job.outcome {
+                JobOutcome::DeadlineExceeded {
+                    spent_effort,
+                    budget,
+                    attempts,
+                } => {
+                    assert!(*spent_effort > *budget);
+                    assert_eq!(*budget, 1.0);
+                    assert_eq!(*attempts, 1);
+                }
+                other => panic!("expected DeadlineExceeded, got {other:?}"),
+            }
+        }
+        // Effort is simulated time, a pure function of the corpus: the
+        // deadline outcomes are byte-identical on a single worker too.
+        let narrow = ServiceRunner::new(ServiceConfig {
+            workers: 1,
+            ..config
+        })
+        .unwrap()
+        .run(&corpus)
+        .unwrap();
+        assert_eq!(report.jobs(), narrow.jobs());
+    }
+
+    #[test]
+    fn store_poisoning_is_survived_and_results_unchanged() {
+        let corpus = ScenarioSpec {
+            scenarios: 2,
+            ..small_spec()
+        }
+        .build()
+        .unwrap();
+        let clean = ServiceRunner::new(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        })
+        .unwrap()
+        .run(&corpus)
+        .unwrap();
+        let poisoned = ServiceRunner::new(ServiceConfig {
+            workers: 2,
+            faults: FaultPlan {
+                seed: 5,
+                poison_rate: 1.0,
+                ..FaultPlan::none()
+            },
+            ..ServiceConfig::default()
+        })
+        .unwrap()
+        .run(&corpus)
+        .unwrap();
+        // Every job poisons a store shard before running; the stores
+        // recover the lock and the deterministic results are unaffected.
+        assert_eq!(clean.jobs(), poisoned.jobs());
+        assert_eq!(
+            poisoned.stats().injected_faults,
+            corpus.jobs().len(),
+            "one poison event per job"
+        );
+        assert_eq!(poisoned.stats().completed, corpus.jobs().len());
     }
 }

@@ -1,0 +1,93 @@
+//! Streaming front-end quickstart: start a long-lived `Frontend` over a
+//! small corpus, stream submissions with mixed priorities, deadlines and a
+//! seeded fault plan, then drain gracefully and print the lifetime report.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example streaming_frontend
+//! ```
+
+use std::time::Duration;
+
+use thermsched_service::{
+    ClockKind, FaultPlan, Frontend, FrontendConfig, JobOutcome, Priority, RetryPolicy,
+    ScenarioSpec, ServiceConfig, Submission,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let corpus = ScenarioSpec {
+        seed: 2005,
+        scenarios: 4,
+        ..ScenarioSpec::default()
+    }
+    .build()?;
+    println!(
+        "corpus: {} scenarios, {} candidate jobs",
+        corpus.scenarios().len(),
+        corpus.jobs().len()
+    );
+
+    // A two-worker front-end with a deterministic fault plan: roughly a
+    // third of the attempts fail with a retryable injected error, and the
+    // retry policy gets three tries per job. The virtual clock makes the
+    // run instant and the outcomes reproducible.
+    let frontend = Frontend::start(
+        FrontendConfig {
+            service: ServiceConfig {
+                workers: 2,
+                faults: FaultPlan {
+                    seed: 7,
+                    error_rate: 0.3,
+                    ..FaultPlan::none()
+                },
+                retry: RetryPolicy::retries(3),
+                clock: ClockKind::Virtual,
+                ..ServiceConfig::default()
+            },
+            queue_capacity: 16,
+            shed_on_full: true,
+        },
+        corpus.clone(),
+    )?;
+
+    // Stream the corpus in: every third job is high priority, and one job
+    // carries a deliberately impossible effort budget to show the deadline
+    // machinery.
+    let mut handles = Vec::new();
+    for (index, job) in corpus.jobs().iter().enumerate() {
+        let mut submission = Submission::from_job(job);
+        if index % 3 == 0 {
+            submission = submission.with_priority(Priority::High);
+        }
+        if index == 1 {
+            submission = submission.with_deadline_effort(0.5);
+        }
+        handles.push(frontend.submit(submission));
+    }
+
+    for handle in &handles {
+        let result = handle.wait();
+        let verdict = match &result.outcome {
+            JobOutcome::Completed(metrics) => format!(
+                "completed in {} attempt(s), max {:.1} C",
+                metrics.attempts, metrics.max_temperature
+            ),
+            JobOutcome::DeadlineExceeded {
+                spent_effort,
+                budget,
+                ..
+            } => format!("deadline exceeded ({spent_effort:.2} s of {budget:.2} s budget)"),
+            other => format!("{other:?}"),
+        };
+        println!("  {:<28} {}", result.label, verdict);
+    }
+
+    let report = frontend.drain(Duration::from_secs(30));
+    print!("{}", report.stats.render());
+    println!(
+        "drain: {} shed at drain, {} cancelled in flight",
+        report.shed_at_drain, report.cancelled_in_flight
+    );
+    Ok(())
+}

@@ -336,6 +336,7 @@ fn operator_cache_results_are_worker_count_invariant() {
                 backend,
                 operator_cache: true,
                 batch_same_shape: true,
+                ..ServiceConfig::default()
             })
             .unwrap()
             .run(&corpus)

@@ -65,3 +65,8 @@ fn alpha21364_sweep_runs() {
 fn batch_corpus_runs() {
     assert_example_succeeds("batch_corpus", "service report");
 }
+
+#[test]
+fn streaming_frontend_runs() {
+    assert_example_succeeds("streaming_frontend", "drain:");
+}
