@@ -1,0 +1,120 @@
+//! Multi-process sharding throughput against the in-process runner.
+//!
+//! One question, answered on one machine and recorded to `BENCH_pr8.json`
+//! (alongside, never overwriting, the frozen `BENCH_pr2..7.json` history):
+//! what does crossing the process boundary cost? The same small corpus is
+//! executed by the in-process [`ServiceRunner`] and by the
+//! [`MultiprocCoordinator`] at 1, 2 and 4 worker processes (spawning the
+//! real `thermsched worker` binary), and the merged report's jobs/sec is
+//! recorded per mode. The per-job *results* are byte-identical in every
+//! mode — that is enforced by tests, not measured here — so the recorded
+//! signal is purely the overhead: process spawn, per-worker backend
+//! construction, and framing jobs over pipes.
+//!
+//! On the single-CPU container the process counts cannot show a speedup;
+//! the expected shape is multiproc ≤ in-process, with the gap shrinking as
+//! per-job work grows relative to the fixed overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use thermsched_bench::baseline_recording_enabled;
+use thermsched_service::{
+    Corpus, MultiprocConfig, MultiprocCoordinator, ScenarioSpec, ServiceConfig, ServiceReport,
+    ServiceRunner,
+};
+
+/// Process counts measured against the in-process baseline.
+const PROCESS_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn corpus() -> Corpus {
+    ScenarioSpec {
+        scenarios: 4,
+        seed: 2005,
+        ..ScenarioSpec::default()
+    }
+    .build()
+    .expect("bench corpus builds")
+}
+
+fn run_inprocess(corpus: &Corpus) -> ServiceReport {
+    ServiceRunner::new(ServiceConfig::default())
+        .expect("valid config")
+        .run(corpus)
+        .expect("in-process run succeeds")
+}
+
+fn run_multiproc(corpus: &Corpus, processes: usize) -> ServiceReport {
+    MultiprocCoordinator::new(MultiprocConfig {
+        processes,
+        program: env!("CARGO_BIN_EXE_thermsched").into(),
+        args: vec!["worker".to_owned()],
+        service: ServiceConfig::default(),
+    })
+    .expect("valid config")
+    .run(corpus)
+    .expect("multiproc run succeeds")
+}
+
+/// The benchmark ids whose selection allows (re)recording `BENCH_pr8.json`.
+const RECORDED_IDS: [&str; 2] = [
+    "multiproc_throughput/inprocess",
+    "multiproc_throughput/procs-2",
+];
+
+fn bench_multiproc(c: &mut Criterion) {
+    let record = baseline_recording_enabled(&RECORDED_IDS);
+    let corpus = corpus();
+
+    let mut group = c.benchmark_group("multiproc_throughput");
+    group.sample_size(10);
+    group.bench_function("inprocess", |b| b.iter(|| run_inprocess(&corpus)));
+    for processes in PROCESS_COUNTS {
+        group.bench_function(&format!("procs-{processes}"), |b| {
+            b.iter(|| run_multiproc(&corpus, processes))
+        });
+    }
+    group.finish();
+
+    if record {
+        let mut rows = vec![("inprocess".to_owned(), run_inprocess(&corpus))];
+        for processes in PROCESS_COUNTS {
+            rows.push((
+                format!("procs-{processes}"),
+                run_multiproc(&corpus, processes),
+            ));
+        }
+        write_baseline(&rows);
+    }
+}
+
+/// Records the measured numbers as `BENCH_pr8.json` at the workspace root.
+/// Hand-rolled JSON: the workspace has no registry access, hence no serde.
+fn write_baseline(rows: &[(String, ServiceReport)]) {
+    let mut points = String::new();
+    for (i, (mode, report)) in rows.iter().enumerate() {
+        if i > 0 {
+            points.push_str(",\n");
+        }
+        let s = report.stats();
+        points.push_str(&format!(
+            "    {{\n      \"mode\": \"{mode}\",\n      \
+             \"jobs\": {},\n      \"jobs_per_second\": {:.4},\n      \
+             \"wall_seconds\": {:.4},\n      \"completed\": {},\n      \
+             \"worker_crashes\": {}\n    }}",
+            s.job_count, s.jobs_per_second, s.wall_seconds, s.completed, s.worker_crashes
+        ));
+    }
+    let json = format!(
+        "{{\n  \"pr\": 8,\n  \"bench\": \"multiproc_throughput\",\n  \"description\": \"Multi-process sharding overhead: one 4-scenario / 8-job corpus executed by the in-process ServiceRunner and by the MultiprocCoordinator at 1, 2 and 4 worker processes (spawning the real thermsched worker binary over stdin/stdout pipes). Recorded per mode: merged jobs/sec, wall seconds and completion counts. The per-job results are byte-identical in every mode (enforced by tests); the recorded signal is purely the process-boundary overhead — spawn, per-worker backend construction and frame codec time.\",\n  \"metadata\": {{\n    \"caveat\": \"single-CPU container timings; process counts cannot show a parallel speedup here, the in-process-vs-multiproc gap is the signal\",\n    \"scenarios\": 4,\n    \"jobs\": 8,\n    \"seed\": 2005\n  }},\n  \"modes\": [\n{points}\n  ]\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_pr8.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("warning: could not write {path}: {e}");
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_multiproc
+}
+criterion_main!(benches);

@@ -109,6 +109,15 @@
 //! session stores ([`SessionStore`]) — either the single-lock
 //! [`MutexSessionStore`] or the N-way [`ShardedSessionCache`], selected
 //! through [`SessionCacheHandle::sharded`].
+//!
+//! Beyond one process, the `thermsched_wire` crate defines the wire format
+//! every public type here serialises to (`SchedulerConfig`, `TestSchedule`,
+//! `CacheStats`, … all implement its `Wire` trait), and the service crate's
+//! `MultiprocCoordinator` shards a corpus across real worker processes over
+//! that format — with per-job results byte-identical at any process count.
+//! The formerly dormant `serde` feature gates were removed in favour of
+//! these hand-rolled `wire` modules; migrating code should serialise via
+//! `thermsched_wire::to_document` / `from_document` instead of serde derive.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -130,6 +139,7 @@ mod session_store;
 mod sweep;
 mod validator;
 mod weights;
+mod wire;
 
 pub use baseline::{PackingOrder, PowerConstrainedScheduler, SequentialScheduler};
 pub use checkpoint::{EffortBudget, InterruptReason, ScheduleCheckpoint, ScheduleProgress};

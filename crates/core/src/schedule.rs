@@ -27,7 +27,6 @@ use crate::{Result, ScheduleError};
 /// assert_eq!(session.duration(), 1.0);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TestSession {
     cores: BTreeSet<BlockId>,
     duration: f64,
@@ -51,6 +50,22 @@ impl TestSession {
             .map(|&c| sut.test_time(c))
             .fold(0.0_f64, f64::max);
         let total_power = cores.iter().map(|&c| sut.test_power(c)).sum();
+        TestSession {
+            cores,
+            duration,
+            total_power,
+        }
+    }
+
+    /// Reassembles a session from its stored parts (wire decode only):
+    /// duration and power were derived from the system under test when the
+    /// session was built, so the codec carries them instead of requiring
+    /// the SUT at decode time.
+    pub(crate) fn from_raw_parts(
+        cores: BTreeSet<BlockId>,
+        duration: f64,
+        total_power: f64,
+    ) -> Self {
         TestSession {
             cores,
             duration,
@@ -135,7 +150,6 @@ impl fmt::Display for TestSession {
 /// assert_eq!(schedule.total_length(), 2.0);
 /// ```
 #[derive(Debug, Clone, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TestSchedule {
     sessions: Vec<TestSession>,
 }

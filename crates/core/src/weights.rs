@@ -19,7 +19,6 @@
 /// assert!((w.weight(1) - 1.1).abs() < 1e-12);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CoreWeights {
     weights: Vec<f64>,
 }

@@ -1,0 +1,306 @@
+//! [`Wire`] codecs for the scheduler configuration, schedules and cache
+//! statistics.
+//!
+//! A [`TestSession`] serialises its core set together with the duration and
+//! total power that were derived from the system under test when the
+//! session was built; decode therefore needs no SUT, which is what lets a
+//! schedule live in a golden file on its own.
+
+use std::collections::BTreeSet;
+
+use thermsched_wire::{obj, JsonValue, Result, Wire, WireError};
+
+use crate::{
+    CoreOrdering, CoreViolationPolicy, OperatorCacheStats, SchedulerConfig, SessionModelOptions,
+    StoreStats, TestSchedule, TestSession,
+};
+
+impl Wire for CoreOrdering {
+    const WIRE_TYPE: &'static str = "core_ordering";
+
+    fn to_wire(&self) -> JsonValue {
+        JsonValue::from(match self {
+            CoreOrdering::AsGiven => "as_given",
+            CoreOrdering::DescendingPower => "descending_power",
+            CoreOrdering::DescendingCharacteristic => "descending_characteristic",
+            CoreOrdering::AscendingCharacteristic => "ascending_characteristic",
+        })
+    }
+
+    fn from_wire(value: &JsonValue) -> Result<Self> {
+        Ok(match value.as_str()? {
+            "as_given" => CoreOrdering::AsGiven,
+            "descending_power" => CoreOrdering::DescendingPower,
+            "descending_characteristic" => CoreOrdering::DescendingCharacteristic,
+            "ascending_characteristic" => CoreOrdering::AscendingCharacteristic,
+            other => {
+                return Err(WireError::UnknownVariant {
+                    type_name: "core_ordering",
+                    variant: other.to_owned(),
+                })
+            }
+        })
+    }
+}
+
+impl Wire for CoreViolationPolicy {
+    const WIRE_TYPE: &'static str = "core_violation_policy";
+
+    fn to_wire(&self) -> JsonValue {
+        match self {
+            CoreViolationPolicy::Fail => obj().field("kind", "fail").build(),
+            CoreViolationPolicy::RaiseLimit { margin } => obj()
+                .field("kind", "raise_limit")
+                .field("margin", *margin)
+                .build(),
+        }
+    }
+
+    fn from_wire(value: &JsonValue) -> Result<Self> {
+        match value.field_str("core_violation_policy", "kind")? {
+            "fail" => Ok(CoreViolationPolicy::Fail),
+            "raise_limit" => Ok(CoreViolationPolicy::RaiseLimit {
+                margin: value.field_f64("core_violation_policy", "margin")?,
+            }),
+            other => Err(WireError::UnknownVariant {
+                type_name: "core_violation_policy",
+                variant: other.to_owned(),
+            }),
+        }
+    }
+}
+
+impl Wire for SessionModelOptions {
+    const WIRE_TYPE: &'static str = "session_model_options";
+
+    fn to_wire(&self) -> JsonValue {
+        obj()
+            .field("keep_active_active_paths", self.keep_active_active_paths)
+            .field("include_vertical_path", self.include_vertical_path)
+            .field("stc_scale", self.stc_scale)
+            .build()
+    }
+
+    fn from_wire(value: &JsonValue) -> Result<Self> {
+        const T: &str = "session_model_options";
+        Ok(SessionModelOptions {
+            keep_active_active_paths: value.field_bool(T, "keep_active_active_paths")?,
+            include_vertical_path: value.field_bool(T, "include_vertical_path")?,
+            stc_scale: value.field_f64(T, "stc_scale")?,
+        })
+    }
+}
+
+impl Wire for SchedulerConfig {
+    const WIRE_TYPE: &'static str = "scheduler_config";
+
+    fn to_wire(&self) -> JsonValue {
+        obj()
+            .field("temperature_limit", self.temperature_limit)
+            .field("stc_limit", self.stc_limit)
+            .field("weight_factor", self.weight_factor)
+            .field("ordering", self.ordering.to_wire())
+            .field(
+                "core_violation_policy",
+                self.core_violation_policy.to_wire(),
+            )
+            .field("session_model", self.session_model.to_wire())
+            .field("max_iterations", self.max_iterations)
+            .build()
+    }
+
+    fn from_wire(value: &JsonValue) -> Result<Self> {
+        const T: &str = "scheduler_config";
+        let config = SchedulerConfig {
+            temperature_limit: value.field_f64(T, "temperature_limit")?,
+            stc_limit: value.field_f64(T, "stc_limit")?,
+            weight_factor: value.field_f64(T, "weight_factor")?,
+            ordering: CoreOrdering::from_wire(value.field(T, "ordering")?)?,
+            core_violation_policy: CoreViolationPolicy::from_wire(
+                value.field(T, "core_violation_policy")?,
+            )?,
+            session_model: SessionModelOptions::from_wire(value.field(T, "session_model")?)?,
+            max_iterations: value.field_usize(T, "max_iterations")?,
+        };
+        config.validate().map_err(|e| WireError::Invalid {
+            type_name: T,
+            message: e.to_string(),
+        })?;
+        Ok(config)
+    }
+}
+
+impl Wire for TestSession {
+    const WIRE_TYPE: &'static str = "test_session";
+
+    fn to_wire(&self) -> JsonValue {
+        let cores: Vec<JsonValue> = self.cores().map(JsonValue::from).collect();
+        obj()
+            .field("cores", cores)
+            .field("duration", self.duration())
+            .field("total_power", self.total_power())
+            .build()
+    }
+
+    fn from_wire(value: &JsonValue) -> Result<Self> {
+        let cores = value
+            .field_array("test_session", "cores")?
+            .iter()
+            .map(JsonValue::as_usize)
+            .collect::<Result<BTreeSet<_>>>()?;
+        Ok(TestSession::from_raw_parts(
+            cores,
+            value.field_f64("test_session", "duration")?,
+            value.field_f64("test_session", "total_power")?,
+        ))
+    }
+}
+
+impl Wire for TestSchedule {
+    const WIRE_TYPE: &'static str = "test_schedule";
+
+    fn to_wire(&self) -> JsonValue {
+        let sessions: Vec<JsonValue> = self.sessions().iter().map(Wire::to_wire).collect();
+        obj().field("sessions", sessions).build()
+    }
+
+    fn from_wire(value: &JsonValue) -> Result<Self> {
+        value
+            .field_array("test_schedule", "sessions")?
+            .iter()
+            .map(TestSession::from_wire)
+            .collect()
+    }
+}
+
+impl Wire for StoreStats {
+    const WIRE_TYPE: &'static str = "store_stats";
+
+    fn to_wire(&self) -> JsonValue {
+        obj()
+            .field("lookups", self.lookups)
+            .field("hits", self.hits)
+            .field("insertions", self.insertions)
+            .field("contended_locks", self.contended_locks)
+            .build()
+    }
+
+    fn from_wire(value: &JsonValue) -> Result<Self> {
+        const T: &str = "store_stats";
+        Ok(StoreStats {
+            lookups: value.field_u64(T, "lookups")?,
+            hits: value.field_u64(T, "hits")?,
+            insertions: value.field_u64(T, "insertions")?,
+            contended_locks: value.field_u64(T, "contended_locks")?,
+        })
+    }
+}
+
+impl Wire for OperatorCacheStats {
+    const WIRE_TYPE: &'static str = "operator_cache_stats";
+
+    fn to_wire(&self) -> JsonValue {
+        obj()
+            .field("hits", self.hits)
+            .field("misses", self.misses)
+            .build()
+    }
+
+    fn from_wire(value: &JsonValue) -> Result<Self> {
+        const T: &str = "operator_cache_stats";
+        Ok(OperatorCacheStats {
+            hits: value.field_u64(T, "hits")?,
+            misses: value.field_u64(T, "misses")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thermsched_soc::library;
+
+    #[test]
+    fn scheduler_config_roundtrips() {
+        let config = SchedulerConfig::new(165.0, 50.0)
+            .unwrap()
+            .with_weight_factor(1.25)
+            .with_ordering(CoreOrdering::DescendingPower)
+            .with_core_violation_policy(CoreViolationPolicy::RaiseLimit { margin: 5.0 });
+        let json = config.to_json().unwrap();
+        assert_eq!(SchedulerConfig::from_json(&json).unwrap(), config);
+        let binary = config.to_binary().unwrap();
+        assert_eq!(SchedulerConfig::from_binary(&binary).unwrap(), config);
+    }
+
+    #[test]
+    fn invalid_configs_fail_domain_validation() {
+        let mut wire = SchedulerConfig::new(165.0, 50.0).unwrap().to_wire();
+        if let JsonValue::Object(entries) = &mut wire {
+            for (key, value) in entries.iter_mut() {
+                if key == "weight_factor" {
+                    *value = JsonValue::from(0.5);
+                }
+            }
+        }
+        assert!(matches!(
+            SchedulerConfig::from_wire(&wire),
+            Err(WireError::Invalid {
+                type_name: "scheduler_config",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn unknown_ordering_is_a_typed_error() {
+        assert!(matches!(
+            CoreOrdering::from_wire(&JsonValue::from("sideways")),
+            Err(WireError::UnknownVariant {
+                type_name: "core_ordering",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn schedules_roundtrip_without_a_sut() {
+        let sut = library::alpha21364_sut();
+        let schedule: TestSchedule = vec![
+            TestSession::new(0..5, &sut),
+            TestSession::new(5..10, &sut),
+            TestSession::new(10..15, &sut),
+        ]
+        .into_iter()
+        .collect();
+        let json = schedule.to_json().unwrap();
+        assert_eq!(TestSchedule::from_json(&json).unwrap(), schedule);
+        let binary = schedule.to_binary().unwrap();
+        assert_eq!(TestSchedule::from_binary(&binary).unwrap(), schedule);
+        // The empty schedule is a legal wire value too.
+        let empty = TestSchedule::new();
+        assert_eq!(
+            TestSchedule::from_json(&empty.to_json().unwrap()).unwrap(),
+            empty
+        );
+    }
+
+    #[test]
+    fn stats_roundtrip() {
+        let store = StoreStats {
+            lookups: 10,
+            hits: 7,
+            insertions: 3,
+            contended_locks: 1,
+        };
+        assert_eq!(
+            StoreStats::from_json(&store.to_json().unwrap()).unwrap(),
+            store
+        );
+        let cache = OperatorCacheStats { hits: 5, misses: 2 };
+        assert_eq!(
+            OperatorCacheStats::from_json(&cache.to_json().unwrap()).unwrap(),
+            cache
+        );
+    }
+}

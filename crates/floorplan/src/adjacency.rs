@@ -12,7 +12,6 @@ use crate::{BlockId, Floorplan, GEOMETRY_TOLERANCE};
 
 /// One side of the die boundary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Side {
     /// Top of the die (maximum y).
     North,
@@ -31,7 +30,6 @@ impl Side {
 
 /// A shared edge between two blocks.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SharedEdge {
     /// First block (always the smaller id).
     pub a: BlockId,
@@ -45,7 +43,6 @@ pub struct SharedEdge {
 
 /// Exposure of a single block on the die boundary.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BoundaryExposure {
     /// Length of the block's edge lying on the north die boundary (metres).
     pub north: f64,
@@ -94,7 +91,6 @@ impl BoundaryExposure {
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AdjacencyGraph {
     block_count: usize,
     edges: Vec<SharedEdge>,

@@ -17,7 +17,6 @@ use crate::Rect;
 /// assert!((b.area() - 15.0e-6).abs() < 1e-12);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Block {
     name: String,
     rect: Rect,

@@ -31,10 +31,8 @@ pub type BlockId = usize;
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Floorplan {
     blocks: Vec<Block>,
-    #[cfg_attr(feature = "serde", serde(skip))]
     name_index: HashMap<String, BlockId>,
     bounds: Rect,
 }

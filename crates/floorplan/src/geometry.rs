@@ -20,7 +20,6 @@ pub const GEOMETRY_TOLERANCE: f64 = 1e-9;
 /// assert_eq!(a.overlap_area(&b), 0.0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Rect {
     /// X coordinate of the left edge (metres).
     pub x: f64,

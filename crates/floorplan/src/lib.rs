@@ -45,6 +45,7 @@ mod floorplan;
 mod geometry;
 pub mod library;
 mod parser;
+mod wire;
 
 pub use adjacency::{AdjacencyGraph, BoundaryExposure, SharedEdge, Side};
 pub use block::Block;

@@ -1,0 +1,111 @@
+//! [`Wire`] codecs for the floorplan types.
+//!
+//! A [`Floorplan`] serialises as its block list only; the name index and
+//! bounding box are derived state that [`Floorplan::new`] rebuilds (and
+//! re-validates) on decode, so malformed input — overlapping blocks,
+//! duplicate names, an empty list — is rejected with a typed error instead
+//! of producing an inconsistent value.
+
+use thermsched_wire::{obj, JsonValue, Result, Wire, WireError};
+
+use crate::{Block, Floorplan, Rect};
+
+impl Wire for Rect {
+    const WIRE_TYPE: &'static str = "rect";
+
+    fn to_wire(&self) -> JsonValue {
+        obj()
+            .field("x", self.x)
+            .field("y", self.y)
+            .field("width", self.width)
+            .field("height", self.height)
+            .build()
+    }
+
+    fn from_wire(value: &JsonValue) -> Result<Self> {
+        Ok(Rect::new(
+            value.field_f64("rect", "x")?,
+            value.field_f64("rect", "y")?,
+            value.field_f64("rect", "width")?,
+            value.field_f64("rect", "height")?,
+        ))
+    }
+}
+
+impl Wire for Block {
+    const WIRE_TYPE: &'static str = "block";
+
+    fn to_wire(&self) -> JsonValue {
+        obj()
+            .field("name", self.name())
+            .field("rect", self.rect().to_wire())
+            .build()
+    }
+
+    fn from_wire(value: &JsonValue) -> Result<Self> {
+        let name = value.field_str("block", "name")?;
+        let rect = Rect::from_wire(value.field("block", "rect")?)?;
+        Ok(Block::from_rect(name, rect))
+    }
+}
+
+impl Wire for Floorplan {
+    const WIRE_TYPE: &'static str = "floorplan";
+
+    fn to_wire(&self) -> JsonValue {
+        let blocks: Vec<JsonValue> = self.blocks().iter().map(Wire::to_wire).collect();
+        obj().field("blocks", blocks).build()
+    }
+
+    fn from_wire(value: &JsonValue) -> Result<Self> {
+        let blocks = value
+            .field_array("floorplan", "blocks")?
+            .iter()
+            .map(Block::from_wire)
+            .collect::<Result<Vec<_>>>()?;
+        Floorplan::new(blocks).map_err(|e| WireError::Invalid {
+            type_name: "floorplan",
+            message: e.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floorplan_roundtrips_and_revalidates() {
+        let fp = crate::library::figure1_system();
+        let json = fp.to_json().unwrap();
+        assert_eq!(Floorplan::from_json(&json).unwrap(), fp);
+        let binary = fp.to_binary().unwrap();
+        assert_eq!(Floorplan::from_binary(&binary).unwrap(), fp);
+    }
+
+    #[test]
+    fn invalid_floorplans_are_rejected_on_decode() {
+        // Empty block list.
+        let err = Floorplan::from_json("{\"blocks\": []}").unwrap_err();
+        assert!(matches!(
+            err,
+            WireError::Invalid {
+                type_name: "floorplan",
+                ..
+            }
+        ));
+        // Overlapping blocks survive the structural decode but fail domain
+        // validation.
+        let overlapping = obj()
+            .field(
+                "blocks",
+                vec![
+                    Block::from_mm("a", 2.0, 2.0, 0.0, 0.0).to_wire(),
+                    Block::from_mm("b", 2.0, 2.0, 1.0, 0.0).to_wire(),
+                ],
+            )
+            .build();
+        let err = Floorplan::from_wire(&overlapping).unwrap_err();
+        assert!(matches!(err, WireError::Invalid { .. }));
+    }
+}

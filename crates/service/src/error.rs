@@ -41,6 +41,16 @@ pub enum ServiceError {
         /// 1-based attempt the fault hit.
         attempt: u32,
     },
+    /// Encoding or decoding a wire value failed while crossing the process
+    /// boundary.
+    Wire(thermsched_wire::WireError),
+    /// The multi-process coordinator failed: a worker could not be spawned,
+    /// a child spoke the wrong protocol, or every worker died with jobs
+    /// still unresolved.
+    Multiproc {
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl ServiceError {
@@ -55,9 +65,14 @@ impl ServiceError {
     pub fn is_retryable(&self) -> bool {
         match self {
             ServiceError::Injected { .. } => true,
-            ServiceError::InvalidSpec { .. } | ServiceError::Soc(_) | ServiceError::Schedule(_) => {
-                false
-            }
+            // Wire and coordination failures are not retryable at the job
+            // level: the coordinator reassigns a dead worker's jobs itself,
+            // and a malformed frame would only decode malformed again.
+            ServiceError::InvalidSpec { .. }
+            | ServiceError::Soc(_)
+            | ServiceError::Schedule(_)
+            | ServiceError::Wire(_)
+            | ServiceError::Multiproc { .. } => false,
         }
     }
 }
@@ -73,6 +88,10 @@ impl fmt::Display for ServiceError {
             ServiceError::Injected { kind, job, attempt } => {
                 write!(f, "injected {kind} fault on job {job} attempt {attempt}")
             }
+            ServiceError::Wire(e) => write!(f, "wire codec failed: {e}"),
+            ServiceError::Multiproc { message } => {
+                write!(f, "multi-process coordination failed: {message}")
+            }
         }
     }
 }
@@ -80,10 +99,19 @@ impl fmt::Display for ServiceError {
 impl Error for ServiceError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            ServiceError::InvalidSpec { .. } | ServiceError::Injected { .. } => None,
+            ServiceError::InvalidSpec { .. }
+            | ServiceError::Injected { .. }
+            | ServiceError::Multiproc { .. } => None,
             ServiceError::Soc(e) => Some(e),
             ServiceError::Schedule(e) => Some(e),
+            ServiceError::Wire(e) => Some(e),
         }
+    }
+}
+
+impl From<thermsched_wire::WireError> for ServiceError {
+    fn from(e: thermsched_wire::WireError) -> Self {
+        ServiceError::Wire(e)
     }
 }
 
@@ -174,5 +202,27 @@ mod tests {
             }
             .is_retryable());
         }
+        assert!(!ServiceError::Wire(thermsched_wire::WireError::Truncated {
+            context: "frame header",
+        })
+        .is_retryable());
+        assert!(!ServiceError::Multiproc {
+            message: "all workers dead".to_owned(),
+        }
+        .is_retryable());
+    }
+
+    #[test]
+    fn transport_errors_render_and_chain() {
+        let wire: ServiceError = thermsched_wire::WireError::BadTag { tag: 0x7f }.into();
+        assert!(wire.to_string().contains("wire codec failed"));
+        assert!(wire.source().is_some());
+        let multiproc = ServiceError::Multiproc {
+            message: "worker 2 died".to_owned(),
+        };
+        assert!(multiproc
+            .to_string()
+            .contains("multi-process coordination failed: worker 2 died"));
+        assert!(multiproc.source().is_none());
     }
 }

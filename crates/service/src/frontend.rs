@@ -739,6 +739,7 @@ impl Frontend {
             rejected: s.rejected.load(Ordering::Relaxed),
             retried_attempts: s.retried_attempts.load(Ordering::Relaxed),
             injected_faults: s.injected_faults.load(Ordering::Relaxed),
+            worker_crashes: 0,
             latency,
             wall_seconds,
             jobs_per_second: resolved as f64 / wall_seconds.max(1e-9),

@@ -3,7 +3,7 @@
 //! pool, and aggregate the results.
 //!
 //! The paper schedules one system at a time; this crate is the service layer
-//! that turns the reproduction into a workload machine. It adds three
+//! that turns the reproduction into a workload machine. It adds five
 //! pieces:
 //!
 //! 1. **Scenario corpus generation** ([`ScenarioSpec`] → [`Corpus`]): a
@@ -28,6 +28,14 @@
 //!    fault injection and retries ([`FaultPlan`], [`RetryPolicy`]),
 //!    effort-budget deadlines enforced at the scheduler's cooperative
 //!    checkpoints, and graceful drain ([`Frontend::drain`]).
+//! 5. **A multi-process sharding coordinator** ([`MultiprocCoordinator`]):
+//!    shards a corpus round-robin across real worker processes (the
+//!    `thermsched worker` binary, or anything speaking the same framed
+//!    protocol via [`worker_serve`]) over stdin/stdout pipes, merges the
+//!    results and per-worker stats into one [`ServiceReport`], and survives
+//!    workers dying mid-run by reassigning their unfinished jobs
+//!    ([`ServiceStats::worker_crashes`]). Per-job results remain
+//!    byte-identical at any process count.
 //!
 //! # Example
 //!
@@ -43,8 +51,10 @@
 //! }
 //! .build()?;
 //!
+//! // One worker keeps the example deterministic: with a pool, two jobs of
+//! // one scenario may race on a cold store and both miss the warm cache.
 //! let runner = ServiceRunner::new(ServiceConfig {
-//!     workers: 4,
+//!     workers: 1,
 //!     store: StoreKind::Sharded { shards: 8 },
 //!     ..ServiceConfig::default()
 //! })?;
@@ -65,14 +75,19 @@
 mod error;
 mod fault;
 mod frontend;
+mod multiproc;
 mod report;
 mod runner;
 mod scenario;
+mod wire;
 
 pub use error::ServiceError;
 pub use fault::{ClockKind, FaultKind, FaultPlan, RetryPolicy};
 pub use frontend::{
     DrainReport, Frontend, FrontendConfig, JobHandle, Priority, Rejected, ShedCause, Submission,
+};
+pub use multiproc::{
+    worker_serve, CrashPlan, MultiprocConfig, MultiprocCoordinator, PROTOCOL_VERSION,
 };
 pub use report::{JobMetrics, JobOutcome, JobResult, LatencyStats, ServiceReport, ServiceStats};
 pub use runner::{BackendKind, ServiceConfig, ServiceRunner, StoreKind};

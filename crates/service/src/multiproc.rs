@@ -1,0 +1,899 @@
+//! Multi-process sharding: a coordinator that spawns `thermsched worker`
+//! child processes and streams framed jobs to them over stdin/stdout pipes.
+//!
+//! The per-job results of a batch are a pure function of the corpus (see
+//! [`crate::report`] for the determinism boundary), so sharding jobs over
+//! *processes* instead of threads changes nothing about them: the merged
+//! report's job list is byte-identical at any process count and identical
+//! to an in-process [`crate::ServiceRunner`] run. What the coordinator adds
+//! is fault isolation at the process boundary — a worker that panics hard,
+//! aborts or closes its pipe mid-job is detected (EOF or a malformed frame
+//! on its stdout), counted in [`crate::ServiceStats::worker_crashes`], and
+//! its unacknowledged jobs are reassigned to a surviving worker.
+//!
+//! # Protocol
+//!
+//! All frames use the [`thermsched_wire::frame`] framing (magic, version,
+//! kind byte, length-prefixed payload); payloads are binary-encoded
+//! [`JsonValue`]s. The conversation is strictly coordinator-driven:
+//!
+//! | kind | direction | payload |
+//! |---|---|---|
+//! | `HELLO` (1) | → worker | `{protocol, config, corpus}` |
+//! | `JOB` (2) | → worker | `{index, job}` (global corpus index) |
+//! | `RESULT` (3) | ← worker | `{index, result, accounting...}` |
+//! | `SHUTDOWN` (4) | → worker | `{}` |
+//! | `FIN` (5) | ← worker | worker-local stats (store, caches, prewarm) |
+//!
+//! The job index crosses the boundary because fault injection and retry
+//! jitter are keyed by the *global* corpus index — a worker that hashed its
+//! local receive order instead would break the byte-identity contract.
+
+use std::collections::BTreeSet;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::time::Instant;
+
+use thermsched::{NestedParallelismGuard, OperatorCacheHandle, OperatorCacheStats, StoreStats};
+use thermsched_wire::frame::{read_frame, write_frame, Frame};
+use thermsched_wire::{decode_value, encode_value, obj, Wire, WireError};
+
+use crate::report::LatencyStats;
+use crate::runner::{build_backends, execute_job, prewarm_same_shape, JobContext};
+use crate::{
+    ClockKind, Corpus, JobOutcome, JobResult, JobSpec, Result, ServiceConfig, ServiceError,
+    ServiceReport, ServiceStats,
+};
+
+/// Version of the coordinator↔worker protocol, checked in `HELLO`.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Frame kinds of the coordinator↔worker protocol.
+const FRAME_HELLO: u8 = 1;
+const FRAME_JOB: u8 = 2;
+const FRAME_RESULT: u8 = 3;
+const FRAME_SHUTDOWN: u8 = 4;
+const FRAME_FIN: u8 = 5;
+
+fn multiproc_error(message: impl Into<String>) -> ServiceError {
+    ServiceError::Multiproc {
+        message: message.into(),
+    }
+}
+
+/// Configuration of a [`MultiprocCoordinator`].
+#[derive(Debug, Clone)]
+pub struct MultiprocConfig {
+    /// Worker processes to spawn. Jobs are sharded round-robin: job `i`
+    /// starts on worker `i % processes`.
+    pub processes: usize,
+    /// Program to spawn as the worker (typically the `thermsched` binary).
+    pub program: std::path::PathBuf,
+    /// Arguments passed to the program before it enters worker mode
+    /// (typically `["worker"]`; tests append `--exit-after N`).
+    pub args: Vec<String>,
+    /// The service configuration every worker runs jobs under. The
+    /// `workers` field is ignored inside a worker process (each child
+    /// executes its jobs sequentially — the processes are the parallelism).
+    pub service: ServiceConfig,
+}
+
+/// Spawns worker processes and shards a corpus over them.
+///
+/// See the [module docs](self) for the protocol and the determinism
+/// contract.
+#[derive(Debug, Clone)]
+pub struct MultiprocCoordinator {
+    config: MultiprocConfig,
+}
+
+/// What one worker's reader thread forwards to the coordinator loop.
+enum Event {
+    /// A job result, with its timing-side accounting.
+    Result {
+        worker: usize,
+        index: usize,
+        result: JobResult,
+        warm_cache_hits: usize,
+        cached_validations: usize,
+        injected_faults: usize,
+        retried_attempts: usize,
+        latency_seconds: f64,
+    },
+    /// The worker's final stats after `SHUTDOWN`.
+    Fin {
+        worker: usize,
+        store: StoreStats,
+        operator_cache: OperatorCacheStats,
+        prewarmed_sessions: usize,
+    },
+    /// The worker's pipe closed (or produced garbage) — it is dead.
+    Dead { worker: usize },
+}
+
+/// What the coordinator hands a worker's writer thread.
+enum WriterMsg {
+    Job(usize),
+    Shutdown,
+}
+
+impl MultiprocCoordinator {
+    /// Creates a coordinator.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::InvalidSpec`] for zero processes or an invalid
+    /// service configuration.
+    pub fn new(config: MultiprocConfig) -> Result<Self> {
+        if config.processes == 0 {
+            return Err(ServiceError::InvalidSpec {
+                field: "processes",
+                problem: "must be at least 1",
+            });
+        }
+        config.service.validate()?;
+        Ok(MultiprocCoordinator { config })
+    }
+
+    /// Runs every job of the corpus across the worker processes and merges
+    /// the report.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Multiproc`] if a worker cannot be spawned or every
+    /// worker dies with jobs still unresolved; [`ServiceError::Wire`] if
+    /// the corpus cannot be encoded.
+    pub fn run(&self, corpus: &Corpus) -> Result<ServiceReport> {
+        let jobs = corpus.jobs();
+        let started = Instant::now();
+        if jobs.is_empty() {
+            return Ok(ServiceReport::new(
+                Vec::new(),
+                self.stats_template(corpus, &Merged::default(), 0, started),
+            ));
+        }
+        let processes = self.config.processes.min(jobs.len());
+        let config_wire = self.config.service.to_wire();
+        let corpus_wire = corpus.to_wire();
+        let hellos: Vec<Vec<u8>> = (0..processes)
+            .map(|worker| {
+                encode_value(
+                    &obj()
+                        .field("protocol", PROTOCOL_VERSION)
+                        .field("worker", worker)
+                        .field("config", config_wire.clone())
+                        .field("corpus", corpus_wire.clone())
+                        .build(),
+                )
+            })
+            .collect::<std::result::Result<_, WireError>>()?;
+
+        let mut children: Vec<Child> = Vec::with_capacity(processes);
+        let mut stdins = Vec::with_capacity(processes);
+        let mut stdouts = Vec::with_capacity(processes);
+        for worker in 0..processes {
+            let mut child = Command::new(&self.config.program)
+                .args(&self.config.args)
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::inherit())
+                .spawn()
+                .map_err(|e| multiproc_error(format!("spawning worker {worker}: {e}")))?;
+            stdins.push(child.stdin.take().expect("stdin was piped"));
+            stdouts.push(child.stdout.take().expect("stdout was piped"));
+            children.push(child);
+        }
+
+        let jobs_wire: Vec<Vec<u8>> = jobs
+            .iter()
+            .enumerate()
+            .map(|(index, job)| {
+                encode_value(
+                    &obj()
+                        .field("index", index)
+                        .field("job", job.to_wire())
+                        .build(),
+                )
+            })
+            .collect::<std::result::Result<_, WireError>>()?;
+
+        let (event_tx, event_rx) = mpsc::channel::<Event>();
+        let outcome = std::thread::scope(|scope| {
+            let mut writer_txs: Vec<Option<mpsc::Sender<WriterMsg>>> = Vec::new();
+            for (worker, stdin) in stdins.into_iter().enumerate() {
+                let (tx, rx) = mpsc::channel::<WriterMsg>();
+                let hello = &hellos[worker];
+                let jobs_wire = &jobs_wire;
+                scope.spawn(move || worker_writer(stdin, rx, hello, jobs_wire));
+                writer_txs.push(Some(tx));
+                let tx = event_tx.clone();
+                let stdout = stdouts.remove(0);
+                scope.spawn(move || worker_reader(worker, stdout, &tx));
+            }
+            drop(event_tx);
+            let result = self.coordinate(corpus, processes, &mut writer_txs, &event_rx, started);
+            // Readers block on the children's stdout; make sure every child
+            // is gone (errors included) before the scope tries to join them.
+            if result.is_err() {
+                for child in &mut children {
+                    let _ = child.kill();
+                }
+            }
+            drop(writer_txs);
+            result
+        });
+        for mut child in children {
+            let _ = child.wait();
+        }
+        outcome
+    }
+
+    /// The coordinator event loop: collect results, reassign the jobs of
+    /// dead workers, then shut the survivors down and merge their stats.
+    fn coordinate(
+        &self,
+        corpus: &Corpus,
+        processes: usize,
+        writer_txs: &mut [Option<mpsc::Sender<WriterMsg>>],
+        events: &mpsc::Receiver<Event>,
+        started: Instant,
+    ) -> Result<ServiceReport> {
+        let jobs = corpus.jobs();
+        let mut assigned: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); processes];
+        for index in 0..jobs.len() {
+            let worker = index % processes;
+            assigned[worker].insert(index);
+            if let Some(tx) = &writer_txs[worker] {
+                let _ = tx.send(WriterMsg::Job(index));
+            }
+        }
+
+        let mut results: Vec<Option<JobResult>> = vec![None; jobs.len()];
+        let mut resolved = 0usize;
+        let mut dead = vec![false; processes];
+        let mut finished = vec![false; processes];
+        let mut merged = Merged::default();
+
+        while resolved < jobs.len() {
+            let event = events
+                .recv()
+                .map_err(|_| multiproc_error("every worker pipe closed with jobs unresolved"))?;
+            match event {
+                Event::Result {
+                    worker,
+                    index,
+                    result,
+                    warm_cache_hits,
+                    cached_validations,
+                    injected_faults,
+                    retried_attempts,
+                    latency_seconds,
+                } => {
+                    assigned[worker].remove(&index);
+                    if results[index].is_none() {
+                        resolved += 1;
+                        results[index] = Some(result);
+                        merged.warm_cache_hits += warm_cache_hits;
+                        merged.cached_validations += cached_validations;
+                        merged.injected_faults += injected_faults;
+                        merged.retried_attempts += retried_attempts;
+                        merged.latencies.push(latency_seconds);
+                    }
+                }
+                Event::Fin {
+                    worker,
+                    store,
+                    operator_cache,
+                    prewarmed_sessions,
+                } => {
+                    finished[worker] = true;
+                    merged.absorb_fin(store, operator_cache, prewarmed_sessions);
+                }
+                Event::Dead { worker } => {
+                    if dead[worker] || finished[worker] {
+                        continue;
+                    }
+                    dead[worker] = true;
+                    merged.worker_crashes += 1;
+                    writer_txs[worker] = None;
+                    let orphans = std::mem::take(&mut assigned[worker]);
+                    if orphans.is_empty() {
+                        continue;
+                    }
+                    let Some(survivor) = (0..processes).find(|&w| !dead[w]) else {
+                        return Err(multiproc_error(format!(
+                            "all {processes} workers died with {} jobs unresolved",
+                            jobs.len() - resolved
+                        )));
+                    };
+                    for index in orphans {
+                        assigned[survivor].insert(index);
+                        if let Some(tx) = &writer_txs[survivor] {
+                            let _ = tx.send(WriterMsg::Job(index));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Every job is resolved; ask the survivors for their FIN stats.
+        let mut awaiting = 0usize;
+        for worker in 0..processes {
+            if !dead[worker] && !finished[worker] {
+                if let Some(tx) = &writer_txs[worker] {
+                    let _ = tx.send(WriterMsg::Shutdown);
+                    awaiting += 1;
+                }
+            }
+        }
+        while awaiting > 0 {
+            match events.recv() {
+                Ok(Event::Fin {
+                    worker,
+                    store,
+                    operator_cache,
+                    prewarmed_sessions,
+                }) => {
+                    if !finished[worker] {
+                        finished[worker] = true;
+                        merged.absorb_fin(store, operator_cache, prewarmed_sessions);
+                        awaiting -= 1;
+                    }
+                }
+                Ok(Event::Dead { worker }) => {
+                    // Died between its last result and FIN: no orphans to
+                    // reassign, but it is a crash all the same.
+                    if !dead[worker] && !finished[worker] {
+                        dead[worker] = true;
+                        merged.worker_crashes += 1;
+                        awaiting -= 1;
+                    }
+                }
+                Ok(Event::Result { .. }) => {}
+                Err(_) => break,
+            }
+        }
+
+        let jobs_done: Vec<JobResult> = results
+            .into_iter()
+            .map(|slot| slot.expect("loop exits only once every job is resolved"))
+            .collect();
+        let stats = self.stats_template(corpus, &merged, jobs_done.len(), started);
+        let stats = ServiceStats {
+            completed: count(&jobs_done, |o| matches!(o, JobOutcome::Completed(_))),
+            failed: count(&jobs_done, |o| matches!(o, JobOutcome::Failed { .. })),
+            panicked: count(&jobs_done, |o| matches!(o, JobOutcome::Panicked { .. })),
+            deadline_exceeded: count(&jobs_done, |o| {
+                matches!(o, JobOutcome::DeadlineExceeded { .. })
+            }),
+            ..stats
+        };
+        Ok(ServiceReport::new(jobs_done, stats))
+    }
+
+    /// The merged stats skeleton shared by the empty-corpus early return and
+    /// the real run.
+    fn stats_template(
+        &self,
+        corpus: &Corpus,
+        merged: &Merged,
+        job_count: usize,
+        started: Instant,
+    ) -> ServiceStats {
+        let wall_seconds = started.elapsed().as_secs_f64();
+        ServiceStats {
+            workers: self.config.processes,
+            store_name: self.config.service.store.name(),
+            shard_count: self.config.service.store.shard_count(),
+            backend_name: self.config.service.backend.label(),
+            operator_cache_enabled: self.config.service.operator_cache,
+            operator_cache: merged.operator_cache,
+            scenario_count: corpus.scenarios().len(),
+            job_count,
+            completed: 0,
+            failed: 0,
+            panicked: 0,
+            deadline_exceeded: 0,
+            shed: 0,
+            rejected: 0,
+            retried_attempts: merged.retried_attempts,
+            injected_faults: merged.injected_faults,
+            worker_crashes: merged.worker_crashes,
+            latency: LatencyStats::from_samples(&merged.latencies),
+            wall_seconds,
+            jobs_per_second: job_count as f64 / wall_seconds.max(1e-9),
+            cached_validations: merged.cached_validations,
+            warm_cache_hits: merged.warm_cache_hits,
+            prewarmed_sessions: merged.prewarmed_sessions,
+            store: merged.store,
+        }
+    }
+}
+
+/// Counters merged over workers (all on the timing-dependent side of the
+/// report).
+#[derive(Default)]
+struct Merged {
+    warm_cache_hits: usize,
+    cached_validations: usize,
+    injected_faults: usize,
+    retried_attempts: usize,
+    worker_crashes: usize,
+    prewarmed_sessions: usize,
+    latencies: Vec<f64>,
+    store: StoreStats,
+    operator_cache: OperatorCacheStats,
+}
+
+impl Merged {
+    fn absorb_fin(
+        &mut self,
+        store: StoreStats,
+        operator_cache: OperatorCacheStats,
+        prewarmed_sessions: usize,
+    ) {
+        self.store.lookups += store.lookups;
+        self.store.hits += store.hits;
+        self.store.insertions += store.insertions;
+        self.store.contended_locks += store.contended_locks;
+        self.operator_cache.hits += operator_cache.hits;
+        self.operator_cache.misses += operator_cache.misses;
+        self.prewarmed_sessions += prewarmed_sessions;
+    }
+}
+
+fn count(jobs: &[JobResult], predicate: impl Fn(&JobOutcome) -> bool) -> usize {
+    jobs.iter().filter(|j| predicate(&j.outcome)).count()
+}
+
+/// Writer thread of one worker: `HELLO`, then jobs as the coordinator
+/// assigns them, then `SHUTDOWN`. Write errors end the thread quietly — the
+/// worker's reader will observe the death and the coordinator reassigns.
+fn worker_writer(
+    stdin: impl Write,
+    jobs: mpsc::Receiver<WriterMsg>,
+    hello: &[u8],
+    jobs_wire: &[Vec<u8>],
+) {
+    let mut stdin = BufWriter::new(stdin);
+    if write_frame(&mut stdin, FRAME_HELLO, hello).is_err() {
+        return;
+    }
+    while let Ok(msg) = jobs.recv() {
+        let result = match msg {
+            WriterMsg::Job(index) => write_frame(&mut stdin, FRAME_JOB, &jobs_wire[index]),
+            WriterMsg::Shutdown => {
+                let _ = write_frame(&mut stdin, FRAME_SHUTDOWN, &[]);
+                return;
+            }
+        };
+        if result.is_err() {
+            return;
+        }
+    }
+}
+
+/// Reader thread of one worker: decodes `RESULT`/`FIN` frames into events.
+/// EOF, a frame error or a malformed payload all mean the worker is dead.
+fn worker_reader(worker: usize, stdout: impl Read, events: &mpsc::Sender<Event>) {
+    let mut stdout = BufReader::new(stdout);
+    loop {
+        match read_frame(&mut stdout) {
+            Ok(Some(frame)) => match decode_event(worker, &frame) {
+                Some(event) => {
+                    let is_fin = matches!(event, Event::Fin { .. });
+                    if events.send(event).is_err() || is_fin {
+                        return;
+                    }
+                }
+                None => {
+                    let _ = events.send(Event::Dead { worker });
+                    return;
+                }
+            },
+            Ok(None) | Err(_) => {
+                let _ = events.send(Event::Dead { worker });
+                return;
+            }
+        }
+    }
+}
+
+/// Decodes one worker frame into an [`Event`], or `None` if it is
+/// malformed (which the caller treats as a dead worker).
+fn decode_event(worker: usize, frame: &Frame) -> Option<Event> {
+    let payload = decode_value(&frame.payload).ok()?;
+    match frame.kind {
+        FRAME_RESULT => Some(Event::Result {
+            worker,
+            index: payload.field_usize("result_frame", "index").ok()?,
+            result: JobResult::from_wire(payload.field("result_frame", "result").ok()?).ok()?,
+            warm_cache_hits: payload
+                .field_usize("result_frame", "warm_cache_hits")
+                .ok()?,
+            cached_validations: payload
+                .field_usize("result_frame", "cached_validations")
+                .ok()?,
+            injected_faults: payload
+                .field_usize("result_frame", "injected_faults")
+                .ok()?,
+            retried_attempts: payload
+                .field_usize("result_frame", "retried_attempts")
+                .ok()?,
+            latency_seconds: payload.field_f64("result_frame", "latency_seconds").ok()?,
+        }),
+        FRAME_FIN => Some(Event::Fin {
+            worker,
+            store: StoreStats::from_wire(payload.field("fin_frame", "store").ok()?).ok()?,
+            operator_cache: OperatorCacheStats::from_wire(
+                payload.field("fin_frame", "operator_cache").ok()?,
+            )
+            .ok()?,
+            prewarmed_sessions: payload
+                .field_usize("fin_frame", "prewarmed_sessions")
+                .ok()?,
+        }),
+        _ => None,
+    }
+}
+
+/// Crash-test hook for [`worker_serve`]: after resolving `after_jobs`
+/// jobs the worker silently returns — closing its pipes mid-batch exactly
+/// like a crashed process would — instead of answering the next `JOB`
+/// frame. With `only_worker` set, the plan only arms on the process the
+/// coordinator greeted with that worker index, so a fleet sharing one
+/// command line can lose exactly one member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// Jobs to resolve before dying.
+    pub after_jobs: usize,
+    /// Restrict the plan to one worker index (`None` arms every process).
+    pub only_worker: Option<usize>,
+}
+
+/// Serves one worker process: speaks the [module](self) protocol over
+/// `input`/`output` until `SHUTDOWN` (clean exit) or EOF (coordinator
+/// gone).
+///
+/// `crash` is the deliberate-failure hook used by the robustness tests;
+/// see [`CrashPlan`].
+///
+/// # Errors
+///
+/// [`ServiceError::Wire`] on a malformed frame from the coordinator,
+/// [`ServiceError::Multiproc`] on a protocol violation (bad version, a
+/// frame before `HELLO`), and construction errors from building the
+/// scenario backends.
+pub fn worker_serve(input: impl Read, output: impl Write, crash: Option<CrashPlan>) -> Result<()> {
+    let mut input = BufReader::new(input);
+    let mut output = BufWriter::new(output);
+
+    let Some(hello) = read_frame(&mut input).map_err(ServiceError::Wire)? else {
+        return Ok(()); // Coordinator vanished before HELLO; nothing to do.
+    };
+    if hello.kind != FRAME_HELLO {
+        return Err(multiproc_error(format!(
+            "expected HELLO as the first frame, got kind {}",
+            hello.kind
+        )));
+    }
+    let hello = decode_value(&hello.payload)?;
+    let protocol = hello.field_u64("hello_frame", "protocol")?;
+    if protocol != PROTOCOL_VERSION {
+        return Err(multiproc_error(format!(
+            "protocol version {protocol} (this worker speaks {PROTOCOL_VERSION})"
+        )));
+    }
+    let me = hello.field_usize("hello_frame", "worker")?;
+    let crash = crash.filter(|plan| plan.only_worker.is_none() || plan.only_worker == Some(me));
+    let config = ServiceConfig::from_wire(hello.field("hello_frame", "config")?)?;
+    let corpus = Corpus::from_wire(hello.field("hello_frame", "corpus")?)?;
+
+    // Same setup as the in-process runner: backends once per scenario
+    // (shared through the operator cache when enabled), one store per
+    // scenario, optional same-shape prewarming. Jobs then run sequentially
+    // on this thread — the processes are the parallelism, so nested phase-1
+    // fan-outs stay sequential too.
+    let _guard = NestedParallelismGuard::enter();
+    let operator_cache = OperatorCacheHandle::new();
+    let backends = build_backends(&config, &corpus, &operator_cache)?;
+    let caches: Vec<_> = corpus
+        .scenarios()
+        .iter()
+        .map(|_| config.store.handle())
+        .collect();
+    let prewarmed_sessions = if config.batch_same_shape {
+        prewarm_same_shape(&config, &corpus, &backends, &caches)
+    } else {
+        0
+    };
+
+    let mut engines = std::collections::HashMap::new();
+    let mut resolved = 0usize;
+    loop {
+        let Some(frame) = read_frame(&mut input).map_err(ServiceError::Wire)? else {
+            return Ok(()); // Coordinator closed the pipe; exit quietly.
+        };
+        match frame.kind {
+            FRAME_JOB => {
+                if crash.is_some_and(|plan| resolved >= plan.after_jobs) {
+                    // Crash-test hook: swallow the job and die with it
+                    // unacknowledged, like a worker that crashed mid-job.
+                    return Ok(());
+                }
+                let payload = decode_value(&frame.payload)?;
+                let index = payload.field_usize("job_frame", "index")?;
+                let job = JobSpec::from_wire(payload.field("job_frame", "job")?)?;
+                if job.scenario >= corpus.scenarios().len() {
+                    return Err(multiproc_error(format!(
+                        "job {index} references scenario {} of {}",
+                        job.scenario,
+                        corpus.scenarios().len()
+                    )));
+                }
+                let scenario = &corpus.scenarios()[job.scenario];
+                let job_started = Instant::now();
+                let execution = execute_job(
+                    &JobContext {
+                        job: &job,
+                        job_index: index as u64,
+                        scenario,
+                        backend: backends[job.scenario].as_ref(),
+                        cache: &caches[job.scenario],
+                        faults: config.faults,
+                        retry: config.retry,
+                        clock: config.clock,
+                        deadline_effort: config.deadline_effort,
+                        cancel: None,
+                    },
+                    &mut engines,
+                );
+                let latency_seconds = match config.clock {
+                    ClockKind::Wall => job_started.elapsed().as_secs_f64(),
+                    ClockKind::Virtual => execution.virtual_seconds,
+                };
+                let result = JobResult::new(index, &job, &scenario.name, execution.outcome);
+                let reply = encode_value(
+                    &obj()
+                        .field("index", index)
+                        .field("result", result.to_wire())
+                        .field("warm_cache_hits", execution.accounting.warm_cache_hits)
+                        .field(
+                            "cached_validations",
+                            execution.accounting.cached_validations,
+                        )
+                        .field("injected_faults", execution.injected_faults)
+                        .field(
+                            "retried_attempts",
+                            execution.attempts.saturating_sub(1) as usize,
+                        )
+                        .field("latency_seconds", latency_seconds)
+                        .build(),
+                )?;
+                write_frame(&mut output, FRAME_RESULT, &reply).map_err(ServiceError::Wire)?;
+                resolved += 1;
+            }
+            FRAME_SHUTDOWN => {
+                let mut store = StoreStats::default();
+                for cache in &caches {
+                    let s = cache.stats();
+                    store.lookups += s.lookups;
+                    store.hits += s.hits;
+                    store.insertions += s.insertions;
+                    store.contended_locks += s.contended_locks;
+                }
+                let fin = encode_value(
+                    &obj()
+                        .field("store", store.to_wire())
+                        .field("operator_cache", operator_cache.stats().to_wire())
+                        .field("prewarmed_sessions", prewarmed_sessions)
+                        .build(),
+                )?;
+                write_frame(&mut output, FRAME_FIN, &fin).map_err(ServiceError::Wire)?;
+                return Ok(());
+            }
+            other => {
+                return Err(multiproc_error(format!(
+                    "unexpected frame kind {other} after HELLO"
+                )));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScenarioSpec;
+
+    /// In-memory worker loopback: runs `worker_serve` against buffered
+    /// pipes, returning the frames it produced. The process-boundary tests
+    /// (spawning the real binary) live in the workspace root's integration
+    /// suite; these cover the protocol state machine.
+    fn serve(frames: &[(u8, Vec<u8>)], crash: Option<CrashPlan>) -> (Result<()>, Vec<Frame>) {
+        let mut input = Vec::new();
+        for (kind, payload) in frames {
+            write_frame(&mut input, *kind, payload).unwrap();
+        }
+        let mut output = Vec::new();
+        let result = worker_serve(input.as_slice(), &mut output, crash);
+        let mut replies = Vec::new();
+        let mut cursor = output.as_slice();
+        while let Ok(Some(frame)) = read_frame(&mut cursor) {
+            replies.push(frame);
+        }
+        (result, replies)
+    }
+
+    fn hello_payload(corpus: &Corpus) -> Vec<u8> {
+        encode_value(
+            &obj()
+                .field("protocol", PROTOCOL_VERSION)
+                .field("worker", 0usize)
+                .field("config", ServiceConfig::default().to_wire())
+                .field("corpus", corpus.to_wire())
+                .build(),
+        )
+        .unwrap()
+    }
+
+    /// One scenario, two jobs (the default TL × STCL grid).
+    fn tiny_corpus() -> Corpus {
+        ScenarioSpec {
+            scenarios: 1,
+            seed: 3,
+            ..ScenarioSpec::default()
+        }
+        .build()
+        .unwrap()
+    }
+
+    #[test]
+    fn worker_answers_jobs_and_fin_in_protocol_order() {
+        let corpus = tiny_corpus();
+        let job = encode_value(
+            &obj()
+                .field("index", 0usize)
+                .field("job", corpus.jobs()[0].to_wire())
+                .build(),
+        )
+        .unwrap();
+        let (result, replies) = serve(
+            &[
+                (FRAME_HELLO, hello_payload(&corpus)),
+                (FRAME_JOB, job),
+                (FRAME_SHUTDOWN, Vec::new()),
+            ],
+            None,
+        );
+        result.unwrap();
+        assert_eq!(replies.len(), 2);
+        assert_eq!(replies[0].kind, FRAME_RESULT);
+        assert_eq!(replies[1].kind, FRAME_FIN);
+        let payload = decode_value(&replies[0].payload).unwrap();
+        assert_eq!(payload.field_usize("f", "index").unwrap(), 0);
+        let job_result = JobResult::from_wire(payload.field("f", "result").unwrap()).unwrap();
+        assert!(matches!(job_result.outcome, JobOutcome::Completed(_)));
+    }
+
+    #[test]
+    fn worker_rejects_protocol_violations_with_typed_errors() {
+        let corpus = tiny_corpus();
+        // A frame before HELLO.
+        let (result, _) = serve(&[(FRAME_JOB, Vec::new())], None);
+        assert!(matches!(result, Err(ServiceError::Multiproc { .. })));
+        // A bad protocol version.
+        let bad_version = encode_value(
+            &obj()
+                .field("protocol", 99u64)
+                .field("config", ServiceConfig::default().to_wire())
+                .field("corpus", corpus.to_wire())
+                .build(),
+        )
+        .unwrap();
+        let (result, _) = serve(&[(FRAME_HELLO, bad_version)], None);
+        assert!(matches!(result, Err(ServiceError::Multiproc { .. })));
+        // A garbage payload is a wire error, not a panic.
+        let (result, _) = serve(&[(FRAME_HELLO, vec![0xff, 0xff])], None);
+        assert!(matches!(result, Err(ServiceError::Wire(_))));
+        // EOF before HELLO is a clean no-op exit.
+        let (result, replies) = serve(&[], None);
+        result.unwrap();
+        assert!(replies.is_empty());
+    }
+
+    #[test]
+    fn crash_plan_swallows_the_next_job() {
+        let corpus = tiny_corpus();
+        let job = |index: usize| {
+            encode_value(
+                &obj()
+                    .field("index", index)
+                    .field("job", corpus.jobs()[index].to_wire())
+                    .build(),
+            )
+            .unwrap()
+        };
+        let frames = [
+            (FRAME_HELLO, hello_payload(&corpus)),
+            (FRAME_JOB, job(0)),
+            (FRAME_JOB, job(1)),
+            (FRAME_SHUTDOWN, Vec::new()),
+        ];
+        let (result, replies) = serve(
+            &frames,
+            Some(CrashPlan {
+                after_jobs: 1,
+                only_worker: None,
+            }),
+        );
+        result.unwrap();
+        // One result, then the worker died mid-job: no second result, no FIN.
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].kind, FRAME_RESULT);
+
+        // The same plan scoped to a different worker index never arms: this
+        // worker was greeted as index 0, so it serves both jobs and FINs.
+        let (result, replies) = serve(
+            &frames,
+            Some(CrashPlan {
+                after_jobs: 1,
+                only_worker: Some(1),
+            }),
+        );
+        result.unwrap();
+        assert_eq!(replies.len(), 3);
+        assert_eq!(replies[2].kind, FRAME_FIN);
+    }
+
+    #[test]
+    fn coordinator_validates_its_configuration() {
+        let config = MultiprocConfig {
+            processes: 0,
+            program: "worker".into(),
+            args: Vec::new(),
+            service: ServiceConfig::default(),
+        };
+        assert!(matches!(
+            MultiprocCoordinator::new(config),
+            Err(ServiceError::InvalidSpec {
+                field: "processes",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn empty_corpus_short_circuits_without_spawning() {
+        let coordinator = MultiprocCoordinator::new(MultiprocConfig {
+            processes: 4,
+            // Would fail to spawn if it were attempted.
+            program: "/nonexistent/thermsched-worker".into(),
+            args: Vec::new(),
+            service: ServiceConfig::default(),
+        })
+        .unwrap();
+        let empty = Corpus::from_parts(Vec::new(), Vec::new()).unwrap();
+        let report = coordinator.run(&empty).unwrap();
+        assert!(report.jobs().is_empty());
+        assert_eq!(report.stats().job_count, 0);
+        assert_eq!(report.stats().worker_crashes, 0);
+    }
+
+    #[test]
+    fn spawn_failure_is_a_typed_error() {
+        let coordinator = MultiprocCoordinator::new(MultiprocConfig {
+            processes: 1,
+            program: "/nonexistent/thermsched-worker".into(),
+            args: Vec::new(),
+            service: ServiceConfig::default(),
+        })
+        .unwrap();
+        let corpus = tiny_corpus();
+        assert!(matches!(
+            coordinator.run(&corpus),
+            Err(ServiceError::Multiproc { .. })
+        ));
+    }
+}

@@ -242,6 +242,11 @@ pub struct ServiceStats {
     pub retried_attempts: usize,
     /// Faults fired by the configured [`crate::FaultPlan`].
     pub injected_faults: usize,
+    /// Worker *processes* that died mid-batch (EOF or a malformed frame on
+    /// their pipe) and had their unacknowledged jobs reassigned. Only the
+    /// multi-process coordinator ([`crate::MultiprocCoordinator`]) can make
+    /// this non-zero; in-process runs always report 0.
+    pub worker_crashes: usize,
     /// Latency percentiles over resolved jobs (all-zero when no latency was
     /// recorded, e.g. for direct [`crate::ServiceRunner::run`] batches).
     pub latency: LatencyStats,
@@ -396,6 +401,9 @@ impl ServiceStats {
                 s.deadline_exceeded, s.shed, s.rejected, s.retried_attempts, s.injected_faults
             );
         }
+        if s.worker_crashes > 0 {
+            let _ = writeln!(out, "  worker crashes {}", s.worker_crashes);
+        }
         let _ = writeln!(
             out,
             "  wall {:.3} s, {:.1} jobs/s",
@@ -502,6 +510,7 @@ mod tests {
             rejected: 0,
             retried_attempts: 0,
             injected_faults: 0,
+            worker_crashes: 0,
             latency: LatencyStats::default(),
             wall_seconds: 0.5,
             jobs_per_second: 4.0,

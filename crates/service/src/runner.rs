@@ -509,6 +509,7 @@ impl ServiceRunner {
             rejected: 0,
             retried_attempts: retried_attempts.load(Ordering::Relaxed),
             injected_faults: injected_faults.load(Ordering::Relaxed),
+            worker_crashes: 0,
             latency,
             wall_seconds,
             jobs_per_second: jobs_done.len() as f64 / wall_seconds.max(1e-9),

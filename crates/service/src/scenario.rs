@@ -226,6 +226,24 @@ pub struct Corpus {
 }
 
 impl Corpus {
+    /// Reassembles a corpus from its parts (wire decode only), checking
+    /// that every job references a scenario the corpus actually has. An
+    /// empty corpus is legal — the runner handles zero jobs.
+    pub(crate) fn from_parts(
+        scenarios: Vec<Scenario>,
+        jobs: Vec<JobSpec>,
+    ) -> Result<Self, ServiceError> {
+        for job in &jobs {
+            if job.scenario >= scenarios.len() {
+                return Err(ServiceError::InvalidSpec {
+                    field: "jobs",
+                    problem: "job references a scenario index outside the corpus",
+                });
+            }
+        }
+        Ok(Corpus { scenarios, jobs })
+    }
+
     /// The generated scenarios, in generation order.
     pub fn scenarios(&self) -> &[Scenario] {
         &self.scenarios

@@ -32,6 +32,7 @@ mod generator;
 pub mod library;
 mod soc;
 mod test_spec;
+mod wire;
 
 pub use error::SocError;
 pub use generator::{GeneratorConfig, SocGenerator};

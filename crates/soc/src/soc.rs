@@ -34,7 +34,6 @@ use crate::{Result, SocError, TestSpec};
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SystemUnderTest {
     floorplan: Floorplan,
     /// Test specs indexed by [`BlockId`].

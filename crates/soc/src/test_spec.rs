@@ -22,7 +22,6 @@ use crate::{Result, SocError};
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TestSpec {
     core_name: String,
     test_power: f64,

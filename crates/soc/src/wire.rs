@@ -1,0 +1,136 @@
+//! [`Wire`] codecs for the system-under-test types.
+//!
+//! Both types decode through their validating constructors, so the
+//! one-spec-per-block invariant of [`SystemUnderTest`] holds for wire input
+//! exactly as it does for programmatic construction.
+
+use thermsched_wire::{obj, JsonValue, Result, Wire, WireError};
+
+use thermsched_floorplan::Floorplan;
+
+use crate::{SystemUnderTest, TestSpec};
+
+impl Wire for TestSpec {
+    const WIRE_TYPE: &'static str = "test_spec";
+
+    fn to_wire(&self) -> JsonValue {
+        obj()
+            .field("core_name", self.core_name())
+            .field("test_power", self.test_power())
+            .field("test_time", self.test_time())
+            .field("functional_power", self.functional_power())
+            .build()
+    }
+
+    fn from_wire(value: &JsonValue) -> Result<Self> {
+        let invalid = |e: crate::SocError| WireError::Invalid {
+            type_name: "test_spec",
+            message: e.to_string(),
+        };
+        let mut spec = TestSpec::new(
+            value.field_str("test_spec", "core_name")?,
+            value.field_f64("test_spec", "test_power")?,
+            value.field_f64("test_spec", "test_time")?,
+        )
+        .map_err(invalid)?;
+        let functional = value.field("test_spec", "functional_power")?;
+        if !matches!(functional, JsonValue::Null) {
+            spec = spec
+                .with_functional_power(functional.as_f64()?)
+                .map_err(invalid)?;
+        }
+        Ok(spec)
+    }
+}
+
+impl Wire for SystemUnderTest {
+    const WIRE_TYPE: &'static str = "system_under_test";
+
+    fn to_wire(&self) -> JsonValue {
+        let specs: Vec<JsonValue> = self.test_specs().iter().map(Wire::to_wire).collect();
+        obj()
+            .field("floorplan", self.floorplan().to_wire())
+            .field("test_specs", specs)
+            .build()
+    }
+
+    fn from_wire(value: &JsonValue) -> Result<Self> {
+        let floorplan = Floorplan::from_wire(value.field("system_under_test", "floorplan")?)?;
+        let specs = value
+            .field_array("system_under_test", "test_specs")?
+            .iter()
+            .map(TestSpec::from_wire)
+            .collect::<Result<Vec<_>>>()?;
+        SystemUnderTest::new(floorplan, specs).map_err(|e| WireError::Invalid {
+            type_name: "system_under_test",
+            message: e.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sut_roundtrips_both_encodings() {
+        let sut = crate::library::alpha21364_sut();
+        let json = sut.to_json().unwrap();
+        assert_eq!(SystemUnderTest::from_json(&json).unwrap(), sut);
+        let binary = sut.to_binary().unwrap();
+        assert_eq!(SystemUnderTest::from_binary(&binary).unwrap(), sut);
+    }
+
+    #[test]
+    fn optional_functional_power_roundtrips() {
+        let with = TestSpec::new("cpu", 8.0, 1.5)
+            .unwrap()
+            .with_functional_power(2.0)
+            .unwrap();
+        let without = TestSpec::new("cpu", 8.0, 1.5).unwrap();
+        for spec in [with, without] {
+            let json = spec.to_json().unwrap();
+            assert_eq!(TestSpec::from_json(&json).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn missing_spec_is_a_typed_error() {
+        let sut = crate::library::figure1_sut();
+        let mut wire = sut.to_wire();
+        // Drop one test spec: the decode must fail SUT validation.
+        if let JsonValue::Object(entries) = &mut wire {
+            for (key, value) in entries.iter_mut() {
+                if key == "test_specs" {
+                    if let JsonValue::Array(items) = value {
+                        items.pop();
+                    }
+                }
+            }
+        }
+        assert!(matches!(
+            SystemUnderTest::from_wire(&wire),
+            Err(WireError::Invalid {
+                type_name: "system_under_test",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn invalid_spec_values_are_typed_errors() {
+        let bad = obj()
+            .field("core_name", "cpu")
+            .field("test_power", -1.0)
+            .field("test_time", 1.0)
+            .field("functional_power", JsonValue::Null)
+            .build();
+        assert!(matches!(
+            TestSpec::from_wire(&bad),
+            Err(WireError::Invalid {
+                type_name: "test_spec",
+                ..
+            })
+        ));
+    }
+}

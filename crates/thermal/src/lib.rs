@@ -77,6 +77,7 @@ mod simulator;
 mod steady_state;
 mod temperatures;
 mod transient;
+mod wire;
 
 pub use backend::ThermalBackend;
 pub use error::ThermalError;

@@ -8,7 +8,6 @@ use crate::{Result, ThermalError};
 
 /// Thermal properties of one material layer.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Material {
     /// Thermal conductivity in W/(m·K).
     pub conductivity: f64,

@@ -15,7 +15,6 @@ use crate::{PackageConfig, Result, ThermalError};
 
 /// What a node of the thermal network represents.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum NodeKind {
     /// A die-level floorplan block (index is the floorplan [`BlockId`]).
     Block(usize),

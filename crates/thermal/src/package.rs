@@ -21,7 +21,6 @@ use crate::{Material, Result, ThermalError};
 /// copper spreader, a sink with 0.1 K/W total convection resistance and a
 /// 45 °C ambient.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PackageConfig {
     /// Die (silicon) material.
     pub die_material: Material,

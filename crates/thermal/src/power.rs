@@ -26,7 +26,6 @@ use crate::{Result, ThermalError};
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PowerMap {
     powers: Vec<f64>,
 }

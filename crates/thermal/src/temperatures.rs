@@ -10,7 +10,6 @@ use thermsched_floorplan::BlockId;
 /// sink), exposed because they are occasionally useful for debugging the
 /// model but rarely needed by schedulers.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Temperatures {
     values: Vec<f64>,
     block_count: usize,

@@ -1,0 +1,137 @@
+//! [`Wire`] codecs for the thermal-model configuration types.
+
+use thermsched_wire::{obj, JsonValue, Result, Wire, WireError};
+
+use crate::{Material, PackageConfig, PowerMap};
+
+fn invalid(e: crate::ThermalError, type_name: &'static str) -> WireError {
+    WireError::Invalid {
+        type_name,
+        message: e.to_string(),
+    }
+}
+
+impl Wire for Material {
+    const WIRE_TYPE: &'static str = "material";
+
+    fn to_wire(&self) -> JsonValue {
+        obj()
+            .field("conductivity", self.conductivity)
+            .field("volumetric_heat_capacity", self.volumetric_heat_capacity)
+            .build()
+    }
+
+    fn from_wire(value: &JsonValue) -> Result<Self> {
+        Material::new(
+            value.field_f64("material", "conductivity")?,
+            value.field_f64("material", "volumetric_heat_capacity")?,
+        )
+        .map_err(|e| invalid(e, "material"))
+    }
+}
+
+impl Wire for PackageConfig {
+    const WIRE_TYPE: &'static str = "package_config";
+
+    fn to_wire(&self) -> JsonValue {
+        obj()
+            .field("die_material", self.die_material.to_wire())
+            .field("die_thickness", self.die_thickness)
+            .field("interface_material", self.interface_material.to_wire())
+            .field("interface_thickness", self.interface_thickness)
+            .field("spreader_material", self.spreader_material.to_wire())
+            .field("spreader_thickness", self.spreader_thickness)
+            .field("spreader_side", self.spreader_side)
+            .field("sink_thickness", self.sink_thickness)
+            .field("sink_side", self.sink_side)
+            .field("sink_material", self.sink_material.to_wire())
+            .field("convection_resistance", self.convection_resistance)
+            .field("edge_resistance_per_meter", self.edge_resistance_per_meter)
+            .field("ambient", self.ambient)
+            .build()
+    }
+
+    fn from_wire(value: &JsonValue) -> Result<Self> {
+        const T: &str = "package_config";
+        let config = PackageConfig {
+            die_material: Material::from_wire(value.field(T, "die_material")?)?,
+            die_thickness: value.field_f64(T, "die_thickness")?,
+            interface_material: Material::from_wire(value.field(T, "interface_material")?)?,
+            interface_thickness: value.field_f64(T, "interface_thickness")?,
+            spreader_material: Material::from_wire(value.field(T, "spreader_material")?)?,
+            spreader_thickness: value.field_f64(T, "spreader_thickness")?,
+            spreader_side: value.field_f64(T, "spreader_side")?,
+            sink_thickness: value.field_f64(T, "sink_thickness")?,
+            sink_side: value.field_f64(T, "sink_side")?,
+            sink_material: Material::from_wire(value.field(T, "sink_material")?)?,
+            convection_resistance: value.field_f64(T, "convection_resistance")?,
+            edge_resistance_per_meter: value.field_f64(T, "edge_resistance_per_meter")?,
+            ambient: value.field_f64(T, "ambient")?,
+        };
+        config.validate().map_err(|e| invalid(e, T))?;
+        Ok(config)
+    }
+}
+
+impl Wire for PowerMap {
+    const WIRE_TYPE: &'static str = "power_map";
+
+    fn to_wire(&self) -> JsonValue {
+        let powers: Vec<JsonValue> = (0..self.block_count())
+            .map(|id| JsonValue::from(self.power(id)))
+            .collect();
+        obj().field("powers", powers).build()
+    }
+
+    fn from_wire(value: &JsonValue) -> Result<Self> {
+        let powers = value
+            .field_array("power_map", "powers")?
+            .iter()
+            .map(JsonValue::as_f64)
+            .collect::<Result<Vec<_>>>()?;
+        PowerMap::from_vec(powers).map_err(|e| invalid(e, "power_map"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn package_config_roundtrips() {
+        let config = PackageConfig::default().with_ambient(25.0);
+        let json = config.to_json().unwrap();
+        assert_eq!(PackageConfig::from_json(&json).unwrap(), config);
+        let binary = config.to_binary().unwrap();
+        assert_eq!(PackageConfig::from_binary(&binary).unwrap(), config);
+    }
+
+    #[test]
+    fn power_map_roundtrips_including_empty() {
+        for map in [
+            PowerMap::zeros(0),
+            PowerMap::from_vec(vec![0.0, 12.5, 0.125]).unwrap(),
+        ] {
+            let json = map.to_json().unwrap();
+            assert_eq!(PowerMap::from_json(&json).unwrap(), map);
+        }
+    }
+
+    #[test]
+    fn domain_validation_fires_on_decode() {
+        assert!(matches!(
+            Material::from_json("{\"conductivity\": -1.0, \"volumetric_heat_capacity\": 1.0}"),
+            Err(WireError::Invalid {
+                type_name: "material",
+                ..
+            })
+        ));
+        assert!(matches!(
+            PowerMap::from_json("{\"powers\": [1.0, -2.0]}"),
+            Err(WireError::Invalid {
+                type_name: "power_map",
+                ..
+            })
+        ));
+    }
+}

@@ -1,0 +1,312 @@
+//! Compact binary encoding of [`JsonValue`] — the payload format of the
+//! process transport.
+//!
+//! Each value is one tag byte followed by a fixed- or length-prefixed body:
+//!
+//! | tag    | value                                              |
+//! |--------|----------------------------------------------------|
+//! | `0x00` | null                                               |
+//! | `0x01` | false                                              |
+//! | `0x02` | true                                               |
+//! | `0x03` | u64, 8 bytes little-endian                         |
+//! | `0x04` | i64, 8 bytes little-endian                         |
+//! | `0x05` | f64 bit pattern, 8 bytes little-endian             |
+//! | `0x06` | string: u32 LE byte length + UTF-8 bytes           |
+//! | `0x07` | array: u32 LE count + values                       |
+//! | `0x08` | object: u32 LE count + (string key, value) pairs   |
+//!
+//! Floats travel as raw bit patterns, so the binary path is trivially
+//! bit-exact. Decoding is strict: unknown tags, truncated bodies and
+//! non-finite floats are typed errors, never panics.
+
+use crate::json::{JsonValue, Number};
+use crate::{Result, WireError};
+
+const TAG_NULL: u8 = 0x00;
+const TAG_FALSE: u8 = 0x01;
+const TAG_TRUE: u8 = 0x02;
+const TAG_U64: u8 = 0x03;
+const TAG_I64: u8 = 0x04;
+const TAG_F64: u8 = 0x05;
+const TAG_STRING: u8 = 0x06;
+const TAG_ARRAY: u8 = 0x07;
+const TAG_OBJECT: u8 = 0x08;
+
+/// Encodes a value into the compact binary form.
+///
+/// # Errors
+///
+/// [`WireError::NonFinite`] if any float is NaN or infinite, and
+/// [`WireError::Invalid`] if a string or collection exceeds `u32` length.
+pub fn encode_value(value: &JsonValue) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    encode_into(value, &mut out)?;
+    Ok(out)
+}
+
+fn encode_len(len: usize, what: &'static str, out: &mut Vec<u8>) -> Result<()> {
+    let len = u32::try_from(len).map_err(|_| WireError::Invalid {
+        type_name: "binary value",
+        message: format!("{what} of {len} elements exceeds the u32 length prefix"),
+    })?;
+    out.extend_from_slice(&len.to_le_bytes());
+    Ok(())
+}
+
+fn encode_str(s: &str, out: &mut Vec<u8>) -> Result<()> {
+    encode_len(s.len(), "string", out)?;
+    out.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+fn encode_into(value: &JsonValue, out: &mut Vec<u8>) -> Result<()> {
+    match value {
+        JsonValue::Null => out.push(TAG_NULL),
+        JsonValue::Bool(false) => out.push(TAG_FALSE),
+        JsonValue::Bool(true) => out.push(TAG_TRUE),
+        JsonValue::Number(Number::Unsigned(u)) => {
+            out.push(TAG_U64);
+            out.extend_from_slice(&u.to_le_bytes());
+        }
+        JsonValue::Number(Number::Signed(s)) => {
+            out.push(TAG_I64);
+            out.extend_from_slice(&s.to_le_bytes());
+        }
+        JsonValue::Number(Number::Float(f)) => {
+            if !f.is_finite() {
+                return Err(WireError::NonFinite {
+                    type_name: "binary value",
+                });
+            }
+            out.push(TAG_F64);
+            out.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        JsonValue::String(s) => {
+            out.push(TAG_STRING);
+            encode_str(s, out)?;
+        }
+        JsonValue::Array(items) => {
+            out.push(TAG_ARRAY);
+            encode_len(items.len(), "array", out)?;
+            for item in items {
+                encode_into(item, out)?;
+            }
+        }
+        JsonValue::Object(entries) => {
+            out.push(TAG_OBJECT);
+            encode_len(entries.len(), "object", out)?;
+            for (key, value) in entries {
+                encode_str(key, out)?;
+                encode_into(value, out)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Decodes one binary value, consuming the whole input.
+///
+/// # Errors
+///
+/// [`WireError::Truncated`], [`WireError::BadTag`], [`WireError::Invalid`]
+/// (trailing bytes, invalid UTF-8) or [`WireError::NonFinite`].
+pub fn decode_value(bytes: &[u8]) -> Result<JsonValue> {
+    let mut reader = Reader { bytes, pos: 0 };
+    let value = reader.value()?;
+    if reader.pos != bytes.len() {
+        return Err(WireError::Invalid {
+            type_name: "binary value",
+            message: format!(
+                "{} trailing bytes after the value",
+                bytes.len() - reader.pos
+            ),
+        });
+    }
+    Ok(value)
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&[u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or(WireError::Truncated { context })?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32_len(&mut self, context: &'static str) -> Result<usize> {
+        let raw = self.take(4, context)?;
+        Ok(u32::from_le_bytes(raw.try_into().expect("4 bytes")) as usize)
+    }
+
+    fn eight(&mut self, context: &'static str) -> Result<[u8; 8]> {
+        Ok(self.take(8, context)?.try_into().expect("8 bytes"))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        let len = self.u32_len("string length")?;
+        let raw = self.take(len, "string bytes")?;
+        String::from_utf8(raw.to_vec()).map_err(|e| WireError::Invalid {
+            type_name: "binary value",
+            message: format!("string is not valid UTF-8: {e}"),
+        })
+    }
+
+    fn value(&mut self) -> Result<JsonValue> {
+        let tag = self.take(1, "value tag")?[0];
+        Ok(match tag {
+            TAG_NULL => JsonValue::Null,
+            TAG_FALSE => JsonValue::Bool(false),
+            TAG_TRUE => JsonValue::Bool(true),
+            TAG_U64 => JsonValue::Number(Number::Unsigned(u64::from_le_bytes(
+                self.eight("u64 value")?,
+            ))),
+            TAG_I64 => {
+                let s = i64::from_le_bytes(self.eight("i64 value")?);
+                // Normalise like the JSON parser: non-negative integers
+                // always live in the unsigned lane.
+                JsonValue::Number(Number::from_i64(s))
+            }
+            TAG_F64 => {
+                let f = f64::from_bits(u64::from_le_bytes(self.eight("f64 value")?));
+                if !f.is_finite() {
+                    return Err(WireError::NonFinite {
+                        type_name: "binary value",
+                    });
+                }
+                JsonValue::Number(Number::Float(f))
+            }
+            TAG_STRING => JsonValue::String(self.string()?),
+            TAG_ARRAY => {
+                let count = self.u32_len("array length")?;
+                let mut items = Vec::new();
+                for _ in 0..count {
+                    items.push(self.value()?);
+                }
+                JsonValue::Array(items)
+            }
+            TAG_OBJECT => {
+                let count = self.u32_len("object length")?;
+                let mut entries = Vec::new();
+                for _ in 0..count {
+                    let key = self.string()?;
+                    let value = self.value()?;
+                    entries.push((key, value));
+                }
+                JsonValue::Object(entries)
+            }
+            tag => return Err(WireError::BadTag { tag }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::obj;
+
+    fn roundtrip(value: &JsonValue) {
+        let bytes = encode_value(value).unwrap();
+        assert_eq!(&decode_value(&bytes).unwrap(), value);
+    }
+
+    #[test]
+    fn every_shape_roundtrips() {
+        roundtrip(&JsonValue::Null);
+        roundtrip(&JsonValue::Bool(true));
+        roundtrip(&JsonValue::Bool(false));
+        roundtrip(&JsonValue::from(u64::MAX));
+        roundtrip(&JsonValue::from(i64::MIN));
+        roundtrip(&JsonValue::from(-0.0));
+        roundtrip(&JsonValue::from(f64::MAX));
+        roundtrip(&JsonValue::from("strings 🎯 with unicode"));
+        roundtrip(&JsonValue::Array(vec![]));
+        roundtrip(&JsonValue::Object(vec![]));
+        roundtrip(
+            &obj()
+                .field("nested", vec![JsonValue::from(1.25), JsonValue::Null])
+                .field("flag", false)
+                .build(),
+        );
+    }
+
+    #[test]
+    fn floats_travel_as_bit_patterns() {
+        for bits in [
+            0x0000_0000_0000_0001u64,
+            0x8000_0000_0000_0000,
+            0x3ff0_0000_0000_0001,
+        ] {
+            let value = JsonValue::from(f64::from_bits(bits));
+            let bytes = encode_value(&value).unwrap();
+            let back = decode_value(&bytes).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn non_finite_refuses_both_directions() {
+        assert!(matches!(
+            encode_value(&JsonValue::from(f64::NAN)),
+            Err(WireError::NonFinite { .. })
+        ));
+        let mut bytes = vec![TAG_F64];
+        bytes.extend_from_slice(&f64::INFINITY.to_bits().to_le_bytes());
+        assert!(matches!(
+            decode_value(&bytes),
+            Err(WireError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_bytes_are_typed_errors() {
+        assert!(matches!(
+            decode_value(&[]),
+            Err(WireError::Truncated { .. })
+        ));
+        assert!(matches!(
+            decode_value(&[0xff]),
+            Err(WireError::BadTag { tag: 0xff })
+        ));
+        // Truncated u64 body.
+        assert!(matches!(
+            decode_value(&[TAG_U64, 1, 2, 3]),
+            Err(WireError::Truncated { .. })
+        ));
+        // String length runs past the input.
+        assert!(matches!(
+            decode_value(&[TAG_STRING, 0xff, 0xff, 0xff, 0xff]),
+            Err(WireError::Truncated { .. })
+        ));
+        // Invalid UTF-8 in a string body.
+        assert!(matches!(
+            decode_value(&[TAG_STRING, 1, 0, 0, 0, 0xff]),
+            Err(WireError::Invalid { .. })
+        ));
+        // Array count larger than the remaining bytes.
+        assert!(matches!(
+            decode_value(&[TAG_ARRAY, 2, 0, 0, 0, TAG_NULL]),
+            Err(WireError::Truncated { .. })
+        ));
+        // Trailing garbage after a complete value.
+        assert!(matches!(
+            decode_value(&[TAG_NULL, TAG_NULL]),
+            Err(WireError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn signed_lane_normalises_on_decode() {
+        let mut bytes = vec![TAG_I64];
+        bytes.extend_from_slice(&7i64.to_le_bytes());
+        assert_eq!(decode_value(&bytes).unwrap(), JsonValue::from(7u64));
+    }
+}

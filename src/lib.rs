@@ -11,5 +11,7 @@
 pub use thermsched as core;
 pub use thermsched_floorplan as floorplan;
 pub use thermsched_linalg as linalg;
+pub use thermsched_service as service;
 pub use thermsched_soc as soc;
 pub use thermsched_thermal as thermal;
+pub use thermsched_wire as wire;

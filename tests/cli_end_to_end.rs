@@ -1,0 +1,122 @@
+//! End-to-end CLI coverage: `thermsched gen | run | worker` as a user
+//! would invoke them, shelling out to the built binary.
+//!
+//! The pipeline under test is the one README documents: generate a corpus
+//! document, run it in-process and sharded, and get byte-identical
+//! deterministic output either way. Everything the binary writes must be
+//! readable back through the wire codec.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+use thermsched_service::{Corpus, ServiceReport};
+use thermsched_wire::{document_type, from_document, JsonValue};
+
+fn thermsched(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_thermsched"))
+        .args(args)
+        .output()
+        .expect("binary spawns")
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let output = thermsched(args);
+    assert!(
+        output.status.success(),
+        "`thermsched {}` failed: {}",
+        args.join(" "),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).expect("stdout is UTF-8")
+}
+
+#[test]
+fn gen_then_run_is_deterministic_across_process_counts() {
+    let dir = std::env::temp_dir().join("thermsched-cli-e2e");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let corpus_path = dir.join("corpus.json");
+    let corpus_arg = corpus_path.to_str().expect("utf-8 temp path");
+
+    // `gen` emits a self-describing corpus document the codec can read back.
+    run_ok(&[
+        "gen",
+        "--seed",
+        "7",
+        "--scenarios",
+        "2",
+        "--out",
+        corpus_arg,
+    ]);
+    let document =
+        JsonValue::parse(&std::fs::read_to_string(&corpus_path).expect("corpus written"))
+            .expect("corpus parses");
+    assert_eq!(document_type(&document).expect("typed document"), "corpus");
+    let corpus = from_document::<Corpus>(&document).expect("corpus decodes");
+    assert_eq!(corpus.scenarios().len(), 2);
+
+    // Identical bytes from `gen` to stdout and to --out.
+    let stdout_copy = run_ok(&["gen", "--seed", "7", "--scenarios", "2"]);
+    assert_eq!(
+        stdout_copy,
+        std::fs::read_to_string(&corpus_path).expect("corpus re-read")
+    );
+
+    // `run --jobs-only` is the deterministic slice: identical bytes
+    // in-process and at every sharded process count.
+    let baseline = run_ok(&["run", corpus_arg, "--jobs-only"]);
+    assert!(!baseline.trim().is_empty());
+    for processes in ["1", "2", "4"] {
+        let sharded = run_ok(&["run", corpus_arg, "--jobs-only", "--processes", processes]);
+        assert_eq!(
+            sharded, baseline,
+            "--processes {processes} changed the job bytes"
+        );
+    }
+
+    // `run --json` emits a full report document the codec can read back.
+    let report_text = run_ok(&["run", corpus_arg, "--json", "--processes", "2"]);
+    let report_doc = JsonValue::parse(&report_text).expect("report parses");
+    assert_eq!(
+        document_type(&report_doc).expect("typed document"),
+        "service_report"
+    );
+    let report = from_document::<ServiceReport>(&report_doc).expect("report decodes");
+    assert_eq!(report.jobs().len(), corpus.jobs().len());
+    assert_eq!(report.stats().worker_crashes, 0);
+
+    // The human-readable default view mentions every scenario.
+    let pretty = run_ok(&["run", corpus_arg]);
+    for scenario in corpus.scenarios() {
+        assert!(
+            pretty.contains(&scenario.name),
+            "summary omits scenario {}",
+            scenario.name
+        );
+    }
+
+    std::fs::remove_file(&corpus_path).ok();
+}
+
+#[test]
+fn usage_errors_exit_two_with_help_and_runtime_errors_exit_one() {
+    let unknown = thermsched(&["frobnicate"]);
+    assert_eq!(unknown.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&unknown.stderr).contains("usage:"));
+
+    let conflicting = thermsched(&["run", "x.json", "--json", "--jobs-only"]);
+    assert_eq!(conflicting.status.code(), Some(2));
+
+    let orphan_flag = thermsched(&["worker", "--exit-worker", "1"]);
+    assert_eq!(orphan_flag.status.code(), Some(2));
+
+    let missing = thermsched(&[
+        "run",
+        Path::new("/nonexistent/corpus.json").to_str().unwrap(),
+    ]);
+    assert_eq!(missing.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&missing.stderr).contains("thermsched:"));
+
+    let help = thermsched(&["--help"]);
+    assert!(help.status.success());
+    assert!(String::from_utf8_lossy(&help.stdout).contains("commands:"));
+}

@@ -1,0 +1,98 @@
+//! Golden-file snapshots of the deterministic wire output.
+//!
+//! Two fixed seeds are pinned byte-for-byte under `tests/golden/`: the
+//! generated corpus document (what `thermsched gen` prints) and the
+//! per-job results array (what `thermsched run --jobs-only` prints).
+//! Any codec, scheduler, or scenario-expansion change that shifts these
+//! bytes fails here first, with a diffable artefact in the repo.
+//!
+//! To regenerate after an *intentional* format or semantics change:
+//!
+//! ```text
+//! THERMSCHED_UPDATE_GOLDEN=1 cargo test --test golden_snapshots
+//! ```
+//!
+//! then review the golden diff like any other code change.
+
+use std::path::PathBuf;
+
+use thermsched_service::{Corpus, ScenarioSpec, ServiceConfig, ServiceRunner};
+use thermsched_wire::{to_document, JsonValue, Wire};
+
+/// The pinned corpora: (label, seed, scenario count). Small on purpose —
+/// golden files are reviewed by eye in diffs.
+const PINNED: [(&str, u64, usize); 2] = [("seed7", 7, 2), ("seed2005", 2005, 1)];
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden"))
+}
+
+fn corpus(seed: u64, scenarios: usize) -> Corpus {
+    ScenarioSpec {
+        seed,
+        scenarios,
+        ..ScenarioSpec::default()
+    }
+    .build()
+    .expect("pinned corpus builds")
+}
+
+/// Exactly the bytes `thermsched gen` emits for this corpus.
+fn corpus_text(corpus: &Corpus) -> String {
+    format!(
+        "{}\n",
+        to_document(corpus).render_pretty().expect("corpus renders")
+    )
+}
+
+/// Exactly the bytes `thermsched run --jobs-only` emits for this corpus.
+fn jobs_text(corpus: &Corpus) -> String {
+    let report = ServiceRunner::new(ServiceConfig::default())
+        .expect("valid config")
+        .run(corpus)
+        .expect("pinned corpus runs");
+    let jobs = JsonValue::Array(report.jobs().iter().map(Wire::to_wire).collect());
+    format!("{}\n", jobs.render_pretty().expect("jobs render"))
+}
+
+fn check(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("THERMSCHED_UPDATE_GOLDEN").is_some_and(|v| v == "1") {
+        std::fs::create_dir_all(golden_dir()).expect("golden dir");
+        std::fs::write(&path, actual).expect("golden file written");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with \
+             THERMSCHED_UPDATE_GOLDEN=1 cargo test --test golden_snapshots",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden snapshot; if the change is \
+         intentional, regenerate with THERMSCHED_UPDATE_GOLDEN=1 and \
+         review the diff"
+    );
+}
+
+#[test]
+fn corpus_documents_match_their_golden_bytes() {
+    for (label, seed, scenarios) in PINNED {
+        check(
+            &format!("corpus_{label}.json"),
+            &corpus_text(&corpus(seed, scenarios)),
+        );
+    }
+}
+
+#[test]
+fn per_job_results_match_their_golden_bytes() {
+    for (label, seed, scenarios) in PINNED {
+        check(
+            &format!("jobs_{label}.json"),
+            &jobs_text(&corpus(seed, scenarios)),
+        );
+    }
+}
