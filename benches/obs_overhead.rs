@@ -1,0 +1,120 @@
+//! Observability overhead on the in-process service path.
+//!
+//! One question, answered on one machine and recorded to `BENCH_pr9.json`
+//! (alongside, never overwriting, the frozen `BENCH_pr2..8.json` history):
+//! what does instrumentation cost? The same small corpus is executed three
+//! ways — through the plain `run` path (disabled tracer threaded through
+//! every seam), through `run_traced` with an enabled wall-clock tracer and
+//! live metrics registry, and through `run_traced` with the virtual-clock
+//! tracer used by the determinism tests — and jobs/sec is recorded per
+//! mode. The contract under test: the disabled tracer is a branch-and-
+//! return no-op, so tracer-off throughput must stay within noise of the
+//! PR-8 in-process baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use thermsched_bench::baseline_recording_enabled;
+use thermsched_obs::{MetricsRegistry, ObsClock, Tracer, TracerConfig};
+use thermsched_service::{Corpus, ScenarioSpec, ServiceConfig, ServiceReport, ServiceRunner};
+
+fn corpus() -> Corpus {
+    ScenarioSpec {
+        scenarios: 4,
+        seed: 2005,
+        ..ScenarioSpec::default()
+    }
+    .build()
+    .expect("bench corpus builds")
+}
+
+fn run_plain(corpus: &Corpus) -> ServiceReport {
+    ServiceRunner::new(ServiceConfig::default())
+        .expect("valid config")
+        .run(corpus)
+        .expect("run succeeds")
+}
+
+fn run_traced(corpus: &Corpus, clock: ObsClock) -> ServiceReport {
+    let tracer = Tracer::new(TracerConfig {
+        clock,
+        ..TracerConfig::default()
+    });
+    let registry = MetricsRegistry::new();
+    ServiceRunner::new(ServiceConfig::default())
+        .expect("valid config")
+        .run_traced(corpus, &tracer, &registry)
+        .expect("traced run succeeds")
+}
+
+/// The benchmark ids whose selection allows (re)recording `BENCH_pr9.json`.
+const RECORDED_IDS: [&str; 2] = ["obs_overhead/tracer-off", "obs_overhead/tracer-on"];
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let record = baseline_recording_enabled(&RECORDED_IDS);
+    let corpus = corpus();
+
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+    group.bench_function("tracer-off", |b| b.iter(|| run_plain(&corpus)));
+    group.bench_function("tracer-on", |b| {
+        b.iter(|| run_traced(&corpus, ObsClock::Wall))
+    });
+    group.bench_function("tracer-virtual", |b| {
+        b.iter(|| run_traced(&corpus, ObsClock::Virtual))
+    });
+    group.finish();
+
+    if record {
+        let rows = vec![
+            ("tracer-off".to_owned(), run_plain(&corpus)),
+            ("tracer-on".to_owned(), run_traced(&corpus, ObsClock::Wall)),
+            (
+                "tracer-virtual".to_owned(),
+                run_traced(&corpus, ObsClock::Virtual),
+            ),
+        ];
+        write_baseline(&rows);
+    }
+}
+
+/// Records the measured numbers as `BENCH_pr9.json` at the workspace root.
+/// Hand-rolled JSON: the workspace has no registry access, hence no serde.
+fn write_baseline(rows: &[(String, ServiceReport)]) {
+    let baseline = rows
+        .iter()
+        .find(|(mode, _)| mode == "tracer-off")
+        .map(|(_, report)| report.stats().jobs_per_second)
+        .unwrap_or(0.0);
+    let mut points = String::new();
+    for (i, (mode, report)) in rows.iter().enumerate() {
+        if i > 0 {
+            points.push_str(",\n");
+        }
+        let s = report.stats();
+        let overhead = if baseline > 0.0 && s.jobs_per_second > 0.0 {
+            baseline / s.jobs_per_second
+        } else {
+            0.0
+        };
+        points.push_str(&format!(
+            "    {{\n      \"mode\": \"{mode}\",\n      \
+             \"jobs\": {},\n      \"jobs_per_second\": {:.4},\n      \
+             \"wall_seconds\": {:.4},\n      \
+             \"overhead_vs_tracer_off\": {:.4},\n      \"completed\": {}\n    }}",
+            s.job_count, s.jobs_per_second, s.wall_seconds, overhead, s.completed
+        ));
+    }
+    let json = format!(
+        "{{\n  \"pr\": 9,\n  \"bench\": \"obs_overhead\",\n  \"description\": \"Observability overhead on the in-process service path: one 4-scenario / 8-job corpus executed with the tracer disabled (plain run, instrumentation compiled in but branch-and-return), with a wall-clock tracer plus live metrics registry, and with the virtual-clock tracer used by the determinism tests. Recorded per mode: jobs/sec, wall seconds and the throughput ratio against tracer-off. The contract: disabled-tracer throughput stays within noise of the PR-8 in-process baseline (BENCH_pr8.json, mode=inprocess).\",\n  \"metadata\": {{\n    \"caveat\": \"single-CPU container timings; absolute jobs/sec is machine-bound, the tracer-on/tracer-off ratio is the signal\",\n    \"scenarios\": 4,\n    \"jobs\": 8,\n    \"seed\": 2005\n  }},\n  \"modes\": [\n{points}\n  ]\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_pr9.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("warning: could not write {path}: {e}");
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_obs_overhead
+}
+criterion_main!(benches);

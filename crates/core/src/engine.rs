@@ -16,6 +16,7 @@
 
 use std::fmt;
 
+use thermsched_obs::Tracer;
 use thermsched_soc::SystemUnderTest;
 use thermsched_thermal::{PackageConfig, RcThermalSimulator, ThermalBackend, TransientConfig};
 
@@ -68,6 +69,7 @@ pub struct Engine<'a> {
     config: SchedulerConfig,
     model: SessionThermalModel,
     cache: SessionCacheHandle,
+    tracer: Tracer,
 }
 
 impl fmt::Debug for Engine<'_> {
@@ -112,6 +114,19 @@ impl<'a> Engine<'a> {
         &self.cache
     }
 
+    /// Installs a span recorder for subsequent runs: `schedule*` and
+    /// `evaluate` record spans into it, and hand it down to the scheduler's
+    /// phase-1/phase-2 instrumentation. Services swap in a job-scoped
+    /// handle per dispatched job; the default is the free disabled tracer.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The currently installed span recorder.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
     /// Generates a schedule with the engine's base configuration, serving
     /// repeat simulations from the shared cache and publishing fresh ones
     /// back to it.
@@ -132,7 +147,10 @@ impl<'a> Engine<'a> {
     ///
     /// See [`ThermalAwareScheduler::schedule`].
     pub fn schedule_with(&self, config: SchedulerConfig) -> Result<ScheduleOutcome> {
-        self.scheduler_for(config)?.schedule_with_cache(&self.cache)
+        let mut span = self.tracer.span("engine.schedule");
+        let outcome = self.scheduler_for(config)?.schedule_with_cache(&self.cache);
+        Self::stamp_schedule_span(&mut span, &config, &outcome);
+        outcome
     }
 
     /// Like [`Engine::schedule_with`], but consulting a cooperative
@@ -150,8 +168,36 @@ impl<'a> Engine<'a> {
         config: SchedulerConfig,
         checkpoint: &dyn ScheduleCheckpoint,
     ) -> Result<ScheduleOutcome> {
-        self.scheduler_for(config)?
-            .schedule_with_cache_and_checkpoint(&self.cache, checkpoint)
+        let mut span = self.tracer.span("engine.schedule");
+        let outcome = self
+            .scheduler_for(config)?
+            .schedule_with_cache_and_checkpoint(&self.cache, checkpoint);
+        Self::stamp_schedule_span(&mut span, &config, &outcome);
+        outcome
+    }
+
+    /// Stamps the outcome-level structural attributes onto an
+    /// `engine.schedule` span — every value is a pure function of the
+    /// configuration and corpus (the deterministic simulators guarantee
+    /// it), so they belong to the structural slice.
+    fn stamp_schedule_span(
+        span: &mut thermsched_obs::Span,
+        config: &SchedulerConfig,
+        outcome: &Result<ScheduleOutcome>,
+    ) {
+        if !span.is_recording() {
+            return;
+        }
+        span.attr("tl", config.temperature_limit);
+        span.attr("stcl", config.stc_limit);
+        match outcome {
+            Ok(outcome) => {
+                span.attr("sessions", outcome.session_count());
+                span.attr("schedule_length", outcome.schedule_length());
+                span.attr("max_temperature", outcome.max_temperature);
+            }
+            Err(err) => span.attr("error", err.kind_name()),
+        }
     }
 
     fn scheduler_for<'s>(
@@ -161,7 +207,7 @@ impl<'a> Engine<'a> {
         // The guidance model depends only on the session-model options (and
         // the floorplan/package, which are fixed per engine); lend the
         // prebuilt model unless a run overrides those options.
-        if config.session_model == self.config.session_model {
+        let scheduler = if config.session_model == self.config.session_model {
             ThermalAwareScheduler::with_model_ref(
                 self.sut,
                 self.backend.as_dyn(),
@@ -171,7 +217,8 @@ impl<'a> Engine<'a> {
         } else {
             let model = SessionThermalModel::new(self.sut, &self.package, config.session_model)?;
             ThermalAwareScheduler::with_model(self.sut, self.backend.as_dyn(), config, model)
-        }
+        };
+        scheduler.map(|s| s.with_tracer(self.tracer.clone()))
     }
 
     /// Thermally evaluates an arbitrary schedule (e.g. a baseline
@@ -181,6 +228,8 @@ impl<'a> Engine<'a> {
     ///
     /// Propagates simulation failures.
     pub fn evaluate(&self, schedule: &TestSchedule) -> Result<ScheduleEvaluation> {
+        let mut span = self.tracer.span("engine.evaluate");
+        span.attr("sessions", schedule.session_count());
         ScheduleValidator::new(self.sut, self.backend.as_dyn())?.evaluate(schedule)
     }
 
@@ -203,6 +252,7 @@ pub struct EngineBuilder<'a> {
     package: Option<PackageConfig>,
     config: Option<SchedulerConfig>,
     cache: Option<SessionCacheHandle>,
+    tracer: Option<Tracer>,
 }
 
 impl fmt::Debug for EngineBuilder<'_> {
@@ -275,6 +325,15 @@ impl<'a> EngineBuilder<'a> {
         self
     }
 
+    /// Installs a span recorder from the start (equivalent to
+    /// [`Engine::set_tracer`] right after `build`). Defaults to the free
+    /// disabled tracer.
+    #[must_use]
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
     /// Builds the engine.
     ///
     /// # Errors
@@ -319,6 +378,7 @@ impl<'a> EngineBuilder<'a> {
             config,
             model,
             cache: self.cache.unwrap_or_default(),
+            tracer: self.tracer.unwrap_or_default(),
         })
     }
 }
@@ -466,6 +526,40 @@ mod tests {
             .schedule_with_checkpoint(config, &EffortBudget::new(1e9))
             .unwrap();
         assert_eq!(constrained.schedule, engine.schedule().unwrap().schedule);
+    }
+
+    #[test]
+    fn engine_spans_parent_the_scheduler_phases() {
+        use thermsched_obs::{ObsClock, TracerConfig};
+
+        let sut = library::alpha21364_sut();
+        let tracer = Tracer::new(TracerConfig {
+            clock: ObsClock::Virtual,
+            ..TracerConfig::default()
+        });
+        let mut engine = Engine::builder().sut(&sut).build().unwrap();
+        engine.set_tracer(tracer.for_job(5));
+        assert!(engine.tracer().is_enabled());
+        engine.schedule().unwrap();
+
+        let mut spans = tracer.drain();
+        spans.sort_by_key(|s| s.seq);
+        assert_eq!(spans[0].name, "engine.schedule");
+        assert_eq!(spans[0].parent, None);
+        assert!(spans.iter().all(|s| s.job == Some(5)));
+        // Every scheduler-phase span nests (directly or transitively) under
+        // the engine.schedule root.
+        for span in &spans[1..] {
+            assert!(span.parent.is_some(), "span {} has no parent", span.name);
+        }
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"scheduler.phase1"));
+        assert!(names.contains(&"scheduler.phase2"));
+
+        // Swapping back to a disabled tracer stops recording.
+        engine.set_tracer(Tracer::disabled());
+        engine.schedule().unwrap();
+        assert!(tracer.drain().is_empty());
     }
 
     #[test]

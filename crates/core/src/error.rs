@@ -77,6 +77,25 @@ pub enum ScheduleError {
     Soc(SocError),
 }
 
+impl ScheduleError {
+    /// A stable, payload-free label for the error variant — what trace
+    /// spans record, so the structural slice never depends on float
+    /// formatting inside error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            ScheduleError::InvalidConfig { .. } => "invalid_config",
+            ScheduleError::CoreCountMismatch { .. } => "core_count_mismatch",
+            ScheduleError::CoreLevelViolation { .. } => "core_level_violation",
+            ScheduleError::IterationBudgetExhausted { .. } => "iteration_budget_exhausted",
+            ScheduleError::SessionIndexOutOfRange { .. } => "session_index_out_of_range",
+            ScheduleError::MissingComponent { .. } => "missing_component",
+            ScheduleError::Interrupted { .. } => "interrupted",
+            ScheduleError::Thermal(_) => "thermal",
+            ScheduleError::Soc(_) => "soc",
+        }
+    }
+}
+
 impl fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -118,6 +118,31 @@
 //! The formerly dormant `serde` feature gates were removed in favour of
 //! these hand-rolled `wire` modules; migrating code should serialise via
 //! `thermsched_wire::to_document` / `from_document` instead of serde derive.
+//!
+//! # Observability
+//!
+//! PR 9 threads the `thermsched_obs` crate through the stack. Inside this
+//! crate, [`Engine`] (via `Engine::set_tracer` /
+//! `EngineBuilder::with_tracer`) and [`ThermalAwareScheduler`] emit spans
+//! around scheduling (`engine.schedule`, `scheduler.phase1`,
+//! `scheduler.phase2`) and store traffic (`store.probe`, `store.publish`);
+//! an engine built without a tracer pays nothing. The raw counter structs
+//! ([`StoreStats`], [`OperatorCacheStats`], and the service crate's
+//! `ServiceStats`) are unchanged and remain the exact source of truth —
+//! the metrics registry is a *view* over them under stable dotted names.
+//! Code that scraped counter fields can migrate to the registry as
+//! follows:
+//!
+//! | counter field | metrics-registry name |
+//! |---|---|
+//! | `StoreStats::lookups` / `hits` / `insertions` / `contended_locks` | `store.lookups` / `store.hits` / `store.insertions` / `store.contended_locks` |
+//! | `OperatorCacheStats::hits` / `misses` | `operator_cache.hits` / `operator_cache.misses` |
+//! | `ServiceStats::job_count` | `service.jobs` |
+//! | `ServiceStats::completed` / `failed` / `panicked` / `deadline_exceeded` / `shed` / `rejected` | `service.completed` / `service.failed` / `service.panicked` / `service.deadline_exceeded` / `service.shed` / `service.rejected` |
+//! | `ServiceStats::retried_attempts` / `injected_faults` / `worker_crashes` | `service.retried_attempts` / `service.injected_faults` / `service.worker_crashes` |
+//! | `ServiceStats::warm_cache_hits` / `cached_validations` / `prewarmed_sessions` | `service.warm_cache_hits` / `service.cached_validations` / `service.prewarmed_sessions` |
+//! | `ServiceStats::latency` (percentiles) | `job.latency_seconds` (histogram) |
+//! | `ServiceStats::wall_seconds` / `jobs_per_second` | `service.wall_seconds` / `service.jobs_per_second` (gauges) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

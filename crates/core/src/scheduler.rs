@@ -1,5 +1,6 @@
 //! The thermal-aware test-schedule generator (Algorithm 1 of the paper).
 
+use thermsched_obs::Tracer;
 use thermsched_soc::SystemUnderTest;
 use thermsched_thermal::{PackageConfig, SessionThermalResult, ThermalBackend};
 
@@ -146,6 +147,9 @@ pub struct ThermalAwareScheduler<'a, S: ThermalBackend + ?Sized> {
     /// a model clone per run.
     model: std::borrow::Cow<'a, SessionThermalModel>,
     config: SchedulerConfig,
+    /// Span recorder for the phase-1/phase-2 seams; disabled (free) unless
+    /// [`ThermalAwareScheduler::with_tracer`] installs an enabled handle.
+    tracer: Tracer,
 }
 
 impl<'a, S: ThermalBackend + ?Sized> ThermalAwareScheduler<'a, S> {
@@ -216,7 +220,17 @@ impl<'a, S: ThermalBackend + ?Sized> ThermalAwareScheduler<'a, S> {
             simulator,
             model,
             config,
+            tracer: Tracer::disabled(),
         })
+    }
+
+    /// Installs a span recorder; phase-1 characterisation, phase-2 session
+    /// generation and the shared-store probe/publish batches record spans
+    /// into it. A disabled tracer (the default) costs nothing.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// The configuration this scheduler runs with.
@@ -250,6 +264,8 @@ impl<'a, S: ThermalBackend + ?Sized> ThermalAwareScheduler<'a, S> {
         match shared {
             Some(shared) => {
                 let keys: Vec<Vec<usize>> = (0..n).map(|core| vec![core]).collect();
+                let mut probe = self.tracer.span("store.probe");
+                probe.attr("keys", n);
                 for (core, slot) in shared.lookup_batch(&keys).into_iter().enumerate() {
                     match slot {
                         Some(result) => {
@@ -259,6 +275,8 @@ impl<'a, S: ThermalBackend + ?Sized> ThermalAwareScheduler<'a, S> {
                         None => misses.push(core),
                     }
                 }
+                // Warmth depends on what earlier runs published — observed.
+                probe.attr_observed("hits", n - misses.len());
             }
             None => misses.extend(0..n),
         }
@@ -279,6 +297,8 @@ impl<'a, S: ThermalBackend + ?Sized> ThermalAwareScheduler<'a, S> {
             // Publish every fresh characterisation in one batched store
             // operation (first write wins; a racing run's duplicate is
             // identical anyway).
+            let mut publish = self.tracer.span("store.publish");
+            publish.attr_observed("entries", misses.len());
             shared.store_batch(
                 misses
                     .iter()
@@ -374,6 +394,8 @@ impl<'a, S: ThermalBackend + ?Sized> ThermalAwareScheduler<'a, S> {
         let mut warm_cache_hits = 0usize;
 
         // ---- Phase 1 (lines 1-7): per-core characterisation. ----
+        let mut phase1_span = self.tracer.span("scheduler.phase1");
+        phase1_span.attr("cores", n);
         let mut cache = SessionCache::new();
         let mut bcmt = vec![0.0; n];
         let mut characterization_effort = 0.0;
@@ -389,6 +411,8 @@ impl<'a, S: ThermalBackend + ?Sized> ThermalAwareScheduler<'a, S> {
             // exactly the simulations this pass has already run.
             cache.insert(vec![core], result);
         }
+        phase1_span.attr("characterization_effort", characterization_effort);
+        drop(phase1_span);
 
         let mut effective_limit = self.config.temperature_limit;
         for (core, &t) in bcmt.iter().enumerate() {
@@ -441,6 +465,7 @@ impl<'a, S: ThermalBackend + ?Sized> ThermalAwareScheduler<'a, S> {
         // re-pay simulations a failed run already did.
         let mut pending_publish: Vec<(Vec<usize>, SessionThermalResult)> = Vec::new();
 
+        let mut phase2_span = self.tracer.span("scheduler.phase2");
         let generation: Result<()> = (|| {
             while !available.is_empty() {
                 // Cooperative checkpoint: consulted before every simulation
@@ -586,8 +611,30 @@ impl<'a, S: ThermalBackend + ?Sized> ThermalAwareScheduler<'a, S> {
         })();
 
         if let Some(shared) = shared {
+            let mut publish = self.tracer.span("store.publish");
+            publish.attr_observed("entries", pending_publish.len());
             shared.store_batch(pending_publish);
         }
+        // Every phase-2 attribute below is a pure function of the inputs
+        // (iteration counts, effort, interrupt reasons from simulated-domain
+        // budgets) *except* the cache counters, which depend on what
+        // concurrent runs published — those stay observed.
+        phase2_span.attr("iterations", iterations);
+        phase2_span.attr("committed_sessions", schedule.session_count());
+        phase2_span.attr("discarded_sessions", discarded_sessions);
+        phase2_span.attr("simulation_effort", simulation_effort);
+        phase2_span.attr_observed("cached_validations", cached_validations);
+        phase2_span.attr_observed("warm_cache_hits", warm_cache_hits);
+        if let Err(ScheduleError::Interrupted { reason, .. }) = &generation {
+            phase2_span.attr(
+                "interrupt",
+                match reason {
+                    crate::InterruptReason::DeadlineExceeded { .. } => "deadline",
+                    crate::InterruptReason::Cancelled => "cancelled",
+                },
+            );
+        }
+        drop(phase2_span);
         generation?;
 
         Ok(ScheduleOutcome {
@@ -986,6 +1033,58 @@ mod tests {
             "expected phase-1 singletons plus the first phase-2 candidate, got {}",
             cache.len()
         );
+    }
+
+    #[test]
+    fn tracer_records_phase_spans_with_deterministic_structure() {
+        use thermsched_obs::{ObsClock, Tracer, TracerConfig};
+
+        let (sut, sim) = setup();
+        let config = SchedulerConfig::new(165.0, 50.0).unwrap();
+        let tracer = Tracer::new(TracerConfig {
+            clock: ObsClock::Virtual,
+            ..TracerConfig::default()
+        });
+        let scheduler = ThermalAwareScheduler::new(&sut, &sim, config)
+            .unwrap()
+            .with_tracer(tracer.for_job(0));
+        let cache = SessionCacheHandle::new();
+        let outcome = scheduler.schedule_with_cache(&cache).unwrap();
+
+        let mut spans = tracer.drain();
+        spans.sort_by_key(|s| s.seq);
+        let shape: Vec<(&str, Option<u64>)> =
+            spans.iter().map(|s| (s.name.as_str(), s.parent)).collect();
+        assert_eq!(
+            shape,
+            vec![
+                ("scheduler.phase1", None),
+                ("store.probe", Some(0)),
+                ("store.publish", Some(0)),
+                ("scheduler.phase2", None),
+                ("store.publish", Some(3)),
+            ]
+        );
+        let phase2 = &spans[3];
+        let structural: Vec<&str> = phase2.structural_attrs().map(|a| a.key.as_str()).collect();
+        assert_eq!(
+            structural,
+            vec![
+                "iterations",
+                "committed_sessions",
+                "discarded_sessions",
+                "simulation_effort"
+            ]
+        );
+        let committed = phase2
+            .structural_attrs()
+            .find(|a| a.key == "committed_sessions")
+            .unwrap();
+        assert_eq!(
+            committed.value,
+            thermsched_obs::AttrValue::Unsigned(outcome.session_count() as u64)
+        );
+        assert_eq!(tracer.dropped_spans(), 0);
     }
 
     #[test]

@@ -1,0 +1,349 @@
+//! `Wire` impls for the trace types: clock, attributes, spans, metric
+//! snapshots and the versioned [`TraceDocument`].
+
+use thermsched_wire::{obj, JsonValue, Number, Wire, WireError};
+
+use crate::document::{TraceDocument, TRACE_VERSION};
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+use crate::tracer::{Attr, AttrValue, ObsClock, SpanRecord};
+
+impl Wire for ObsClock {
+    const WIRE_TYPE: &'static str = "obs_clock";
+
+    fn to_wire(&self) -> JsonValue {
+        match self {
+            ObsClock::Wall => "wall".into(),
+            ObsClock::Virtual => "virtual".into(),
+        }
+    }
+
+    fn from_wire(value: &JsonValue) -> thermsched_wire::Result<Self> {
+        match value.as_str()? {
+            "wall" => Ok(ObsClock::Wall),
+            "virtual" => Ok(ObsClock::Virtual),
+            other => Err(WireError::UnknownVariant {
+                type_name: Self::WIRE_TYPE,
+                variant: other.to_owned(),
+            }),
+        }
+    }
+}
+
+/// Maps a typed attribute value onto the matching `JsonValue` lane.
+pub(crate) fn attr_value_to_wire(value: &AttrValue) -> JsonValue {
+    match value {
+        AttrValue::Bool(v) => (*v).into(),
+        AttrValue::Unsigned(v) => (*v).into(),
+        AttrValue::Signed(v) => (*v).into(),
+        AttrValue::Float(v) => (*v).into(),
+        AttrValue::Text(v) => v.as_str().into(),
+    }
+}
+
+fn attr_value_from_wire(value: &JsonValue) -> thermsched_wire::Result<AttrValue> {
+    match value {
+        JsonValue::Bool(v) => Ok(AttrValue::Bool(*v)),
+        JsonValue::Number(Number::Unsigned(v)) => Ok(AttrValue::Unsigned(*v)),
+        JsonValue::Number(Number::Signed(v)) => Ok(AttrValue::Signed(*v)),
+        JsonValue::Number(Number::Float(v)) => Ok(AttrValue::Float(*v)),
+        JsonValue::String(v) => Ok(AttrValue::Text(v.clone())),
+        other => Err(WireError::Invalid {
+            type_name: "attr_value",
+            message: format!(
+                "expected bool, number or string, found {}",
+                other.type_name()
+            ),
+        }),
+    }
+}
+
+impl Wire for Attr {
+    const WIRE_TYPE: &'static str = "attr";
+
+    fn to_wire(&self) -> JsonValue {
+        obj()
+            .field("key", self.key.as_str())
+            .field("value", attr_value_to_wire(&self.value))
+            .field("structural", self.structural)
+            .build()
+    }
+
+    fn from_wire(value: &JsonValue) -> thermsched_wire::Result<Self> {
+        Ok(Attr {
+            key: value.field_str(Self::WIRE_TYPE, "key")?.to_owned(),
+            value: attr_value_from_wire(value.field(Self::WIRE_TYPE, "value")?)?,
+            structural: value.field_bool(Self::WIRE_TYPE, "structural")?,
+        })
+    }
+}
+
+fn optional_u64(
+    value: &JsonValue,
+    type_name: &'static str,
+    name: &'static str,
+) -> thermsched_wire::Result<Option<u64>> {
+    match value.field(type_name, name)? {
+        JsonValue::Null => Ok(None),
+        other => Ok(Some(other.as_u64()?)),
+    }
+}
+
+impl Wire for SpanRecord {
+    const WIRE_TYPE: &'static str = "span";
+
+    fn to_wire(&self) -> JsonValue {
+        obj()
+            .field("name", self.name.as_str())
+            .field("job", self.job)
+            .field("seq", self.seq)
+            .field("parent", self.parent)
+            .field("start_seconds", self.start_seconds)
+            .field("duration_seconds", self.duration_seconds)
+            .field(
+                "attrs",
+                JsonValue::Array(self.attrs.iter().map(Wire::to_wire).collect()),
+            )
+            .build()
+    }
+
+    fn from_wire(value: &JsonValue) -> thermsched_wire::Result<Self> {
+        Ok(SpanRecord {
+            name: value.field_str(Self::WIRE_TYPE, "name")?.to_owned(),
+            job: optional_u64(value, Self::WIRE_TYPE, "job")?,
+            seq: value.field_u64(Self::WIRE_TYPE, "seq")?,
+            parent: optional_u64(value, Self::WIRE_TYPE, "parent")?,
+            start_seconds: value.field_f64(Self::WIRE_TYPE, "start_seconds")?,
+            duration_seconds: value.field_f64(Self::WIRE_TYPE, "duration_seconds")?,
+            attrs: value
+                .field_array(Self::WIRE_TYPE, "attrs")?
+                .iter()
+                .map(Attr::from_wire)
+                .collect::<thermsched_wire::Result<_>>()?,
+        })
+    }
+}
+
+impl Wire for HistogramSnapshot {
+    const WIRE_TYPE: &'static str = "histogram";
+
+    fn to_wire(&self) -> JsonValue {
+        obj()
+            .field("name", self.name.as_str())
+            .field(
+                "bounds",
+                JsonValue::Array(self.bounds.iter().map(|&b| b.into()).collect()),
+            )
+            .field(
+                "counts",
+                JsonValue::Array(self.counts.iter().map(|&c| c.into()).collect()),
+            )
+            .field("sum", self.sum)
+            .field("count", self.count)
+            .build()
+    }
+
+    fn from_wire(value: &JsonValue) -> thermsched_wire::Result<Self> {
+        let snapshot = HistogramSnapshot {
+            name: value.field_str(Self::WIRE_TYPE, "name")?.to_owned(),
+            bounds: value
+                .field_array(Self::WIRE_TYPE, "bounds")?
+                .iter()
+                .map(JsonValue::as_f64)
+                .collect::<thermsched_wire::Result<_>>()?,
+            counts: value
+                .field_array(Self::WIRE_TYPE, "counts")?
+                .iter()
+                .map(JsonValue::as_u64)
+                .collect::<thermsched_wire::Result<_>>()?,
+            sum: value.field_f64(Self::WIRE_TYPE, "sum")?,
+            count: value.field_u64(Self::WIRE_TYPE, "count")?,
+        };
+        if snapshot.counts.len() != snapshot.bounds.len() + 1 {
+            return Err(WireError::Invalid {
+                type_name: Self::WIRE_TYPE,
+                message: format!(
+                    "expected {} counts for {} bounds, found {}",
+                    snapshot.bounds.len() + 1,
+                    snapshot.bounds.len(),
+                    snapshot.counts.len()
+                ),
+            });
+        }
+        Ok(snapshot)
+    }
+}
+
+impl Wire for MetricsSnapshot {
+    const WIRE_TYPE: &'static str = "metrics_snapshot";
+
+    fn to_wire(&self) -> JsonValue {
+        obj()
+            .field(
+                "counters",
+                JsonValue::Object(
+                    self.counters
+                        .iter()
+                        .map(|(name, v)| (name.clone(), (*v).into()))
+                        .collect(),
+                ),
+            )
+            .field(
+                "gauges",
+                JsonValue::Object(
+                    self.gauges
+                        .iter()
+                        .map(|(name, v)| (name.clone(), (*v).into()))
+                        .collect(),
+                ),
+            )
+            .field(
+                "histograms",
+                JsonValue::Array(self.histograms.iter().map(Wire::to_wire).collect()),
+            )
+            .build()
+    }
+
+    fn from_wire(value: &JsonValue) -> thermsched_wire::Result<Self> {
+        let counters = value
+            .field(Self::WIRE_TYPE, "counters")?
+            .entries()?
+            .iter()
+            .map(|(name, v)| Ok((name.clone(), v.as_u64()?)))
+            .collect::<thermsched_wire::Result<_>>()?;
+        let gauges = value
+            .field(Self::WIRE_TYPE, "gauges")?
+            .entries()?
+            .iter()
+            .map(|(name, v)| Ok((name.clone(), v.as_f64()?)))
+            .collect::<thermsched_wire::Result<_>>()?;
+        let histograms = value
+            .field_array(Self::WIRE_TYPE, "histograms")?
+            .iter()
+            .map(HistogramSnapshot::from_wire)
+            .collect::<thermsched_wire::Result<_>>()?;
+        Ok(MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        })
+    }
+}
+
+impl Wire for TraceDocument {
+    const WIRE_TYPE: &'static str = "trace_document";
+
+    fn to_wire(&self) -> JsonValue {
+        obj()
+            .field("version", self.version)
+            .field("clock", self.clock.to_wire())
+            .field("dropped_spans", self.dropped_spans)
+            .field(
+                "spans",
+                JsonValue::Array(self.spans.iter().map(Wire::to_wire).collect()),
+            )
+            .field("metrics", self.metrics.to_wire())
+            .build()
+    }
+
+    fn from_wire(value: &JsonValue) -> thermsched_wire::Result<Self> {
+        let version = value.field_u64(Self::WIRE_TYPE, "version")?;
+        if version != TRACE_VERSION {
+            return Err(WireError::UnsupportedVersion {
+                found: version,
+                supported: TRACE_VERSION,
+            });
+        }
+        Ok(TraceDocument {
+            version,
+            clock: ObsClock::from_wire(value.field(Self::WIRE_TYPE, "clock")?)?,
+            dropped_spans: value.field_u64(Self::WIRE_TYPE, "dropped_spans")?,
+            spans: value
+                .field_array(Self::WIRE_TYPE, "spans")?
+                .iter()
+                .map(SpanRecord::from_wire)
+                .collect::<thermsched_wire::Result<_>>()?,
+            metrics: MetricsSnapshot::from_wire(value.field(Self::WIRE_TYPE, "metrics")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+    use crate::tracer::{Tracer, TracerConfig};
+
+    fn sample_document() -> TraceDocument {
+        let tracer = Tracer::new(TracerConfig {
+            clock: ObsClock::Virtual,
+            ..TracerConfig::default()
+        });
+        let job = tracer.for_job(2);
+        {
+            let mut root = job.span("job");
+            root.attr("index", 2u64);
+            root.attr("label", "seed");
+            root.attr_observed("queue_seconds", 0.125);
+            let mut child = job.span("engine.schedule");
+            child.attr("iterations", 5u64);
+            child.attr("cold", false);
+            child.attr("delta", -3i64);
+        }
+        drop(tracer.span("backend.build"));
+        let registry = MetricsRegistry::new();
+        registry.counter("service.jobs").add(3);
+        registry.gauge("queue.depth").set(1.5);
+        registry
+            .histogram("job.latency_seconds", &[0.1, 1.0])
+            .observe(0.4);
+        TraceDocument::capture(&tracer, &registry)
+    }
+
+    #[test]
+    fn trace_document_round_trips_text_and_binary() {
+        let doc = sample_document();
+        let text = doc.to_json().expect("renders");
+        assert_eq!(TraceDocument::from_json(&text).expect("parses"), doc);
+        let bytes = doc.to_binary().expect("encodes");
+        assert_eq!(TraceDocument::from_binary(&bytes).expect("decodes"), doc);
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected() {
+        let mut wire = sample_document().to_wire();
+        if let JsonValue::Object(fields) = &mut wire {
+            for (name, value) in fields.iter_mut() {
+                if name == "version" {
+                    *value = 99u64.into();
+                }
+            }
+        }
+        assert!(matches!(
+            TraceDocument::from_wire(&wire),
+            Err(WireError::UnsupportedVersion {
+                found: 99,
+                supported: TRACE_VERSION
+            })
+        ));
+    }
+
+    #[test]
+    fn attr_values_keep_their_lanes() {
+        let doc = sample_document();
+        let restored = TraceDocument::from_wire(&doc.to_wire()).expect("round-trips");
+        let child = restored
+            .spans
+            .iter()
+            .find(|s| s.name == "engine.schedule")
+            .expect("child span present");
+        let values: Vec<&AttrValue> = child.attrs.iter().map(|a| &a.value).collect();
+        assert_eq!(
+            values,
+            vec![
+                &AttrValue::Unsigned(5),
+                &AttrValue::Bool(false),
+                &AttrValue::Signed(-3),
+            ]
+        );
+    }
+}

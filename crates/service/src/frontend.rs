@@ -42,10 +42,11 @@ use thermsched::{
     Engine, NestedParallelismGuard, OperatorCacheHandle, SchedulerConfig, SessionCacheHandle,
     StoreStats,
 };
+use thermsched_obs::{Histogram, MetricsRegistry, Tracer};
 use thermsched_thermal::ThermalBackend;
 
 use crate::report::LatencyStats;
-use crate::runner::{build_backends, execute_job, prewarm_same_shape, JobContext};
+use crate::runner::{build_backends, execute_job, prewarm_same_shape, JobContext, LATENCY_BUCKETS};
 use crate::{
     ClockKind, Corpus, JobOutcome, JobResult, JobSpec, Result, Scenario, ServiceConfig,
     ServiceError, ServiceStats,
@@ -378,6 +379,14 @@ struct Shared {
     warm_cache_hits: AtomicUsize,
     cached_validations: AtomicUsize,
     latencies: Mutex<Vec<f64>>,
+    /// Run-level tracer the workers derive job-scoped handles from
+    /// (disabled unless the front-end was started via
+    /// [`Frontend::start_traced`]).
+    tracer: Tracer,
+    /// Registry the lifetime stats are absorbed into at drain.
+    registry: MetricsRegistry,
+    /// Per-job latency histogram (same buckets as the batch runner).
+    latency_histogram: Histogram,
 }
 
 impl Shared {
@@ -458,6 +467,25 @@ impl Frontend {
     /// or a zero queue capacity; [`ServiceError::Schedule`] if a scenario's
     /// backend cannot be constructed.
     pub fn start(config: FrontendConfig, corpus: Corpus) -> Result<Frontend> {
+        Self::start_traced(config, corpus, &Tracer::disabled(), &MetricsRegistry::new())
+    }
+
+    /// [`Self::start`] with observability attached: every job's span tree
+    /// is recorded into `tracer` (the same per-job structure the batch
+    /// runner's [`crate::ServiceRunner::run_traced`] produces, since both
+    /// funnel through the shared `execute_job`), and the lifetime stats are
+    /// absorbed into `registry` at drain alongside the per-job latency
+    /// histogram.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::start`].
+    pub fn start_traced(
+        config: FrontendConfig,
+        corpus: Corpus,
+        tracer: &Tracer,
+        registry: &MetricsRegistry,
+    ) -> Result<Frontend> {
         config.service.validate()?;
         if config.queue_capacity == 0 {
             return Err(ServiceError::InvalidSpec {
@@ -466,14 +494,22 @@ impl Frontend {
             });
         }
         let operator_cache = OperatorCacheHandle::new();
-        let backends = build_backends(&config.service, &corpus, &operator_cache)?;
+        let backends = {
+            let mut span = tracer.span("backend.build");
+            span.attr("scenarios", corpus.scenarios().len());
+            span.attr("backend", config.service.backend.label());
+            build_backends(&config.service, &corpus, &operator_cache)?
+        };
         let caches: Vec<SessionCacheHandle> = corpus
             .scenarios()
             .iter()
             .map(|_| config.service.store.handle())
             .collect();
         let prewarmed_sessions = if config.service.batch_same_shape {
-            prewarm_same_shape(&config.service, &corpus, &backends, &caches)
+            let mut span = tracer.span("prewarm");
+            let prewarmed = prewarm_same_shape(&config.service, &corpus, &backends, &caches);
+            span.attr("sessions", prewarmed);
+            prewarmed
         } else {
             0
         };
@@ -504,6 +540,9 @@ impl Frontend {
             warm_cache_hits: AtomicUsize::new(0),
             cached_validations: AtomicUsize::new(0),
             latencies: Mutex::new(Vec::new()),
+            tracer: tracer.clone(),
+            registry: registry.clone(),
+            latency_histogram: registry.histogram("job.latency_seconds", LATENCY_BUCKETS),
         });
         let workers = (0..shared.config.service.workers)
             .map(|_| {
@@ -696,8 +735,10 @@ impl Frontend {
             let _ = worker.join();
         }
 
+        let stats = self.stats();
+        self.shared.registry.absorb(&stats.metrics());
         DrainReport {
-            stats: self.stats(),
+            stats,
             shed_at_drain,
             cancelled_in_flight,
         }
@@ -791,6 +832,12 @@ fn worker_loop(shared: &Shared) {
         let deadline_effort = pending
             .deadline_effort
             .or(shared.config.service.deadline_effort);
+        // Time spent queued before this dispatch — interleaving-dependent,
+        // recorded only as an observed span attribute.
+        let queue_seconds = match shared.config.service.clock {
+            ClockKind::Wall => pending.enqueued_at.elapsed().as_secs_f64(),
+            ClockKind::Virtual => 0.0,
+        };
         let execution = execute_job(
             &JobContext {
                 job: &pending.spec,
@@ -803,6 +850,8 @@ fn worker_loop(shared: &Shared) {
                 clock: shared.config.service.clock,
                 deadline_effort,
                 cancel: Some(&shared.cancel),
+                tracer: shared.tracer.clone(),
+                queue_seconds,
             },
             &mut engines,
         );
@@ -810,6 +859,7 @@ fn worker_loop(shared: &Shared) {
             ClockKind::Wall => pending.enqueued_at.elapsed().as_secs_f64(),
             ClockKind::Virtual => execution.virtual_seconds,
         };
+        shared.latency_histogram.observe(latency);
         shared
             .warm_cache_hits
             .fetch_add(execution.accounting.warm_cache_hits, Ordering::Relaxed);

@@ -37,6 +37,15 @@
 //!    ([`ServiceStats::worker_crashes`]). Per-job results remain
 //!    byte-identical at any process count.
 //!
+//! Every execution path is instrumented with [`thermsched_obs`]: pass a
+//! [`thermsched_obs::Tracer`] and [`thermsched_obs::MetricsRegistry`] to
+//! [`ServiceRunner::run_traced`], [`Frontend::start_traced`] or
+//! [`MultiprocCoordinator::run_traced`] and every job produces a span tree
+//! (`job` → `attempt` → `engine.schedule` → scheduler phases and store
+//! probes) while the counters behind [`ServiceStats`] land in the registry
+//! as mergeable metrics. The untraced entry points pay nothing — they run
+//! with a disabled tracer whose span calls compile down to no-ops.
+//!
 //! # Example
 //!
 //! ```

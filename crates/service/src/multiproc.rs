@@ -19,11 +19,15 @@
 //!
 //! | kind | direction | payload |
 //! |---|---|---|
-//! | `HELLO` (1) | → worker | `{protocol, config, corpus}` |
+//! | `HELLO` (1) | → worker | `{protocol, config, corpus, trace?}` |
 //! | `JOB` (2) | → worker | `{index, job}` (global corpus index) |
 //! | `RESULT` (3) | ← worker | `{index, result, accounting...}` |
 //! | `SHUTDOWN` (4) | → worker | `{}` |
-//! | `FIN` (5) | ← worker | worker-local stats (store, caches, prewarm) |
+//! | `FIN` (5) | ← worker | worker-local stats (store, caches, prewarm), plus `metrics`/`spans`/`dropped_spans` when tracing |
+//!
+//! The `trace` flag and the FIN trace fields are optional on both sides
+//! (absent means "not tracing"), so mixed-version coordinator/worker pairs
+//! keep interoperating and `PROTOCOL_VERSION` stays at 1.
 //!
 //! The job index crosses the boundary because fault injection and retry
 //! jitter are keyed by the *global* corpus index — a worker that hashed its
@@ -36,11 +40,16 @@ use std::sync::mpsc;
 use std::time::Instant;
 
 use thermsched::{NestedParallelismGuard, OperatorCacheHandle, OperatorCacheStats, StoreStats};
+use thermsched_obs::{
+    MetricsRegistry, MetricsSnapshot, ObsClock, SpanRecord, Tracer, TracerConfig,
+};
 use thermsched_wire::frame::{read_frame, write_frame, Frame};
-use thermsched_wire::{decode_value, encode_value, obj, Wire, WireError};
+use thermsched_wire::{decode_value, encode_value, obj, JsonValue, Wire, WireError};
 
 use crate::report::LatencyStats;
-use crate::runner::{build_backends, execute_job, prewarm_same_shape, JobContext};
+use crate::runner::{
+    build_backends, execute_job, outcome_kind, prewarm_same_shape, JobContext, LATENCY_BUCKETS,
+};
 use crate::{
     ClockKind, Corpus, JobOutcome, JobResult, JobSpec, Result, ServiceConfig, ServiceError,
     ServiceReport, ServiceStats,
@@ -107,6 +116,12 @@ enum Event {
         store: StoreStats,
         operator_cache: OperatorCacheStats,
         prewarmed_sessions: usize,
+        /// Worker-local metrics snapshot (empty from untraced workers).
+        metrics: MetricsSnapshot,
+        /// Worker-local span records (empty from untraced workers).
+        spans: Vec<SpanRecord>,
+        /// Spans the worker's bounded sink dropped.
+        dropped_spans: u64,
     },
     /// The worker's pipe closed (or produced garbage) — it is dead.
     Dead { worker: usize },
@@ -145,6 +160,24 @@ impl MultiprocCoordinator {
     /// worker dies with jobs still unresolved; [`ServiceError::Wire`] if
     /// the corpus cannot be encoded.
     pub fn run(&self, corpus: &Corpus) -> Result<ServiceReport> {
+        self.run_traced(corpus, &Tracer::disabled(), &MetricsRegistry::new())
+    }
+
+    /// [`Self::run`] with observability attached: workers are told to trace
+    /// (the `trace` HELLO flag), their FIN frames carry back a metrics
+    /// snapshot plus their span records, and the coordinator absorbs both
+    /// into `tracer`/`registry` — yielding one cross-process trace whose
+    /// per-job structural slice is identical to an in-process run's.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::run`].
+    pub fn run_traced(
+        &self,
+        corpus: &Corpus,
+        tracer: &Tracer,
+        registry: &MetricsRegistry,
+    ) -> Result<ServiceReport> {
         let jobs = corpus.jobs();
         let started = Instant::now();
         if jobs.is_empty() {
@@ -164,6 +197,7 @@ impl MultiprocCoordinator {
                         .field("worker", worker)
                         .field("config", config_wire.clone())
                         .field("corpus", corpus_wire.clone())
+                        .field("trace", tracer.is_enabled())
                         .build(),
                 )
             })
@@ -212,7 +246,15 @@ impl MultiprocCoordinator {
                 scope.spawn(move || worker_reader(worker, stdout, &tx));
             }
             drop(event_tx);
-            let result = self.coordinate(corpus, processes, &mut writer_txs, &event_rx, started);
+            let result = self.coordinate(
+                corpus,
+                processes,
+                &mut writer_txs,
+                &event_rx,
+                started,
+                tracer,
+                registry,
+            );
             // Readers block on the children's stdout; make sure every child
             // is gone (errors included) before the scope tries to join them.
             if result.is_err() {
@@ -231,6 +273,12 @@ impl MultiprocCoordinator {
 
     /// The coordinator event loop: collect results, reassign the jobs of
     /// dead workers, then shut the survivors down and merge their stats.
+    ///
+    /// Worker FIN frames carry each worker's metrics snapshot and span
+    /// records when tracing; the coordinator folds those straight into
+    /// `tracer`/`registry` (it deliberately does *not* absorb its own
+    /// [`ServiceStats`] view — the workers already reported those counts).
+    #[allow(clippy::too_many_arguments)]
     fn coordinate(
         &self,
         corpus: &Corpus,
@@ -238,6 +286,8 @@ impl MultiprocCoordinator {
         writer_txs: &mut [Option<mpsc::Sender<WriterMsg>>],
         events: &mpsc::Receiver<Event>,
         started: Instant,
+        tracer: &Tracer,
+        registry: &MetricsRegistry,
     ) -> Result<ServiceReport> {
         let jobs = corpus.jobs();
         let mut assigned: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); processes];
@@ -286,9 +336,15 @@ impl MultiprocCoordinator {
                     store,
                     operator_cache,
                     prewarmed_sessions,
+                    metrics,
+                    spans,
+                    dropped_spans,
                 } => {
                     finished[worker] = true;
                     merged.absorb_fin(store, operator_cache, prewarmed_sessions);
+                    registry.absorb(&metrics);
+                    tracer.absorb(spans);
+                    tracer.add_dropped(dropped_spans);
                 }
                 Event::Dead { worker } => {
                     if dead[worker] || finished[worker] {
@@ -334,10 +390,16 @@ impl MultiprocCoordinator {
                     store,
                     operator_cache,
                     prewarmed_sessions,
+                    metrics,
+                    spans,
+                    dropped_spans,
                 }) => {
                     if !finished[worker] {
                         finished[worker] = true;
                         merged.absorb_fin(store, operator_cache, prewarmed_sessions);
+                        registry.absorb(&metrics);
+                        tracer.absorb(spans);
+                        tracer.add_dropped(dropped_spans);
                         awaiting -= 1;
                     }
                 }
@@ -533,6 +595,24 @@ fn decode_event(worker: usize, frame: &Frame) -> Option<Event> {
             prewarmed_sessions: payload
                 .field_usize("fin_frame", "prewarmed_sessions")
                 .ok()?,
+            // The trace fields are optional (absent from untraced or older
+            // workers), so decode failures degrade to "no trace data"
+            // instead of killing the worker.
+            metrics: payload
+                .field("fin_frame", "metrics")
+                .ok()
+                .and_then(|v| MetricsSnapshot::from_wire(v).ok())
+                .unwrap_or_default(),
+            spans: payload
+                .field_array("fin_frame", "spans")
+                .map(|items| {
+                    items
+                        .iter()
+                        .filter_map(|item| SpanRecord::from_wire(item).ok())
+                        .collect()
+                })
+                .unwrap_or_default(),
+            dropped_spans: payload.field_u64("fin_frame", "dropped_spans").unwrap_or(0),
         }),
         _ => None,
     }
@@ -589,6 +669,24 @@ pub fn worker_serve(input: impl Read, output: impl Write, crash: Option<CrashPla
     let crash = crash.filter(|plan| plan.only_worker.is_none() || plan.only_worker == Some(me));
     let config = ServiceConfig::from_wire(hello.field("hello_frame", "config")?)?;
     let corpus = Corpus::from_wire(hello.field("hello_frame", "corpus")?)?;
+    // The trace flag is optional in HELLO (older coordinators omit it);
+    // absent means "not tracing" and the worker pays zero observability
+    // cost. The worker's span clock follows the service clock so Virtual
+    // runs produce deterministic structural traces across process counts.
+    let trace = hello.field_bool("hello_frame", "trace").unwrap_or(false);
+    let tracer = if trace {
+        Tracer::new(TracerConfig {
+            clock: if config.clock == ClockKind::Virtual {
+                ObsClock::Virtual
+            } else {
+                ObsClock::Wall
+            },
+            ..TracerConfig::default()
+        })
+    } else {
+        Tracer::disabled()
+    };
+    let registry = MetricsRegistry::new();
 
     // Same setup as the in-process runner: backends once per scenario
     // (shared through the operator cache when enabled), one store per
@@ -597,14 +695,22 @@ pub fn worker_serve(input: impl Read, output: impl Write, crash: Option<CrashPla
     // fan-outs stay sequential too.
     let _guard = NestedParallelismGuard::enter();
     let operator_cache = OperatorCacheHandle::new();
-    let backends = build_backends(&config, &corpus, &operator_cache)?;
+    let backends = {
+        let mut span = tracer.span("backend.build");
+        span.attr("scenarios", corpus.scenarios().len());
+        span.attr("backend", config.backend.label());
+        build_backends(&config, &corpus, &operator_cache)?
+    };
     let caches: Vec<_> = corpus
         .scenarios()
         .iter()
         .map(|_| config.store.handle())
         .collect();
     let prewarmed_sessions = if config.batch_same_shape {
-        prewarm_same_shape(&config, &corpus, &backends, &caches)
+        let mut span = tracer.span("prewarm");
+        let prewarmed = prewarm_same_shape(&config, &corpus, &backends, &caches);
+        span.attr("sessions", prewarmed);
+        prewarmed
     } else {
         0
     };
@@ -646,6 +752,8 @@ pub fn worker_serve(input: impl Read, output: impl Write, crash: Option<CrashPla
                         clock: config.clock,
                         deadline_effort: config.deadline_effort,
                         cancel: None,
+                        tracer: tracer.clone(),
+                        queue_seconds: 0.0,
                     },
                     &mut engines,
                 );
@@ -653,6 +761,27 @@ pub fn worker_serve(input: impl Read, output: impl Write, crash: Option<CrashPla
                     ClockKind::Wall => job_started.elapsed().as_secs_f64(),
                     ClockKind::Virtual => execution.virtual_seconds,
                 };
+                if trace {
+                    registry.counter("service.jobs").inc();
+                    registry
+                        .counter(&format!("service.{}", outcome_kind(&execution.outcome)))
+                        .inc();
+                    registry
+                        .counter("service.warm_cache_hits")
+                        .add(execution.accounting.warm_cache_hits as u64);
+                    registry
+                        .counter("service.cached_validations")
+                        .add(execution.accounting.cached_validations as u64);
+                    registry
+                        .counter("service.injected_faults")
+                        .add(execution.injected_faults as u64);
+                    registry
+                        .counter("service.retried_attempts")
+                        .add(execution.attempts.saturating_sub(1) as u64);
+                    registry
+                        .histogram("job.latency_seconds", LATENCY_BUCKETS)
+                        .observe(latency_seconds);
+                }
                 let result = JobResult::new(index, &job, &scenario.name, execution.outcome);
                 let reply = encode_value(
                     &obj()
@@ -683,13 +812,39 @@ pub fn worker_serve(input: impl Read, output: impl Write, crash: Option<CrashPla
                     store.insertions += s.insertions;
                     store.contended_locks += s.contended_locks;
                 }
-                let fin = encode_value(
-                    &obj()
-                        .field("store", store.to_wire())
-                        .field("operator_cache", operator_cache.stats().to_wire())
-                        .field("prewarmed_sessions", prewarmed_sessions)
-                        .build(),
-                )?;
+                let mut fin = obj()
+                    .field("store", store.to_wire())
+                    .field("operator_cache", operator_cache.stats().to_wire())
+                    .field("prewarmed_sessions", prewarmed_sessions);
+                if trace {
+                    // Stamp the end-of-run counters (store, operator cache,
+                    // prewarm) into the registry so the snapshot the
+                    // coordinator absorbs mirrors the in-process
+                    // `ServiceStats::metrics` names, then attach the
+                    // worker's spans for the merged cross-process trace.
+                    let cache_stats = operator_cache.stats();
+                    registry
+                        .counter("operator_cache.hits")
+                        .add(cache_stats.hits);
+                    registry
+                        .counter("operator_cache.misses")
+                        .add(cache_stats.misses);
+                    registry
+                        .counter("service.prewarmed_sessions")
+                        .add(prewarmed_sessions as u64);
+                    registry
+                        .counter("store.contended_locks")
+                        .add(store.contended_locks);
+                    registry.counter("store.hits").add(store.hits);
+                    registry.counter("store.insertions").add(store.insertions);
+                    registry.counter("store.lookups").add(store.lookups);
+                    let spans: Vec<JsonValue> = tracer.drain().iter().map(Wire::to_wire).collect();
+                    fin = fin
+                        .field("metrics", registry.snapshot().to_wire())
+                        .field("spans", JsonValue::Array(spans))
+                        .field("dropped_spans", tracer.dropped_spans());
+                }
+                let fin = encode_value(&fin.build())?;
                 write_frame(&mut output, FRAME_FIN, &fin).map_err(ServiceError::Wire)?;
                 return Ok(());
             }
@@ -845,6 +1000,209 @@ mod tests {
         result.unwrap();
         assert_eq!(replies.len(), 3);
         assert_eq!(replies[2].kind, FRAME_FIN);
+    }
+
+    fn hello_traced(corpus: &Corpus, config: &ServiceConfig) -> Vec<u8> {
+        encode_value(
+            &obj()
+                .field("protocol", PROTOCOL_VERSION)
+                .field("worker", 0usize)
+                .field("config", config.to_wire())
+                .field("corpus", corpus.to_wire())
+                .field("trace", true)
+                .build(),
+        )
+        .unwrap()
+    }
+
+    fn job_frame(corpus: &Corpus, index: usize) -> Vec<u8> {
+        encode_value(
+            &obj()
+                .field("index", index)
+                .field("job", corpus.jobs()[index].to_wire())
+                .build(),
+        )
+        .unwrap()
+    }
+
+    /// Runs the given job indices through one loopback worker and returns
+    /// the decoded FIN event.
+    fn serve_traced(corpus: &Corpus, config: &ServiceConfig, indices: &[usize]) -> Event {
+        let mut frames = vec![(FRAME_HELLO, hello_traced(corpus, config))];
+        for &index in indices {
+            frames.push((FRAME_JOB, job_frame(corpus, index)));
+        }
+        frames.push((FRAME_SHUTDOWN, Vec::new()));
+        let (result, replies) = serve(&frames, None);
+        result.unwrap();
+        let fin = replies.last().expect("worker sent frames");
+        assert_eq!(fin.kind, FRAME_FIN);
+        decode_event(0, fin).expect("FIN decodes")
+    }
+
+    /// A HELLO without the `trace` field (an older coordinator) must
+    /// produce a FIN that decodes with empty trace fields — the tolerant
+    /// path that keeps `PROTOCOL_VERSION` at 1.
+    #[test]
+    fn untraced_fin_decodes_with_empty_trace_fields() {
+        let corpus = tiny_corpus();
+        let (result, replies) = serve(
+            &[
+                (FRAME_HELLO, hello_payload(&corpus)),
+                (FRAME_JOB, job_frame(&corpus, 0)),
+                (FRAME_SHUTDOWN, Vec::new()),
+            ],
+            None,
+        );
+        result.unwrap();
+        let Some(Event::Fin {
+            metrics,
+            spans,
+            dropped_spans,
+            ..
+        }) = decode_event(0, &replies[1])
+        else {
+            panic!("expected a FIN event");
+        };
+        assert!(metrics.is_empty());
+        assert!(spans.is_empty());
+        assert_eq!(dropped_spans, 0);
+    }
+
+    /// Satellite: one traced worker running the whole corpus reports FIN
+    /// metrics equal to the in-process runner's `ServiceStats::metrics`
+    /// view on the same corpus — the per-worker counters really are the
+    /// same counts, just shipped over the pipe.
+    #[test]
+    fn traced_fin_metrics_match_in_process_totals() {
+        let corpus = tiny_corpus();
+        let config = ServiceConfig {
+            workers: 1,
+            clock: ClockKind::Virtual,
+            ..ServiceConfig::default()
+        };
+        let indices: Vec<usize> = (0..corpus.jobs().len()).collect();
+        let Event::Fin {
+            store,
+            operator_cache,
+            metrics,
+            spans,
+            dropped_spans,
+            ..
+        } = serve_traced(&corpus, &config, &indices)
+        else {
+            panic!("expected a FIN event");
+        };
+
+        let report = crate::ServiceRunner::new(config)
+            .unwrap()
+            .run(&corpus)
+            .unwrap();
+        let local = report.stats().metrics();
+        for name in [
+            "service.jobs",
+            "service.completed",
+            "service.warm_cache_hits",
+            "service.cached_validations",
+            "service.prewarmed_sessions",
+            "store.lookups",
+            "store.hits",
+            "store.insertions",
+            "operator_cache.hits",
+            "operator_cache.misses",
+        ] {
+            assert_eq!(
+                metrics.counter(name),
+                local.counter(name),
+                "counter {name} diverged between FIN and in-process"
+            );
+        }
+        // The FIN's structured stats agree with its own metrics view.
+        assert_eq!(metrics.counter("store.lookups"), Some(store.lookups));
+        assert_eq!(
+            metrics.counter("operator_cache.misses"),
+            Some(operator_cache.misses)
+        );
+        // Spans came along: one "job" root per corpus job, nothing dropped.
+        assert_eq!(
+            spans.iter().filter(|s| s.name == "job").count(),
+            corpus.jobs().len()
+        );
+        assert_eq!(dropped_spans, 0);
+    }
+
+    /// Satellite: two workers splitting the corpus along scenario lines
+    /// produce FIN store counters that *sum* to the in-process totals, and
+    /// absorbing both snapshots into one registry performs that sum.
+    #[test]
+    fn two_worker_fin_counters_sum_to_in_process_totals() {
+        let corpus = ScenarioSpec {
+            scenarios: 2,
+            seed: 3,
+            ..ScenarioSpec::default()
+        }
+        .build()
+        .unwrap();
+        // Prewarm off: each worker would prewarm the full corpus, which
+        // legitimately multiplies prewarm insertions by the process count.
+        // Split by scenario so each scenario's store lives wholly in one
+        // worker — cross-worker splits of one scenario lose the store hits
+        // the other worker's published sessions would have provided.
+        let config = ServiceConfig {
+            workers: 1,
+            batch_same_shape: false,
+            clock: ClockKind::Virtual,
+            ..ServiceConfig::default()
+        };
+        let by_scenario = |scenario: usize| -> Vec<usize> {
+            corpus
+                .jobs()
+                .iter()
+                .enumerate()
+                .filter(|(_, job)| job.scenario == scenario)
+                .map(|(index, _)| index)
+                .collect()
+        };
+        let fins = [
+            serve_traced(&corpus, &config, &by_scenario(0)),
+            serve_traced(&corpus, &config, &by_scenario(1)),
+        ];
+
+        let registry = MetricsRegistry::new();
+        let mut store_sum = StoreStats::default();
+        let mut retried_sum = 0u64;
+        for fin in &fins {
+            let Event::Fin { store, metrics, .. } = fin else {
+                panic!("expected FIN events");
+            };
+            registry.absorb(metrics);
+            store_sum.lookups += store.lookups;
+            store_sum.hits += store.hits;
+            store_sum.insertions += store.insertions;
+            store_sum.contended_locks += store.contended_locks;
+            retried_sum += metrics.counter("service.retried_attempts").unwrap_or(0);
+        }
+
+        let report = crate::ServiceRunner::new(config)
+            .unwrap()
+            .run(&corpus)
+            .unwrap();
+        let stats = report.stats();
+        assert_eq!(store_sum.lookups, stats.store.lookups);
+        assert_eq!(store_sum.hits, stats.store.hits);
+        assert_eq!(store_sum.insertions, stats.store.insertions);
+        assert_eq!(retried_sum, stats.retried_attempts as u64);
+
+        let merged = registry.snapshot();
+        assert_eq!(
+            merged.counter("service.jobs"),
+            Some(corpus.jobs().len() as u64)
+        );
+        assert_eq!(merged.counter("store.lookups"), Some(stats.store.lookups));
+        assert_eq!(
+            merged.counter("service.completed"),
+            Some(stats.completed as u64)
+        );
     }
 
     #[test]

@@ -17,6 +17,7 @@
 use std::fmt::Write as _;
 
 use thermsched::{OperatorCacheStats, ScheduleOutcome, StoreStats};
+use thermsched_obs::MetricsSnapshot;
 
 use crate::frontend::{Rejected, ShedCause};
 use crate::JobSpec;
@@ -380,6 +381,69 @@ impl ServiceStats {
         self.render_with_max_temperature(None)
     }
 
+    /// These stats as a metrics snapshot — the view the metrics registry
+    /// subsumes the legacy counter fields under. Names are stable (they are
+    /// what [`crate::ServiceRunner::run_traced`] absorbs into its registry
+    /// and what trace documents carry); see the `thermsched` crate docs for
+    /// the field-to-metric migration table.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: vec![
+                ("operator_cache.hits".to_owned(), self.operator_cache.hits),
+                (
+                    "operator_cache.misses".to_owned(),
+                    self.operator_cache.misses,
+                ),
+                (
+                    "service.cached_validations".to_owned(),
+                    self.cached_validations as u64,
+                ),
+                ("service.completed".to_owned(), self.completed as u64),
+                (
+                    "service.deadline_exceeded".to_owned(),
+                    self.deadline_exceeded as u64,
+                ),
+                ("service.failed".to_owned(), self.failed as u64),
+                (
+                    "service.injected_faults".to_owned(),
+                    self.injected_faults as u64,
+                ),
+                ("service.jobs".to_owned(), self.job_count as u64),
+                ("service.panicked".to_owned(), self.panicked as u64),
+                (
+                    "service.prewarmed_sessions".to_owned(),
+                    self.prewarmed_sessions as u64,
+                ),
+                ("service.rejected".to_owned(), self.rejected as u64),
+                (
+                    "service.retried_attempts".to_owned(),
+                    self.retried_attempts as u64,
+                ),
+                ("service.shed".to_owned(), self.shed as u64),
+                (
+                    "service.warm_cache_hits".to_owned(),
+                    self.warm_cache_hits as u64,
+                ),
+                (
+                    "service.worker_crashes".to_owned(),
+                    self.worker_crashes as u64,
+                ),
+                (
+                    "store.contended_locks".to_owned(),
+                    self.store.contended_locks,
+                ),
+                ("store.hits".to_owned(), self.store.hits),
+                ("store.insertions".to_owned(), self.store.insertions),
+                ("store.lookups".to_owned(), self.store.lookups),
+            ],
+            gauges: vec![
+                ("service.jobs_per_second".to_owned(), self.jobs_per_second),
+                ("service.wall_seconds".to_owned(), self.wall_seconds),
+            ],
+            histograms: Vec::new(),
+        }
+    }
+
     pub(crate) fn render_with_max_temperature(&self, max_temperature: Option<f64>) -> String {
         let s = self;
         let mut out = String::new();
@@ -418,6 +482,11 @@ impl ServiceStats {
                 s.latency.max_seconds,
                 s.latency.samples
             );
+        } else {
+            // No samples means the percentiles are undefined, not 0.0 s —
+            // rendering the default zeros would read as an impossibly fast
+            // run.
+            let _ = writeln!(out, "  latency p50 n/a, p99 n/a, max n/a (no samples)");
         }
         let _ = writeln!(
             out,
@@ -657,9 +726,14 @@ mod tests {
     #[test]
     fn summary_reports_robustness_counters_and_latency_when_present() {
         let base = report();
-        // The quiet run's summary stays byte-compatible: no robustness or
-        // latency lines appear when every counter is zero.
-        assert!(!base.render_summary().contains("latency"));
+        // A quiet run has no robustness lines, and its undefined latency
+        // percentiles render as n/a (regression: they used to be omitted
+        // entirely, and rendering the default zeros instead would read as
+        // an impossibly fast run).
+        assert!(base
+            .render_summary()
+            .contains("latency p50 n/a, p99 n/a, max n/a (no samples)"));
+        assert!(!base.render_summary().contains("p50 0.000000"));
         assert!(!base.render_summary().contains("deadline exceeded"));
         let mut stats = base.stats().clone();
         stats.deadline_exceeded = 1;
@@ -676,13 +750,55 @@ mod tests {
     }
 
     #[test]
+    fn stats_metrics_view_maps_the_counter_fields() {
+        let snapshot = report().stats().metrics();
+        let names: Vec<&str> = snapshot.counters.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "counter names must stay sorted");
+        assert_eq!(snapshot.counter("service.jobs"), Some(2));
+        assert_eq!(snapshot.counter("service.completed"), Some(1));
+        assert_eq!(snapshot.counter("service.failed"), Some(1));
+        assert_eq!(snapshot.counter("service.warm_cache_hits"), Some(2));
+        assert_eq!(snapshot.counter("service.cached_validations"), Some(3));
+        assert_eq!(snapshot.counter("service.prewarmed_sessions"), Some(5));
+        assert_eq!(snapshot.counter("store.lookups"), Some(10));
+        assert_eq!(snapshot.counter("store.hits"), Some(2));
+        assert_eq!(snapshot.counter("operator_cache.hits"), Some(1));
+        assert_eq!(snapshot.counter("operator_cache.misses"), Some(1));
+        assert_eq!(snapshot.gauges.len(), 2);
+        assert!(snapshot.histograms.is_empty());
+    }
+
+    #[test]
     fn latency_percentiles_use_nearest_rank() {
         assert_eq!(LatencyStats::from_samples(&[]), LatencyStats::default());
+        // n = 1: every nearest rank clamps to the single sample.
         let one = LatencyStats::from_samples(&[2.0]);
         assert_eq!(
-            (one.samples, one.p50_seconds, one.p99_seconds),
-            (1, 2.0, 2.0)
+            (
+                one.samples,
+                one.p50_seconds,
+                one.p99_seconds,
+                one.max_seconds
+            ),
+            (1, 2.0, 2.0, 2.0)
         );
+        // n = 2: p50 is the lower sample (rank ceil(0.5 · 2) = 1), p99 and
+        // max the upper (rank ceil(0.99 · 2) = 2), regardless of input
+        // order.
+        for samples in [[1.0, 3.0], [3.0, 1.0]] {
+            let two = LatencyStats::from_samples(&samples);
+            assert_eq!(
+                (
+                    two.samples,
+                    two.p50_seconds,
+                    two.p99_seconds,
+                    two.max_seconds
+                ),
+                (2, 1.0, 3.0, 3.0)
+            );
+        }
         let samples: Vec<f64> = (1..=100).map(f64::from).collect();
         let stats = LatencyStats::from_samples(&samples);
         assert_eq!(stats.samples, 100);

@@ -15,6 +15,7 @@ use thermsched::{
     ScheduleCheckpoint, ScheduleError, ScheduleOutcome, ScheduleProgress, SessionCacheHandle,
     StoreStats,
 };
+use thermsched_obs::{MetricsRegistry, Tracer};
 use thermsched_thermal::{
     GridResolution, GridThermalSimulator, PackageConfig, PowerMap, RcThermalSimulator,
     SessionThermalResult, ThermalBackend, TransientConfig, TransientMethod,
@@ -362,6 +363,26 @@ impl ServiceRunner {
     /// constructed (per-job scheduling failures are *not* errors here; they
     /// are isolated into the job's [`JobOutcome`]).
     pub fn run(&self, corpus: &Corpus) -> Result<ServiceReport> {
+        self.run_traced(corpus, &Tracer::disabled(), &MetricsRegistry::new())
+    }
+
+    /// [`Self::run`] with observability attached: every job records a span
+    /// tree into `tracer` (root `"job"`, one `"attempt"` per try, with the
+    /// engine and scheduler phases nested below), backend construction and
+    /// prewarming record run-level spans, and the final [`ServiceStats`]
+    /// are absorbed into `registry` alongside the per-job latency
+    /// histogram. With a disabled tracer this is exactly [`Self::run`] —
+    /// span creation is a branch on a `None` sink, no allocation, no lock.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::run`].
+    pub fn run_traced(
+        &self,
+        corpus: &Corpus,
+        tracer: &Tracer,
+        registry: &MetricsRegistry,
+    ) -> Result<ServiceReport> {
         // Backends are built up front, once per scenario: every worker
         // borrows them, and construction cost (a factorisation each) is not
         // worth paying per worker. With the operator cache on, same-shape
@@ -369,7 +390,12 @@ impl ServiceRunner {
         // build loop is sequential, so the hit/miss counters are a
         // deterministic function of the corpus.
         let operator_cache = OperatorCacheHandle::new();
-        let backends = build_backends(&self.config, corpus, &operator_cache)?;
+        let backends = {
+            let mut span = tracer.span("backend.build");
+            span.attr("scenarios", corpus.scenarios().len());
+            span.attr("backend", self.config.backend.label());
+            build_backends(&self.config, corpus, &operator_cache)?
+        };
         let caches: Vec<SessionCacheHandle> = corpus
             .scenarios()
             .iter()
@@ -381,7 +407,10 @@ impl ServiceRunner {
         // publish them to the scenarios' stores before the workers start.
         // Bit-identical to the per-job path, so only throughput changes.
         let prewarmed_sessions = if self.config.batch_same_shape {
-            prewarm_same_shape(&self.config, corpus, &backends, &caches)
+            let mut span = tracer.span("prewarm");
+            let prewarmed = prewarm_same_shape(&self.config, corpus, &backends, &caches);
+            span.attr("sessions", prewarmed);
+            prewarmed
         } else {
             0
         };
@@ -394,6 +423,7 @@ impl ServiceRunner {
         let cached_validations = AtomicUsize::new(0);
         let injected_faults = AtomicUsize::new(0);
         let retried_attempts = AtomicUsize::new(0);
+        let latency_histogram = registry.histogram("job.latency_seconds", LATENCY_BUCKETS);
 
         let started = Instant::now();
         std::thread::scope(|scope| {
@@ -409,6 +439,13 @@ impl ServiceRunner {
                         let Some(job) = jobs.get(index) else { break };
                         let scenario = &corpus.scenarios()[job.scenario];
                         let job_started = Instant::now();
+                        // Queue wait of a batch job: time from run start to
+                        // dequeue (interleaving-dependent, so it only ever
+                        // enters observed span attributes).
+                        let queue_seconds = match self.config.clock {
+                            ClockKind::Wall => started.elapsed().as_secs_f64(),
+                            ClockKind::Virtual => 0.0,
+                        };
                         let execution = execute_job(
                             &JobContext {
                                 job,
@@ -421,6 +458,8 @@ impl ServiceRunner {
                                 clock: self.config.clock,
                                 deadline_effort: self.config.deadline_effort,
                                 cancel: None,
+                                tracer: tracer.clone(),
+                                queue_seconds,
                             },
                             &mut engines,
                         );
@@ -439,6 +478,7 @@ impl ServiceRunner {
                             ClockKind::Wall => job_started.elapsed().as_secs_f64(),
                             ClockKind::Virtual => execution.virtual_seconds,
                         };
+                        latency_histogram.observe(latency);
                         latencies
                             .lock()
                             .unwrap_or_else(PoisonError::into_inner)
@@ -518,9 +558,15 @@ impl ServiceRunner {
             prewarmed_sessions,
             store,
         };
+        registry.absorb(&stats.metrics());
         Ok(ServiceReport::new(jobs_done, stats))
     }
 }
+
+/// Latency histogram bucket bounds (seconds) shared by the batch runner and
+/// the streaming frontend — fixed so snapshots from different workers and
+/// processes always merge bucket-for-bucket.
+pub(crate) const LATENCY_BUCKETS: &[f64] = &[1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0];
 
 /// Builds one thermal backend per scenario, sequentially (so the operator
 /// cache's hit/miss counters stay a deterministic function of the corpus),
@@ -657,6 +703,12 @@ pub(crate) struct JobContext<'a, 'j> {
     /// Drain cancellation flag: when set, the next scheduling checkpoint
     /// interrupts the run ([`InterruptReason::Cancelled`]).
     pub(crate) cancel: Option<&'j AtomicBool>,
+    /// Run-level tracer ([`Tracer::disabled`] when the caller is not
+    /// tracing); [`execute_job`] derives the job-scoped handle from it.
+    pub(crate) tracer: Tracer,
+    /// Seconds the job waited before dispatch — interleaving-dependent, so
+    /// it is recorded as an *observed* span attribute only.
+    pub(crate) queue_seconds: f64,
 }
 
 /// How one job execution ended, with its side accounting.
@@ -714,6 +766,16 @@ pub(crate) fn execute_job<'a>(
     ctx: &JobContext<'a, '_>,
     engines: &mut HashMap<usize, Engine<'a>>,
 ) -> JobExecution {
+    // Every per-job span lives under this job-scoped handle, created here
+    // and nowhere above: the batch runner, the streaming frontend and the
+    // multi-process workers all funnel through execute_job, which is what
+    // makes the structural span slice identical across all three.
+    let tracer = ctx.tracer.for_job(ctx.job_index);
+    let mut job_span = tracer.span("job");
+    job_span.attr("index", ctx.job_index);
+    job_span.attr("scenario", ctx.scenario.name.as_str());
+    job_span.attr("label", ctx.job.label.as_str());
+    job_span.attr_observed("queue_seconds", ctx.queue_seconds);
     let mut injected_faults = 0;
     let mut virtual_seconds = 0.0;
     if let Some(shard) = ctx.faults.poison_target(ctx.job_index) {
@@ -724,6 +786,13 @@ pub(crate) fn execute_job<'a>(
     let (outcome, accounting) = loop {
         attempt += 1;
         let fault = ctx.faults.fault_for(ctx.job_index, attempt);
+        let mut attempt_span = tracer.span("attempt");
+        attempt_span.attr("number", attempt);
+        if let Some(kind) = fault {
+            // Faults are seeded by (plan seed, job, attempt), so which
+            // fault fires on which attempt is structural.
+            attempt_span.attr("fault", kind.to_string());
+        }
         let (outcome, accounting) = match fault {
             Some(FaultKind::Panic) => {
                 injected_faults += 1;
@@ -754,9 +823,9 @@ pub(crate) fn execute_job<'a>(
             Some(FaultKind::Delay) => {
                 injected_faults += 1;
                 advance_clock(ctx.clock, ctx.faults.delay_seconds, &mut virtual_seconds);
-                run_attempt(ctx, engines)
+                run_attempt(ctx, engines, &tracer)
             }
-            Some(FaultKind::PoisonStore) | None => run_attempt(ctx, engines),
+            Some(FaultKind::PoisonStore) | None => run_attempt(ctx, engines, &tracer),
         };
         // Injected panics are the one retryable panic shape: we know this
         // attempt's panic was ours. Real panics stay terminal.
@@ -765,6 +834,7 @@ pub(crate) fn execute_job<'a>(
             JobOutcome::Panicked { .. } => matches!(fault, Some(FaultKind::Panic)),
             _ => false,
         };
+        drop(attempt_span);
         if retryable && attempt < ctx.retry.max_attempts {
             advance_clock(
                 ctx.clock,
@@ -775,6 +845,8 @@ pub(crate) fn execute_job<'a>(
         }
         break (outcome, accounting);
     };
+    job_span.attr("attempts", attempt);
+    job_span.attr("outcome", outcome_kind(&outcome));
     JobExecution {
         outcome: stamp_attempts(outcome, attempt),
         accounting,
@@ -784,12 +856,27 @@ pub(crate) fn execute_job<'a>(
     }
 }
 
+/// Stable label of an outcome variant for span attributes and per-outcome
+/// metric names (shed/rejected outcomes never reach [`execute_job`] — they
+/// never ran).
+pub(crate) fn outcome_kind(outcome: &JobOutcome) -> &'static str {
+    match outcome {
+        JobOutcome::Completed(_) => "completed",
+        JobOutcome::Failed { .. } => "failed",
+        JobOutcome::Panicked { .. } => "panicked",
+        JobOutcome::DeadlineExceeded { .. } => "deadline_exceeded",
+        JobOutcome::Shed(_) => "shed",
+        JobOutcome::Rejected(_) => "rejected",
+    }
+}
+
 /// Runs one attempt: reuses (or builds) the worker's engine for the job's
 /// scenario and schedules under panic isolation, with a checkpoint installed
 /// when the job has a deadline or a cancellation flag.
 fn run_attempt<'a>(
     ctx: &JobContext<'a, '_>,
     engines: &mut HashMap<usize, Engine<'a>>,
+    tracer: &Tracer,
 ) -> (JobOutcome, CacheAccounting) {
     let engine = match engines.entry(ctx.job.scenario) {
         Entry::Occupied(entry) => entry.into_mut(),
@@ -814,6 +901,9 @@ fn run_attempt<'a>(
             }
         }
     };
+    // Engines are reused across jobs; point this one at the current job's
+    // scope so its schedule/phase spans land under the open attempt span.
+    engine.set_tracer(tracer.clone());
     if ctx.deadline_effort.is_some() || ctx.cancel.is_some() {
         let checkpoint = JobCheckpoint {
             budget: ctx.deadline_effort,

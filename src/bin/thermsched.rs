@@ -1,12 +1,16 @@
 //! `thermsched` — command-line front door to the reproduction.
 //!
-//! Three subcommands cover the corpus lifecycle:
+//! Four subcommands cover the corpus lifecycle:
 //!
 //! * `thermsched gen` — build a seeded scenario corpus and print it as a
 //!   self-describing wire document;
 //! * `thermsched run <corpus.json>` — execute every job of a corpus (or of a
 //!   `scenario_spec` document, which is expanded first), in-process or
-//!   sharded over worker processes with `--processes N`;
+//!   sharded over worker processes with `--processes N`. `--trace <file>`
+//!   additionally records a span trace and metrics snapshot of the run as a
+//!   `trace_document`;
+//! * `thermsched trace <trace.json>` — render a recorded trace as a
+//!   per-job waterfall with the slowest spans and the metrics table;
 //! * `thermsched worker` — serve the coordinator↔worker protocol over
 //!   stdin/stdout. Spawned by `run --processes`; not for interactive use.
 //!
@@ -21,6 +25,7 @@ use std::fs;
 use std::io::Write;
 use std::process::ExitCode;
 
+use thermsched_obs::{render_trace, MetricsRegistry, TraceDocument, Tracer, TracerConfig};
 use thermsched_service::{
     worker_serve, Corpus, CrashPlan, MultiprocConfig, MultiprocCoordinator, ScenarioSpec,
     ServiceConfig, ServiceReport, ServiceRunner,
@@ -40,7 +45,9 @@ commands:
       --workers <n>         in-process worker threads (default: all cores)
       --json                print the full report as a wire document
       --jobs-only           print only the deterministic per-job results
+      --trace <file>        record a span trace + metrics document of the run
       --out <file>          write to a file instead of stdout
+  trace <trace.json>      render a recorded trace (waterfall, slowest spans)
   worker                  serve the sharding protocol on stdin/stdout
       --exit-after <n>      crash-test hook: die silently after n jobs
       --exit-worker <k>     arm --exit-after only on worker index k
@@ -108,6 +115,7 @@ fn dispatch(args: &[String]) -> Result<(), CliError> {
     match args.first().map(String::as_str) {
         Some("gen") => cmd_gen(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("worker") => cmd_worker(&args[1..]),
         Some("--help" | "-h" | "help") => {
             print!("{USAGE}");
@@ -141,6 +149,7 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let mut json = false;
     let mut jobs_only = false;
     let mut out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -148,6 +157,7 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
             "--workers" => workers = Some(parse_value(arg, iter.next())?),
             "--json" => json = true,
             "--jobs-only" => jobs_only = true,
+            "--trace" => trace_out = Some(required(arg, iter.next())?),
             "--out" => out = Some(required(arg, iter.next())?),
             other if other.starts_with("--") => {
                 return Err(CliError::usage(format!("run: unknown option `{other}`")));
@@ -166,6 +176,12 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     if let Some(workers) = workers {
         service.workers = workers;
     }
+    let tracer = if trace_out.is_some() {
+        Tracer::new(TracerConfig::default())
+    } else {
+        Tracer::disabled()
+    };
+    let registry = MetricsRegistry::new();
     let report = if processes > 0 {
         let program = std::env::current_exe()?;
         MultiprocCoordinator::new(MultiprocConfig {
@@ -174,10 +190,16 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
             args: vec!["worker".to_owned()],
             service,
         })?
-        .run(&corpus)?
+        .run_traced(&corpus, &tracer, &registry)?
     } else {
-        ServiceRunner::new(service)?.run(&corpus)?
+        ServiceRunner::new(service)?.run_traced(&corpus, &tracer, &registry)?
     };
+    if let Some(trace_path) = &trace_out {
+        let doc = TraceDocument::capture(&tracer, &registry);
+        let text = render_document(&to_document(&doc))?;
+        fs::write(trace_path, &text)
+            .map_err(|e| CliError::runtime(format!("writing {trace_path}: {e}")))?;
+    }
 
     let text = if jobs_only {
         render_jobs_only(&report)?
@@ -187,6 +209,28 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
         format!("{}{}", report.render_jobs(), report.render_summary())
     };
     emit(&text, out.as_deref())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), CliError> {
+    let mut path: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => out = Some(required(arg, iter.next())?),
+            other if other.starts_with("--") => {
+                return Err(CliError::usage(format!("trace: unknown option `{other}`")));
+            }
+            _ if path.is_none() => path = Some(arg.clone()),
+            other => return Err(CliError::usage(format!("trace: extra argument `{other}`"))),
+        }
+    }
+    let path = path.ok_or_else(|| CliError::usage("trace: missing <trace.json> argument"))?;
+    let text =
+        fs::read_to_string(&path).map_err(|e| CliError::runtime(format!("reading {path}: {e}")))?;
+    let document = JsonValue::parse(&text)?;
+    let doc = from_document::<TraceDocument>(&document)?;
+    emit(&render_trace(&doc, 10), out.as_deref())
 }
 
 fn cmd_worker(args: &[String]) -> Result<(), CliError> {

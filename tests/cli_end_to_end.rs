@@ -9,6 +9,7 @@
 use std::path::Path;
 use std::process::{Command, Output};
 
+use thermsched_obs::TraceDocument;
 use thermsched_service::{Corpus, ServiceReport};
 use thermsched_wire::{document_type, from_document, JsonValue};
 
@@ -95,6 +96,89 @@ fn gen_then_run_is_deterministic_across_process_counts() {
     }
 
     std::fs::remove_file(&corpus_path).ok();
+}
+
+#[test]
+fn run_trace_round_trips_through_the_trace_subcommand() {
+    let dir = std::env::temp_dir().join("thermsched-cli-trace");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let corpus_path = dir.join("corpus.json");
+    let trace_path = dir.join("trace.json");
+    let corpus_arg = corpus_path.to_str().expect("utf-8 temp path");
+    let trace_arg = trace_path.to_str().expect("utf-8 temp path");
+
+    run_ok(&[
+        "gen",
+        "--seed",
+        "7",
+        "--scenarios",
+        "2",
+        "--out",
+        corpus_arg,
+    ]);
+    let report_path = dir.join("report.txt");
+    run_ok(&[
+        "run",
+        corpus_arg,
+        "--workers",
+        "2",
+        "--trace",
+        trace_arg,
+        "--out",
+        report_path.to_str().unwrap(),
+    ]);
+
+    // The trace file is a typed wire document holding a decodable trace
+    // with one `job` span root per corpus job and a metrics snapshot.
+    let document = JsonValue::parse(&std::fs::read_to_string(&trace_path).expect("trace written"))
+        .expect("trace parses");
+    assert_eq!(
+        document_type(&document).expect("typed document"),
+        "trace_document"
+    );
+    let trace = from_document::<TraceDocument>(&document).expect("trace decodes");
+    let corpus = from_document::<Corpus>(
+        &JsonValue::parse(&std::fs::read_to_string(&corpus_path).unwrap()).unwrap(),
+    )
+    .expect("corpus decodes");
+    assert_eq!(
+        trace.spans.iter().filter(|s| s.name == "job").count(),
+        corpus.jobs().len()
+    );
+    assert_eq!(trace.dropped_spans, 0);
+    assert_eq!(
+        trace.metrics.counter("service.jobs"),
+        Some(corpus.jobs().len() as u64)
+    );
+
+    // `thermsched trace` renders the recorded document as a waterfall.
+    let rendered = run_ok(&["trace", trace_arg]);
+    for needle in ["trace v1", "engine.schedule", "metrics", "service.jobs"] {
+        assert!(rendered.contains(needle), "rendered trace lacks {needle}");
+    }
+
+    // Multiproc runs produce the same document type with the same job set.
+    run_ok(&[
+        "run",
+        corpus_arg,
+        "--processes",
+        "2",
+        "--trace",
+        trace_arg,
+        "--out",
+        report_path.to_str().unwrap(),
+    ]);
+    let document = JsonValue::parse(&std::fs::read_to_string(&trace_path).expect("trace written"))
+        .expect("trace parses");
+    let sharded = from_document::<TraceDocument>(&document).expect("trace decodes");
+    assert_eq!(
+        sharded.spans.iter().filter(|s| s.name == "job").count(),
+        corpus.jobs().len()
+    );
+
+    std::fs::remove_file(&corpus_path).ok();
+    std::fs::remove_file(&trace_path).ok();
+    std::fs::remove_file(&report_path).ok();
 }
 
 #[test]

@@ -16,7 +16,8 @@
 
 use std::path::PathBuf;
 
-use thermsched_service::{Corpus, ScenarioSpec, ServiceConfig, ServiceRunner};
+use thermsched_obs::{MetricsRegistry, ObsClock, TraceDocument, Tracer, TracerConfig};
+use thermsched_service::{ClockKind, Corpus, ScenarioSpec, ServiceConfig, ServiceRunner};
 use thermsched_wire::{to_document, JsonValue, Wire};
 
 /// The pinned corpora: (label, seed, scenario count). Small on purpose —
@@ -53,6 +54,29 @@ fn jobs_text(corpus: &Corpus) -> String {
         .expect("pinned corpus runs");
     let jobs = JsonValue::Array(report.jobs().iter().map(Wire::to_wire).collect());
     format!("{}\n", jobs.render_pretty().expect("jobs render"))
+}
+
+/// The structural slice of a traced run: job spans with tree positions
+/// and structural attributes only — the deterministic part of a trace,
+/// byte-identical at any worker or process count (see
+/// `tests/trace_determinism.rs` for that proof; this file pins the bytes).
+fn trace_text(corpus: &Corpus) -> String {
+    let tracer = Tracer::new(TracerConfig {
+        clock: ObsClock::Virtual,
+        ..TracerConfig::default()
+    });
+    let registry = MetricsRegistry::new();
+    ServiceRunner::new(ServiceConfig {
+        workers: 1,
+        clock: ClockKind::Virtual,
+        ..ServiceConfig::default()
+    })
+    .expect("valid config")
+    .run_traced(corpus, &tracer, &registry)
+    .expect("pinned corpus runs");
+    let doc = TraceDocument::capture(&tracer, &registry);
+    assert_eq!(doc.dropped_spans, 0, "golden trace lost spans");
+    doc.structural_text()
 }
 
 fn check(name: &str, actual: &str) {
@@ -95,4 +119,15 @@ fn per_job_results_match_their_golden_bytes() {
             &jobs_text(&corpus(seed, scenarios)),
         );
     }
+}
+
+#[test]
+fn trace_structural_slices_match_their_golden_bytes() {
+    // One pinned trace is enough — the slice is already proven invariant
+    // across concurrency; this guards the *format* (names, attrs, order).
+    let (label, seed, scenarios) = PINNED[0];
+    check(
+        &format!("trace_{label}.json"),
+        &trace_text(&corpus(seed, scenarios)),
+    );
 }
