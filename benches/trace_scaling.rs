@@ -1,0 +1,131 @@
+//! Traced-session scaling on the transient solver.
+//!
+//! One question, answered on one machine and recorded to `BENCH_pr10.json`
+//! (alongside, never overwriting, the frozen `BENCH_pr2..9.json` history):
+//! what does a time-varying power trace cost as its phase count grows? The
+//! same one-second session on the Alpha-21364-like RC network is simulated
+//! as a 1/4/8/16-phase trace of *distinct* per-phase power maps (so the
+//! canonical merge cannot collapse them), once through the composed
+//! powered-operator fast path and once through the per-step implicit-Euler
+//! reference. The contract under test: the fast path amortises each phase
+//! into one operator composition, so its cost should grow far slower than
+//! the reference's per-step marching as phases are added.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use thermsched_bench::{baseline_recording_enabled, median};
+use thermsched_floorplan::library as fp_library;
+use thermsched_thermal::{
+    PackageConfig, PowerMap, PowerTrace, ThermalNetwork, TransientConfig, TransientSolver,
+};
+
+/// Phase counts swept by the bench; total simulated time is fixed at one
+/// second, so rows isolate phase-composition overhead, not extra physics.
+const PHASE_COUNTS: [usize; 4] = [1, 4, 8, 16];
+
+/// A `phases`-phase trace over one second whose consecutive phases carry
+/// different power maps — immune to the canonical merge, so every phase
+/// really costs a composition (fast path) or a marching segment (reference).
+fn phased_trace(block_count: usize, phases: usize) -> PowerTrace {
+    let duration = 1.0 / phases as f64;
+    let entries: Vec<(PowerMap, f64)> = (0..phases)
+        .map(|p| {
+            let scale = 0.5 + 0.25 * (p % 4) as f64;
+            let levels: Vec<f64> = (0..block_count)
+                .map(|i| (2.0 + 1.5 * (i % 5) as f64) * scale)
+                .collect();
+            (
+                PowerMap::from_vec(levels).expect("valid power map"),
+                duration,
+            )
+        })
+        .collect();
+    PowerTrace::new(entries).expect("valid trace")
+}
+
+/// The benchmark ids whose selection allows (re)recording `BENCH_pr10.json`.
+const RECORDED_IDS: [&str; 2] = ["trace_scaling/fast-p16", "trace_scaling/reference-p16"];
+
+fn bench_trace_scaling(c: &mut Criterion) {
+    let record = baseline_recording_enabled(&RECORDED_IDS);
+    let fp = fp_library::alpha21364();
+    let net = ThermalNetwork::build(&fp, &PackageConfig::default()).expect("network builds");
+    let fast = TransientSolver::new(&net, TransientConfig::default()).expect("fast solver");
+    let reference =
+        TransientSolver::new(&net, TransientConfig::reference()).expect("reference solver");
+
+    let mut group = c.benchmark_group("trace_scaling");
+    group.sample_size(10);
+    for phases in PHASE_COUNTS {
+        let trace = phased_trace(fp.block_count(), phases);
+        group.bench_function(&format!("fast-p{phases}"), |b| {
+            b.iter(|| fast.simulate_trace(&trace, None).expect("fast trace"))
+        });
+        group.bench_function(&format!("reference-p{phases}"), |b| {
+            b.iter(|| {
+                reference
+                    .simulate_trace(&trace, None)
+                    .expect("reference trace")
+            })
+        });
+    }
+    group.finish();
+
+    if record {
+        let rows: Vec<(usize, f64, f64)> = PHASE_COUNTS
+            .iter()
+            .map(|&phases| {
+                let trace = phased_trace(fp.block_count(), phases);
+                let time = |solver: &TransientSolver| {
+                    let samples: Vec<f64> = (0..5)
+                        .map(|_| {
+                            let start = Instant::now();
+                            solver.simulate_trace(&trace, None).expect("trace runs");
+                            start.elapsed().as_secs_f64()
+                        })
+                        .collect();
+                    median(samples)
+                };
+                (phases, time(&fast), time(&reference))
+            })
+            .collect();
+        write_baseline(&rows);
+    }
+}
+
+/// Records the measured numbers as `BENCH_pr10.json` at the workspace root.
+/// Hand-rolled JSON: the workspace has no registry access, hence no serde.
+fn write_baseline(rows: &[(usize, f64, f64)]) {
+    let mut points = String::new();
+    for (i, (phases, fast_s, reference_s)) in rows.iter().enumerate() {
+        if i > 0 {
+            points.push_str(",\n");
+        }
+        let speedup = if *fast_s > 0.0 {
+            reference_s / fast_s
+        } else {
+            0.0
+        };
+        points.push_str(&format!(
+            "    {{\n      \"phases\": {phases},\n      \
+             \"fast_seconds\": {fast_s:.6},\n      \
+             \"reference_seconds\": {reference_s:.6},\n      \
+             \"speedup\": {speedup:.4}\n    }}"
+        ));
+    }
+    let json = format!(
+        "{{\n  \"pr\": 10,\n  \"bench\": \"trace_scaling\",\n  \"description\": \"Traced-session scaling on the Alpha-21364-like RC network: one second of simulated time split into 1/4/8/16 distinct-power phases (immune to the canonical merge), run through the composed powered-operator fast path and the per-step implicit-Euler reference. Recorded per phase count: median wall seconds for each path and the reference/fast speedup. The contract: the fast path amortises each phase into one operator composition, so its cost grows far slower with phase count than the reference's per-step marching.\",\n  \"metadata\": {{\n    \"caveat\": \"single-CPU container timings; absolute seconds are machine-bound, the speedup column and its trend across phase counts are the signal\",\n    \"floorplan\": \"alpha21364\",\n    \"total_duration_seconds\": 1.0,\n    \"samples_per_point\": 5\n  }},\n  \"phase_curve\": [\n{points}\n  ]\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_pr10.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("warning: could not write {path}: {e}");
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_trace_scaling
+}
+criterion_main!(benches);

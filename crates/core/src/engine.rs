@@ -21,7 +21,7 @@ use thermsched_soc::SystemUnderTest;
 use thermsched_thermal::{PackageConfig, RcThermalSimulator, ThermalBackend, TransientConfig};
 
 use crate::{
-    Result, ScheduleCheckpoint, ScheduleError, ScheduleEvaluation, ScheduleOutcome,
+    OnlineContext, Result, ScheduleCheckpoint, ScheduleError, ScheduleEvaluation, ScheduleOutcome,
     ScheduleValidator, SchedulerConfig, SessionCacheHandle, SessionThermalModel, SweepReport,
     SweepRunner, SweepSpec, TestSchedule, ThermalAwareScheduler,
 };
@@ -174,6 +174,80 @@ impl<'a> Engine<'a> {
             .schedule_with_cache_and_checkpoint(&self.cache, checkpoint);
         Self::stamp_schedule_span(&mut span, &config, &outcome);
         outcome
+    }
+
+    /// Generates a schedule under an [`OnlineContext`] (power-trace shape
+    /// and/or warm start) with the engine's base configuration. Online
+    /// results live under their own cache keys
+    /// ([`crate::SessionCache::online_key`]), so they never alias — and are
+    /// never served from — the constant-power entries offline runs share.
+    ///
+    /// # Errors
+    ///
+    /// See [`ThermalAwareScheduler::with_online`] and
+    /// [`ThermalAwareScheduler::schedule`].
+    pub fn schedule_online(&self, online: &OnlineContext) -> Result<ScheduleOutcome> {
+        self.schedule_online_with(self.config, online)
+    }
+
+    /// Like [`Engine::schedule_online`], but with an explicit configuration
+    /// for this run.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::schedule_online`].
+    pub fn schedule_online_with(
+        &self,
+        config: SchedulerConfig,
+        online: &OnlineContext,
+    ) -> Result<ScheduleOutcome> {
+        let mut span = self.tracer.span("engine.schedule");
+        Self::stamp_online_span(&mut span, online);
+        let outcome = self
+            .scheduler_for(config)
+            .and_then(|s| s.with_online(online.clone()))
+            .and_then(|s| s.schedule_with_cache(&self.cache));
+        Self::stamp_schedule_span(&mut span, &config, &outcome);
+        outcome
+    }
+
+    /// Like [`Engine::schedule_online_with`], but consulting a cooperative
+    /// [`ScheduleCheckpoint`] — the entry point a service uses to dispatch
+    /// online jobs under deadline budgets.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::schedule_online`], plus
+    /// [`ScheduleError::Interrupted`] when the checkpoint fires.
+    pub fn schedule_online_with_checkpoint(
+        &self,
+        config: SchedulerConfig,
+        online: &OnlineContext,
+        checkpoint: &dyn ScheduleCheckpoint,
+    ) -> Result<ScheduleOutcome> {
+        let mut span = self.tracer.span("engine.schedule");
+        Self::stamp_online_span(&mut span, online);
+        let outcome = self
+            .scheduler_for(config)
+            .and_then(|s| s.with_online(online.clone()))
+            .and_then(|s| s.schedule_with_cache_and_checkpoint(&self.cache, checkpoint));
+        Self::stamp_schedule_span(&mut span, &config, &outcome);
+        outcome
+    }
+
+    /// Stamps the online-context attributes onto an `engine.schedule` span:
+    /// the trace's segment count and whether the run was warm-started. Both
+    /// are part of the job's identity — pure functions of its inputs — so
+    /// they belong to the structural slice.
+    fn stamp_online_span(span: &mut thermsched_obs::Span, online: &OnlineContext) {
+        if !span.is_recording() {
+            return;
+        }
+        span.attr(
+            "trace_segments",
+            online.trace().map_or(0, |t| t.segment_count()),
+        );
+        span.attr("warm_start", online.warm_start().is_some());
     }
 
     /// Stamps the outcome-level structural attributes onto an
@@ -560,6 +634,64 @@ mod tests {
         engine.set_tracer(Tracer::disabled());
         engine.schedule().unwrap();
         assert!(tracer.drain().is_empty());
+    }
+
+    #[test]
+    fn online_scheduling_chains_state_and_stamps_span_attrs() {
+        use crate::{EffortBudget, OnlineContext, TraceProfile, TraceSegment};
+        use thermsched_obs::{AttrValue, ObsClock, TracerConfig};
+
+        let sut = library::alpha21364_sut();
+        let tracer = Tracer::new(TracerConfig {
+            clock: ObsClock::Virtual,
+            ..TracerConfig::default()
+        });
+        let mut engine = Engine::builder().sut(&sut).build().unwrap();
+        engine.set_tracer(tracer.for_job(1));
+
+        let profile = TraceProfile::new(vec![
+            TraceSegment::new(1.0, 0.75),
+            TraceSegment::new(0.0, 0.25),
+        ])
+        .unwrap();
+        let first = engine
+            .schedule_online(&OnlineContext::new().with_trace(profile.clone()))
+            .unwrap();
+        let finals = first.final_temperatures.clone().unwrap();
+
+        // Chain: the next job re-plans from the state the first left behind.
+        let chained = OnlineContext::new()
+            .with_trace(profile)
+            .with_warm_start(finals.block_temperatures().to_vec())
+            .unwrap();
+        let second = engine.schedule_online(&chained).unwrap();
+        assert!(second.schedule.covers_exactly_once(sut.core_count()));
+
+        let spans = tracer.drain();
+        let schedule_spans: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == "engine.schedule")
+            .collect();
+        assert_eq!(schedule_spans.len(), 2);
+        for (span, warm) in schedule_spans.iter().zip([false, true]) {
+            let segments = span
+                .structural_attrs()
+                .find(|a| a.key == "trace_segments")
+                .expect("trace_segments attr");
+            assert_eq!(segments.value, AttrValue::Unsigned(2));
+            let warm_attr = span
+                .structural_attrs()
+                .find(|a| a.key == "warm_start")
+                .expect("warm_start attr");
+            assert_eq!(warm_attr.value, AttrValue::Bool(warm));
+        }
+
+        // The checkpoint variant with a generous budget agrees exactly.
+        let again = engine
+            .schedule_online_with_checkpoint(engine.config(), &chained, &EffortBudget::new(1e9))
+            .unwrap();
+        assert_eq!(again.schedule, second.schedule);
+        assert_eq!(again.session_records, second.session_records);
     }
 
     #[test]

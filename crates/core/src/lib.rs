@@ -143,6 +143,35 @@
 //! | `ServiceStats::warm_cache_hits` / `cached_validations` / `prewarmed_sessions` | `service.warm_cache_hits` / `service.cached_validations` / `service.prewarmed_sessions` |
 //! | `ServiceStats::latency` (percentiles) | `job.latency_seconds` (histogram) |
 //! | `ServiceStats::wall_seconds` / `jobs_per_second` | `service.wall_seconds` / `service.jobs_per_second` (gauges) |
+//!
+//! # Time-varying power and online re-scheduling
+//!
+//! PR 10 adds *online mode*: sessions may run under a time-varying power
+//! trace ([`TraceProfile`], materialised per candidate into a
+//! `thermsched_thermal::PowerTrace`) and may be re-planned from a
+//! caller-supplied temperature state instead of an ambient die. Everything
+//! is additive — [`SchedulerConfig`] is untouched (it stays `Copy`); the
+//! online inputs travel in an [`OnlineContext`]. New entry points map onto
+//! the existing ones as follows:
+//!
+//! | offline call | online equivalent |
+//! |---|---|
+//! | `engine.schedule()` | [`Engine::schedule_online`]`(&ctx)` |
+//! | `engine.schedule_with(cfg)` | [`Engine::schedule_online_with`]`(cfg, &ctx)` |
+//! | `engine.schedule_with_checkpoint(cfg, ck)` | [`Engine::schedule_online_with_checkpoint`]`(cfg, &ctx, ck)` |
+//! | `scheduler.schedule()` | `scheduler.with_online(ctx)?.schedule()` |
+//! | `ThermalSimulator::simulate_session(&p, d)` | `ThermalSimulator::simulate_trace(&trace, initial)` |
+//! | `SessionCache::key(cores)` | [`SessionCache::online_key`]`(cores, ctx.context_hash())` |
+//!
+//! Cache hygiene: online results are keyed through
+//! [`SessionCache::online_key`] (sorted cores + a `usize::MAX` sentinel +
+//! the context hash), so traced or warm-started entries can never alias the
+//! constant-power entries offline runs share, and [`OperatorKey`] gained an
+//! optional `with_context` discriminator for the same reason. Offline
+//! behaviour — including every golden snapshot — is bit-for-bit unchanged:
+//! an empty [`OnlineContext`] is normalised away, and a constant
+//! single-segment profile materialises to the exact single-phase trace the
+//! fast path already serves.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -153,6 +182,7 @@ mod config;
 mod engine;
 mod error;
 pub mod experiments;
+mod online;
 mod operator_cache;
 mod parallel;
 pub mod report;
@@ -172,6 +202,7 @@ pub use config::{CoreOrdering, CoreViolationPolicy, SchedulerConfig};
 pub use engine::{Engine, EngineBuilder};
 pub use error::ScheduleError;
 pub use experiments::{AblationPoint, BaselineComparison, SweepPoint};
+pub use online::{OnlineContext, TraceProfile, TraceSegment};
 pub use operator_cache::{OperatorCacheHandle, OperatorCacheStats, OperatorKey};
 pub use parallel::NestedParallelismGuard;
 pub use schedule::{TestSchedule, TestSession};

@@ -2,13 +2,35 @@
 
 use thermsched_obs::Tracer;
 use thermsched_soc::SystemUnderTest;
-use thermsched_thermal::{PackageConfig, SessionThermalResult, ThermalBackend};
+use thermsched_thermal::{
+    PackageConfig, PowerMap, SessionThermalResult, Temperatures, ThermalBackend,
+};
 
 use crate::{
-    CoreOrdering, CoreViolationPolicy, CoreWeights, Result, ScheduleCheckpoint, ScheduleError,
-    ScheduleProgress, SchedulerConfig, SessionCache, SessionCacheHandle, SessionThermalModel,
-    TestSchedule, TestSession,
+    CoreOrdering, CoreViolationPolicy, CoreWeights, OnlineContext, Result, ScheduleCheckpoint,
+    ScheduleError, ScheduleProgress, SchedulerConfig, SessionCache, SessionCacheHandle,
+    SessionThermalModel, TestSchedule, TestSession,
 };
+
+/// Validates one candidate session: the classic constant-power simulation
+/// offline, or a trace simulation (materialised shape, optional warm start)
+/// when an [`OnlineContext`] is active. Free function so the phase-1
+/// parallel fan-out can call it without capturing the whole scheduler.
+fn validate_session<S: ThermalBackend + ?Sized>(
+    simulator: &S,
+    online: Option<&OnlineContext>,
+    power: &PowerMap,
+    duration: f64,
+) -> Result<SessionThermalResult> {
+    match online {
+        None => Ok(simulator.simulate_session(power, duration)?),
+        Some(context) => {
+            let trace = context.session_trace(power, duration)?;
+            let initial = context.warm_start_temperatures();
+            Ok(simulator.simulate_trace(&trace, initial.as_ref())?)
+        }
+    }
+}
 
 /// The thermal-validation results that admitted one committed session into
 /// the schedule.
@@ -67,6 +89,12 @@ pub struct ScheduleOutcome {
     pub effective_temperature_limit: f64,
     /// Final per-core weights after all violation-driven adjustments.
     pub final_weights: CoreWeights,
+    /// Temperature state at the end of the *last committed session's*
+    /// validating simulation — the state an online caller chains into the
+    /// next run's warm start. `None` only for empty schedules. In-memory
+    /// only: this field is never serialised, so job reports and golden
+    /// snapshots are unaffected by it.
+    pub final_temperatures: Option<Temperatures>,
 }
 
 impl ScheduleOutcome {
@@ -147,6 +175,10 @@ pub struct ThermalAwareScheduler<'a, S: ThermalBackend + ?Sized> {
     /// a model clone per run.
     model: std::borrow::Cow<'a, SessionThermalModel>,
     config: SchedulerConfig,
+    /// Online context (power-trace shape and/or warm start); `None` for the
+    /// classic offline run. Kept out of [`SchedulerConfig`] so the config
+    /// stays `Copy` and every existing call site is untouched.
+    online: Option<OnlineContext>,
     /// Span recorder for the phase-1/phase-2 seams; disabled (free) unless
     /// [`ThermalAwareScheduler::with_tracer`] installs an enabled handle.
     tracer: Tracer,
@@ -220,8 +252,38 @@ impl<'a, S: ThermalBackend + ?Sized> ThermalAwareScheduler<'a, S> {
             simulator,
             model,
             config,
+            online: None,
             tracer: Tracer::disabled(),
         })
+    }
+
+    /// Attaches an [`OnlineContext`]: every candidate validation then runs
+    /// the context's materialised power trace (warm-started when the
+    /// context carries a temperature vector), and every cache key — per-run
+    /// and shared-store — switches to [`SessionCache::online_key`] so the
+    /// results can never alias offline constant-power entries. An empty
+    /// context is normalised away and behaves exactly like
+    /// [`ThermalAwareScheduler::schedule`].
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::InvalidConfig`] if the warm-start vector's length
+    /// differs from the system's core count.
+    pub fn with_online(mut self, online: OnlineContext) -> Result<Self> {
+        if let Some(warm) = online.warm_start() {
+            if warm.len() != self.sut.core_count() {
+                return Err(ScheduleError::InvalidConfig {
+                    name: "warm start temperature count",
+                    value: warm.len() as f64,
+                });
+            }
+        }
+        self.online = if online.is_empty() {
+            None
+        } else {
+            Some(online)
+        };
+        Ok(self)
     }
 
     /// Installs a span recorder; phase-1 characterisation, phase-2 session
@@ -245,6 +307,16 @@ impl<'a, S: ThermalBackend + ?Sized> ThermalAwareScheduler<'a, S> {
 }
 
 impl<'a, S: ThermalBackend + ?Sized> ThermalAwareScheduler<'a, S> {
+    /// Cache key for a core set under this scheduler's validation context:
+    /// the plain sorted-cores key offline, the sentinel-extended
+    /// [`SessionCache::online_key`] when an online context is active.
+    fn cache_key<I: IntoIterator<Item = usize>>(&self, cores: I) -> Vec<usize> {
+        match &self.online {
+            None => SessionCache::key(cores),
+            Some(context) => SessionCache::online_key(cores, context.context_hash()),
+        }
+    }
+
     /// Phase 1 (lines 1–7): per-core characterisation, fanned out across the
     /// machine with scoped threads. Every single-core validation is
     /// independent, so the pass parallelises embarrassingly; results come
@@ -263,7 +335,7 @@ impl<'a, S: ThermalBackend + ?Sized> ThermalAwareScheduler<'a, S> {
         // round trips would dominate the engine's overhead on small systems.
         match shared {
             Some(shared) => {
-                let keys: Vec<Vec<usize>> = (0..n).map(|core| vec![core]).collect();
+                let keys: Vec<Vec<usize>> = (0..n).map(|core| self.cache_key([core])).collect();
                 let mut probe = self.tracer.span("store.probe");
                 probe.attr("keys", n);
                 for (core, slot) in shared.lookup_batch(&keys).into_iter().enumerate() {
@@ -282,12 +354,13 @@ impl<'a, S: ThermalBackend + ?Sized> ThermalAwareScheduler<'a, S> {
         }
         let sut = self.sut;
         let simulator = self.simulator;
+        let online = self.online.as_ref();
         let fresh = crate::parallel::parallel_map_ordered(
             &misses,
             |core| -> Result<SessionThermalResult> {
                 let session = TestSession::new([core], sut);
                 let power = session.power_map(sut)?;
-                Ok(simulator.simulate_session(&power, session.duration())?)
+                validate_session(simulator, online, &power, session.duration())
             },
         );
         for (&core, result) in misses.iter().zip(fresh) {
@@ -304,7 +377,7 @@ impl<'a, S: ThermalBackend + ?Sized> ThermalAwareScheduler<'a, S> {
                     .iter()
                     .map(|&core| {
                         let result = results[core].as_ref().expect("miss was simulated");
-                        (vec![core], result.clone())
+                        (self.cache_key([core]), result.clone())
                     })
                     .collect(),
             );
@@ -409,7 +482,7 @@ impl<'a, S: ThermalBackend + ?Sized> ThermalAwareScheduler<'a, S> {
             // Seed the session cache: phase 2 falls back to single-core
             // sessions when no pair fits under the STC limit, and those are
             // exactly the simulations this pass has already run.
-            cache.insert(vec![core], result);
+            cache.insert(self.cache_key([core]), result);
         }
         phase1_span.attr("characterization_effort", characterization_effort);
         drop(phase1_span);
@@ -441,6 +514,7 @@ impl<'a, S: ThermalBackend + ?Sized> ThermalAwareScheduler<'a, S> {
         let mut discarded_sessions = 0usize;
         let mut cached_validations = 0usize;
         let mut max_temperature = f64::NEG_INFINITY;
+        let mut final_temperatures: Option<Temperatures> = None;
         let mut iterations = 0usize;
         // Livelock guard for weight_factor == 1.0 (the "no adaptation"
         // ablation): remembers every discarded candidate and its hottest
@@ -527,7 +601,7 @@ impl<'a, S: ThermalBackend + ?Sized> ThermalAwareScheduler<'a, S> {
                 // because singletons never violate (their BCMT passed phase 1).
                 if self.config.weight_factor == 1.0 {
                     while active.len() > 1 {
-                        let key = SessionCache::key(active.iter().copied());
+                        let key = self.cache_key(active.iter().copied());
                         match discarded_violators.get(&key) {
                             Some(&violator) => active.retain(|&c| c != violator),
                             None => break,
@@ -542,7 +616,7 @@ impl<'a, S: ThermalBackend + ?Sized> ThermalAwareScheduler<'a, S> {
                 // accrues the full session duration of simulation effort, so
                 // the paper's cost metric is unaffected.
                 let session = TestSession::new(active.iter().copied(), self.sut);
-                let key = SessionCache::key(session.cores());
+                let key = self.cache_key(session.cores());
                 if cache.contains(&key) {
                     cached_validations += 1;
                 } else if let Some(result) = shared.and_then(|s| s.lookup(&key)) {
@@ -551,9 +625,12 @@ impl<'a, S: ThermalBackend + ?Sized> ThermalAwareScheduler<'a, S> {
                     cache.insert(key.clone(), result);
                 } else {
                     let power = session.power_map(self.sut)?;
-                    let result = self
-                        .simulator
-                        .simulate_session(&power, session.duration())?;
+                    let result = validate_session(
+                        self.simulator,
+                        self.online.as_ref(),
+                        &power,
+                        session.duration(),
+                    )?;
                     if shared.is_some() {
                         pending_publish.push((key.clone(), result.clone()));
                     }
@@ -588,6 +665,7 @@ impl<'a, S: ThermalBackend + ?Sized> ThermalAwareScheduler<'a, S> {
                     let result = cache.take(&key).expect("candidate was just validated");
                     max_temperature = max_temperature.max(session_max);
                     available.retain(|c| !active.contains(c));
+                    final_temperatures = Some(result.final_temperatures);
                     session_records.push(SessionRecord {
                         block_max_temperatures: result.max_block_temperatures,
                         max_temperature: session_max,
@@ -649,6 +727,7 @@ impl<'a, S: ThermalBackend + ?Sized> ThermalAwareScheduler<'a, S> {
             bcmt,
             effective_temperature_limit: effective_limit,
             final_weights: weights,
+            final_temperatures,
         })
     }
 
@@ -896,6 +975,120 @@ mod tests {
     }
 
     #[test]
+    fn empty_online_context_is_exactly_the_offline_run() {
+        use crate::OnlineContext;
+
+        let (sut, sim) = setup();
+        let config = SchedulerConfig::new(165.0, 50.0).unwrap();
+        let offline = ThermalAwareScheduler::new(&sut, &sim, config)
+            .unwrap()
+            .schedule()
+            .unwrap();
+        let normalised = ThermalAwareScheduler::new(&sut, &sim, config)
+            .unwrap()
+            .with_online(OnlineContext::new())
+            .unwrap()
+            .schedule()
+            .unwrap();
+        assert_eq!(offline, normalised);
+        assert!(offline.final_temperatures.is_some());
+    }
+
+    #[test]
+    fn constant_profile_reproduces_offline_results_under_online_keys() {
+        use crate::{OnlineContext, TraceProfile};
+
+        let (sut, sim) = setup();
+        let config = SchedulerConfig::new(165.0, 50.0).unwrap();
+        let cache = SessionCacheHandle::new();
+
+        let offline = ThermalAwareScheduler::new(&sut, &sim, config)
+            .unwrap()
+            .schedule_with_cache(&cache)
+            .unwrap();
+        let offline_entries = cache.len();
+
+        // A constant trace shape is the same physics, so every result is
+        // bit-identical — but it is keyed as an online run, so it shares
+        // nothing with the offline entries.
+        let online = OnlineContext::new().with_trace(TraceProfile::constant());
+        let traced = ThermalAwareScheduler::new(&sut, &sim, config)
+            .unwrap()
+            .with_online(online.clone())
+            .unwrap()
+            .schedule_with_cache(&cache)
+            .unwrap();
+        assert_eq!(traced.schedule, offline.schedule);
+        assert_eq!(traced.session_records, offline.session_records);
+        assert_eq!(traced.final_temperatures, offline.final_temperatures);
+        assert_eq!(
+            traced.warm_cache_hits, 0,
+            "online keys must not alias the warm offline entries"
+        );
+        assert!(cache.len() > offline_entries);
+
+        // Re-running the same online context is fully warm and identical.
+        let warm = ThermalAwareScheduler::new(&sut, &sim, config)
+            .unwrap()
+            .with_online(online)
+            .unwrap()
+            .schedule_with_cache(&cache)
+            .unwrap();
+        assert!(warm.warm_cache_hits >= sut.core_count());
+        assert_eq!(warm.schedule, traced.schedule);
+        assert_eq!(warm.session_records, traced.session_records);
+    }
+
+    #[test]
+    fn traced_warm_started_runs_are_deterministic_and_validated() {
+        use crate::{OnlineContext, TraceProfile, TraceSegment};
+
+        let (sut, sim) = setup();
+        let config = SchedulerConfig::new(165.0, 50.0).unwrap();
+        let profile = TraceProfile::new(vec![
+            TraceSegment::new(1.0, 0.5),
+            TraceSegment::new(0.25, 0.25),
+            TraceSegment::new(1.0, 0.25),
+        ])
+        .unwrap();
+        let warm = vec![60.0; sut.core_count()];
+        let online = OnlineContext::new()
+            .with_trace(profile)
+            .with_warm_start(warm)
+            .unwrap();
+
+        let run = |online: &OnlineContext| {
+            ThermalAwareScheduler::new(&sut, &sim, config)
+                .unwrap()
+                .with_online(online.clone())
+                .unwrap()
+                .schedule()
+                .unwrap()
+        };
+        let first = run(&online);
+        let second = run(&online);
+        assert_eq!(first, second, "online runs are fully deterministic");
+        assert!(first.schedule.covers_exactly_once(sut.core_count()));
+        assert!(first.max_temperature < 165.0);
+        let finals = first.final_temperatures.as_ref().unwrap();
+        assert_eq!(finals.block_count(), sut.core_count());
+
+        // A warm start of the wrong length is rejected up front.
+        let short = OnlineContext::new().with_warm_start(vec![60.0]).unwrap();
+        let err = ThermalAwareScheduler::new(&sut, &sim, config)
+            .unwrap()
+            .with_online(short)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ScheduleError::InvalidConfig {
+                name: "warm start temperature count",
+                ..
+            }
+        ));
+    }
+
+    #[test]
     fn effort_ratio_and_cached_fraction_are_defined_for_empty_outcomes() {
         let empty = ScheduleOutcome {
             schedule: TestSchedule::new(),
@@ -909,6 +1102,7 @@ mod tests {
             bcmt: Vec::new(),
             effective_temperature_limit: 165.0,
             final_weights: CoreWeights::ones(0),
+            final_temperatures: None,
         };
         // Zero schedule length and zero effort must not yield NaN/inf.
         assert_eq!(empty.effort_ratio(), 1.0);

@@ -58,6 +58,21 @@ impl SessionCache {
         key
     }
 
+    /// Cache key for a candidate core set validated under an online context
+    /// (power trace and/or warm start, identified by
+    /// [`crate::OnlineContext::context_hash`]): the sorted cores followed by
+    /// a `usize::MAX` sentinel and the context hash. Core ids are dense
+    /// indices that can never reach `usize::MAX`, so an online key can never
+    /// collide with a plain [`SessionCache::key`] — traced or warm-started
+    /// results therefore never alias the constant-power entries the offline
+    /// scheduler shares.
+    pub fn online_key<I: IntoIterator<Item = usize>>(cores: I, context: u64) -> Vec<usize> {
+        let mut key = Self::key(cores);
+        key.push(usize::MAX);
+        key.push(context as usize);
+        key
+    }
+
     /// Number of cached results.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -111,6 +126,19 @@ mod tests {
         assert_eq!(SessionCache::key([3, 1, 2]), vec![1, 2, 3]);
         assert_eq!(SessionCache::key([1, 2, 3]), SessionCache::key([3, 2, 1]));
         assert_eq!(SessionCache::key([]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn online_keys_never_alias_plain_keys() {
+        let plain = SessionCache::key([2, 0]);
+        let online = SessionCache::online_key([2, 0], 0xDEAD_BEEF);
+        assert_eq!(online[..2], plain[..]);
+        assert_eq!(online[2], usize::MAX);
+        assert_eq!(online[3], 0xDEAD_BEEF_usize);
+        assert_ne!(online, plain);
+        // Distinct contexts produce distinct keys over the same cores.
+        assert_ne!(online, SessionCache::online_key([2, 0], 1));
+        assert_eq!(online, SessionCache::online_key([0, 2], 0xDEAD_BEEF));
     }
 
     #[test]

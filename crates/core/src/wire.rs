@@ -12,7 +12,7 @@ use thermsched_wire::{obj, JsonValue, Result, Wire, WireError};
 
 use crate::{
     CoreOrdering, CoreViolationPolicy, OperatorCacheStats, SchedulerConfig, SessionModelOptions,
-    StoreStats, TestSchedule, TestSession,
+    StoreStats, TestSchedule, TestSession, TraceProfile, TraceSegment,
 };
 
 impl Wire for CoreOrdering {
@@ -173,6 +173,47 @@ impl Wire for TestSchedule {
     }
 }
 
+impl Wire for TraceSegment {
+    const WIRE_TYPE: &'static str = "trace_segment";
+
+    fn to_wire(&self) -> JsonValue {
+        obj()
+            .field("scale", self.scale)
+            .field("fraction", self.fraction)
+            .build()
+    }
+
+    fn from_wire(value: &JsonValue) -> Result<Self> {
+        const T: &str = "trace_segment";
+        Ok(TraceSegment::new(
+            value.field_f64(T, "scale")?,
+            value.field_f64(T, "fraction")?,
+        ))
+    }
+}
+
+impl Wire for TraceProfile {
+    const WIRE_TYPE: &'static str = "trace_profile";
+
+    fn to_wire(&self) -> JsonValue {
+        let segments: Vec<JsonValue> = self.segments().iter().map(Wire::to_wire).collect();
+        obj().field("segments", segments).build()
+    }
+
+    fn from_wire(value: &JsonValue) -> Result<Self> {
+        const T: &str = "trace_profile";
+        let segments = value
+            .field_array(T, "segments")?
+            .iter()
+            .map(TraceSegment::from_wire)
+            .collect::<Result<Vec<_>>>()?;
+        TraceProfile::new(segments).map_err(|e| WireError::Invalid {
+            type_name: T,
+            message: e.to_string(),
+        })
+    }
+}
+
 impl Wire for StoreStats {
     const WIRE_TYPE: &'static str = "store_stats";
 
@@ -283,6 +324,28 @@ mod tests {
             TestSchedule::from_json(&empty.to_json().unwrap()).unwrap(),
             empty
         );
+    }
+
+    #[test]
+    fn trace_profiles_roundtrip_and_validate_on_decode() {
+        let profile = TraceProfile::new(vec![
+            TraceSegment::new(1.0, 0.5),
+            TraceSegment::new(0.25, 0.5),
+        ])
+        .unwrap();
+        let json = profile.to_json().unwrap();
+        assert_eq!(TraceProfile::from_json(&json).unwrap(), profile);
+        let binary = profile.to_binary().unwrap();
+        assert_eq!(TraceProfile::from_binary(&binary).unwrap(), profile);
+
+        // Fractions that do not sum to one fail domain validation on decode.
+        assert!(matches!(
+            TraceProfile::from_json("{\"segments\": [{\"scale\": 1.0, \"fraction\": 0.25}]}"),
+            Err(WireError::Invalid {
+                type_name: "trace_profile",
+                ..
+            })
+        ));
     }
 
     #[test]

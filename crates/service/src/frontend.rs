@@ -40,7 +40,7 @@ use std::time::{Duration, Instant};
 
 use thermsched::{
     Engine, NestedParallelismGuard, OperatorCacheHandle, SchedulerConfig, SessionCacheHandle,
-    StoreStats,
+    StoreStats, TraceProfile,
 };
 use thermsched_obs::{Histogram, MetricsRegistry, Tracer};
 use thermsched_thermal::ThermalBackend;
@@ -158,6 +158,12 @@ pub struct Submission {
     /// Per-job effort budget in simulated seconds, overriding
     /// [`ServiceConfig::deadline_effort`] when set.
     pub deadline_effort: Option<f64>,
+    /// Time-varying power shape the job's sessions follow, or `None` for a
+    /// constant-power run.
+    pub trace: Option<TraceProfile>,
+    /// Per-core initial temperatures (°C) to re-plan from — the state a
+    /// previous job left behind — or `None` to start from ambient.
+    pub warm_start: Option<Vec<f64>>,
 }
 
 impl Submission {
@@ -169,13 +175,33 @@ impl Submission {
             config,
             priority: Priority::Normal,
             deadline_effort: None,
+            trace: None,
+            warm_start: None,
         }
     }
 
     /// Builds a submission from a corpus [`JobSpec`] — the bridge from
-    /// batch-generated work to the streaming API.
+    /// batch-generated work to the streaming API. Online state (trace /
+    /// warm start) carries over.
     pub fn from_job(job: &JobSpec) -> Self {
-        Submission::new(job.scenario, job.label.clone(), job.config)
+        Submission {
+            trace: job.trace.clone(),
+            warm_start: job.warm_start.clone(),
+            ..Submission::new(job.scenario, job.label.clone(), job.config)
+        }
+    }
+
+    /// Attaches a power-trace shape to the job.
+    pub fn with_trace(mut self, trace: TraceProfile) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Attaches warm-start temperatures (°C, one per core of the scenario),
+    /// chaining this job's planning off a previous job's final state.
+    pub fn with_warm_start(mut self, temperatures: Vec<f64>) -> Self {
+        self.warm_start = Some(temperatures);
+        self
     }
 
     /// Sets the priority class.
@@ -637,6 +663,8 @@ impl Frontend {
                 scenario: submission.scenario,
                 label: submission.label,
                 config: submission.config,
+                trace: submission.trace,
+                warm_start: submission.warm_start,
             },
             deadline_effort: submission.deadline_effort,
             handle: handle.clone(),

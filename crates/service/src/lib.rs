@@ -100,7 +100,7 @@ pub use multiproc::{
 };
 pub use report::{JobMetrics, JobOutcome, JobResult, LatencyStats, ServiceReport, ServiceStats};
 pub use runner::{BackendKind, ServiceConfig, ServiceRunner, StoreKind};
-pub use scenario::{Corpus, JobSpec, Scenario, ScenarioSpec};
+pub use scenario::{Corpus, JobSpec, Scenario, ScenarioSpec, TraceFamily};
 
 /// Convenience result alias used throughout this crate.
 pub type Result<T, E = ServiceError> = std::result::Result<T, E>;

@@ -606,6 +606,12 @@ pub(crate) fn build_backends(
 /// a group that fails to simulate is simply skipped — its jobs compute
 /// phase 1 themselves and surface the error through the normal per-job
 /// path.
+///
+/// Prewarmed lanes are constant-power, from-ambient characterisations
+/// published under the plain cache keys. Online jobs (traces / warm
+/// starts) look up sentinel keys ([`thermsched::SessionCache::online_key`])
+/// instead, so they recompute their own phase 1 and never alias these
+/// entries.
 pub(crate) fn prewarm_same_shape(
     config: &ServiceConfig,
     corpus: &Corpus,
@@ -904,14 +910,37 @@ fn run_attempt<'a>(
     // Engines are reused across jobs; point this one at the current job's
     // scope so its schedule/phase spans land under the open attempt span.
     engine.set_tracer(tracer.clone());
+    // Online state (trace / warm start) is part of the job's identity, so a
+    // malformed context is a deterministic, non-retryable failure.
+    let online = match ctx.job.online_context() {
+        Ok(online) => online,
+        Err(error) => {
+            return (
+                JobOutcome::Failed {
+                    error: error.to_string(),
+                    retryable: false,
+                    attempts: 1,
+                },
+                CacheAccounting::default(),
+            )
+        }
+    };
     if ctx.deadline_effort.is_some() || ctx.cancel.is_some() {
         let checkpoint = JobCheckpoint {
             budget: ctx.deadline_effort,
             cancel: ctx.cancel,
         };
-        isolate(|| engine.schedule_with_checkpoint(ctx.job.config, &checkpoint))
+        match &online {
+            Some(online) => isolate(|| {
+                engine.schedule_online_with_checkpoint(ctx.job.config, online, &checkpoint)
+            }),
+            None => isolate(|| engine.schedule_with_checkpoint(ctx.job.config, &checkpoint)),
+        }
     } else {
-        isolate(|| engine.schedule_with(ctx.job.config))
+        match &online {
+            Some(online) => isolate(|| engine.schedule_online_with(ctx.job.config, online)),
+            None => isolate(|| engine.schedule_with(ctx.job.config)),
+        }
     }
 }
 
@@ -1091,6 +1120,64 @@ mod tests {
             );
             assert_eq!(report.render_jobs(), reference.render_jobs());
         }
+    }
+
+    #[test]
+    fn online_jobs_complete_and_are_worker_count_invariant() {
+        use crate::TraceFamily;
+        let corpus = ScenarioSpec {
+            trace_families: vec![
+                TraceFamily::Ramp,
+                TraceFamily::Periodic,
+                TraceFamily::IdleGap,
+            ],
+            warm_start_range: Some((46.0, 60.0)),
+            ..small_spec()
+        }
+        .build()
+        .unwrap();
+        assert!(corpus.jobs().iter().all(JobSpec::is_online));
+        let reference = ServiceRunner::new(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        })
+        .unwrap()
+        .run(&corpus)
+        .unwrap();
+        assert_eq!(reference.stats().completed, corpus.jobs().len());
+        let parallel = ServiceRunner::new(ServiceConfig {
+            workers: 3,
+            store: StoreKind::Sharded { shards: 4 },
+            ..ServiceConfig::default()
+        })
+        .unwrap()
+        .run(&corpus)
+        .unwrap();
+        assert_eq!(parallel.jobs(), reference.jobs());
+        assert_eq!(parallel.render_jobs(), reference.render_jobs());
+
+        // Online jobs must not be served the constant-power results: the
+        // same spec without online state schedules at least one job
+        // differently (the traced peak shifts the feasible sessions).
+        let offline = small_spec().build().unwrap();
+        let offline_report = ServiceRunner::new(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        })
+        .unwrap()
+        .run(&offline)
+        .unwrap();
+        let differs = offline_report
+            .jobs()
+            .iter()
+            .zip(reference.jobs())
+            .any(|(a, b)| match (a.outcome.metrics(), b.outcome.metrics()) {
+                (Some(x), Some(y)) => {
+                    x.schedule_length != y.schedule_length || x.max_temperature != y.max_temperature
+                }
+                _ => true,
+            });
+        assert!(differs, "online state must influence scheduling");
     }
 
     #[test]

@@ -12,10 +12,84 @@
 //! for byte — which is what makes the service's determinism contract
 //! testable.
 
-use thermsched::{CoreOrdering, CoreViolationPolicy, SchedulerConfig};
+use thermsched::{
+    CoreOrdering, CoreViolationPolicy, OnlineContext, SchedulerConfig, TraceProfile, TraceSegment,
+};
 use thermsched_soc::{GeneratorConfig, SocGenerator, SystemUnderTest};
 
 use crate::{Result, ServiceError};
+
+/// Seeded family of time-varying power shapes a spec can stamp onto its
+/// jobs. A family is a *generator* of [`TraceProfile`]s: the concrete
+/// segment scales are drawn deterministically from the per-job seed, so two
+/// builds of one spec materialise bit-identical profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFamily {
+    /// Four equal segments ramping linearly from a seeded low scale up to a
+    /// seeded peak — a workload heating up through the test.
+    Ramp,
+    /// Eight equal segments alternating between a seeded high and low scale
+    /// — a periodic burst/rest pattern.
+    Periodic,
+    /// Active at a seeded scale for half the session, fully idle for a
+    /// quarter, then active again — a test with a cooling gap in the middle.
+    IdleGap,
+}
+
+impl TraceFamily {
+    /// Stable wire / CLI name of the family.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceFamily::Ramp => "ramp",
+            TraceFamily::Periodic => "periodic",
+            TraceFamily::IdleGap => "idle_gap",
+        }
+    }
+
+    /// Parses a family from its [`Self::label`] name.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "ramp" => Some(TraceFamily::Ramp),
+            "periodic" => Some(TraceFamily::Periodic),
+            "idle_gap" => Some(TraceFamily::IdleGap),
+            _ => None,
+        }
+    }
+
+    /// Materialises the family into a concrete seeded profile. Segment
+    /// fractions are exact dyadic values (`0.5`, `0.25`, `0.125`) so the
+    /// profile always passes [`TraceProfile::new`]'s sum-to-one check
+    /// exactly, and the scales are pure functions of `seed`.
+    pub fn profile(self, seed: u64) -> TraceProfile {
+        let mut state = seed;
+        let segments: Vec<TraceSegment> = match self {
+            TraceFamily::Ramp => {
+                let start = 0.25 + 0.25 * unit_f64(&mut state);
+                let end = 1.0 + 0.5 * unit_f64(&mut state);
+                (0..4)
+                    .map(|i| TraceSegment::new(start + (end - start) * (i as f64 / 3.0), 0.25))
+                    .collect()
+            }
+            TraceFamily::Periodic => {
+                let high = 1.0 + 0.25 * unit_f64(&mut state);
+                let low = 0.25 + 0.25 * unit_f64(&mut state);
+                (0..8)
+                    .map(|i| TraceSegment::new(if i % 2 == 0 { high } else { low }, 0.125))
+                    .collect()
+            }
+            TraceFamily::IdleGap => {
+                let active = 0.75 + 0.5 * unit_f64(&mut state);
+                let tail = 0.5 + 0.5 * unit_f64(&mut state);
+                vec![
+                    TraceSegment::new(active, 0.5),
+                    TraceSegment::new(0.0, 0.25),
+                    TraceSegment::new(tail, 0.25),
+                ]
+            }
+        };
+        TraceProfile::new(segments).expect("family fractions are exact dyadic sums of one")
+    }
+}
 
 /// Specification of a scenario corpus: how many systems to generate, what
 /// they look like, and which operating points to schedule each one at.
@@ -66,6 +140,15 @@ pub struct ScenarioSpec {
     /// span a wide power-density range, so the service defaults to raising —
     /// a batch should report hot scenarios, not abort on them.
     pub raise_limit_margin: Option<f64>,
+    /// Trace families cycled over the jobs. Empty (the default) keeps every
+    /// job constant-power; non-empty stamps each job with a seeded
+    /// [`TraceProfile`] drawn from the family at `index % len`.
+    pub trace_families: Vec<TraceFamily>,
+    /// Warm-start temperature range `(low, high)` in °C, or `None` (the
+    /// default) to start every job from ambient. When set, each job gets a
+    /// seeded per-block initial temperature vector drawn uniformly from the
+    /// range, modelling state chained from a previous batch.
+    pub warm_start_range: Option<(f64, f64)>,
 }
 
 impl Default for ScenarioSpec {
@@ -85,6 +168,8 @@ impl Default for ScenarioSpec {
             weight_factors: vec![1.1],
             orderings: vec![CoreOrdering::AsGiven],
             raise_limit_margin: Some(5.0),
+            trace_families: vec![],
+            warm_start_range: None,
         }
     }
 }
@@ -134,7 +219,7 @@ impl ScenarioSpec {
             None => CoreViolationPolicy::Fail,
         };
         let mut jobs = Vec::with_capacity(self.job_count());
-        for scenario in 0..self.scenarios {
+        for (scenario, generated) in scenarios.iter().enumerate() {
             for &tl in &self.temperature_limits {
                 for &stcl in &self.stc_limits {
                     let index = jobs.len();
@@ -144,10 +229,29 @@ impl ScenarioSpec {
                         .with_weight_factor(weight_factor)
                         .with_ordering(ordering)
                         .with_core_violation_policy(policy);
+                    let mut label = format!("TL={tl} STCL={stcl} wf={weight_factor} {ordering:?}");
+                    let trace = if self.trace_families.is_empty() {
+                        None
+                    } else {
+                        let family = self.trace_families[index % self.trace_families.len()];
+                        label.push_str(" trace=");
+                        label.push_str(family.label());
+                        Some(family.profile(derive_seed(self.seed ^ TRACE_STREAM, index as u64)))
+                    };
+                    let warm_start = self.warm_start_range.map(|(low, high)| {
+                        label.push_str(" warm");
+                        let mut state = derive_seed(self.seed ^ WARM_STREAM, index as u64);
+                        let blocks = generated.sut.core_count();
+                        (0..blocks)
+                            .map(|_| low + (high - low) * unit_f64(&mut state))
+                            .collect()
+                    });
                     jobs.push(JobSpec {
                         scenario,
-                        label: format!("TL={tl} STCL={stcl} wf={weight_factor} {ordering:?}"),
+                        label,
                         config,
+                        trace,
+                        warm_start,
                     });
                 }
             }
@@ -172,8 +276,31 @@ impl ScenarioSpec {
                 });
             }
         }
+        if let Some((low, high)) = self.warm_start_range {
+            if !low.is_finite() || !high.is_finite() || low > high {
+                return Err(ServiceError::InvalidSpec {
+                    field: "warm_start_range",
+                    problem: "must be finite with low <= high",
+                });
+            }
+        }
         Ok(())
     }
+}
+
+/// Stream salts so trace scales and warm-start temperatures draw from
+/// generator streams unrelated to each other and to the scenario stream.
+const TRACE_STREAM: u64 = 0x5452_4143_4553_5452;
+const WARM_STREAM: u64 = 0x5741_524d_5354_524d;
+
+/// One SplitMix64 step of `state`, folded to a uniform value in `[0, 1)`.
+fn unit_f64(state: &mut u64) -> f64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
 }
 
 /// SplitMix64 mix of the master seed and a scenario index, so neighbouring
@@ -215,6 +342,36 @@ pub struct JobSpec {
     pub label: String,
     /// The scheduler configuration of this run.
     pub config: SchedulerConfig,
+    /// Time-varying power shape every session of this job follows, or
+    /// `None` for the classic constant-power run.
+    pub trace: Option<TraceProfile>,
+    /// Per-core initial temperatures (°C) to re-plan from, or `None` to
+    /// start from ambient.
+    pub warm_start: Option<Vec<f64>>,
+}
+
+impl JobSpec {
+    /// Whether this job carries any online state (a trace or a warm start).
+    pub fn is_online(&self) -> bool {
+        self.trace.is_some() || self.warm_start.is_some()
+    }
+
+    /// Assembles the job's [`OnlineContext`], or `None` for a plain
+    /// constant-power job. Errors surface scheduler-level validation (e.g.
+    /// non-finite warm-start temperatures).
+    pub fn online_context(&self) -> thermsched::Result<Option<OnlineContext>> {
+        if !self.is_online() {
+            return Ok(None);
+        }
+        let mut online = OnlineContext::new();
+        if let Some(trace) = &self.trace {
+            online = online.with_trace(trace.clone());
+        }
+        if let Some(warm) = &self.warm_start {
+            online = online.with_warm_start(warm.clone())?;
+        }
+        Ok(Some(online))
+    }
 }
 
 /// A fully expanded corpus: the generated systems and the jobs to run over
@@ -431,6 +588,99 @@ mod tests {
                 assert_eq!(a.rect(), b.rect());
             }
         }
+    }
+
+    #[test]
+    fn default_spec_jobs_are_offline() {
+        let corpus = ScenarioSpec::default().build().unwrap();
+        for job in corpus.jobs() {
+            assert!(!job.is_online());
+            assert!(job.online_context().unwrap().is_none());
+            assert!(!job.label.contains("trace="));
+            assert!(!job.label.contains("warm"));
+        }
+    }
+
+    #[test]
+    fn trace_families_cycle_and_seed_deterministically() {
+        let spec = ScenarioSpec {
+            scenarios: 2,
+            trace_families: vec![
+                TraceFamily::Ramp,
+                TraceFamily::Periodic,
+                TraceFamily::IdleGap,
+            ],
+            ..ScenarioSpec::default()
+        };
+        let a = spec.build().unwrap();
+        let b = spec.build().unwrap();
+        assert_eq!(a.jobs(), b.jobs(), "traces are a pure function of the spec");
+        assert_eq!(a.jobs().len(), 4);
+        let traces: Vec<_> = a.jobs().iter().map(|j| j.trace.clone().unwrap()).collect();
+        assert_eq!(traces[0].segment_count(), 4, "ramp");
+        assert_eq!(traces[1].segment_count(), 8, "periodic");
+        assert_eq!(traces[2].segment_count(), 3, "idle gap");
+        assert_eq!(traces[3].segment_count(), 4, "families cycle");
+        // Same family, different job index: different seeded scales.
+        assert_ne!(traces[0], traces[3]);
+        assert!(a.jobs()[0].label.contains("trace=ramp"));
+        assert!(a.jobs()[2].label.contains("trace=idle_gap"));
+        // The idle-gap family really has a zero-power middle segment.
+        assert_eq!(traces[2].segments()[1].scale, 0.0);
+    }
+
+    #[test]
+    fn warm_start_ranges_generate_per_core_vectors() {
+        let spec = ScenarioSpec {
+            scenarios: 2,
+            warm_start_range: Some((50.0, 70.0)),
+            ..ScenarioSpec::default()
+        };
+        let a = spec.build().unwrap();
+        let b = spec.build().unwrap();
+        assert_eq!(a.jobs(), b.jobs());
+        for job in a.jobs() {
+            let warm = job.warm_start.as_ref().unwrap();
+            assert_eq!(warm.len(), a.scenarios()[job.scenario].sut.core_count());
+            assert!(warm.iter().all(|&t| (50.0..=70.0).contains(&t)));
+            assert!(job.label.ends_with(" warm"));
+            assert!(job
+                .online_context()
+                .unwrap()
+                .unwrap()
+                .warm_start()
+                .is_some());
+        }
+        // Different jobs draw different vectors.
+        assert_ne!(a.jobs()[0].warm_start, a.jobs()[1].warm_start);
+    }
+
+    #[test]
+    fn invalid_warm_start_ranges_are_rejected_by_name() {
+        for range in [(70.0, 50.0), (f64::NAN, 60.0), (50.0, f64::INFINITY)] {
+            let spec = ScenarioSpec {
+                warm_start_range: Some(range),
+                ..ScenarioSpec::default()
+            };
+            match spec.build() {
+                Err(ServiceError::InvalidSpec { field, .. }) => {
+                    assert_eq!(field, "warm_start_range")
+                }
+                other => panic!("expected InvalidSpec for {range:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn trace_family_labels_roundtrip_through_parse() {
+        for family in [
+            TraceFamily::Ramp,
+            TraceFamily::Periodic,
+            TraceFamily::IdleGap,
+        ] {
+            assert_eq!(TraceFamily::parse(family.label()), Some(family));
+        }
+        assert_eq!(TraceFamily::parse("square"), None);
     }
 
     #[test]

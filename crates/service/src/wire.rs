@@ -17,9 +17,9 @@ use thermsched_wire::{obj, JsonValue, Result, Wire, WireError};
 use crate::{
     BackendKind, ClockKind, Corpus, FaultPlan, JobMetrics, JobOutcome, JobResult, JobSpec,
     LatencyStats, Rejected, RetryPolicy, Scenario, ScenarioSpec, ServiceConfig, ServiceReport,
-    ServiceStats, ShedCause, StoreKind,
+    ServiceStats, ShedCause, StoreKind, TraceFamily,
 };
-use thermsched::{CoreOrdering, OperatorCacheStats, SchedulerConfig, StoreStats};
+use thermsched::{CoreOrdering, OperatorCacheStats, SchedulerConfig, StoreStats, TraceProfile};
 use thermsched_soc::SystemUnderTest;
 
 /// Decodes an optional finite f64 stored as `null` or a number.
@@ -84,13 +84,29 @@ fn decode_f64_array(value: &JsonValue) -> Result<Vec<f64>> {
     value.as_array()?.iter().map(JsonValue::as_f64).collect()
 }
 
+impl Wire for TraceFamily {
+    const WIRE_TYPE: &'static str = "trace_family";
+
+    fn to_wire(&self) -> JsonValue {
+        JsonValue::from(self.label())
+    }
+
+    fn from_wire(value: &JsonValue) -> Result<Self> {
+        let name = value.as_str()?;
+        TraceFamily::parse(name).ok_or_else(|| WireError::UnknownVariant {
+            type_name: "trace_family",
+            variant: name.to_owned(),
+        })
+    }
+}
+
 impl Wire for ScenarioSpec {
     const WIRE_TYPE: &'static str = "scenario_spec";
 
     fn to_wire(&self) -> JsonValue {
         let grid_shapes: Vec<JsonValue> = self.grid_shapes.iter().map(|&s| pair_usize(s)).collect();
         let orderings: Vec<JsonValue> = self.orderings.iter().map(Wire::to_wire).collect();
-        obj()
+        let mut spec = obj()
             .field("seed", self.seed)
             .field("scenarios", self.scenarios)
             .field("grid_shapes", grid_shapes)
@@ -101,13 +117,34 @@ impl Wire for ScenarioSpec {
             .field("stc_limits", f64_array(&self.stc_limits))
             .field("weight_factors", f64_array(&self.weight_factors))
             .field("orderings", orderings)
-            .field("raise_limit_margin", self.raise_limit_margin)
-            .build()
+            .field("raise_limit_margin", self.raise_limit_margin);
+        // The online fields are omitted entirely when inactive so documents
+        // (and golden bytes) from offline-only versions stay unchanged.
+        if !self.trace_families.is_empty() {
+            let families: Vec<JsonValue> = self.trace_families.iter().map(Wire::to_wire).collect();
+            spec = spec.field("trace_families", families);
+        }
+        if let Some(range) = self.warm_start_range {
+            spec = spec.field("warm_start_range", pair_f64(range));
+        }
+        spec.build()
     }
 
     fn from_wire(value: &JsonValue) -> Result<Self> {
         const T: &str = "scenario_spec";
         Ok(ScenarioSpec {
+            trace_families: match value.get("trace_families") {
+                Some(families) => families
+                    .as_array()?
+                    .iter()
+                    .map(TraceFamily::from_wire)
+                    .collect::<Result<Vec<_>>>()?,
+                None => vec![],
+            },
+            warm_start_range: match value.get("warm_start_range") {
+                Some(range) => Some(decode_pair_f64(range, T)?),
+                None => None,
+            },
             seed: value.field_u64(T, "seed")?,
             scenarios: value.field_usize(T, "scenarios")?,
             grid_shapes: value
@@ -160,11 +197,18 @@ impl Wire for JobSpec {
     const WIRE_TYPE: &'static str = "job_spec";
 
     fn to_wire(&self) -> JsonValue {
-        obj()
+        let mut spec = obj()
             .field("scenario", self.scenario)
             .field("label", self.label.as_str())
-            .field("config", self.config.to_wire())
-            .build()
+            .field("config", self.config.to_wire());
+        // Omitted when absent, for byte-compatibility with offline documents.
+        if let Some(trace) = &self.trace {
+            spec = spec.field("trace", trace.to_wire());
+        }
+        if let Some(warm) = &self.warm_start {
+            spec = spec.field("warm_start", f64_array(warm));
+        }
+        spec.build()
     }
 
     fn from_wire(value: &JsonValue) -> Result<Self> {
@@ -173,6 +217,14 @@ impl Wire for JobSpec {
             scenario: value.field_usize(T, "scenario")?,
             label: value.field_str(T, "label")?.to_owned(),
             config: SchedulerConfig::from_wire(value.field(T, "config")?)?,
+            trace: match value.get("trace") {
+                Some(trace) => Some(TraceProfile::from_wire(trace)?),
+                None => None,
+            },
+            warm_start: match value.get("warm_start") {
+                Some(warm) => Some(decode_f64_array(warm)?),
+                None => None,
+            },
         })
     }
 }
@@ -736,6 +788,80 @@ mod tests {
             let binary = spec.to_binary().unwrap();
             assert_eq!(ScenarioSpec::from_binary(&binary).unwrap(), spec);
         }
+    }
+
+    #[test]
+    fn online_spec_fields_roundtrip_and_are_omitted_when_inactive() {
+        // Offline specs serialise without the online keys at all, so
+        // documents written before the online fields existed decode equal.
+        let offline = spec().to_json().unwrap();
+        assert!(!offline.contains("trace_families"));
+        assert!(!offline.contains("warm_start_range"));
+
+        let online = ScenarioSpec {
+            trace_families: vec![TraceFamily::Periodic, TraceFamily::IdleGap],
+            warm_start_range: Some((45.0, 65.0)),
+            ..spec()
+        };
+        let json = online.to_json().unwrap();
+        assert!(json.contains("trace_families"));
+        assert!(json.contains("periodic") && json.contains("idle_gap"));
+        assert_eq!(ScenarioSpec::from_json(&json).unwrap(), online);
+        let binary = online.to_binary().unwrap();
+        assert_eq!(ScenarioSpec::from_binary(&binary).unwrap(), online);
+
+        // Unknown family names are typed errors.
+        assert!(matches!(
+            TraceFamily::from_wire(&JsonValue::from("sawtooth")),
+            Err(WireError::UnknownVariant {
+                type_name: "trace_family",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn online_job_specs_roundtrip_and_validate_on_decode() {
+        let corpus = ScenarioSpec {
+            scenarios: 1,
+            trace_families: vec![TraceFamily::Ramp],
+            warm_start_range: Some((50.0, 60.0)),
+            ..spec()
+        }
+        .build()
+        .unwrap();
+        let job = corpus.jobs()[0].clone();
+        assert!(job.is_online());
+        let json = job.to_json().unwrap();
+        assert_eq!(JobSpec::from_json(&json).unwrap(), job);
+        let binary = job.to_binary().unwrap();
+        assert_eq!(JobSpec::from_binary(&binary).unwrap(), job);
+
+        // An offline job's wire form has no online keys, and documents
+        // without them (pre-online writers) decode to offline jobs.
+        let offline = JobSpec {
+            trace: None,
+            warm_start: None,
+            ..job.clone()
+        };
+        let offline_json = offline.to_json().unwrap();
+        assert!(!offline_json.contains("\"trace\""));
+        assert!(!offline_json.contains("\"warm_start\""));
+        assert_eq!(JobSpec::from_json(&offline_json).unwrap(), offline);
+
+        // A malformed embedded trace fails profile validation on decode.
+        let broken = offline_json.replacen(
+            "\"label\"",
+            "\"trace\": {\"segments\": [{\"scale\": 1.0, \"fraction\": 0.25}]}, \"label\"",
+            1,
+        );
+        assert!(matches!(
+            JobSpec::from_json(&broken),
+            Err(WireError::Invalid {
+                type_name: "trace_profile",
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -42,6 +42,12 @@ pub enum ThermalError {
         /// The offending value in seconds.
         value: f64,
     },
+    /// A power trace is structurally invalid, or a trace request is not
+    /// supported by the backend it was sent to.
+    InvalidTrace {
+        /// What is wrong with the trace or the request.
+        message: &'static str,
+    },
     /// The underlying linear solve failed.
     Solver(LinalgError),
 }
@@ -67,6 +73,9 @@ impl fmt::Display for ThermalError {
             }
             ThermalError::InvalidDuration { value } => {
                 write!(f, "invalid duration or time step {value} s")
+            }
+            ThermalError::InvalidTrace { message } => {
+                write!(f, "invalid power trace: {message}")
             }
             ThermalError::Solver(e) => write!(f, "linear solver failure: {e}"),
         }

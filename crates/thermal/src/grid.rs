@@ -25,8 +25,9 @@ use thermsched_linalg::{
 };
 
 use crate::{
-    PackageConfig, PowerMap, Result, SessionThermalResult, SimulationFidelity, Temperatures,
-    ThermalError, ThermalSimulator, TransientConfig, TransientMethod, TransientResult,
+    PackageConfig, PowerMap, PowerTrace, Result, SessionThermalResult, SimulationFidelity,
+    Temperatures, ThermalError, ThermalSimulator, TransientConfig, TransientMethod,
+    TransientResult,
 };
 
 /// Resolution of the thermal grid.
@@ -500,6 +501,42 @@ impl GridThermalSimulator {
         Ok((final_cells, Some(max_cells), steps))
     }
 
+    /// Expands a warm-start state to a per-cell temperature-rise vector:
+    /// either the full cell state, or portable per-block temperatures spread
+    /// uniformly over each block's cells (unassigned background cells start
+    /// at ambient).
+    fn initial_cell_rise(&self, initial: &Temperatures) -> Result<Vec<f64>> {
+        let values = initial.node_temperatures();
+        let n = self.cell_count();
+        let mut rise = vec![0.0; n];
+        if values.len() == n {
+            for (r, &v) in rise.iter_mut().zip(values) {
+                *r = v - self.ambient;
+            }
+        } else if values.len() == self.block_count {
+            for (block, cells) in self.block_cells.iter().enumerate() {
+                let block_rise = values[block] - self.ambient;
+                for &cell in cells {
+                    rise[cell] = block_rise;
+                }
+            }
+        } else {
+            return Err(ThermalError::PowerLengthMismatch {
+                expected: n,
+                found: values.len(),
+            });
+        }
+        Ok(rise)
+    }
+
+    /// Reduces final absolute cell temperatures to per-block means.
+    fn block_means(&self, cells: &[f64]) -> Vec<f64> {
+        self.block_cells
+            .iter()
+            .map(|ids| ids.iter().map(|&c| cells[c]).sum::<f64>() / ids.len() as f64)
+            .collect()
+    }
+
     /// Spreads the per-block power map uniformly over each block's cells.
     fn cell_power_vector(&self, power: &PowerMap) -> Result<Vec<f64>> {
         if power.block_count() != self.block_count {
@@ -682,6 +719,95 @@ impl ThermalSimulator for GridThermalSimulator {
                     max_block_temperatures,
                     final_temperatures: Temperatures::new(means, self.block_count),
                     duration,
+                })
+            }
+        }
+    }
+
+    fn simulate_trace(
+        &self,
+        trace: &PowerTrace,
+        initial: Option<&Temperatures>,
+    ) -> Result<SessionThermalResult> {
+        if trace.block_count() != self.block_count {
+            return Err(ThermalError::PowerLengthMismatch {
+                expected: self.block_count,
+                found: trace.block_count(),
+            });
+        }
+        let canon = trace.canonical();
+        match self.fidelity {
+            SimulationFidelity::Transient => {
+                if canon.phase_count() == 1 && initial.is_none() {
+                    // Constant power from ambient: exactly the session entry
+                    // point, so traced results stay bit-identical to it.
+                    let (power, duration) = &canon.phases()[0];
+                    return self.simulate_session(power, *duration);
+                }
+                // Phase-by-phase stepping on the factorisation built at
+                // construction. Off-ambient there is no monotone-rise
+                // argument for either stepper, so the per-cell maximum is
+                // tracked at every step.
+                let n = self.cell_count();
+                let mut rise = match initial {
+                    Some(t) => self.initial_cell_rise(t)?,
+                    None => vec![0.0; n],
+                };
+                let mut max_rise = rise.clone();
+                let mut next = vec![0.0; n];
+                let mut scratch = vec![0.0; n];
+                for (power, duration) in canon.phases() {
+                    let p = self.cell_power_vector(power)?;
+                    let steps = (duration / self.time_step).ceil().max(1.0) as usize;
+                    for _ in 0..steps {
+                        match &self.stepper {
+                            GridStepper::Banded(op) => {
+                                op.step_into(&rise, &p, &mut next, &mut scratch)?
+                            }
+                            GridStepper::Adi(op) => {
+                                op.step_into(&rise, &p, &mut next, &mut scratch)?
+                            }
+                        }
+                        std::mem::swap(&mut rise, &mut next);
+                        for (m, &r) in max_rise.iter_mut().zip(&rise) {
+                            if r > *m {
+                                *m = r;
+                            }
+                        }
+                    }
+                }
+                let final_cells: Vec<f64> = rise.iter().map(|r| r + self.ambient).collect();
+                let max_cells: Vec<f64> = max_rise.iter().map(|r| r + self.ambient).collect();
+                Ok(SessionThermalResult {
+                    max_block_temperatures: self.block_maxima(&max_cells),
+                    final_temperatures: Temperatures::new(
+                        self.block_means(&final_cells),
+                        self.block_count,
+                    ),
+                    duration: canon.total_duration(),
+                })
+            }
+            SimulationFidelity::SteadyState => {
+                // Stateless per-phase upper bound, like the RC simulator.
+                let mut max_block = vec![f64::NEG_INFINITY; self.block_count];
+                let mut last = None;
+                for (power, _) in canon.phases() {
+                    let cells = self.cell_temperatures(power)?;
+                    for (m, v) in max_block.iter_mut().zip(self.block_maxima(&cells)) {
+                        if v > *m {
+                            *m = v;
+                        }
+                    }
+                    last = Some(cells);
+                }
+                let last = last.expect("traces are validated non-empty");
+                Ok(SessionThermalResult {
+                    max_block_temperatures: max_block,
+                    final_temperatures: Temperatures::new(
+                        self.block_means(&last),
+                        self.block_count,
+                    ),
+                    duration: canon.total_duration(),
                 })
             }
         }
@@ -1066,6 +1192,66 @@ mod tests {
                 "block {block}: steady limits diverged"
             );
         }
+    }
+
+    #[test]
+    fn constant_trace_is_bit_identical_to_a_grid_session() {
+        let (sim, fp) = grid_sim(16);
+        let mut p = PowerMap::zeros(fp.block_count());
+        p.set(fp.index_of("IntExec").unwrap(), 16.0).unwrap();
+        let session = sim.simulate_session(&p, 0.2).unwrap();
+        let single = PowerTrace::constant(p.clone(), 0.2).unwrap();
+        assert_eq!(sim.simulate_trace(&single, None).unwrap(), session);
+        // k identical phases canonicalise back to the constant session.
+        let split = PowerTrace::new(vec![(p.clone(), 0.05), (p.clone(), 0.05), (p, 0.1)]).unwrap();
+        assert_eq!(sim.simulate_trace(&split, None).unwrap(), session);
+    }
+
+    #[test]
+    fn traced_grid_runs_agree_across_methods_and_bound_by_phases() {
+        let fp = library::alpha21364();
+        let resolution = GridResolution::new(16, 16).unwrap();
+        let auto = GridThermalSimulator::new(&fp, &PackageConfig::default(), resolution).unwrap();
+        let reference = GridThermalSimulator::with_config(
+            &fp,
+            &PackageConfig::default(),
+            resolution,
+            crate::TransientConfig::reference(),
+        )
+        .unwrap();
+        let mut high = PowerMap::zeros(fp.block_count());
+        high.set(fp.index_of("FPMul").unwrap(), 15.0).unwrap();
+        let low = high.scaled(0.3).unwrap();
+        let idle = PowerMap::zeros(fp.block_count());
+        let trace = PowerTrace::new(vec![(high.clone(), 0.1), (idle, 0.05), (low, 0.1)]).unwrap();
+        // Both methods share the banded stepper; trace integration is the
+        // same per-step loop, so the results agree exactly.
+        let a = auto.simulate_trace(&trace, None).unwrap();
+        let r = reference.simulate_trace(&trace, None).unwrap();
+        assert_eq!(a, r);
+        // The trace maximum is dominated by the hottest (first) phase and
+        // bounded by that phase's steady state.
+        let hot_block = fp.index_of("FPMul").unwrap();
+        let steady = auto.steady_state(&high).unwrap();
+        assert!(a.max_block_temperatures[hot_block] <= steady.block(hot_block) + 1e-6);
+        assert!(a.max_block_temperatures[hot_block] > auto.ambient());
+    }
+
+    #[test]
+    fn grid_warm_start_accepts_block_temperatures_and_decays() {
+        let (sim, fp) = grid_sim(16);
+        let hot = fp.index_of("Bpred").unwrap();
+        let mut blocks = vec![sim.ambient(); fp.block_count()];
+        blocks[hot] = 90.0;
+        let initial = Temperatures::new(blocks, fp.block_count());
+        let idle = PowerTrace::constant(PowerMap::zeros(fp.block_count()), 0.5).unwrap();
+        let warm = sim.simulate_trace(&idle, Some(&initial)).unwrap();
+        // The pre-heated block's maximum is its start value; it decays.
+        assert!((warm.max_block_temperatures[hot] - 90.0).abs() < 1e-9);
+        assert!(warm.final_temperatures.block(hot) < 90.0);
+        // Wrong-length warm starts are rejected.
+        let bad = Temperatures::new(vec![45.0; 7], 7);
+        assert!(sim.simulate_trace(&idle, Some(&bad)).is_err());
     }
 
     #[test]

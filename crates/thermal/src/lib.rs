@@ -76,6 +76,7 @@ mod power;
 mod simulator;
 mod steady_state;
 mod temperatures;
+mod trace;
 mod transient;
 mod wire;
 
@@ -91,6 +92,7 @@ pub use simulator::{
 };
 pub use steady_state::SteadyStateSolver;
 pub use temperatures::Temperatures;
+pub use trace::PowerTrace;
 pub use transient::{TransientConfig, TransientMethod, TransientResult, TransientSolver};
 
 /// Convenience result alias used throughout this crate.

@@ -114,6 +114,23 @@ impl PowerMap {
         self.powers.iter().sum()
     }
 
+    /// A copy of this map with every block's power multiplied by `factor`
+    /// (the building block for DVFS-style trace phases).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidPower`] if `factor` is negative or
+    /// non-finite (reported against block 0).
+    pub fn scaled(&self, factor: f64) -> Result<Self> {
+        if !(factor >= 0.0 && factor.is_finite()) {
+            return Err(ThermalError::InvalidPower {
+                block: 0,
+                value: factor,
+            });
+        }
+        PowerMap::from_vec(self.powers.iter().map(|p| p * factor).collect())
+    }
+
     /// Ids of blocks with strictly positive power (the "active" blocks).
     pub fn active_blocks(&self) -> Vec<BlockId> {
         self.powers

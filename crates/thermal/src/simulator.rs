@@ -3,8 +3,8 @@
 use thermsched_floorplan::{BlockId, Floorplan};
 
 use crate::{
-    PackageConfig, PowerMap, Result, SteadyStateSolver, Temperatures, ThermalNetwork,
-    TransientConfig, TransientSolver,
+    PackageConfig, PowerMap, PowerTrace, Result, SteadyStateSolver, Temperatures, ThermalError,
+    ThermalNetwork, TransientConfig, TransientSolver,
 };
 
 /// Per-session thermal simulation outcome.
@@ -79,6 +79,40 @@ pub trait ThermalSimulator {
     ///
     /// Implementations return an error for malformed power maps or durations.
     fn simulate_session(&self, power: &PowerMap, duration: f64) -> Result<SessionThermalResult>;
+
+    /// Simulates a piecewise-constant [`PowerTrace`], optionally
+    /// warm-starting from a caller-supplied temperature state instead of
+    /// ambient.
+    ///
+    /// `initial` may carry either portable per-block temperatures (length
+    /// [`ThermalSimulator::block_count`]; any internal nodes start at
+    /// ambient) or the simulator's own full final state as returned in
+    /// [`SessionThermalResult::final_temperatures`]. A single-phase trace
+    /// from ambient must be bit-identical to
+    /// [`ThermalSimulator::simulate_session`].
+    ///
+    /// The default implementation serves exactly that constant-from-ambient
+    /// case and rejects everything else with [`ThermalError::InvalidTrace`];
+    /// the library backends override it with full trace integration.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return an error for malformed traces or initial
+    /// states the backend cannot interpret.
+    fn simulate_trace(
+        &self,
+        trace: &PowerTrace,
+        initial: Option<&Temperatures>,
+    ) -> Result<SessionThermalResult> {
+        let canon = trace.canonical();
+        if initial.is_none() && canon.phase_count() == 1 {
+            let (power, duration) = &canon.phases()[0];
+            return self.simulate_session(power, *duration);
+        }
+        Err(ThermalError::InvalidTrace {
+            message: "this simulator does not support multi-phase traces or warm starts",
+        })
+    }
 
     /// Steady-state temperatures under the given power map.
     ///
@@ -195,6 +229,26 @@ impl RcThermalSimulator {
     pub fn transient_method(&self) -> crate::TransientMethod {
         self.transient.method()
     }
+
+    /// Expands a warm-start state to a full node vector: either the solver's
+    /// own node state, or portable per-block temperatures with every
+    /// internal node at ambient.
+    fn initial_nodes(&self, initial: &Temperatures) -> Result<Vec<f64>> {
+        let values = initial.node_temperatures();
+        let node_count = self.network.node_count();
+        if values.len() == node_count {
+            return Ok(values.to_vec());
+        }
+        if values.len() == self.network.block_count() {
+            let mut nodes = vec![self.network.ambient(); node_count];
+            nodes[..values.len()].copy_from_slice(values);
+            return Ok(nodes);
+        }
+        Err(ThermalError::PowerLengthMismatch {
+            expected: node_count,
+            found: values.len(),
+        })
+    }
 }
 
 impl crate::ThermalBackend for RcThermalSimulator {
@@ -239,6 +293,49 @@ impl ThermalSimulator for RcThermalSimulator {
                     max_block_temperatures: t.block_temperatures().to_vec(),
                     final_temperatures: t,
                     duration,
+                })
+            }
+        }
+    }
+
+    fn simulate_trace(
+        &self,
+        trace: &PowerTrace,
+        initial: Option<&Temperatures>,
+    ) -> Result<SessionThermalResult> {
+        match self.fidelity {
+            SimulationFidelity::Transient => {
+                let initial_nodes = initial.map(|t| self.initial_nodes(t)).transpose()?;
+                let r = self
+                    .transient
+                    .simulate_trace(trace, initial_nodes.as_deref())?;
+                Ok(SessionThermalResult {
+                    max_block_temperatures: r.max_block_temperatures,
+                    final_temperatures: r.final_temperatures,
+                    duration: r.duration,
+                })
+            }
+            SimulationFidelity::SteadyState => {
+                // The steady-state upper bound is stateless: each phase is
+                // bounded by its own steady solution, the trace maximum is
+                // the element-wise maximum over phases, and the warm start
+                // has no influence (it decays under any constant bound).
+                let canon = trace.canonical();
+                let mut max_block = vec![f64::NEG_INFINITY; self.block_count()];
+                let mut last = None;
+                for (power, _) in canon.phases() {
+                    let t = self.steady.solve(power)?;
+                    for (m, &v) in max_block.iter_mut().zip(t.block_temperatures()) {
+                        if v > *m {
+                            *m = v;
+                        }
+                    }
+                    last = Some(t);
+                }
+                Ok(SessionThermalResult {
+                    max_block_temperatures: max_block,
+                    final_temperatures: last.expect("traces are validated non-empty"),
+                    duration: canon.total_duration(),
                 })
             }
         }
@@ -336,5 +433,53 @@ mod tests {
     fn network_accessor_reflects_floorplan() {
         let (sim, fp) = sim();
         assert_eq!(sim.network().block_count(), fp.block_count());
+    }
+
+    #[test]
+    fn trace_session_equivalence_through_the_trait() {
+        let (sim, fp) = sim();
+        let mut p = PowerMap::zeros(fp.block_count());
+        p.set(fp.index_of("IntExec").unwrap(), 11.0).unwrap();
+        let session = sim.simulate_session(&p, 1.0).unwrap();
+        let traced = sim
+            .simulate_trace(&crate::PowerTrace::constant(p, 1.0).unwrap(), None)
+            .unwrap();
+        assert_eq!(session, traced);
+    }
+
+    #[test]
+    fn block_level_warm_start_heats_internal_nodes_from_ambient() {
+        let (sim, fp) = sim();
+        let hot = fp.index_of("Bpred").unwrap();
+        let mut blocks = vec![sim.ambient(); fp.block_count()];
+        blocks[hot] = 95.0;
+        let initial = Temperatures::new(blocks, fp.block_count());
+        let idle = crate::PowerTrace::constant(PowerMap::zeros(fp.block_count()), 0.5).unwrap();
+        let warm = sim.simulate_trace(&idle, Some(&initial)).unwrap();
+        // The hot block's maximum is its (decaying) start temperature.
+        assert!((warm.max_block_temperatures[hot] - 95.0).abs() < 1e-9);
+        // A wrong-length initial state is rejected.
+        let bad = Temperatures::new(vec![45.0; 3], 3);
+        assert!(sim.simulate_trace(&idle, Some(&bad)).is_err());
+    }
+
+    #[test]
+    fn steady_fidelity_traces_bound_each_phase() {
+        let (sim, fp) = sim();
+        let sim = sim.with_fidelity(SimulationFidelity::SteadyState);
+        let mut high = PowerMap::zeros(fp.block_count());
+        high.set(fp.index_of("IntExec").unwrap(), 15.0).unwrap();
+        let low = high.scaled(0.2).unwrap();
+        let trace = crate::PowerTrace::new(vec![(high.clone(), 0.5), (low.clone(), 0.5)]).unwrap();
+        let traced = sim.simulate_trace(&trace, None).unwrap();
+        let high_ss = sim.steady_state(&high).unwrap();
+        let low_ss = sim.steady_state(&low).unwrap();
+        for i in 0..fp.block_count() {
+            assert!(
+                (traced.max_block_temperatures[i] - high_ss.block(i).max(low_ss.block(i))).abs()
+                    < 1e-12
+            );
+            assert!((traced.final_temperatures.block(i) - low_ss.block(i)).abs() < 1e-12);
+        }
     }
 }

@@ -1,0 +1,192 @@
+//! Piecewise-constant power traces: time-varying power for the transient
+//! solvers.
+//!
+//! The paper's setting is offline — every test session dissipates constant
+//! power from an ambient start — but the streaming service layered on top of
+//! the reproduction wants DVFS ramps, periodic workloads and idle gaps. A
+//! [`PowerTrace`] is the minimal representation that keeps the solvers exact:
+//! an ordered sequence of `(PowerMap, duration)` phases, each integrated as a
+//! constant-power interval, chained through the phase-boundary state.
+
+use crate::{PowerMap, Result, ThermalError};
+
+/// An ordered sequence of piecewise-constant power phases.
+///
+/// Every phase holds one [`PowerMap`] for a positive, finite duration; all
+/// phases must cover the same number of blocks. A single-phase trace is
+/// exactly a constant-power session — the solvers guarantee bit-identical
+/// results for that case.
+///
+/// # Example
+///
+/// ```
+/// use thermsched_thermal::{PowerMap, PowerTrace};
+///
+/// # fn main() -> Result<(), thermsched_thermal::ThermalError> {
+/// let high = PowerMap::from_vec(vec![12.0, 0.0])?;
+/// let idle = PowerMap::zeros(2);
+/// let trace = PowerTrace::new(vec![(high, 0.5), (idle, 0.25)])?;
+/// assert_eq!(trace.phase_count(), 2);
+/// assert!((trace.total_duration() - 0.75).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerTrace {
+    phases: Vec<(PowerMap, f64)>,
+}
+
+impl PowerTrace {
+    /// Builds a trace from `(power, duration)` phases.
+    ///
+    /// # Errors
+    ///
+    /// * [`ThermalError::InvalidTrace`] if `phases` is empty.
+    /// * [`ThermalError::InvalidDuration`] if any phase duration is
+    ///   non-positive or non-finite.
+    /// * [`ThermalError::PowerLengthMismatch`] if the phases disagree on the
+    ///   block count.
+    pub fn new(phases: Vec<(PowerMap, f64)>) -> Result<Self> {
+        let Some(block_count) = phases.first().map(|(p, _)| p.block_count()) else {
+            return Err(ThermalError::InvalidTrace {
+                message: "a power trace needs at least one phase",
+            });
+        };
+        for (power, duration) in &phases {
+            if power.block_count() != block_count {
+                return Err(ThermalError::PowerLengthMismatch {
+                    expected: block_count,
+                    found: power.block_count(),
+                });
+            }
+            if !(*duration > 0.0 && duration.is_finite()) {
+                return Err(ThermalError::InvalidDuration { value: *duration });
+            }
+        }
+        Ok(PowerTrace { phases })
+    }
+
+    /// The single-phase trace equivalent to a constant-power session.
+    ///
+    /// # Errors
+    ///
+    /// See [`PowerTrace::new`].
+    pub fn constant(power: PowerMap, duration: f64) -> Result<Self> {
+        PowerTrace::new(vec![(power, duration)])
+    }
+
+    /// Borrows the `(power, duration)` phases in order.
+    pub fn phases(&self) -> &[(PowerMap, f64)] {
+        &self.phases
+    }
+
+    /// Number of phases.
+    pub fn phase_count(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Number of blocks every phase covers.
+    pub fn block_count(&self) -> usize {
+        self.phases[0].0.block_count()
+    }
+
+    /// Total duration over all phases in seconds.
+    pub fn total_duration(&self) -> f64 {
+        self.phases.iter().map(|(_, d)| d).sum()
+    }
+
+    /// The canonical form: consecutive phases whose power maps are
+    /// bit-identical are merged into one phase with the summed duration.
+    ///
+    /// Solvers canonicalise before integrating, so a trace of `k` identical
+    /// constant-power phases takes *exactly* the same code path — and yields
+    /// bit-identical results — as one constant-power session of the total
+    /// duration. Comparison is on exact bit patterns (not `==`) so that
+    /// merging never changes the solve inputs.
+    pub fn canonical(&self) -> PowerTrace {
+        let mut merged: Vec<(PowerMap, f64)> = Vec::with_capacity(self.phases.len());
+        for (power, duration) in &self.phases {
+            match merged.last_mut() {
+                Some((last, total)) if bit_identical(last, power) => *total += duration,
+                _ => merged.push((power.clone(), *duration)),
+            }
+        }
+        PowerTrace { phases: merged }
+    }
+}
+
+/// Whether two power maps are equal as exact f64 bit patterns.
+fn bit_identical(a: &PowerMap, b: &PowerMap) -> bool {
+    a.block_count() == b.block_count()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_phases() {
+        assert!(matches!(
+            PowerTrace::new(vec![]),
+            Err(ThermalError::InvalidTrace { .. })
+        ));
+        let p2 = PowerMap::zeros(2);
+        let p3 = PowerMap::zeros(3);
+        assert!(matches!(
+            PowerTrace::new(vec![(p2.clone(), 1.0), (p3, 1.0)]),
+            Err(ThermalError::PowerLengthMismatch { .. })
+        ));
+        assert!(matches!(
+            PowerTrace::new(vec![(p2.clone(), 0.0)]),
+            Err(ThermalError::InvalidDuration { .. })
+        ));
+        assert!(PowerTrace::new(vec![(p2, f64::NAN)]).is_err());
+    }
+
+    #[test]
+    fn accessors_reflect_the_phases() {
+        let high = PowerMap::from_vec(vec![10.0, 5.0]).unwrap();
+        let low = PowerMap::from_vec(vec![2.0, 1.0]).unwrap();
+        let trace = PowerTrace::new(vec![(high.clone(), 0.5), (low, 0.25)]).unwrap();
+        assert_eq!(trace.phase_count(), 2);
+        assert_eq!(trace.block_count(), 2);
+        assert!((trace.total_duration() - 0.75).abs() < 1e-12);
+        assert_eq!(trace.phases()[0].0, high);
+
+        let single = PowerTrace::constant(high, 1.0).unwrap();
+        assert_eq!(single.phase_count(), 1);
+        assert_eq!(single.total_duration(), 1.0);
+    }
+
+    #[test]
+    fn canonical_merges_identical_neighbours_only() {
+        let a = PowerMap::from_vec(vec![4.0]).unwrap();
+        let b = PowerMap::from_vec(vec![7.0]).unwrap();
+        let trace = PowerTrace::new(vec![
+            (a.clone(), 0.25),
+            (a.clone(), 0.25),
+            (b.clone(), 0.5),
+            (a.clone(), 0.125),
+        ])
+        .unwrap();
+        let canon = trace.canonical();
+        assert_eq!(canon.phase_count(), 3);
+        assert_eq!(canon.phases()[0].1, 0.5);
+        assert_eq!(canon.phases()[1], (b, 0.5));
+        assert_eq!(canon.phases()[2], (a, 0.125));
+        assert_eq!(canon.total_duration(), trace.total_duration());
+    }
+
+    #[test]
+    fn canonical_of_identical_phases_is_one_constant_phase() {
+        let p = PowerMap::from_vec(vec![3.0, 0.0]).unwrap();
+        let trace = PowerTrace::new(vec![(p.clone(), 0.25), (p.clone(), 0.25), (p, 0.25)]).unwrap();
+        let canon = trace.canonical();
+        assert_eq!(canon.phase_count(), 1);
+        assert_eq!(canon.phases()[0].1, 0.75);
+    }
+}

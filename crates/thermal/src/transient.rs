@@ -5,7 +5,7 @@ use std::sync::Mutex;
 
 use thermsched_linalg::{AffineStepOperator, DenseMatrix, LuDecomposition};
 
-use crate::{PowerMap, Result, Temperatures, ThermalError, ThermalNetwork};
+use crate::{PowerMap, PowerTrace, Result, Temperatures, ThermalError, ThermalNetwork};
 
 /// Which transient solution path the solver uses for from-ambient
 /// constant-power simulations.
@@ -310,6 +310,199 @@ impl TransientSolver {
         Ok(())
     }
 
+    /// Simulates a piecewise-constant [`PowerTrace`], optionally starting
+    /// from the given absolute node temperatures instead of ambient.
+    ///
+    /// The trace is first canonicalised ([`PowerTrace::canonical`]); a
+    /// canonical single phase from ambient is served by
+    /// [`TransientSolver::simulate_from_ambient`], so constant-power traces
+    /// are **bit-identical** to plain sessions. With
+    /// [`TransientMethod::Auto`], every remaining phase is probed with one
+    /// implicit-Euler step: if the iterate moves monotonically (all nodes
+    /// rising, or all falling — preserved by induction because the step
+    /// matrix is element-wise non-negative), the phase's block maxima sit at
+    /// its endpoints and the whole phase advances through one cached
+    /// `k`-step operator; otherwise the fast path falls back to per-step
+    /// integration with per-step maximum tracking, because the from-ambient
+    /// monotone-rise argument does not hold off-ambient. Reference methods
+    /// integrate every phase step by step.
+    ///
+    /// # Errors
+    ///
+    /// * [`ThermalError::PowerLengthMismatch`] if the trace's block count or
+    ///   the initial vector's length does not match the model.
+    /// * [`ThermalError::Solver`] if a linear solve fails.
+    pub fn simulate_trace(
+        &self,
+        trace: &PowerTrace,
+        initial_node_temperatures: Option<&[f64]>,
+    ) -> Result<TransientResult> {
+        if trace.block_count() != self.block_count {
+            return Err(ThermalError::PowerLengthMismatch {
+                expected: self.block_count,
+                found: trace.block_count(),
+            });
+        }
+        if let Some(initial) = initial_node_temperatures {
+            if initial.len() != self.node_count {
+                return Err(ThermalError::PowerLengthMismatch {
+                    expected: self.node_count,
+                    found: initial.len(),
+                });
+            }
+        }
+        let canon = trace.canonical();
+        if canon.phase_count() == 1 && initial_node_temperatures.is_none() {
+            let (power, duration) = &canon.phases()[0];
+            return self.simulate_from_ambient(power, *duration);
+        }
+        if self.method.uses_fast_path() {
+            self.simulate_trace_with_operators(&canon, initial_node_temperatures)
+        } else {
+            self.simulate_trace_stepping(&canon, initial_node_temperatures)
+        }
+    }
+
+    /// Reference trace integration: sequential implicit-Euler phases chained
+    /// through the phase-boundary state, maxima merged across phases.
+    fn simulate_trace_stepping(
+        &self,
+        trace: &PowerTrace,
+        initial_node_temperatures: Option<&[f64]>,
+    ) -> Result<TransientResult> {
+        let mut state: Vec<f64> = match initial_node_temperatures {
+            Some(t) => t.to_vec(),
+            None => vec![self.ambient; self.node_count],
+        };
+        let mut max_block = vec![f64::NEG_INFINITY; self.block_count];
+        let mut steps = 0;
+        let mut duration = 0.0;
+        let mut last = None;
+        for (power, phase_duration) in trace.phases() {
+            let r = self.simulate(power, *phase_duration, &state)?;
+            steps += r.steps;
+            duration += r.duration;
+            for (m, &t) in max_block.iter_mut().zip(&r.max_block_temperatures) {
+                if t > *m {
+                    *m = t;
+                }
+            }
+            state.copy_from_slice(r.final_temperatures.node_temperatures());
+            last = Some(r.final_temperatures);
+        }
+        Ok(TransientResult {
+            max_block_temperatures: max_block,
+            final_temperatures: last.expect("traces are validated non-empty"),
+            steps,
+            duration,
+        })
+    }
+
+    /// Fast trace integration: per-phase monotonicity probe, one cached
+    /// `k`-step operator per monotone phase, per-step fallback otherwise.
+    fn simulate_trace_with_operators(
+        &self,
+        trace: &PowerTrace,
+        initial_node_temperatures: Option<&[f64]>,
+    ) -> Result<TransientResult> {
+        let step_matrix = self
+            .step_matrix
+            .as_ref()
+            .expect("fast path implies a precomputed step matrix");
+        // State is the temperature rise over ambient, as in `simulate`.
+        let mut rise: Vec<f64> = match initial_node_temperatures {
+            Some(t) => t.iter().map(|t| t - self.ambient).collect(),
+            None => vec![0.0; self.node_count],
+        };
+        let mut max_rise: Vec<f64> = rise[..self.block_count].to_vec();
+        let mut total_steps = 0;
+        let mut p = vec![0.0; self.node_count];
+        let mut next = vec![0.0; self.node_count];
+        let mut out = vec![0.0; self.node_count];
+        let mut scratch = vec![0.0; self.node_count];
+        for (power, duration) in trace.phases() {
+            let steps = (duration / self.time_step).ceil().max(1.0) as usize;
+            total_steps += steps;
+            p[..self.block_count].copy_from_slice(power.as_slice());
+            let b = self.factorisation.solve(&p)?;
+
+            // One-step probe `x₁ = A·x₀ + b` decides the phase direction.
+            step_matrix.mul_vec_into(&rise, &mut next)?;
+            for (n, &bi) in next.iter_mut().zip(&b) {
+                *n += bi;
+            }
+            let rising = next.iter().zip(&rise).all(|(n, c)| n >= c);
+            let falling = next.iter().zip(&rise).all(|(n, c)| n <= c);
+
+            if rising || falling {
+                // Monotone phase: the per-block extreme sits at an endpoint
+                // (the start is already in `max_rise`, the end is recorded
+                // below), so the whole phase advances in one operator
+                // application.
+                if steps == 1 {
+                    std::mem::swap(&mut rise, &mut next);
+                } else {
+                    let applied = {
+                        let powered = self.powered.lock().expect("operator cache lock");
+                        if let Some(op) = powered.get(&steps) {
+                            op.apply_into(&rise, &b, &mut out, &mut scratch)?;
+                            true
+                        } else {
+                            false
+                        }
+                    };
+                    if !applied {
+                        // Built outside the lock, same as the session path.
+                        let op = AffineStepOperator::single(step_matrix)?.pow(steps)?;
+                        op.apply_into(&rise, &b, &mut out, &mut scratch)?;
+                        self.powered
+                            .lock()
+                            .expect("operator cache lock")
+                            .entry(steps)
+                            .or_insert(op);
+                    }
+                    std::mem::swap(&mut rise, &mut out);
+                }
+                for i in 0..self.block_count {
+                    if rise[i] > max_rise[i] {
+                        max_rise[i] = rise[i];
+                    }
+                }
+            } else {
+                // Mixed directions (possible only off-ambient): no endpoint
+                // argument holds, so track the maximum at every step. The
+                // probe above already computed the first step.
+                std::mem::swap(&mut rise, &mut next);
+                for i in 0..self.block_count {
+                    if rise[i] > max_rise[i] {
+                        max_rise[i] = rise[i];
+                    }
+                }
+                for _ in 1..steps {
+                    step_matrix.mul_vec_into(&rise, &mut next)?;
+                    for (n, &bi) in next.iter_mut().zip(&b) {
+                        *n += bi;
+                    }
+                    std::mem::swap(&mut rise, &mut next);
+                    for i in 0..self.block_count {
+                        if rise[i] > max_rise[i] {
+                            max_rise[i] = rise[i];
+                        }
+                    }
+                }
+            }
+        }
+        Ok(TransientResult {
+            max_block_temperatures: max_rise.iter().map(|r| r + self.ambient).collect(),
+            final_temperatures: Temperatures::new(
+                rise.iter().map(|r| r + self.ambient).collect(),
+                self.block_count,
+            ),
+            steps: total_steps,
+            duration: trace.total_duration(),
+        })
+    }
+
     /// Simulates `duration` seconds of constant power starting from the given
     /// absolute node temperatures.
     ///
@@ -558,6 +751,141 @@ mod tests {
         let (net, _) = setup();
         let auto = TransientSolver::new(&net, TransientConfig::default()).unwrap();
         assert_eq!(auto.method(), TransientMethod::Auto);
+    }
+
+    #[test]
+    fn constant_trace_is_bit_identical_to_a_session() {
+        let (net, fp) = setup();
+        for config in [TransientConfig::default(), TransientConfig::reference()] {
+            let solver = TransientSolver::new(&net, config).unwrap();
+            let mut p = PowerMap::zeros(fp.block_count());
+            p.set(fp.index_of("IntExec").unwrap(), 14.0).unwrap();
+            let session = solver.simulate_from_ambient(&p, 1.0).unwrap();
+            let single = PowerTrace::constant(p.clone(), 1.0).unwrap();
+            assert_eq!(solver.simulate_trace(&single, None).unwrap(), session);
+            // k identical phases canonicalise to the same constant session.
+            let split =
+                PowerTrace::new(vec![(p.clone(), 0.25), (p.clone(), 0.25), (p, 0.5)]).unwrap();
+            assert_eq!(solver.simulate_trace(&split, None).unwrap(), session);
+        }
+    }
+
+    #[test]
+    fn traced_fast_path_matches_stepped_reference() {
+        let (net, fp) = setup();
+        let reference = TransientSolver::new(&net, TransientConfig::reference()).unwrap();
+        let fast = TransientSolver::new(&net, TransientConfig::default()).unwrap();
+        let mut high = PowerMap::zeros(fp.block_count());
+        high.set(fp.index_of("IntExec").unwrap(), 20.0).unwrap();
+        let mut low = PowerMap::zeros(fp.block_count());
+        low.set(fp.index_of("IntExec").unwrap(), 4.0).unwrap();
+        let idle = PowerMap::zeros(fp.block_count());
+        let trace = PowerTrace::new(vec![
+            (high.clone(), 0.3),
+            (idle, 0.2),
+            (low, 0.25),
+            (high, 0.25),
+        ])
+        .unwrap();
+        let r = reference.simulate_trace(&trace, None).unwrap();
+        let f = fast.simulate_trace(&trace, None).unwrap();
+        assert_eq!(r.steps, f.steps);
+        assert!((r.duration - f.duration).abs() < 1e-12);
+        for (a, b) in r
+            .max_block_temperatures
+            .iter()
+            .zip(&f.max_block_temperatures)
+        {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+        for (a, b) in r
+            .final_temperatures
+            .node_temperatures()
+            .iter()
+            .zip(f.final_temperatures.node_temperatures())
+        {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn warm_started_stages_match_one_concatenated_trace() {
+        let (net, fp) = setup();
+        let solver = TransientSolver::new(&net, TransientConfig::default()).unwrap();
+        let mut high = PowerMap::zeros(fp.block_count());
+        high.set(fp.index_of("Bpred").unwrap(), 16.0).unwrap();
+        let low = high.scaled(0.25).unwrap();
+        let stage1 = PowerTrace::constant(high.clone(), 0.4).unwrap();
+        let stage2 = PowerTrace::constant(low.clone(), 0.3).unwrap();
+        let first = solver.simulate_trace(&stage1, None).unwrap();
+        let second = solver
+            .simulate_trace(&stage2, Some(first.final_temperatures.node_temperatures()))
+            .unwrap();
+        let whole = solver
+            .simulate_trace(
+                &PowerTrace::new(vec![(high, 0.4), (low, 0.3)]).unwrap(),
+                None,
+            )
+            .unwrap();
+        for (a, b) in second
+            .final_temperatures
+            .node_temperatures()
+            .iter()
+            .zip(whole.final_temperatures.node_temperatures())
+        {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn auto_fallback_tracks_per_step_maxima_off_ambient() {
+        // From a state with one block far above ambient and no power, heat
+        // diffuses: neighbours first *rise* as the hot block's heat arrives,
+        // then decay toward ambient — the per-block maximum lies strictly
+        // inside the interval. The from-ambient monotone-rise argument does
+        // not apply, so Auto must engage per-step maximum tracking (this was
+        // previously only documented, never asserted).
+        let (net, fp) = setup();
+        let reference = TransientSolver::new(&net, TransientConfig::reference()).unwrap();
+        let fast = TransientSolver::new(&net, TransientConfig::default()).unwrap();
+        let hot = fp.index_of("IntExec").unwrap();
+        let node_count = reference.node_count;
+        let mut initial = vec![45.0; node_count];
+        initial[hot] = 145.0;
+        let idle = PowerTrace::constant(PowerMap::zeros(fp.block_count()), 1.0).unwrap();
+        let r = reference.simulate_trace(&idle, Some(&initial)).unwrap();
+        let f = fast.simulate_trace(&idle, Some(&initial)).unwrap();
+        // Some neighbour peaks mid-interval: its max exceeds both endpoints.
+        let overshoot = (0..fp.block_count()).any(|i| {
+            i != hot
+                && r.max_block_temperatures[i] > initial[i] + 1e-3
+                && r.max_block_temperatures[i] > r.final_temperatures.block(i) + 1e-3
+        });
+        assert!(overshoot, "expected a mid-interval neighbour maximum");
+        for (a, b) in r
+            .max_block_temperatures
+            .iter()
+            .zip(&f.max_block_temperatures)
+        {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn simulate_trace_validates_inputs() {
+        let (net, fp) = setup();
+        let solver = TransientSolver::new(&net, TransientConfig::default()).unwrap();
+        let wrong = PowerTrace::constant(PowerMap::zeros(2), 1.0).unwrap();
+        assert!(matches!(
+            solver.simulate_trace(&wrong, None),
+            Err(ThermalError::PowerLengthMismatch { .. })
+        ));
+        let ok = PowerTrace::constant(PowerMap::zeros(fp.block_count()), 1.0).unwrap();
+        let short_initial = vec![45.0; 3];
+        assert!(matches!(
+            solver.simulate_trace(&ok, Some(&short_initial)),
+            Err(ThermalError::PowerLengthMismatch { .. })
+        ));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use thermsched_wire::{obj, JsonValue, Result, Wire, WireError};
 
-use crate::{Material, PackageConfig, PowerMap};
+use crate::{Material, PackageConfig, PowerMap, PowerTrace};
 
 fn invalid(e: crate::ThermalError, type_name: &'static str) -> WireError {
     WireError::Invalid {
@@ -93,6 +93,39 @@ impl Wire for PowerMap {
     }
 }
 
+impl Wire for PowerTrace {
+    const WIRE_TYPE: &'static str = "power_trace";
+
+    fn to_wire(&self) -> JsonValue {
+        let phases: Vec<JsonValue> = self
+            .phases()
+            .iter()
+            .map(|(power, duration)| {
+                obj()
+                    .field("power", power.to_wire())
+                    .field("duration", *duration)
+                    .build()
+            })
+            .collect();
+        obj().field("phases", phases).build()
+    }
+
+    fn from_wire(value: &JsonValue) -> Result<Self> {
+        const T: &str = "power_trace";
+        let phases = value
+            .field_array(T, "phases")?
+            .iter()
+            .map(|phase| {
+                Ok((
+                    PowerMap::from_wire(phase.field(T, "power")?)?,
+                    phase.field_f64(T, "duration")?,
+                ))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        PowerTrace::new(phases).map_err(|e| invalid(e, T))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,6 +148,27 @@ mod tests {
             let json = map.to_json().unwrap();
             assert_eq!(PowerMap::from_json(&json).unwrap(), map);
         }
+    }
+
+    #[test]
+    fn power_trace_roundtrips_and_validates() {
+        let trace = PowerTrace::new(vec![
+            (PowerMap::from_vec(vec![5.0, 0.0]).unwrap(), 0.5),
+            (PowerMap::zeros(2), 0.25),
+        ])
+        .unwrap();
+        let json = trace.to_json().unwrap();
+        assert_eq!(PowerTrace::from_json(&json).unwrap(), trace);
+        let binary = trace.to_binary().unwrap();
+        assert_eq!(PowerTrace::from_binary(&binary).unwrap(), trace);
+
+        assert!(matches!(
+            PowerTrace::from_json("{\"phases\": []}"),
+            Err(WireError::Invalid {
+                type_name: "power_trace",
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -28,7 +28,7 @@ use std::process::ExitCode;
 use thermsched_obs::{render_trace, MetricsRegistry, TraceDocument, Tracer, TracerConfig};
 use thermsched_service::{
     worker_serve, Corpus, CrashPlan, MultiprocConfig, MultiprocCoordinator, ScenarioSpec,
-    ServiceConfig, ServiceReport, ServiceRunner,
+    ServiceConfig, ServiceReport, ServiceRunner, TraceFamily,
 };
 use thermsched_wire::{document_type, from_document, to_document, JsonValue, Wire};
 
@@ -39,6 +39,9 @@ commands:
   gen                     generate a seeded scenario corpus document
       --seed <u64>          master seed (default 2005)
       --scenarios <n>       number of systems under test (default 8)
+      --trace-families <l>  comma-separated list of power-trace families
+                            (ramp, periodic, idle_gap) cycled over the jobs
+      --warm-start <lo:hi>  seeded per-core warm-start temperatures (deg C)
       --out <file>          write to a file instead of stdout
   run <corpus.json>       execute every job of a corpus
       --processes <n>       shard over n worker processes (default: in-process)
@@ -134,6 +137,12 @@ fn cmd_gen(args: &[String]) -> Result<(), CliError> {
         match flag.as_str() {
             "--seed" => spec.seed = parse_value(flag, iter.next())?,
             "--scenarios" => spec.scenarios = parse_value(flag, iter.next())?,
+            "--trace-families" => {
+                spec.trace_families = parse_trace_families(&required(flag, iter.next())?)?;
+            }
+            "--warm-start" => {
+                spec.warm_start_range = Some(parse_warm_start(&required(flag, iter.next())?)?);
+            }
             "--out" => out = Some(required(flag, iter.next())?),
             other => return Err(CliError::usage(format!("gen: unknown option `{other}`"))),
         }
@@ -260,6 +269,31 @@ fn cmd_worker(args: &[String]) -> Result<(), CliError> {
     let stdout = std::io::stdout().lock();
     worker_serve(stdin, stdout, crash)?;
     Ok(())
+}
+
+/// Parses `--trace-families ramp,periodic,idle_gap` into the family list.
+fn parse_trace_families(value: &str) -> Result<Vec<TraceFamily>, CliError> {
+    value
+        .split(',')
+        .map(str::trim)
+        .filter(|name| !name.is_empty())
+        .map(|name| {
+            TraceFamily::parse(name).ok_or_else(|| {
+                CliError::usage(format!(
+                    "--trace-families: unknown family `{name}` (expected ramp, periodic or idle_gap)"
+                ))
+            })
+        })
+        .collect()
+}
+
+/// Parses `--warm-start 50:70` into the `(low, high)` temperature range.
+fn parse_warm_start(value: &str) -> Result<(f64, f64), CliError> {
+    let invalid = || CliError::usage("--warm-start: expected `<low>:<high>` in deg C");
+    let (low, high) = value.split_once(':').ok_or_else(invalid)?;
+    let low: f64 = low.trim().parse().map_err(|_| invalid())?;
+    let high: f64 = high.trim().parse().map_err(|_| invalid())?;
+    Ok((low, high))
 }
 
 /// Reads a corpus from a wire document, expanding `scenario_spec` documents

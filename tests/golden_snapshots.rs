@@ -17,7 +17,9 @@
 use std::path::PathBuf;
 
 use thermsched_obs::{MetricsRegistry, ObsClock, TraceDocument, Tracer, TracerConfig};
-use thermsched_service::{ClockKind, Corpus, ScenarioSpec, ServiceConfig, ServiceRunner};
+use thermsched_service::{
+    ClockKind, Corpus, ScenarioSpec, ServiceConfig, ServiceRunner, TraceFamily,
+};
 use thermsched_wire::{to_document, JsonValue, Wire};
 
 /// The pinned corpora: (label, seed, scenario count). Small on purpose —
@@ -99,6 +101,32 @@ fn check(name: &str, actual: &str) {
          intentional, regenerate with THERMSCHED_UPDATE_GOLDEN=1 and \
          review the diff"
     );
+}
+
+/// The pinned *online* corpus: the seed7 spec with every trace family and
+/// a warm-start range active, pinning the online wire fields and the
+/// traced/warm-started scheduling results byte-for-byte.
+fn online_corpus() -> Corpus {
+    ScenarioSpec {
+        seed: 7,
+        scenarios: 2,
+        trace_families: vec![
+            TraceFamily::Ramp,
+            TraceFamily::Periodic,
+            TraceFamily::IdleGap,
+        ],
+        warm_start_range: Some((48.0, 62.0)),
+        ..ScenarioSpec::default()
+    }
+    .build()
+    .expect("pinned online corpus builds")
+}
+
+#[test]
+fn online_corpus_and_results_match_their_golden_bytes() {
+    let corpus = online_corpus();
+    check("corpus_seed7_online.json", &corpus_text(&corpus));
+    check("jobs_seed7_online.json", &jobs_text(&corpus));
 }
 
 #[test]

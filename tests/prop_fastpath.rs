@@ -10,8 +10,8 @@ use thermsched::{Engine, SchedulerConfig, SessionCache, TestSession, ThermalAwar
 use thermsched_floorplan::{library as fp_library, Floorplan};
 use thermsched_soc::library;
 use thermsched_thermal::{
-    PowerMap, RcThermalSimulator, ThermalSimulator, TransientConfig, TransientMethod,
-    TransientSolver,
+    GridResolution, GridThermalSimulator, PackageConfig, PowerMap, PowerTrace, RcThermalSimulator,
+    ThermalSimulator, TransientConfig, TransientMethod, TransientSolver,
 };
 
 /// The two library floorplans the paper evaluates on.
@@ -108,6 +108,68 @@ proptest! {
             .zip(&f.max_block_temperatures)
         {
             prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn identical_phases_are_bit_identical_to_one_constant_session(
+        fp_idx in floorplan_index(),
+        levels in power_levels(),
+        k in 2usize..6,
+        d_idx in 0usize..3,
+    ) {
+        // A trace of k bit-identical constant-power phases canonicalises to
+        // one phase whose duration is the exact dyadic sum, so the traced
+        // path must reproduce the plain constant-power session *bit for
+        // bit* — the contract that keeps traced corpora from perturbing any
+        // constant-power golden. Dyadic phase durations keep the summed
+        // duration exactly representable.
+        let fp = &library_floorplans()[fp_idx];
+        let power = PowerMap::from_vec(levels[..fp.block_count()].to_vec()).unwrap();
+        let phase = [0.125f64, 0.25, 0.5][d_idx];
+        let total = phase * k as f64;
+        let trace = PowerTrace::new(vec![(power.clone(), phase); k]).unwrap();
+        prop_assert_eq!(trace.canonical().phase_count(), 1);
+
+        let rc = RcThermalSimulator::from_floorplan(fp).unwrap();
+        let t = rc.simulate_trace(&trace, None).unwrap();
+        let s = rc.simulate_session(&power, total).unwrap();
+        prop_assert_eq!(t.duration.to_bits(), s.duration.to_bits());
+        for (a, b) in t.max_block_temperatures.iter().zip(&s.max_block_temperatures) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in t
+            .final_temperatures
+            .node_temperatures()
+            .iter()
+            .zip(s.final_temperatures.node_temperatures())
+        {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        // The same identity holds on the grid backend (alpha21364 only:
+        // the default resolution is known to cover its every block).
+        if fp_idx == 0 {
+            let grid = GridThermalSimulator::new(
+                fp,
+                &PackageConfig::default(),
+                GridResolution::default(),
+            )
+            .unwrap();
+            let t = grid.simulate_trace(&trace, None).unwrap();
+            let s = grid.simulate_session(&power, total).unwrap();
+            prop_assert_eq!(t.duration.to_bits(), s.duration.to_bits());
+            for (a, b) in t.max_block_temperatures.iter().zip(&s.max_block_temperatures) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (a, b) in t
+                .final_temperatures
+                .node_temperatures()
+                .iter()
+                .zip(s.final_temperatures.node_temperatures())
+            {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
         }
     }
 
